@@ -1,0 +1,160 @@
+//! Algorithm 2: Bottom-Up Pruning.
+//!
+//! Iteratively prunes the leaf with the smallest local importance until
+//! only `l` nodes remain; a priority queue orders current leaves. `O(n log
+//! n)`; optimal when local importance decreases monotonically with depth
+//! (Lemma 2, verified by a property test).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use sizel_util::F64Ord;
+
+use crate::algo::{SizeLAlgorithm, SizeLResult};
+use crate::os::{Os, OsNodeId};
+
+/// Algorithm 2.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BottomUp;
+
+impl SizeLAlgorithm for BottomUp {
+    fn name(&self) -> &'static str {
+        "Bottom-Up"
+    }
+
+    fn compute(&self, os: &Os, l: usize) -> SizeLResult {
+        if os.is_empty() || l == 0 {
+            return SizeLResult { selected: Vec::new(), importance: 0.0 };
+        }
+        let n = os.len();
+        if l >= n {
+            let all: Vec<OsNodeId> = os.iter().map(|(id, _)| id).collect();
+            return SizeLResult::from_selection(os, all);
+        }
+
+        let mut alive = vec![true; n];
+        let mut remaining_children: Vec<usize> =
+            os.iter().map(|(_, node)| node.children.len()).collect();
+
+        // Min-heap of current leaves; ties broken by node id for
+        // determinism. The root is never enqueued (it must survive).
+        let mut pq: BinaryHeap<Reverse<(F64Ord, OsNodeId)>> = os
+            .iter()
+            .filter(|(id, node)| node.children.is_empty() && id.0 != 0)
+            .map(|(id, node)| Reverse((F64Ord(node.weight), id)))
+            .collect();
+
+        let mut size = n;
+        while size > l {
+            let Reverse((_, id)) = pq.pop().expect("a tree with > l >= 1 nodes has a non-root leaf");
+            debug_assert!(alive[id.index()], "leaves enter the queue exactly once");
+            alive[id.index()] = false;
+            size -= 1;
+            let parent = os.node(id).parent.expect("root is never pruned");
+            let p = parent.index();
+            remaining_children[p] -= 1;
+            if remaining_children[p] == 0 && parent.0 != 0 {
+                pq.push(Reverse((F64Ord(os.node(parent).weight), parent)));
+            }
+        }
+
+        let selected: Vec<OsNodeId> =
+            (0..n).filter(|&i| alive[i]).map(|i| OsNodeId(i as u32)).collect();
+        SizeLResult::from_selection(os, selected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::dp::DpKnapsack;
+    use crate::os::{figure56_tree, Os};
+    use sizel_util::prng::Prng;
+
+    #[test]
+    fn figure5_walkthrough_size10_and_size5() {
+        // Figure 5 uses the w12 = 55 variant.
+        let os = figure56_tree(55.0);
+        // Size-10 (Figure 5(c)): paper nodes {1,2,4,5,6,8,11,12,13,14}
+        // = ids {0,1,3,4,5,7,10,11,12,13}.
+        let r10 = BottomUp.compute(&os, 10);
+        let expect10: Vec<OsNodeId> =
+            [0u32, 1, 3, 4, 5, 7, 10, 11, 12, 13].iter().map(|&i| OsNodeId(i)).collect();
+        assert_eq!(r10.selected, expect10);
+        // Size-5 (Figure 5(d)): paper nodes {1,5,6,11,13} = ids {0,4,5,10,12}.
+        let r5 = BottomUp.compute(&os, 5);
+        let expect5: Vec<OsNodeId> = [0u32, 4, 5, 10, 12].iter().map(|&i| OsNodeId(i)).collect();
+        assert_eq!(r5.selected, expect5);
+        assert!((r5.importance - 235.0).abs() < 1e-12);
+        // The paper notes this is suboptimal: the optimum is 240.
+        let opt = DpKnapsack.compute(&os, 5);
+        assert!((opt.importance - 240.0).abs() < 1e-12);
+        assert!(r5.importance < opt.importance);
+    }
+
+    #[test]
+    fn always_valid_and_exact_size() {
+        let mut rng = Prng::new(0xB0);
+        for _ in 0..40 {
+            let n = rng.range(1, 60);
+            let os = crate::algo::dp::tests::random_tree(&mut rng, n);
+            for l in [0, 1, 2, n / 2, n.saturating_sub(1), n, n + 5] {
+                let r = BottomUp.compute(&os, l);
+                assert_eq!(r.len(), l.min(n));
+                assert!(os.is_valid_selection(&r.selected));
+                // Never better than the optimum.
+                let opt = DpKnapsack.compute(&os, l);
+                assert!(r.importance <= opt.importance + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn lemma2_optimal_under_monotone_weights() {
+        // Weights decrease with depth => Bottom-Up returns the optimum.
+        let mut rng = Prng::new(0x1E);
+        for _ in 0..30 {
+            let n = rng.range(2, 40);
+            let mut parents = vec![None];
+            for i in 1..n {
+                parents.push(Some(rng.range(0, i)));
+            }
+            // Assign weights strictly decreasing with depth.
+            let mut os_probe = Os::synthetic(&parents, &vec![1.0; n]);
+            let weights: Vec<f64> = (0..n)
+                .map(|i| {
+                    let d = os_probe.node(OsNodeId(i as u32)).depth as f64;
+                    100.0 / (1.0 + d) + rng.f64() // jitter within a depth band
+                })
+                .collect();
+            // Enforce parent >= child explicitly (jitter could break bands
+            // at equal depth only, which is fine for the lemma).
+            let mut weights = weights;
+            for i in 1..n {
+                let p = os_probe.node(OsNodeId(i as u32)).parent.unwrap().index();
+                if weights[i] > weights[p] {
+                    weights[i] = weights[p];
+                }
+            }
+            os_probe = Os::synthetic(&parents, &weights);
+            for l in 1..=n {
+                let bu = BottomUp.compute(&os_probe, l);
+                let opt = DpKnapsack.compute(&os_probe, l);
+                assert!(
+                    (bu.importance - opt.importance).abs() < 1e-9,
+                    "Lemma 2 violated: n={n} l={l} bu={} opt={}",
+                    bu.importance,
+                    opt.importance
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let os = Os::synthetic(&[None], &[7.0]);
+        let r = BottomUp.compute(&os, 1);
+        assert_eq!(r.selected, vec![OsNodeId(0)]);
+        assert!((r.importance - 7.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,162 @@
+//! Exhaustive enumeration of all candidate size-l OSs.
+//!
+//! The paper's "brute force approach, that considers all candidate size-l
+//! OSs before finding the one with the maximum importance, requires
+//! exponential time" — we implement it as the test oracle that certifies
+//! the DP algorithms optimal on small inputs.
+//!
+//! Enumeration uses the classic connected-subtree scheme: grow the
+//! selection one frontier node at a time, only ever adding extension
+//! candidates that appear *after* the last chosen candidate in the
+//! extension list. Every connected, root-containing subset of size `l` is
+//! produced exactly once.
+
+use crate::algo::{SizeLAlgorithm, SizeLResult};
+use crate::os::{Os, OsNodeId};
+
+/// Exhaustive optimal size-l search (exponential; test-scale only).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BruteForce;
+
+impl BruteForce {
+    /// Enumerates all candidate size-l OSs, returning the best and the
+    /// number of candidates visited. Panics if more than `budget`
+    /// candidates exist (guards accidental use on large inputs).
+    pub fn compute_counted(&self, os: &Os, l: usize, budget: u64) -> (SizeLResult, u64) {
+        if os.is_empty() || l == 0 {
+            return (SizeLResult { selected: Vec::new(), importance: 0.0 }, 0);
+        }
+        let l = l.min(os.len());
+        let mut best: Option<(f64, Vec<OsNodeId>)> = None;
+        let mut count = 0u64;
+        let root = os.root();
+        let mut selection = vec![root];
+        let extensions: Vec<OsNodeId> = os.node(root).children.clone();
+        recurse(os, l, &extensions, 0, &mut selection, os.node(root).weight, &mut best, &mut count, budget);
+        let (importance, mut selected) = best.expect("at least the root-only prefix exists");
+        selected.sort_unstable();
+        (SizeLResult { selected, importance }, count)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    os: &Os,
+    l: usize,
+    extensions: &[OsNodeId],
+    start: usize,
+    selection: &mut Vec<OsNodeId>,
+    weight: f64,
+    best: &mut Option<(f64, Vec<OsNodeId>)>,
+    count: &mut u64,
+    budget: u64,
+) {
+    if selection.len() == l {
+        *count += 1;
+        assert!(*count <= budget, "brute-force budget exceeded ({budget} candidates)");
+        if best.as_ref().is_none_or(|(w, _)| weight > *w) {
+            *best = Some((weight, selection.clone()));
+        }
+        return;
+    }
+    for i in start..extensions.len() {
+        let v = extensions[i];
+        selection.push(v);
+        // New extensions: everything after i, plus v's children.
+        let mut next: Vec<OsNodeId> = extensions[i + 1..].to_vec();
+        next.extend_from_slice(&os.node(v).children);
+        recurse(os, l, &next, 0, selection, weight + os.node(v).weight, best, count, budget);
+        selection.pop();
+    }
+}
+
+impl SizeLAlgorithm for BruteForce {
+    fn name(&self) -> &'static str {
+        "BruteForce"
+    }
+
+    fn compute(&self, os: &Os, l: usize) -> SizeLResult {
+        self.compute_counted(os, l, u64::MAX).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::os::{figure4_tree, figure56_tree};
+
+    #[test]
+    fn figure4_optimal_size4_matches_paper() {
+        let os = figure4_tree();
+        let r = BruteForce.compute(&os, 4);
+        // Paper: S1,4 = {1, 4, 5, 6} with weight 176.
+        assert_eq!(
+            r.selected,
+            vec![OsNodeId(0), OsNodeId(3), OsNodeId(4), OsNodeId(5)]
+        );
+        assert!((r.importance - 176.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure5_optimal_size5_matches_paper() {
+        let os = figure56_tree(55.0);
+        let r = BruteForce.compute(&os, 5);
+        // Paper §5.1: "the optimal size-5 OS should include nodes 1, 5, 6,
+        // 12 and 14" = ids {0, 4, 5, 11, 13}, weight 240.
+        assert_eq!(
+            r.selected,
+            vec![OsNodeId(0), OsNodeId(4), OsNodeId(5), OsNodeId(11), OsNodeId(13)]
+        );
+        assert!((r.importance - 240.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l_larger_than_tree_selects_everything() {
+        let os = figure4_tree();
+        let r = BruteForce.compute(&os, 100);
+        assert_eq!(r.len(), os.len());
+        assert!((r.importance - os.total_weight()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l_one_selects_root_only() {
+        let os = figure4_tree();
+        let r = BruteForce.compute(&os, 1);
+        assert_eq!(r.selected, vec![OsNodeId(0)]);
+        assert!((r.importance - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l_zero_selects_nothing() {
+        let os = figure4_tree();
+        let r = BruteForce.compute(&os, 0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn every_candidate_is_counted_once() {
+        // A path of 4 nodes has exactly one candidate per l.
+        let os = Os::synthetic(&[None, Some(0), Some(1), Some(2)], &[1.0, 1.0, 1.0, 1.0]);
+        for l in 1..=4 {
+            let (_, count) = BruteForce.compute_counted(&os, l, 1000);
+            assert_eq!(count, 1, "path tree has a single connected subtree per size");
+        }
+        // A star with 3 leaves: C(3, l-1) candidates.
+        let os = Os::synthetic(&[None, Some(0), Some(0), Some(0)], &[1.0, 1.0, 1.0, 1.0]);
+        let expect = [1, 3, 3, 1];
+        for l in 1..=4 {
+            let (_, count) = BruteForce.compute_counted(&os, l, 1000);
+            assert_eq!(count, expect[l - 1], "star candidates for l={l}");
+        }
+    }
+
+    #[test]
+    fn selections_are_valid() {
+        let os = figure56_tree(12.0);
+        for l in 1..=os.len() {
+            let r = BruteForce.compute(&os, l);
+            assert_eq!(r.len(), l);
+            assert!(os.is_valid_selection(&r.selected), "l={l}");
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Optimal size-l OS via knapsack-merge tree DP.
+//!
+//! This computes the same optimum as the paper's Algorithm 1 but merges
+//! children *incrementally* (a classic tree-knapsack), which brings the
+//! cost down from the paper's exponential combination enumeration to
+//! `O(n · l²)` — the ablation benchmark (`ablations` bench, EXPERIMENTS.md)
+//! quantifies the difference against [`crate::algo::DpNaive`].
+//!
+//! For every node `v` (processed children-first) we compute
+//! `dp[v][k]` = maximum weight of a connected subtree rooted at `v` with
+//! exactly `k` nodes, for `k ≤ cap(v) = min(l - depth(v), |subtree(v)|)` —
+//! the same `S_{v,i}` tables as the paper, including the depth bound of
+//! Section 4 ("the subtree rooted at v can contribute at most l - d(v)
+//! nodes").
+
+use crate::algo::{SizeLAlgorithm, SizeLResult};
+use crate::os::{Os, OsNodeId};
+
+/// Optimal size-l OS algorithm (knapsack-merge DP).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DpKnapsack;
+
+const NEG: f64 = f64::NEG_INFINITY;
+
+impl SizeLAlgorithm for DpKnapsack {
+    fn name(&self) -> &'static str {
+        "Optimal(DP)"
+    }
+
+    fn compute(&self, os: &Os, l: usize) -> SizeLResult {
+        if os.is_empty() || l == 0 {
+            return SizeLResult { selected: Vec::new(), importance: 0.0 };
+        }
+        let n = os.len();
+        let l = l.min(n);
+
+        // Subtree sizes, children-first (reverse BFS index order).
+        let mut subtree = vec![1usize; n];
+        for i in (1..n).rev() {
+            let p = os.node(OsNodeId(i as u32)).parent.expect("non-root").index();
+            subtree[p] += subtree[i];
+        }
+
+        // cap[v] = min(l - depth(v), subtree(v)); nodes at depth >= l cannot
+        // participate at all.
+        let cap: Vec<usize> = (0..n)
+            .map(|i| {
+                let d = os.node(OsNodeId(i as u32)).depth as usize;
+                if d >= l {
+                    0
+                } else {
+                    (l - d).min(subtree[i])
+                }
+            })
+            .collect();
+
+        // dp tables, children-first.
+        let mut dp: Vec<Vec<f64>> = vec![Vec::new(); n];
+        for i in (0..n).rev() {
+            if cap[i] == 0 {
+                continue;
+            }
+            dp[i] = node_table(os, OsNodeId(i as u32), cap[i], &cap, &dp);
+        }
+
+        let k = l.min(cap[0]);
+        let mut selected = Vec::with_capacity(k);
+        reconstruct(os, os.root(), k, &cap, &dp, &mut selected);
+        debug_assert_eq!(selected.len(), k);
+        SizeLResult::from_selection(os, selected)
+    }
+}
+
+/// Computes `dp[v]` by merging children left to right. Index 0 holds 0.0
+/// ("select nothing from this subtree"); `table[k]` for `k >= 1` is the best
+/// weight of a k-node subtree rooted at `v` (NEG if infeasible).
+fn node_table(os: &Os, v: OsNodeId, cap_v: usize, cap: &[usize], dp: &[Vec<f64>]) -> Vec<f64> {
+    let mut f = vec![NEG; cap_v + 1];
+    f[1] = os.node(v).weight;
+    for &c in &os.node(v).children {
+        let ci = c.index();
+        if cap[ci] == 0 {
+            continue;
+        }
+        f = merge(&f, &dp[ci], cap_v);
+    }
+    f[0] = 0.0;
+    f
+}
+
+/// Knapsack merge of a partial table with one child's table. Also used by
+/// [`crate::algo::dp_naive`] to reconstruct selections from its
+/// (exponentially computed) tables without re-enumerating.
+pub(crate) fn merge(f: &[f64], child: &[f64], cap_v: usize) -> Vec<f64> {
+    let mut g = vec![NEG; cap_v + 1];
+    for (k, &fk) in f.iter().enumerate() {
+        if fk == NEG {
+            continue;
+        }
+        let j_max = (cap_v - k).min(child.len() - 1);
+        for (j, &cj) in child.iter().enumerate().take(j_max + 1) {
+            if cj == NEG {
+                continue;
+            }
+            let cand = fk + cj;
+            if cand > g[k + j] {
+                g[k + j] = cand;
+            }
+        }
+    }
+    g
+}
+
+/// Walks the DP back: selects `k` nodes from the subtree rooted at `v` by
+/// re-running the merges of `v` (only on the O(l) selected nodes) and
+/// splitting `k` across children.
+fn reconstruct(
+    os: &Os,
+    v: OsNodeId,
+    k: usize,
+    cap: &[usize],
+    dp: &[Vec<f64>],
+    out: &mut Vec<OsNodeId>,
+) {
+    if k == 0 {
+        return;
+    }
+    out.push(v);
+    if k == 1 {
+        return;
+    }
+    // Rebuild the stage tables of v's merge, deterministically identical to
+    // the forward pass (same code path, same float operation order).
+    let cap_v = cap[v.index()];
+    let children: Vec<OsNodeId> = os
+        .node(v)
+        .children
+        .iter()
+        .copied()
+        .filter(|c| cap[c.index()] > 0)
+        .collect();
+    let mut stages: Vec<Vec<f64>> = Vec::with_capacity(children.len() + 1);
+    let mut f = vec![NEG; cap_v + 1];
+    f[1] = os.node(v).weight;
+    stages.push(f.clone());
+    for &c in &children {
+        f = merge(&f, &dp[c.index()], cap_v);
+        stages.push(f.clone());
+    }
+    // Split k across children, last stage first.
+    let mut need = k;
+    for i in (0..children.len()).rev() {
+        let c = children[i];
+        let child_dp = &dp[c.index()];
+        let prev = &stages[i];
+        let cur_val = stages[i + 1][need];
+        let mut found = None;
+        for j in 0..=need.min(child_dp.len() - 1) {
+            if need - j >= prev.len() {
+                continue;
+            }
+            let (a, b) = (prev[need - j], child_dp[j]);
+            if a == NEG || b == NEG {
+                continue;
+            }
+            if a + b == cur_val {
+                found = Some(j);
+                break;
+            }
+        }
+        let j = found.expect("DP reconstruction must find an exact split");
+        reconstruct(os, c, j, cap, dp, out);
+        need -= j;
+    }
+    debug_assert_eq!(need, 1, "after children, exactly v itself remains");
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::algo::brute::BruteForce;
+    use crate::os::{figure4_tree, figure56_tree};
+    use sizel_util::prng::Prng;
+
+    #[test]
+    fn figure4_size4_matches_paper() {
+        let os = figure4_tree();
+        let r = DpKnapsack.compute(&os, 4);
+        assert_eq!(
+            r.selected,
+            vec![OsNodeId(0), OsNodeId(3), OsNodeId(4), OsNodeId(5)]
+        );
+        assert!((r.importance - 176.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure56_optima() {
+        // Figure 5 variant (w12 = 55): optimal size-5 = {1,5,6,12,14} = 240.
+        let os = figure56_tree(55.0);
+        let r = DpKnapsack.compute(&os, 5);
+        assert!((r.importance - 240.0).abs() < 1e-12);
+        // Figure 6 variant (w12 = 12): optimal size-3 = {1,5,6} = 145.
+        let os = figure56_tree(12.0);
+        let r = DpKnapsack.compute(&os, 3);
+        assert_eq!(r.selected, vec![OsNodeId(0), OsNodeId(4), OsNodeId(5)]);
+        assert!((r.importance - 145.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_cases() {
+        let os = figure4_tree();
+        assert!(DpKnapsack.compute(&os, 0).is_empty());
+        let r1 = DpKnapsack.compute(&os, 1);
+        assert_eq!(r1.selected, vec![OsNodeId(0)]);
+        let rn = DpKnapsack.compute(&os, os.len());
+        assert_eq!(rn.len(), os.len());
+        let rbig = DpKnapsack.compute(&os, 10 * os.len());
+        assert_eq!(rbig.len(), os.len());
+    }
+
+    /// Generates a random tree of `n` nodes with random weights.
+    pub(crate) fn random_tree(rng: &mut Prng, n: usize) -> crate::os::Os {
+        let mut parents = vec![None];
+        let mut weights = vec![rng.f64_range(0.0, 100.0)];
+        for i in 1..n {
+            parents.push(Some(rng.range(0, i)));
+            weights.push(rng.f64_range(0.0, 100.0));
+        }
+        crate::os::Os::synthetic(&parents, &weights)
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_trees() {
+        let mut rng = Prng::new(0xD9);
+        for case in 0..60 {
+            let n = rng.range(1, 15);
+            let os = random_tree(&mut rng, n);
+            for l in 1..=n {
+                let b = BruteForce.compute(&os, l);
+                let d = DpKnapsack.compute(&os, l);
+                assert!(
+                    (b.importance - d.importance).abs() < 1e-9,
+                    "case {case} n={n} l={l}: brute {} vs dp {}",
+                    b.importance,
+                    d.importance
+                );
+                assert!(os.is_valid_selection(&d.selected));
+                assert_eq!(d.len(), l);
+            }
+        }
+    }
+
+    #[test]
+    fn deep_path_beats_heavy_far_leaf() {
+        // Root - light chain - huge leaf vs heavy near leaf: DP must weigh
+        // the connection cost of the chain.
+        //       0 (10)
+        //      /      \
+        //   1 (1)    3 (50)
+        //     |
+        //   2 (100)
+        let os = crate::os::Os::synthetic(
+            &[None, Some(0), Some(1), Some(0)],
+            &[10.0, 1.0, 100.0, 50.0],
+        );
+        // l=3: {0,1,2} = 111 beats {0,3,1} = 61 and {0,3,...}.
+        let r = DpKnapsack.compute(&os, 3);
+        assert_eq!(r.selected, vec![OsNodeId(0), OsNodeId(1), OsNodeId(2)]);
+        // l=2: {0,3} = 60 beats {0,1} = 11.
+        let r = DpKnapsack.compute(&os, 2);
+        assert_eq!(r.selected, vec![OsNodeId(0), OsNodeId(3)]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Size-l OS computation algorithms (Sections 4 and 5).
+
+pub mod bottom_up;
+pub mod brute;
+pub mod dp;
+pub mod dp_naive;
+pub mod top_path;
+pub mod word_budget;
+
+pub use bottom_up::BottomUp;
+pub use brute::BruteForce;
+pub use dp::DpKnapsack;
+pub use dp_naive::{DpNaive, NaiveOutcome};
+pub use top_path::{TopPath, TopPathOpt};
+pub use word_budget::WordBudgetDp;
+
+use crate::os::{Os, OsNodeId};
+
+/// The result of a size-l computation: a connected node set containing the
+/// root (Definition 1) and its total importance (Equation 2).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SizeLResult {
+    /// Selected nodes, sorted by id.
+    pub selected: Vec<OsNodeId>,
+    /// `Im(S)`: sum of local importances of the selection.
+    pub importance: f64,
+}
+
+impl SizeLResult {
+    /// Builds a result from a selection, computing its importance.
+    pub fn from_selection(os: &Os, mut selected: Vec<OsNodeId>) -> Self {
+        selected.sort_unstable();
+        selected.dedup();
+        let importance = os.weight_of(&selected);
+        SizeLResult { selected, importance }
+    }
+
+    /// Number of selected nodes.
+    pub fn len(&self) -> usize {
+        self.selected.len()
+    }
+
+    /// True when nothing was selected (l = 0 or empty OS).
+    pub fn is_empty(&self) -> bool {
+        self.selected.is_empty()
+    }
+
+    /// Number of common nodes with another result.
+    pub fn overlap(&self, other: &SizeLResult) -> usize {
+        // Both selections are sorted: linear merge.
+        let (mut i, mut j, mut common) = (0, 0, 0);
+        while i < self.selected.len() && j < other.selected.len() {
+            match self.selected[i].cmp(&other.selected[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    common += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        common
+    }
+}
+
+/// A size-l OS algorithm. All implementations guarantee the returned
+/// selection is valid per Definition 1 and has exactly `min(l, |OS|)`
+/// nodes.
+pub trait SizeLAlgorithm {
+    /// Algorithm name for experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Computes a size-l OS over the (complete or prelim) input OS.
+    fn compute(&self, os: &Os, l: usize) -> SizeLResult;
+}
+
+/// Algorithm selector used by the engine and the benchmark harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlgoKind {
+    /// Optimal via knapsack-merge tree DP (`O(n·l²)`).
+    Optimal,
+    /// The paper's Algorithm 1 as written (exponential child-combination
+    /// enumeration).
+    OptimalNaive,
+    /// Algorithm 2.
+    BottomUp,
+    /// Algorithm 3.
+    TopPath,
+    /// Algorithm 3 with the §5.2 `s(v)` precomputation.
+    TopPathOpt,
+}
+
+impl AlgoKind {
+    /// Instantiates the algorithm.
+    pub fn algorithm(self) -> Box<dyn SizeLAlgorithm> {
+        match self {
+            AlgoKind::Optimal => Box::new(DpKnapsack),
+            AlgoKind::OptimalNaive => Box::new(DpNaive::default()),
+            AlgoKind::BottomUp => Box::new(BottomUp),
+            AlgoKind::TopPath => Box::new(TopPath),
+            AlgoKind::TopPathOpt => Box::new(TopPathOpt),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgoKind::Optimal => "Optimal(DP)",
+            AlgoKind::OptimalNaive => "Optimal(DP-naive)",
+            AlgoKind::BottomUp => "Bottom-Up",
+            AlgoKind::TopPath => "Top-Path",
+            AlgoKind::TopPathOpt => "Top-Path(s(v))",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::os::figure4_tree;
+
+    #[test]
+    fn result_from_selection_sorts_and_dedups() {
+        let os = figure4_tree();
+        let r = SizeLResult::from_selection(
+            &os,
+            vec![OsNodeId(4), OsNodeId(0), OsNodeId(4), OsNodeId(3)],
+        );
+        assert_eq!(r.selected, vec![OsNodeId(0), OsNodeId(3), OsNodeId(4)]);
+        assert!((r.importance - 141.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_counts_common_nodes() {
+        let os = figure4_tree();
+        let a = SizeLResult::from_selection(&os, vec![OsNodeId(0), OsNodeId(3), OsNodeId(4)]);
+        let b = SizeLResult::from_selection(&os, vec![OsNodeId(0), OsNodeId(4), OsNodeId(5)]);
+        assert_eq!(a.overlap(&b), 2);
+        assert_eq!(a.overlap(&a), 3);
+    }
+
+    #[test]
+    fn algo_kind_roundtrip() {
+        for kind in [
+            AlgoKind::Optimal,
+            AlgoKind::OptimalNaive,
+            AlgoKind::BottomUp,
+            AlgoKind::TopPath,
+            AlgoKind::TopPathOpt,
+        ] {
+            let a = kind.algorithm();
+            assert!(!a.name().is_empty());
+            assert!(!kind.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Algorithm 3: Update Top-Path-l, plus the paper's `s(v)` optimization.
+//!
+//! The algorithm repeatedly selects the path `p_i` (from a current forest
+//! root down to some node) with the largest *average importance per tuple*
+//! `AI(p_i)`, appends it to the size-l OS, removes it from the forest, and
+//! updates the averages of the subtrees that became new forest roots.
+//! Selecting whole paths lets deep high-importance nodes pull their cheap
+//! ancestors in, which Bottom-Up cannot do (Figure 6).
+
+use crate::algo::{SizeLAlgorithm, SizeLResult};
+use crate::os::{Os, OsNodeId};
+
+/// Algorithm 3, the reference version: after each selection the affected
+/// subtree averages are recomputed by DFS (`O(n·l)` worst case, as the
+/// paper states).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TopPath;
+
+/// Algorithm 3 with the §5.2 optimization: precompute for every node `v`
+/// the node `s(v)` with the highest AI in `v`'s subtree once, and after
+/// each selection only re-evaluate the `s(v)` candidates of the new forest
+/// roots. The paper argues the subtree argmax is stable under ancestor
+/// changes; that holds when relative AI order is preserved, which path
+/// removal *usually* but not always maintains — so this variant is a
+/// faster heuristic whose quality is compared in the ablation bench.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TopPathOpt;
+
+/// Shared edge-case handling; returns `Some` when trivially resolved.
+fn trivial(os: &Os, l: usize) -> Option<SizeLResult> {
+    if os.is_empty() || l == 0 {
+        return Some(SizeLResult { selected: Vec::new(), importance: 0.0 });
+    }
+    if l >= os.len() {
+        let all: Vec<OsNodeId> = os.iter().map(|(id, _)| id).collect();
+        return Some(SizeLResult::from_selection(os, all));
+    }
+    None
+}
+
+/// Collects the path from forest root `r` down to `t` (inclusive).
+fn path_of(os: &Os, r: OsNodeId, t: OsNodeId) -> Vec<OsNodeId> {
+    let mut path = vec![t];
+    let mut cur = t;
+    while cur != r {
+        cur = os.node(cur).parent.expect("t lies in the subtree of r");
+        path.push(cur);
+    }
+    path.reverse();
+    path
+}
+
+impl SizeLAlgorithm for TopPath {
+    fn name(&self) -> &'static str {
+        "Top-Path"
+    }
+
+    fn compute(&self, os: &Os, l: usize) -> SizeLResult {
+        if let Some(r) = trivial(os, l) {
+            return r;
+        }
+        let n = os.len();
+        let mut alive = vec![true; n];
+        let mut selected: Vec<OsNodeId> = Vec::with_capacity(l);
+        let mut roots = vec![os.root()];
+
+        while selected.len() < l {
+            // Find the highest-AI node across all forest trees (ties:
+            // smaller node id, for determinism).
+            let mut best: Option<(f64, OsNodeId, OsNodeId)> = None; // (ai, node, root)
+            for &r in &roots {
+                // Iterative DFS carrying (node, path_sum, path_len).
+                let mut stack = vec![(r, 0.0f64, 0u32)];
+                while let Some((v, sum, len)) = stack.pop() {
+                    let s = sum + os.node(v).weight;
+                    let c = len + 1;
+                    let ai = s / c as f64;
+                    let better = match &best {
+                        None => true,
+                        Some((bai, bn, _)) => ai > *bai || (ai == *bai && v < *bn),
+                    };
+                    if better {
+                        best = Some((ai, v, r));
+                    }
+                    for &ch in &os.node(v).children {
+                        if alive[ch.index()] {
+                            stack.push((ch, s, c));
+                        }
+                    }
+                }
+            }
+            let (_, t, r) = best.expect("forest is non-empty while selected < l <= n");
+            let path = path_of(os, r, t);
+            let take = (l - selected.len()).min(path.len());
+            for &v in &path[..take] {
+                alive[v.index()] = false;
+                selected.push(v);
+            }
+            roots.retain(|&x| x != r);
+            for &v in &path[..take] {
+                for &ch in &os.node(v).children {
+                    if alive[ch.index()] {
+                        roots.push(ch);
+                    }
+                }
+            }
+        }
+        SizeLResult::from_selection(os, selected)
+    }
+}
+
+impl SizeLAlgorithm for TopPathOpt {
+    fn name(&self) -> &'static str {
+        "Top-Path(s(v))"
+    }
+
+    fn compute(&self, os: &Os, l: usize) -> SizeLResult {
+        if let Some(r) = trivial(os, l) {
+            return r;
+        }
+        let n = os.len();
+
+        // Initial AI (w.r.t. the OS root) for every node, then s(v) =
+        // argmax AI over v's subtree, computed children-first.
+        let mut ai0 = vec![0.0f64; n];
+        let mut sum = vec![0.0f64; n];
+        for (id, node) in os.iter() {
+            let i = id.index();
+            let (s, d) = match node.parent {
+                None => (node.weight, 1),
+                Some(p) => (sum[p.index()] + node.weight, node.depth + 1),
+            };
+            sum[i] = s;
+            ai0[i] = s / d as f64;
+        }
+        let mut s_of = vec![0u32; n];
+        for i in (0..n).rev() {
+            let mut best = i as u32;
+            for &c in &os.node(OsNodeId(i as u32)).children {
+                let cand = s_of[c.index()];
+                if ai0[cand as usize] > ai0[best as usize]
+                    || (ai0[cand as usize] == ai0[best as usize] && cand < best)
+                {
+                    best = cand;
+                }
+            }
+            s_of[i] = best;
+        }
+
+        // AI of s(v) relative to forest root v: walk the path v..s(v).
+        let recompute = |v: OsNodeId| -> (f64, OsNodeId) {
+            let t = OsNodeId(s_of[v.index()]);
+            let mut cur = t;
+            let mut total = 0.0;
+            let mut count = 0u32;
+            loop {
+                total += os.node(cur).weight;
+                count += 1;
+                if cur == v {
+                    break;
+                }
+                cur = os.node(cur).parent.expect("s(v) lies in v's subtree");
+            }
+            (total / count as f64, t)
+        };
+
+        let mut alive = vec![true; n];
+        let mut selected: Vec<OsNodeId> = Vec::with_capacity(l);
+        // (candidate ai, candidate node, forest root)
+        let mut entries: Vec<(f64, OsNodeId, OsNodeId)> = {
+            let (ai, t) = recompute(os.root());
+            vec![(ai, t, os.root())]
+        };
+
+        while selected.len() < l {
+            let (pos, _) = entries
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| {
+                    a.0.total_cmp(&b.0).then_with(|| b.1.cmp(&a.1)) // ties: smaller node id
+                })
+                .expect("forest is non-empty while selected < l <= n");
+            let (_, t, r) = entries.swap_remove(pos);
+            let path = path_of(os, r, t);
+            let take = (l - selected.len()).min(path.len());
+            for &v in &path[..take] {
+                alive[v.index()] = false;
+                selected.push(v);
+            }
+            for &v in &path[..take] {
+                for &ch in &os.node(v).children {
+                    if alive[ch.index()] {
+                        let (ai, cand) = recompute(ch);
+                        entries.push((ai, cand, ch));
+                    }
+                }
+            }
+        }
+        SizeLResult::from_selection(os, selected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::dp::DpKnapsack;
+    use crate::os::{figure56_tree, Os};
+    use sizel_util::prng::Prng;
+
+    #[test]
+    fn figure6_walkthrough_size5() {
+        // Figure 6 uses the w12 = 12 variant. Expected size-5 result:
+        // paper nodes {1,5,6,11,13} = ids {0,4,5,10,12}, importance 235.
+        let os = figure56_tree(12.0);
+        let r = TopPath.compute(&os, 5);
+        let expect: Vec<OsNodeId> = [0u32, 4, 5, 10, 12].iter().map(|&i| OsNodeId(i)).collect();
+        assert_eq!(r.selected, expect);
+        assert!((r.importance - 235.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure6_size3_takes_path_prefix() {
+        // §5.2: "the size-3 OS will have nodes 1, 5 and 11 instead of 1, 5
+        // and 6" — the path to node 13 is cut to its top node.
+        let os = figure56_tree(12.0);
+        let r = TopPath.compute(&os, 3);
+        let expect: Vec<OsNodeId> = [0u32, 4, 10].iter().map(|&i| OsNodeId(i)).collect();
+        assert_eq!(r.selected, expect);
+        assert!((r.importance - 140.0).abs() < 1e-12);
+        // And it is suboptimal, as the paper notes ({1,5,6} = 145).
+        let opt = DpKnapsack.compute(&os, 3);
+        assert!((opt.importance - 145.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opt_variant_matches_reference_on_figure6() {
+        let os = figure56_tree(12.0);
+        for l in 1..=os.len() {
+            let a = TopPath.compute(&os, l);
+            let b = TopPathOpt.compute(&os, l);
+            assert_eq!(a.selected, b.selected, "l={l}");
+        }
+    }
+
+    #[test]
+    fn always_valid_and_exact_size() {
+        let mut rng = Prng::new(0x7F);
+        for _ in 0..40 {
+            let n = rng.range(1, 60);
+            let os = crate::algo::dp::tests::random_tree(&mut rng, n);
+            for l in [0, 1, 2, n / 2, n.saturating_sub(1), n, n + 3] {
+                for algo in [&TopPath as &dyn SizeLAlgorithm, &TopPathOpt] {
+                    let r = algo.compute(&os, l);
+                    assert_eq!(r.len(), l.min(n), "{} l={l}", algo.name());
+                    assert!(os.is_valid_selection(&r.selected));
+                    let opt = DpKnapsack.compute(&os, l);
+                    assert!(r.importance <= opt.importance + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pulls_deep_heavy_nodes_that_bottom_up_misses() {
+        // The Figure-5 failure mode in miniature: Bottom-Up destroys the
+        // good pair (3,4) by pruning its cheap member 4 first, while
+        // Top-Path's path *average* keeps the pair together.
+        //   0(10) -> 1(30) -> 2(60)
+        //         -> 3(55) -> 4(40)          l = 3
+        let os = Os::synthetic(
+            &[None, Some(0), Some(1), Some(0), Some(3)],
+            &[10.0, 30.0, 60.0, 55.0, 40.0],
+        );
+        let tp = TopPath.compute(&os, 3);
+        let expect: Vec<OsNodeId> = [0u32, 3, 4].iter().map(|&i| OsNodeId(i)).collect();
+        assert_eq!(tp.selected, expect);
+        assert!((tp.importance - 105.0).abs() < 1e-12);
+        let bu = crate::algo::bottom_up::BottomUp.compute(&os, 3);
+        assert!((bu.importance - 100.0).abs() < 1e-12, "Bottom-Up keeps {{0,1,2}}");
+        assert!(bu.importance < tp.importance, "Top-Path wins on the pair");
+        // And here Top-Path is optimal.
+        let opt = DpKnapsack.compute(&os, 3);
+        assert_eq!(opt.importance, tp.importance);
+    }
+
+    #[test]
+    fn single_node_and_path_trees() {
+        let os = Os::synthetic(&[None], &[3.0]);
+        assert_eq!(TopPath.compute(&os, 1).selected, vec![OsNodeId(0)]);
+        let os = Os::synthetic(&[None, Some(0), Some(1)], &[1.0, 2.0, 3.0]);
+        for l in 1..=3 {
+            let r = TopPath.compute(&os, l);
+            assert_eq!(r.len(), l);
+            // On a path, any connected root-set is a prefix.
+            let expect: Vec<OsNodeId> = (0..l as u32).map(OsNodeId).collect();
+            assert_eq!(r.selected, expect);
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Word-budget summaries — the paper's §7 future-work reformulation.
+//!
+//! "The selection of an appropriate value for l is an interesting problem;
+//! a natural approach is to select l based on the amount of attributes or
+//! words it will result, e.g. 20 attributes or 50 words. However, this
+//! approach results to the reformulation of the problem."
+//!
+//! The reformulated problem is a *cost-budgeted* variant of Problem 1: each
+//! tuple `t_i` carries a display cost `c(t_i)` (its rendered word count),
+//! and we seek the connected, root-containing subtree maximizing `Im(S)`
+//! subject to `Σ c(t_i) ≤ W`. The knapsack-merge tree DP generalizes
+//! directly: tables are indexed by cost instead of cardinality
+//! (`O(n · W²)` worst case).
+
+use crate::algo::SizeLResult;
+use crate::os::{Os, OsNodeId};
+
+const NEG: f64 = f64::NEG_INFINITY;
+
+/// Optimal budgeted summary: maximize importance subject to a total
+/// node-cost budget. Costs must be positive integers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WordBudgetDp;
+
+impl WordBudgetDp {
+    /// Computes the optimal summary under `budget`, with `cost(node)`
+    /// giving each node's display cost. Returns an empty selection when
+    /// even the root exceeds the budget.
+    pub fn compute(
+        &self,
+        os: &Os,
+        budget: usize,
+        cost: &dyn Fn(OsNodeId) -> usize,
+    ) -> SizeLResult {
+        if os.is_empty() || budget == 0 {
+            return SizeLResult { selected: Vec::new(), importance: 0.0 };
+        }
+        let n = os.len();
+        let costs: Vec<usize> = (0..n)
+            .map(|i| {
+                let c = cost(OsNodeId(i as u32));
+                assert!(c > 0, "node costs must be positive");
+                c
+            })
+            .collect();
+        if costs[0] > budget {
+            return SizeLResult { selected: Vec::new(), importance: 0.0 };
+        }
+
+        // Path cost from the root to each node: a node is usable only if
+        // its whole path fits the budget (connectivity requirement).
+        let mut path_cost = vec![0usize; n];
+        for (id, node) in os.iter() {
+            let i = id.index();
+            path_cost[i] = costs[i] + node.parent.map_or(0, |p| path_cost[p.index()]);
+        }
+        // cap[v]: the largest budget v's subtree can meaningfully consume.
+        let cap: Vec<usize> = (0..n)
+            .map(|i| {
+                if path_cost[i] > budget {
+                    0
+                } else {
+                    // Budget left after paying for the path above v, plus
+                    // v itself is inside its own table.
+                    budget - (path_cost[i] - costs[i])
+                }
+            })
+            .collect();
+
+        // dp[v][w] = best importance of a subtree rooted at v with total
+        // cost exactly <= w handled via "cost w used" tables; index 0 = not
+        // selected.
+        let mut dp: Vec<Vec<f64>> = vec![Vec::new(); n];
+        for i in (0..n).rev() {
+            if cap[i] == 0 {
+                continue;
+            }
+            let v = OsNodeId(i as u32);
+            let cap_v = cap[i];
+            let mut f = vec![NEG; cap_v + 1];
+            if costs[i] <= cap_v {
+                f[costs[i]] = os.node(v).weight;
+            }
+            for &c in &os.node(v).children {
+                if cap[c.index()] == 0 {
+                    continue;
+                }
+                f = merge_cost(&f, &dp[c.index()], cap_v);
+            }
+            f[0] = 0.0;
+            dp[i] = f;
+        }
+
+        // Best achievable at the root within budget.
+        let root_table = &dp[0];
+        let (best_w, _) = root_table
+            .iter()
+            .enumerate()
+            .take(budget + 1)
+            .filter(|(w, &v)| *w > 0 && v != NEG)
+            .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(w, &v)| (w, v))
+            .unwrap_or((0, 0.0));
+        if best_w == 0 {
+            return SizeLResult { selected: Vec::new(), importance: 0.0 };
+        }
+        let mut selected = Vec::new();
+        reconstruct_cost(os, OsNodeId(0), best_w, &costs, &cap, &dp, &mut selected);
+        SizeLResult::from_selection(os, selected)
+    }
+}
+
+/// Cost-indexed knapsack merge.
+fn merge_cost(f: &[f64], child: &[f64], cap_v: usize) -> Vec<f64> {
+    let mut g = vec![NEG; cap_v + 1];
+    for (w, &fw) in f.iter().enumerate() {
+        if fw == NEG {
+            continue;
+        }
+        let j_max = (cap_v - w).min(child.len() - 1);
+        for (j, &cj) in child.iter().enumerate().take(j_max + 1) {
+            if cj == NEG {
+                continue;
+            }
+            let cand = fw + cj;
+            if cand > g[w + j] {
+                g[w + j] = cand;
+            }
+        }
+    }
+    g
+}
+
+fn reconstruct_cost(
+    os: &Os,
+    v: OsNodeId,
+    w: usize,
+    costs: &[usize],
+    cap: &[usize],
+    dp: &[Vec<f64>],
+    out: &mut Vec<OsNodeId>,
+) {
+    if w == 0 {
+        return;
+    }
+    out.push(v);
+    let vi = v.index();
+    let children: Vec<OsNodeId> =
+        os.node(v).children.iter().copied().filter(|c| cap[c.index()] > 0).collect();
+    // Rebuild stages deterministically, then split.
+    let cap_v = cap[vi];
+    let mut stages: Vec<Vec<f64>> = Vec::with_capacity(children.len() + 1);
+    let mut f = vec![NEG; cap_v + 1];
+    if costs[vi] <= cap_v {
+        f[costs[vi]] = os.node(v).weight;
+    }
+    stages.push(f.clone());
+    for &c in &children {
+        f = merge_cost(&f, &dp[c.index()], cap_v);
+        stages.push(f.clone());
+    }
+    let mut need = w;
+    for i in (0..children.len()).rev() {
+        let c = children[i];
+        let child_dp = &dp[c.index()];
+        let prev = &stages[i];
+        let cur = stages[i + 1][need];
+        let mut found = None;
+        for j in 0..=need.min(child_dp.len() - 1) {
+            if need - j >= prev.len() {
+                continue;
+            }
+            let (a, b) = (prev[need - j], child_dp[j]);
+            if a == NEG || b == NEG {
+                continue;
+            }
+            if a + b == cur {
+                found = Some(j);
+                break;
+            }
+        }
+        let j = found.expect("budget DP reconstruction must find a split");
+        if j > 0 {
+            reconstruct_cost(os, c, j, costs, cap, dp, out);
+        }
+        need -= j;
+    }
+    debug_assert_eq!(need, costs[vi], "after children, exactly v's own cost remains");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{DpKnapsack, SizeLAlgorithm};
+    use crate::os::{figure4_tree, figure56_tree};
+    use sizel_util::prng::Prng;
+
+    /// With unit costs, the budget-W summary equals the size-W OS.
+    #[test]
+    fn unit_costs_reduce_to_size_l() {
+        let unit = |_: OsNodeId| 1usize;
+        for os in [figure4_tree(), figure56_tree(55.0), figure56_tree(12.0)] {
+            for w in 1..=os.len() {
+                let budget = WordBudgetDp.compute(&os, w, &unit);
+                let sized = DpKnapsack.compute(&os, w);
+                assert!(
+                    (budget.importance - sized.importance).abs() < 1e-9,
+                    "w={w}: {} vs {}",
+                    budget.importance,
+                    sized.importance
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn respects_budget_and_connectivity() {
+        let mut rng = Prng::new(0x33);
+        for _ in 0..30 {
+            let n = rng.range(1, 30);
+            let os = crate::algo::dp::tests::random_tree(&mut rng, n);
+            let costs: Vec<usize> = (0..n).map(|_| rng.range(1, 6)).collect();
+            let cost_fn = |id: OsNodeId| costs[id.index()];
+            for budget in [1usize, 3, 8, 20, 100] {
+                let r = WordBudgetDp.compute(&os, budget, &cost_fn);
+                let total: usize = r.selected.iter().map(|&id| costs[id.index()]).sum();
+                assert!(total <= budget, "cost {total} exceeds budget {budget}");
+                if !r.selected.is_empty() {
+                    assert!(os.is_valid_selection(&r.selected));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expensive_root_yields_empty() {
+        let os = figure4_tree();
+        let r = WordBudgetDp.compute(&os, 3, &|_| 5usize);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn prefers_cheap_informative_nodes() {
+        //      0 (w=10, c=1)
+        //     /            \
+        //  1 (w=50, c=10)  2 (w=45, c=2)
+        let os = Os::synthetic(&[None, Some(0), Some(0)], &[10.0, 50.0, 45.0]);
+        let costs = [1usize, 10, 2];
+        let r = WordBudgetDp.compute(&os, 5, &|id: OsNodeId| costs[id.index()]);
+        // Budget 5 cannot afford node 1 (cost 11 with root); picks {0, 2}.
+        assert_eq!(r.selected, vec![OsNodeId(0), OsNodeId(2)]);
+        assert!((r.importance - 55.0).abs() < 1e-12);
+        // Budget 11 can: {0, 1} = 60 beats {0, 2} = 55 and {0,1,2} needs 13.
+        let r = WordBudgetDp.compute(&os, 11, &|id: OsNodeId| costs[id.index()]);
+        assert_eq!(r.selected, vec![OsNodeId(0), OsNodeId(1)]);
+    }
+
+    #[test]
+    fn brute_force_cross_check_on_random_trees() {
+        // Exhaustive check against enumerating all connected subsets.
+        let mut rng = Prng::new(0x44);
+        for _ in 0..20 {
+            let n = rng.range(1, 12);
+            let os = crate::algo::dp::tests::random_tree(&mut rng, n);
+            let costs: Vec<usize> = (0..n).map(|_| rng.range(1, 4)).collect();
+            let budget = rng.range(1, 16);
+            let r = WordBudgetDp.compute(&os, budget, &|id: OsNodeId| costs[id.index()]);
+            // Brute force over all connected subsets via bitmask (n <= 12).
+            let mut best = 0.0f64;
+            for mask in 0u32..(1 << n) {
+                if mask & 1 == 0 && mask != 0 {
+                    continue; // must contain root if non-empty
+                }
+                let sel: Vec<OsNodeId> =
+                    (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| OsNodeId(i as u32)).collect();
+                if !os.is_valid_selection(&sel) {
+                    continue;
+                }
+                let total: usize = sel.iter().map(|&id| costs[id.index()]).sum();
+                if total > budget {
+                    continue;
+                }
+                best = best.max(os.weight_of(&sel));
+            }
+            assert!(
+                (r.importance - best).abs() < 1e-9,
+                "n={n} budget={budget}: dp {} vs brute {}",
+                r.importance,
+                best
+            );
+        }
+    }
+}

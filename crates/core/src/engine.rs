@@ -1,0 +1,367 @@
+//! The end-to-end engine: database in, ranked size-l OSs out.
+//!
+//! `SizeLEngine::build` wires the full stack once — schema graph, data
+//! graph, global importance, one GDS(θ) per DS relation (with `max/mmax`
+//! stats), keyword index — and `query` then serves keyword queries exactly
+//! like the paper's system: find the `t_DS` tuples matching all keywords,
+//! generate each one's (prelim or complete) OS, size-l it, and return the
+//! summaries ranked by the DS tuple's global importance.
+
+use sizel_graph::{DataGraph, Gds, GdsConfig, SchemaGraph};
+use sizel_rank::{compute, AuthorityGraph, RankConfig, RankScores};
+use sizel_storage::{Database, StorageError, TableId, TupleRef};
+
+use crate::algo::{AlgoKind, SizeLResult};
+use crate::keyword::KeywordIndex;
+use crate::os::Os;
+use crate::osgen::{generate_os, OsContext, OsSource};
+use crate::prelim::generate_prelim;
+use crate::render::{render_os, RenderOptions};
+
+/// Engine construction parameters.
+#[derive(Debug)]
+pub struct EngineConfig {
+    /// DS relations (by table name) with their GDS configurations.
+    pub ds_relations: Vec<(String, GdsConfig)>,
+    /// Affinity threshold θ used to restrict each GDS (paper default 0.7).
+    pub theta: f64,
+    /// Global-importance solver configuration.
+    pub rank: RankConfig,
+    /// Maximum number of DSs materialized per query.
+    pub max_results: usize,
+}
+
+impl EngineConfig {
+    /// A config for the given DS relations with default everything else.
+    pub fn new(ds_relations: Vec<(String, GdsConfig)>) -> Self {
+        EngineConfig { ds_relations, theta: 0.7, rank: RankConfig::default(), max_results: 10 }
+    }
+}
+
+/// How multi-DS results are ordered — the paper ranks by the DS tuple's
+/// global importance; ranking by the summary's `Im(S)` is the "combined
+/// size-l and top-k ranking of OSs" flagged as future work in §7.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ResultRanking {
+    /// By `Im(t_DS)` (the paper's ordering).
+    #[default]
+    DsGlobalImportance,
+    /// By the computed summary's total importance `Im(S)`.
+    SummaryImportance,
+}
+
+/// Per-query options.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryOptions {
+    /// Summary size l.
+    pub l: usize,
+    /// Size-l algorithm.
+    pub algo: AlgoKind,
+    /// Tuple source for OS generation.
+    pub source: OsSource,
+    /// Generate a prelim-l OS instead of the complete OS (§5.3; "the use
+    /// of prelim-l OSs is constantly a better choice", §6.3).
+    pub prelim: bool,
+    /// Result ordering.
+    pub ranking: ResultRanking,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            l: 15,
+            algo: AlgoKind::TopPath,
+            source: OsSource::DataGraph,
+            prelim: true,
+            ranking: ResultRanking::default(),
+        }
+    }
+}
+
+/// One ranked result of a keyword query.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// The data subject tuple.
+    pub tds: TupleRef,
+    /// Display text of the DS tuple (first searchable/display column).
+    pub ds_label: String,
+    /// Global importance of `t_DS` (the ranking key).
+    pub global_score: f64,
+    /// Size of the OS the summary was computed from (prelim or complete).
+    pub input_os_size: usize,
+    /// The size-l selection and its importance.
+    pub result: SizeLResult,
+    /// The materialized size-l OS.
+    pub summary: Os,
+}
+
+/// The wired-up engine. Owns the database and every derived structure.
+pub struct SizeLEngine {
+    db: Database,
+    sg: SchemaGraph,
+    dg: DataGraph,
+    scores: RankScores,
+    gds_by_table: Vec<Option<Gds>>,
+    kw: KeywordIndex,
+    max_results: usize,
+}
+
+impl SizeLEngine {
+    /// Builds the engine: validates FKs, computes global importance with
+    /// the GA produced by `ga`, builds each DS relation's GDS(θ) and the
+    /// keyword index.
+    pub fn build(
+        db: Database,
+        ga: impl FnOnce(&Database, &SchemaGraph, &DataGraph) -> AuthorityGraph,
+        cfg: EngineConfig,
+    ) -> Result<Self, StorageError> {
+        db.validate_foreign_keys()?;
+        let sg = SchemaGraph::from_database(&db);
+        let dg = DataGraph::build(&db, &sg);
+        let authority = ga(&db, &sg, &dg);
+        let scores = compute(&db, &sg, &dg, &authority, &cfg.rank);
+
+        let mut gds_by_table: Vec<Option<Gds>> = (0..db.table_count()).map(|_| None).collect();
+        let mut ds_tables = Vec::with_capacity(cfg.ds_relations.len());
+        for (name, gds_cfg) in &cfg.ds_relations {
+            let tid = db.table_id(name)?;
+            let mut gds = Gds::build(&db, &sg, gds_cfg, tid).restrict(cfg.theta);
+            gds.set_stats(&scores.per_table_max);
+            gds_by_table[tid.index()] = Some(gds);
+            ds_tables.push(tid);
+        }
+        let kw = KeywordIndex::build(&db, &ds_tables);
+        Ok(SizeLEngine { db, sg, dg, scores, gds_by_table, kw, max_results: cfg.max_results })
+    }
+
+    /// The owned database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The global importance scores.
+    pub fn scores(&self) -> &RankScores {
+        &self.scores
+    }
+
+    /// The data graph (for stats reporting).
+    pub fn data_graph(&self) -> &DataGraph {
+        &self.dg
+    }
+
+    /// The GDS(θ) of a DS relation; panics if `table` was not configured
+    /// as a DS relation.
+    pub fn gds(&self, table: TableId) -> &Gds {
+        self.gds_by_table[table.index()]
+            .as_ref()
+            .expect("table was not configured as a DS relation")
+    }
+
+    /// An [`OsContext`] over a DS relation's GDS.
+    pub fn context(&self, table: TableId) -> OsContext<'_> {
+        OsContext::new(&self.db, &self.sg, &self.dg, self.gds(table), &self.scores)
+    }
+
+    /// Runs a keyword query with default options (l = 15, Top-Path,
+    /// data-graph source, prelim-l input).
+    pub fn query(&self, keywords: &str, l: usize) -> Vec<QueryResult> {
+        self.query_with(keywords, QueryOptions { l, ..QueryOptions::default() })
+    }
+
+    /// Runs a keyword query with explicit options.
+    pub fn query_with(&self, keywords: &str, opts: QueryOptions) -> Vec<QueryResult> {
+        let mut hits = self.kw.search(keywords);
+        // Rank DSs by global importance, descending (the paper ranks OSs by
+        // their DS's importance; see also [9]).
+        hits.sort_by(|a, b| {
+            let sa = self.scores.global(self.dg.node_id(*a));
+            let sb = self.scores.global(self.dg.node_id(*b));
+            sb.total_cmp(&sa).then(a.cmp(b))
+        });
+        hits.truncate(self.max_results);
+
+        let mut results = Vec::with_capacity(hits.len());
+        for tds in hits {
+            let ctx = self.context(tds.table);
+            let algo = opts.algo.algorithm();
+            let input = if opts.prelim && opts.l > 0 {
+                generate_prelim(&ctx, tds, opts.l, opts.source).0
+            } else {
+                let cutoff = if opts.l > 0 { Some(opts.l as u32 - 1) } else { None };
+                generate_os(&ctx, tds, cutoff, opts.source)
+            };
+            let result = algo.compute(&input, opts.l);
+            let summary = input.project(&result.selected);
+            results.push(QueryResult {
+                tds,
+                ds_label: self.ds_label(tds),
+                global_score: self.scores.global(self.dg.node_id(tds)),
+                input_os_size: input.len(),
+                result,
+                summary,
+            });
+        }
+        if opts.ranking == ResultRanking::SummaryImportance {
+            results.sort_by(|a, b| {
+                b.result.importance.total_cmp(&a.result.importance).then(a.tds.cmp(&b.tds))
+            });
+        }
+        results
+    }
+
+    /// Renders a result's summary in the Example-5 format.
+    pub fn render(&self, qr: &QueryResult, opts: &RenderOptions) -> String {
+        render_os(&self.db, self.gds(qr.tds.table), &qr.summary, opts)
+    }
+
+    fn ds_label(&self, tds: TupleRef) -> String {
+        let table = self.db.table(tds.table);
+        let col = table
+            .schema
+            .searchable_columns()
+            .next()
+            .or_else(|| table.schema.display_columns().next());
+        match col {
+            Some(c) => format!("{}: {}", table.schema.name, table.value(tds.row, c)),
+            None => format!("{}: #{}", table.schema.name, table.pk_of(tds.row)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sizel_datagen::dblp::{generate, DblpConfig};
+    use sizel_graph::presets;
+    use sizel_rank::{dblp_ga, GaPreset};
+    use std::sync::OnceLock;
+
+    fn engine() -> &'static SizeLEngine {
+        static E: OnceLock<SizeLEngine> = OnceLock::new();
+        E.get_or_init(|| {
+            let d = generate(&DblpConfig::small());
+            SizeLEngine::build(
+                d.db,
+                |db, sg, dg| dblp_ga(GaPreset::Ga1, db, sg, dg),
+                EngineConfig::new(vec![
+                    ("Author".into(), presets::dblp_author_gds_config()),
+                    ("Paper".into(), presets::dblp_paper_gds_config()),
+                ]),
+            )
+            .expect("engine builds")
+        })
+    }
+
+    #[test]
+    fn q1_returns_three_size_15_summaries() {
+        // The paper's Example 5: Q1 = "Faloutsos", l = 15.
+        let e = engine();
+        let results = e.query("Faloutsos", 15);
+        assert_eq!(results.len(), 3, "one OS per Faloutsos brother");
+        for r in &results {
+            assert_eq!(r.result.len(), 15);
+            assert_eq!(r.summary.len(), 15);
+            r.summary.validate().unwrap();
+            assert!(r.ds_label.contains("Faloutsos"));
+        }
+        // Ranked by global importance, descending.
+        for w in results.windows(2) {
+            assert!(w[0].global_score >= w[1].global_score);
+        }
+    }
+
+    #[test]
+    fn conjunctive_query_returns_single_ds() {
+        let e = engine();
+        let results = e.query("Christos Faloutsos", 10);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].ds_label, "Author: Christos Faloutsos");
+    }
+
+    #[test]
+    fn prelim_and_complete_agree_on_quality_here() {
+        let e = engine();
+        let a = e.query_with(
+            "Christos Faloutsos",
+            QueryOptions { l: 10, prelim: true, ..QueryOptions::default() },
+        );
+        let b = e.query_with(
+            "Christos Faloutsos",
+            QueryOptions { l: 10, prelim: false, ..QueryOptions::default() },
+        );
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert!(a[0].input_os_size <= b[0].input_os_size);
+        let ratio = a[0].result.importance / b[0].result.importance.max(1e-12);
+        assert!(ratio > 0.95, "prelim quality ratio {ratio}");
+    }
+
+    #[test]
+    fn optimal_dominates_greedies_per_query() {
+        let e = engine();
+        let mut importances = Vec::new();
+        for algo in [AlgoKind::Optimal, AlgoKind::BottomUp, AlgoKind::TopPath] {
+            let r = e.query_with(
+                "Michalis Faloutsos",
+                QueryOptions { l: 12, algo, prelim: false, ..QueryOptions::default() },
+            );
+            importances.push(r[0].result.importance);
+        }
+        assert!(importances[0] >= importances[1] - 1e-9);
+        assert!(importances[0] >= importances[2] - 1e-9);
+    }
+
+    #[test]
+    fn paper_ds_queries_work_too() {
+        let e = engine();
+        // Query a paper title word; Paper is also a DS relation.
+        let results = e.query("Power-law", 8);
+        assert!(!results.is_empty());
+        assert!(results.iter().any(|r| r.ds_label.starts_with("Paper:")));
+    }
+
+    #[test]
+    fn render_produces_example5_style_output() {
+        let e = engine();
+        let results = e.query("Petros Faloutsos", 15);
+        let text = e.render(&results[0], &RenderOptions::default());
+        assert!(text.starts_with("Author: Petros Faloutsos"));
+        assert!(text.contains("(Total 15 tuples)"));
+    }
+
+    #[test]
+    fn unknown_keywords_return_empty() {
+        let e = engine();
+        assert!(e.query("xylophone quantum", 5).is_empty());
+    }
+
+    #[test]
+    fn summary_ranking_orders_by_im_s() {
+        let e = engine();
+        let opts = QueryOptions {
+            l: 10,
+            ranking: ResultRanking::SummaryImportance,
+            ..QueryOptions::default()
+        };
+        let results = e.query_with("Faloutsos", opts);
+        assert_eq!(results.len(), 3);
+        for w in results.windows(2) {
+            assert!(w[0].result.importance >= w[1].result.importance);
+        }
+    }
+
+    #[test]
+    fn database_source_produces_same_summaries() {
+        let e = engine();
+        let a = e.query_with(
+            "Petros Faloutsos",
+            QueryOptions { l: 10, source: OsSource::DataGraph, prelim: false, ..QueryOptions::default() },
+        );
+        let b = e.query_with(
+            "Petros Faloutsos",
+            QueryOptions { l: 10, source: OsSource::Database, prelim: false, ..QueryOptions::default() },
+        );
+        assert_eq!(a[0].result.importance, b[0].result.importance);
+        assert_eq!(a[0].input_os_size, b[0].input_os_size);
+    }
+}

@@ -1,0 +1,151 @@
+//! Keyword → `t_DS` lookup.
+//!
+//! The OS paradigm's queries are keyword sets naming a Data Subject; the
+//! result roots are the tuples of DS relations whose searchable attributes
+//! contain *all* keywords (Example 3: Q1 "Faloutsos" returns the three
+//! Author tuples). An inverted index over the searchable columns of the DS
+//! relations serves the lookup.
+
+use std::collections::HashMap;
+
+use sizel_storage::{text, Database, TableId, TupleRef};
+
+/// Inverted index: token → postings (sorted, deduplicated).
+#[derive(Debug, Default)]
+pub struct KeywordIndex {
+    postings: HashMap<String, Vec<TupleRef>>,
+    indexed_tables: Vec<TableId>,
+}
+
+impl KeywordIndex {
+    /// Builds the index over the searchable columns of `ds_tables`.
+    pub fn build(db: &Database, ds_tables: &[TableId]) -> Self {
+        let mut postings: HashMap<String, Vec<TupleRef>> = HashMap::new();
+        for &tid in ds_tables {
+            let table = db.table(tid);
+            let cols: Vec<usize> = table.schema.searchable_columns().collect();
+            for (rid, row) in table.iter() {
+                let tref = TupleRef::new(tid, rid);
+                for &c in &cols {
+                    if let Some(s) = row[c].as_str() {
+                        for tok in text::tokenize(s) {
+                            let list = postings.entry(tok).or_default();
+                            if list.last() != Some(&tref) {
+                                list.push(tref);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for list in postings.values_mut() {
+            list.sort_unstable();
+            list.dedup();
+        }
+        KeywordIndex { postings, indexed_tables: ds_tables.to_vec() }
+    }
+
+    /// Tables covered by this index.
+    pub fn indexed_tables(&self) -> &[TableId] {
+        &self.indexed_tables
+    }
+
+    /// Number of distinct tokens.
+    pub fn vocabulary_size(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Finds all tuples containing *all* keywords of `query` (conjunctive,
+    /// case-insensitive, token-level). Result is sorted by `TupleRef`.
+    pub fn search(&self, query: &str) -> Vec<TupleRef> {
+        let keywords = text::tokenize(query);
+        if keywords.is_empty() {
+            return Vec::new();
+        }
+        // Intersect postings, smallest list first.
+        let mut lists: Vec<&Vec<TupleRef>> = Vec::with_capacity(keywords.len());
+        for k in &keywords {
+            match self.postings.get(k) {
+                Some(list) => lists.push(list),
+                None => return Vec::new(),
+            }
+        }
+        lists.sort_by_key(|l| l.len());
+        let mut result: Vec<TupleRef> = lists[0].clone();
+        for list in &lists[1..] {
+            result.retain(|t| list.binary_search(t).is_ok());
+            if result.is_empty() {
+                break;
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sizel_datagen::dblp::{generate, DblpConfig};
+
+    fn index() -> (sizel_datagen::dblp::Dblp, KeywordIndex) {
+        let d = generate(&DblpConfig::small());
+        let idx = KeywordIndex::build(&d.db, &[d.author]);
+        (d, idx)
+    }
+
+    #[test]
+    fn single_keyword_finds_all_faloutsos_brothers() {
+        let (d, idx) = index();
+        let hits = idx.search("Faloutsos");
+        assert_eq!(hits.len(), 3, "Q1 returns the three Author tuples (Example 3)");
+        for t in &hits {
+            assert_eq!(t.table, d.author);
+            let name = d.db.table(d.author).value(t.row, 1).as_str().unwrap();
+            assert!(name.contains("Faloutsos"));
+        }
+    }
+
+    #[test]
+    fn conjunctive_keywords_narrow_to_one() {
+        let (d, idx) = index();
+        let hits = idx.search("Christos Faloutsos");
+        assert_eq!(hits.len(), 1);
+        let name = d.db.table(d.author).value(hits[0].row, 1).as_str().unwrap();
+        assert_eq!(name, "Christos Faloutsos");
+    }
+
+    #[test]
+    fn case_insensitive_and_order_insensitive() {
+        let (_, idx) = index();
+        assert_eq!(idx.search("faloutsos CHRISTOS"), idx.search("Christos Faloutsos"));
+    }
+
+    #[test]
+    fn missing_keyword_and_empty_query() {
+        let (_, idx) = index();
+        assert!(idx.search("zzzzunknown").is_empty());
+        assert!(idx.search("").is_empty());
+        assert!(idx.search("!!!").is_empty());
+    }
+
+    #[test]
+    fn index_covers_only_ds_tables() {
+        let (d, idx) = index();
+        // Paper titles are searchable in the schema but Paper is not a DS
+        // table in this index: a title-only word must not hit.
+        assert_eq!(idx.indexed_tables(), &[d.author]);
+        let hits = idx.search("declustering");
+        assert!(hits.iter().all(|t| t.table == d.author));
+    }
+
+    #[test]
+    fn multi_table_index() {
+        let d = generate(&DblpConfig::small());
+        let idx = KeywordIndex::build(&d.db, &[d.author, d.paper]);
+        assert!(idx.vocabulary_size() > 0);
+        // "Faloutsos" still finds the three authors only (titles are
+        // synthetic words).
+        let hits = idx.search("Faloutsos");
+        assert_eq!(hits.len(), 3);
+    }
+}

@@ -1,0 +1,365 @@
+//! The Object Summary tree.
+//!
+//! An arena of nodes in BFS order (parents always precede children). Node
+//! weights are local importances `Im(OS, t_i)`; the tree shape is what the
+//! size-l algorithms operate on.
+
+use std::collections::HashSet;
+
+use sizel_graph::GdsNodeId;
+use sizel_storage::{RowId, TableId, TupleRef};
+
+/// Identifies a node within one OS.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OsNodeId(pub u32);
+
+impl OsNodeId {
+    /// The node index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One tuple occurrence in an OS. The same database tuple can appear in
+/// several nodes (a co-author under each shared paper) — the OS is a tree,
+/// per the paper's treealization.
+#[derive(Clone, Debug)]
+pub struct OsNode {
+    /// The database tuple.
+    pub tuple: TupleRef,
+    /// The GDS node this occurrence instantiates.
+    pub gds_node: GdsNodeId,
+    /// Parent node (`None` for the root `t_DS`).
+    pub parent: Option<OsNodeId>,
+    /// Children, in insertion (BFS) order.
+    pub children: Vec<OsNodeId>,
+    /// Depth (root = 0).
+    pub depth: u32,
+    /// Local importance `Im(OS, t_i)`.
+    pub weight: f64,
+}
+
+/// An Object Summary: a rooted tree of weighted tuple nodes.
+#[derive(Clone, Debug, Default)]
+pub struct Os {
+    nodes: Vec<OsNode>,
+}
+
+impl Os {
+    /// An empty OS (no root yet).
+    pub fn new() -> Self {
+        Os { nodes: Vec::new() }
+    }
+
+    /// An OS with preallocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Os { nodes: Vec::with_capacity(cap) }
+    }
+
+    /// Adds the root node; must be the first insertion.
+    pub fn add_root(&mut self, tuple: TupleRef, gds_node: GdsNodeId, weight: f64) -> OsNodeId {
+        assert!(self.nodes.is_empty(), "root must be the first node");
+        self.nodes.push(OsNode {
+            tuple,
+            gds_node,
+            parent: None,
+            children: Vec::new(),
+            depth: 0,
+            weight,
+        });
+        OsNodeId(0)
+    }
+
+    /// Adds a child of `parent`; returns the new node's id.
+    pub fn add_child(
+        &mut self,
+        parent: OsNodeId,
+        tuple: TupleRef,
+        gds_node: GdsNodeId,
+        weight: f64,
+    ) -> OsNodeId {
+        let id = OsNodeId(self.nodes.len() as u32);
+        let depth = self.nodes[parent.index()].depth + 1;
+        self.nodes.push(OsNode {
+            tuple,
+            gds_node,
+            parent: Some(parent),
+            children: Vec::new(),
+            depth,
+            weight,
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// The root id (panics on an empty OS).
+    pub fn root(&self) -> OsNodeId {
+        assert!(!self.nodes.is_empty(), "empty OS has no root");
+        OsNodeId(0)
+    }
+
+    /// Number of nodes (the paper's |OS|).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the OS has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node with the given id.
+    pub fn node(&self, id: OsNodeId) -> &OsNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable node access (used by the evaluator panel to perturb weights).
+    pub fn node_mut(&mut self, id: OsNodeId) -> &mut OsNode {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Iterates `(OsNodeId, &OsNode)` in BFS order.
+    pub fn iter(&self) -> impl Iterator<Item = (OsNodeId, &OsNode)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (OsNodeId(i as u32), n))
+    }
+
+    /// Sum of all node weights (`Im` of the complete OS).
+    pub fn total_weight(&self) -> f64 {
+        self.nodes.iter().map(|n| n.weight).sum()
+    }
+
+    /// Sum of weights over a node set.
+    pub fn weight_of(&self, selected: &[OsNodeId]) -> f64 {
+        selected.iter().map(|&id| self.nodes[id.index()].weight).sum()
+    }
+
+    /// Maximum node depth.
+    pub fn max_depth(&self) -> u32 {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// Ids of current leaves.
+    pub fn leaves(&self) -> Vec<OsNodeId> {
+        self.iter().filter(|(_, n)| n.children.is_empty()).map(|(id, _)| id).collect()
+    }
+
+    /// Projects a node subset into a standalone OS (used to materialize a
+    /// size-l OS for rendering). The subset must be connected and contain
+    /// the root — exactly Definition 1; panics otherwise.
+    pub fn project(&self, selected: &[OsNodeId]) -> Os {
+        let sel: HashSet<OsNodeId> = selected.iter().copied().collect();
+        assert!(sel.contains(&self.root()), "a size-l OS must contain t_DS (Definition 1)");
+        let mut map = vec![u32::MAX; self.nodes.len()];
+        let mut out = Os::with_capacity(sel.len());
+        // BFS order of the original arena preserves parent-before-child.
+        for (id, n) in self.iter() {
+            if !sel.contains(&id) {
+                continue;
+            }
+            match n.parent {
+                None => {
+                    let new = out.add_root(n.tuple, n.gds_node, n.weight);
+                    map[id.index()] = new.0;
+                }
+                Some(p) => {
+                    assert!(
+                        map[p.index()] != u32::MAX,
+                        "selected set must be connected through the root (Definition 1)"
+                    );
+                    let new = out.add_child(OsNodeId(map[p.index()]), n.tuple, n.gds_node, n.weight);
+                    map[id.index()] = new.0;
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks Definition 1 for a candidate selection: contains the root and
+    /// is connected (every selected node's parent is selected).
+    pub fn is_valid_selection(&self, selected: &[OsNodeId]) -> bool {
+        let sel: HashSet<OsNodeId> = selected.iter().copied().collect();
+        if sel.len() != selected.len() {
+            return false; // duplicates
+        }
+        if !selected.is_empty() && !sel.contains(&self.root()) {
+            return false;
+        }
+        selected.iter().all(|&id| match self.nodes[id.index()].parent {
+            None => true,
+            Some(p) => sel.contains(&p),
+        })
+    }
+
+    /// Builds a synthetic OS from parent links and weights (test fixtures:
+    /// the worked examples of Figures 4, 5 and 6 are transcribed with this).
+    /// `parents[0]` must be `None` and `parents[i] < i` for all others.
+    pub fn synthetic(parents: &[Option<usize>], weights: &[f64]) -> Os {
+        assert_eq!(parents.len(), weights.len());
+        assert!(!parents.is_empty() && parents[0].is_none());
+        let mut os = Os::with_capacity(parents.len());
+        os.add_root(dummy_tuple(0), GdsNodeId(0), weights[0]);
+        for i in 1..parents.len() {
+            let p = parents[i].expect("non-root needs a parent");
+            assert!(p < i, "parents must precede children");
+            os.add_child(OsNodeId(p as u32), dummy_tuple(i), GdsNodeId(0), weights[i]);
+        }
+        os
+    }
+
+    /// Internal consistency check used by property tests.
+    pub fn validate(&self) -> Result<(), String> {
+        for (id, n) in self.iter() {
+            if let Some(p) = n.parent {
+                if p >= id {
+                    return Err(format!("parent {p:?} does not precede child {id:?}"));
+                }
+                if !self.nodes[p.index()].children.contains(&id) {
+                    return Err(format!("child link missing for {id:?}"));
+                }
+                if n.depth != self.nodes[p.index()].depth + 1 {
+                    return Err(format!("bad depth at {id:?}"));
+                }
+            } else if id.0 != 0 {
+                return Err(format!("non-root {id:?} without parent"));
+            }
+            for &c in &n.children {
+                if self.nodes[c.index()].parent != Some(id) {
+                    return Err(format!("parent link missing for {c:?}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn dummy_tuple(i: usize) -> TupleRef {
+    TupleRef::new(TableId(0), RowId(i as u32))
+}
+
+/// The paper's Figure 4 example tree (the DP walk-through; 14 nodes).
+/// Node ids here are zero-based: paper node k = id k-1. Structure derived
+/// from the printed DP table: 3's children are {7,8,9}, 4's are {10,11},
+/// 6's is {12}, 13 hangs under 11 and 14 under 12.
+pub fn figure4_tree() -> Os {
+    // paper:    1   2   3   4   5   6   7   8   9  10  11  12  13  14
+    // weight:  30  20  11  31  80  35  10  15   5  13  30  12  60  40
+    // parent:   -   1   1   1   1   1   3   3   3   4   4   6  11  12
+    Os::synthetic(
+        &[
+            None,
+            Some(0),
+            Some(0),
+            Some(0),
+            Some(0),
+            Some(0),
+            Some(2),
+            Some(2),
+            Some(2),
+            Some(3),
+            Some(3),
+            Some(5),
+            Some(10),
+            Some(11),
+        ],
+        &[30.0, 20.0, 11.0, 31.0, 80.0, 35.0, 10.0, 15.0, 5.0, 13.0, 30.0, 12.0, 60.0, 40.0],
+    )
+}
+
+/// The paper's Figures 5/6 example tree (the greedy walk-throughs; same 14
+/// node ids but a different shape: 2's children are {7,8}, 3's is {9}, 4's
+/// is {10}, 11 hangs under 5). Node 12's weight differs between the two
+/// figures (55 in Figure 5, 12 in Figure 6), so it is a parameter.
+pub fn figure56_tree(w12: f64) -> Os {
+    // paper:    1   2   3   4   5   6   7   8   9  10  11  12   13  14
+    // weight:  30  20  11  31  80  35  10  15   5  13  30  w12  60  40
+    // parent:   -   1   1   1   1   1   2   2   3   4   5   6   11  12
+    Os::synthetic(
+        &[
+            None,
+            Some(0),
+            Some(0),
+            Some(0),
+            Some(0),
+            Some(0),
+            Some(1),
+            Some(1),
+            Some(2),
+            Some(3),
+            Some(4),
+            Some(5),
+            Some(10),
+            Some(11),
+        ],
+        &[30.0, 20.0, 11.0, 31.0, 80.0, 35.0, 10.0, 15.0, 5.0, 13.0, 30.0, w12, 60.0, 40.0],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_validate() {
+        let os = figure4_tree();
+        assert_eq!(os.len(), 14);
+        os.validate().unwrap();
+        assert_eq!(os.node(OsNodeId(0)).depth, 0);
+        assert_eq!(os.node(OsNodeId(12)).depth, 3); // paper node 13
+        assert_eq!(os.max_depth(), 3);
+    }
+
+    #[test]
+    fn total_weight_and_subset_weight() {
+        let os = figure4_tree();
+        assert!((os.total_weight() - 392.0).abs() < 1e-12);
+        // Optimal size-4 set from the paper: nodes 1,4,5,6 = ids 0,3,4,5.
+        let sel = [OsNodeId(0), OsNodeId(3), OsNodeId(4), OsNodeId(5)];
+        assert!((os.weight_of(&sel) - 176.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selection_validity() {
+        let os = figure4_tree();
+        assert!(os.is_valid_selection(&[OsNodeId(0), OsNodeId(3), OsNodeId(4)]));
+        // Disconnected: node 13 (paper 14) without its ancestors.
+        assert!(!os.is_valid_selection(&[OsNodeId(0), OsNodeId(13)]));
+        // Missing root.
+        assert!(!os.is_valid_selection(&[OsNodeId(3), OsNodeId(4)]));
+        // Duplicates.
+        assert!(!os.is_valid_selection(&[OsNodeId(0), OsNodeId(0)]));
+    }
+
+    #[test]
+    fn project_preserves_structure_and_weights() {
+        let os = figure4_tree();
+        let sel = [OsNodeId(0), OsNodeId(4), OsNodeId(5), OsNodeId(11)];
+        let sub = os.project(&sel);
+        sub.validate().unwrap();
+        assert_eq!(sub.len(), 4);
+        assert!((sub.total_weight() - os.weight_of(&sel)).abs() < 1e-12);
+        // Node 11 (paper 12) hangs under node 5 (paper 6) in the projection.
+        let n = sub
+            .iter()
+            .find(|(_, n)| n.tuple == os.node(OsNodeId(11)).tuple)
+            .map(|(id, _)| id)
+            .unwrap();
+        assert_eq!(sub.node(n).depth, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn project_rejects_disconnected() {
+        let os = figure4_tree();
+        os.project(&[OsNodeId(0), OsNodeId(13)]);
+    }
+
+    #[test]
+    fn leaves_of_figure4() {
+        let os = figure4_tree();
+        let leaves = os.leaves();
+        // Paper leaves: 2, 5, 7, 8, 9, 10, 13, 14 -> ids 1,4,6,7,8,9,12,13.
+        let expect: Vec<OsNodeId> =
+            [1u32, 4, 6, 7, 8, 9, 12, 13].iter().map(|&i| OsNodeId(i)).collect();
+        assert_eq!(leaves, expect);
+    }
+}

@@ -1,0 +1,422 @@
+//! Complete OS generation (Algorithm 5).
+//!
+//! Breadth-first traversal of the GDS(θ) starting at `t_DS`: for each OS
+//! node and each child relation of its GDS node, fetch the joining tuples
+//! and append them as children. Two tuple sources are supported, matching
+//! the paper's §6.3 comparison:
+//!
+//! * [`OsSource::DataGraph`] — lookups against the precomputed in-memory
+//!   data graph ("the OSs are generated much faster using the data graph"),
+//! * [`OsSource::Database`] — the SQL-shaped joins of Algorithm 5 line 6,
+//!   every probe counted by the storage layer's access counter.
+
+use std::collections::VecDeque;
+
+use sizel_graph::{DataGraph, Direction, Gds, GdsNode, GdsNodeId, JoinSpec, MnLinkId, SchemaGraph};
+use sizel_rank::RankScores;
+use sizel_storage::{Database, TupleRef};
+
+use crate::os::{Os, OsNodeId};
+
+/// Where OS generation reads tuples from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OsSource {
+    /// The in-memory tuple graph (fast path).
+    DataGraph,
+    /// Direct joins against the stored tables (counted I/O).
+    Database,
+}
+
+/// Everything OS generation needs, borrowed from the engine: database,
+/// schema graph, data graph, a GDS(θ) with stats, and global importance.
+pub struct OsContext<'a> {
+    /// The database.
+    pub db: &'a Database,
+    /// Its schema graph.
+    pub sg: &'a SchemaGraph,
+    /// The tuple-level data graph.
+    pub dg: &'a DataGraph,
+    /// The (restricted) GDS for the DS relation, with `max/mmax` stats set.
+    pub gds: &'a Gds,
+    /// Global importance scores.
+    pub scores: &'a RankScores,
+    /// Resolved M:N link ids per GDS node (built once in [`OsContext::new`]).
+    link_of_gds: Vec<Option<MnLinkId>>,
+}
+
+impl<'a> OsContext<'a> {
+    /// Builds a context, resolving each GDS node's junction step to its
+    /// collapsed M:N link.
+    pub fn new(
+        db: &'a Database,
+        sg: &'a SchemaGraph,
+        dg: &'a DataGraph,
+        gds: &'a Gds,
+        scores: &'a RankScores,
+    ) -> Self {
+        let link_of_gds = gds
+            .iter()
+            .map(|(_, n)| match &n.join {
+                JoinSpec::ViaJunction { e_in, e_out, .. } => Some(
+                    dg.find_link(*e_in, *e_out)
+                        .expect("every junction step has a collapsed link"),
+                ),
+                _ => None,
+            })
+            .collect();
+        OsContext { db, sg, dg, gds, scores, link_of_gds }
+    }
+
+    /// Local importance `Im(OS, t_i) = Im(t_i) · Af(R_i)` (Equation 3).
+    pub fn local_importance(&self, gds_node: GdsNodeId, tuple: TupleRef) -> f64 {
+        self.scores.global(self.dg.node_id(tuple)) * self.gds.node(gds_node).affinity
+    }
+
+    /// Fetches the tuples of GDS node `child` joining with `parent_tuple`.
+    /// `grandparent` is the tuple of the OS parent's parent, excluded by
+    /// CoAuthor-style replicated steps. Appends to `out`.
+    pub fn children_of(
+        &self,
+        child: GdsNodeId,
+        parent_tuple: TupleRef,
+        grandparent: Option<TupleRef>,
+        source: OsSource,
+        out: &mut Vec<TupleRef>,
+    ) {
+        let node = self.gds.node(child);
+        match source {
+            OsSource::DataGraph => self.children_via_graph(child, node, parent_tuple, grandparent, out),
+            OsSource::Database => self.children_via_database(node, parent_tuple, grandparent, out),
+        }
+    }
+
+    fn children_via_graph(
+        &self,
+        child_id: GdsNodeId,
+        node: &GdsNode,
+        parent: TupleRef,
+        grandparent: Option<TupleRef>,
+        out: &mut Vec<TupleRef>,
+    ) {
+        match &node.join {
+            JoinSpec::Root => {}
+            JoinSpec::Step { edge, dir } => match dir {
+                Direction::Forward => {
+                    if let Some(t) = self.dg.fwd_neighbor(*edge, parent.row) {
+                        out.push(self.dg.tuple_of(t));
+                    }
+                }
+                Direction::Backward => {
+                    for &t in self.dg.bwd_neighbors(*edge, parent.row) {
+                        out.push(self.dg.tuple_of(sizel_graph::NodeId(t)));
+                    }
+                }
+            },
+            JoinSpec::ViaJunction { exclude_parent, .. } => {
+                let link = self
+                    .dg
+                    .link(self.link_of_gds[child_id.index()].expect("resolved in new()"));
+                for &t in link.targets(parent.row) {
+                    let tuple = self.dg.tuple_of(sizel_graph::NodeId(t));
+                    if *exclude_parent && Some(tuple) == grandparent {
+                        continue;
+                    }
+                    out.push(tuple);
+                }
+            }
+        }
+    }
+
+    /// The Avoidance-Condition-2 fetch (Algorithm 4 line 10): at most `l`
+    /// joining tuples with local importance strictly above `largest_l`,
+    /// ordered by descending importance. In database mode the predicate is
+    /// pushed into the probe (the `SELECT * TOP l ... AND Ri.li >
+    /// largest-l` form), so the access counter sees one probe and only the
+    /// returned rows; in data-graph mode the same filter runs against the
+    /// in-memory index.
+    #[allow(clippy::too_many_arguments)]
+    pub fn children_of_top_l(
+        &self,
+        child: GdsNodeId,
+        parent_tuple: TupleRef,
+        grandparent: Option<TupleRef>,
+        source: OsSource,
+        l: usize,
+        largest_l: f64,
+        out: &mut Vec<TupleRef>,
+    ) {
+        let node = self.gds.node(child);
+        match (source, &node.join) {
+            (OsSource::Database, JoinSpec::Step { edge, dir: Direction::Backward }) => {
+                let e = self.sg.edge(*edge);
+                let pk = self.db.table(parent_tuple.table).pk_of(parent_tuple.row);
+                let li = |r: sizel_storage::RowId| {
+                    self.local_importance(child, TupleRef::new(e.from, r))
+                };
+                for r in self.db.select_eq_top_l(e.from, e.fk_col, pk, l, largest_l, &li) {
+                    out.push(TupleRef::new(e.from, r));
+                }
+            }
+            (OsSource::Database, JoinSpec::Step { edge, dir: Direction::Forward }) => {
+                // N:1 probe with the importance predicate pushed down: the
+                // access is counted, but a filtered-out row is not returned.
+                let e = self.sg.edge(*edge);
+                let mut kept = 0usize;
+                if let Some(k) = self.db.value(parent_tuple, e.fk_col).as_int() {
+                    if let Some(r) = self.db.table(e.to).by_pk(k) {
+                        let tuple = TupleRef::new(e.to, r);
+                        if self.local_importance(child, tuple) > largest_l {
+                            kept = 1;
+                            out.push(tuple);
+                        }
+                    }
+                }
+                self.db.access().record_join(kept);
+            }
+            (OsSource::Database, JoinSpec::ViaJunction { junction, e_in, e_out, exclude_parent }) => {
+                // The junction probe is unavoidable (its rows are read to
+                // find the targets); the target fetch is TOP-l filtered.
+                let pk = self.db.table(parent_tuple.table).pk_of(parent_tuple.row);
+                let e1 = self.sg.edge(*e_in);
+                let e2 = self.sg.edge(*e_out);
+                let jrows = self.db.select_eq(*junction, e1.fk_col, pk);
+                let jt = self.db.table(*junction);
+                let target = self.db.table(e2.to);
+                let mut scored: Vec<(f64, TupleRef)> = Vec::new();
+                for j in jrows {
+                    if let Some(k) = jt.value(j, e2.fk_col).as_int() {
+                        if let Some(r) = target.by_pk(k) {
+                            let tuple = TupleRef::new(e2.to, r);
+                            if *exclude_parent && Some(tuple) == grandparent {
+                                continue;
+                            }
+                            let w = self.local_importance(child, tuple);
+                            if w > largest_l {
+                                scored.push((w, tuple));
+                            }
+                        }
+                    }
+                }
+                scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+                scored.truncate(l);
+                self.db.access().record_join(scored.len());
+                out.extend(scored.into_iter().map(|(_, t)| t));
+            }
+            _ => {
+                // Data-graph mode, and the Forward (N:1) database step
+                // whose result is at most one row: fetch then filter.
+                let mut all = Vec::new();
+                self.children_of(child, parent_tuple, grandparent, source, &mut all);
+                let mut scored: Vec<(f64, TupleRef)> = all
+                    .into_iter()
+                    .filter_map(|t| {
+                        let w = self.local_importance(child, t);
+                        (w > largest_l).then_some((w, t))
+                    })
+                    .collect();
+                scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+                scored.truncate(l);
+                out.extend(scored.into_iter().map(|(_, t)| t));
+            }
+        }
+    }
+
+    fn children_via_database(
+        &self,
+        node: &GdsNode,
+        parent: TupleRef,
+        grandparent: Option<TupleRef>,
+        out: &mut Vec<TupleRef>,
+    ) {
+        match &node.join {
+            JoinSpec::Root => {}
+            JoinSpec::Step { edge, dir } => {
+                let e = self.sg.edge(*edge);
+                match dir {
+                    Direction::Forward => {
+                        // SELECT * FROM To WHERE To.pk = parent.fk
+                        if let Some(k) = self.db.value(parent, e.fk_col).as_int() {
+                            let to = self.db.table(e.to);
+                            for r in self.db.select_eq(e.to, to.schema.pk, k) {
+                                out.push(TupleRef::new(e.to, r));
+                            }
+                        }
+                    }
+                    Direction::Backward => {
+                        // SELECT * FROM From WHERE From.fk = parent.pk
+                        let pk = self.db.table(parent.table).pk_of(parent.row);
+                        for r in self.db.select_eq(e.from, e.fk_col, pk) {
+                            out.push(TupleRef::new(e.from, r));
+                        }
+                    }
+                }
+            }
+            JoinSpec::ViaJunction { junction, e_in, e_out, exclude_parent } => {
+                // Probe the junction (1 access), then fetch the targets by
+                // PK as one batched join (1 access).
+                let pk = self.db.table(parent.table).pk_of(parent.row);
+                let e1 = self.sg.edge(*e_in);
+                let e2 = self.sg.edge(*e_out);
+                let jrows = self.db.select_eq(*junction, e1.fk_col, pk);
+                let jt = self.db.table(*junction);
+                let target = self.db.table(e2.to);
+                let mut fetched = 0usize;
+                for j in jrows {
+                    if let Some(k) = jt.value(j, e2.fk_col).as_int() {
+                        if let Some(r) = target.by_pk(k) {
+                            let tuple = TupleRef::new(e2.to, r);
+                            if *exclude_parent && Some(tuple) == grandparent {
+                                continue;
+                            }
+                            fetched += 1;
+                            out.push(tuple);
+                        }
+                    }
+                }
+                self.db.access().record_join(fetched);
+            }
+        }
+    }
+}
+
+/// Algorithm 5: generates the complete OS for `t_DS`. `depth_cutoff` caps
+/// node depth — size-l computations pass `Some(l - 1)` per the paper's §3.3
+/// footnote ("any tuples or subtrees which have distance at least l from
+/// the root are excluded, as these cannot be part of a connected size-l
+/// OS").
+pub fn generate_os(
+    ctx: &OsContext<'_>,
+    tds: TupleRef,
+    depth_cutoff: Option<u32>,
+    source: OsSource,
+) -> Os {
+    assert_eq!(
+        tds.table,
+        ctx.gds.root_relation(),
+        "t_DS must belong to the GDS root relation"
+    );
+    let mut os = Os::with_capacity(64);
+    let root_w = ctx.local_importance(ctx.gds.root(), tds);
+    let root = os.add_root(tds, ctx.gds.root(), root_w);
+
+    let mut queue: VecDeque<OsNodeId> = VecDeque::from([root]);
+    let mut buf: Vec<TupleRef> = Vec::new();
+    while let Some(u) = queue.pop_front() {
+        let (u_tuple, u_gds, u_depth, u_parent) = {
+            let n = os.node(u);
+            (n.tuple, n.gds_node, n.depth, n.parent)
+        };
+        if depth_cutoff.is_some_and(|cap| u_depth >= cap) {
+            continue;
+        }
+        let grandparent = u_parent.map(|p| os.node(p).tuple);
+        for &g_child in &ctx.gds.node(u_gds).children.clone() {
+            buf.clear();
+            ctx.children_of(g_child, u_tuple, grandparent, source, &mut buf);
+            for &t in &buf {
+                let w = ctx.local_importance(g_child, t);
+                let id = os.add_child(u, t, g_child, w);
+                queue.push_back(id);
+            }
+        }
+    }
+    os
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::dblp_fixture;
+
+    #[test]
+    fn generates_consistent_tree_from_both_sources() {
+        let f = dblp_fixture();
+        let ctx = f.ctx();
+        let tds = f.author_tds(0);
+        let a = generate_os(&ctx, tds, None, OsSource::DataGraph);
+        let b = generate_os(&ctx, tds, None, OsSource::Database);
+        a.validate().unwrap();
+        b.validate().unwrap();
+        assert_eq!(a.len(), b.len(), "both sources yield the same OS");
+        assert!((a.total_weight() - b.total_weight()).abs() < 1e-9);
+        // Same multiset of tuples in BFS order.
+        for ((_, x), (_, y)) in a.iter().zip(b.iter()) {
+            assert_eq!(x.tuple, y.tuple);
+            assert_eq!(x.gds_node, y.gds_node);
+        }
+    }
+
+    #[test]
+    fn database_mode_counts_joins() {
+        let f = dblp_fixture();
+        let ctx = f.ctx();
+        let tds = f.author_tds(0);
+        f.dblp.db.access().reset();
+        let _ = generate_os(&ctx, tds, None, OsSource::DataGraph);
+        assert_eq!(f.dblp.db.access().snapshot().joins, 0, "graph mode does no DB joins");
+        let os = generate_os(&ctx, tds, None, OsSource::Database);
+        let stats = f.dblp.db.access().snapshot();
+        assert!(stats.joins > 0);
+        assert!(stats.tuples as usize >= os.len() - 1);
+    }
+
+    #[test]
+    fn coauthors_exclude_the_parent_author() {
+        let f = dblp_fixture();
+        let ctx = f.ctx();
+        let tds = f.author_tds(0);
+        let os = generate_os(&ctx, tds, None, OsSource::DataGraph);
+        let co = f.gds.find_label("CoAuthor").unwrap();
+        for (_, n) in os.iter() {
+            if n.gds_node == co {
+                assert_ne!(n.tuple, tds, "the DS author must never appear as a co-author");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_cutoff_excludes_far_tuples() {
+        let f = dblp_fixture();
+        let ctx = f.ctx();
+        let tds = f.author_tds(0);
+        let full = generate_os(&ctx, tds, None, OsSource::DataGraph);
+        let cut = generate_os(&ctx, tds, Some(1), OsSource::DataGraph);
+        assert!(cut.max_depth() <= 1);
+        assert!(cut.len() < full.len());
+        // Cut OS is a prefix-closed subset: every cut tuple exists in full.
+        assert!(!cut.is_empty());
+    }
+
+    #[test]
+    fn weights_are_global_times_affinity() {
+        let f = dblp_fixture();
+        let ctx = f.ctx();
+        let tds = f.author_tds(1);
+        let os = generate_os(&ctx, tds, None, OsSource::DataGraph);
+        for (_, n) in os.iter() {
+            let expect = ctx.scores.global(ctx.dg.node_id(n.tuple))
+                * ctx.gds.node(n.gds_node).affinity;
+            assert!((n.weight - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn os_tuples_follow_gds_relations() {
+        let f = dblp_fixture();
+        let ctx = f.ctx();
+        let os = generate_os(&ctx, f.author_tds(2), None, OsSource::DataGraph);
+        for (_, n) in os.iter() {
+            assert_eq!(n.tuple.table, ctx.gds.node(n.gds_node).relation);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "t_DS must belong")]
+    fn wrong_root_relation_is_rejected() {
+        let f = dblp_fixture();
+        let ctx = f.ctx();
+        // A Paper tuple against the Author GDS.
+        let bad = TupleRef::new(f.dblp.paper, sizel_storage::RowId(0));
+        let _ = generate_os(&ctx, bad, None, OsSource::DataGraph);
+    }
+}

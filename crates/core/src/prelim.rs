@@ -1,0 +1,289 @@
+//! Prelim-l OS generation (Algorithm 4, Section 5.3).
+//!
+//! Instead of materializing the complete OS, generate a *preliminary*
+//! partial OS guaranteed to contain the `l` tuples with the largest local
+//! importance (the **top-l set**, Definition 2), by pruning with two
+//! avoidance conditions over the GDS `max(Ri)` / `mmax(Ri)` annotations:
+//!
+//! * **Avoidance Condition 1** (fruitless subtrees): once the top-l PQ is
+//!   full, a GDS subtree whose `max(Ri)` *and* `mmax(Ri)` are both at most
+//!   `largest-l` cannot contribute, and is skipped without any access.
+//! * **Avoidance Condition 2** (fruitful-l relations): when only the
+//!   relation itself can still contribute (`largest-l ≥ mmax(Ri)`), at most
+//!   `l` tuples above `largest-l` are extracted
+//!   (`SELECT * TOP l ... AND Ri.li > largest-l`). The probe is issued — and
+//!   counted — even when it returns nothing, matching the paper's cost
+//!   accounting.
+//!
+//! Any size-l algorithm can then run on the prelim-l OS; Lemma 3 (tested):
+//! under depth-monotone local importance the prelim-l OS contains the
+//! optimal size-l OS.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use sizel_storage::TupleRef;
+use sizel_util::F64Ord;
+
+use crate::os::{Os, OsNodeId};
+use crate::osgen::{OsContext, OsSource};
+
+/// Statistics of one prelim-l generation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PrelimStats {
+    /// GDS child expansions skipped by Avoidance Condition 1.
+    pub cond1_skips: u64,
+    /// Expansions served as TOP-l probes by Avoidance Condition 2.
+    pub cond2_probes: u64,
+    /// Full (unrestricted) join expansions.
+    pub full_joins: u64,
+}
+
+/// Generates the prelim-l OS for `t_DS` (Algorithm 4).
+pub fn generate_prelim(
+    ctx: &OsContext<'_>,
+    tds: TupleRef,
+    l: usize,
+    source: OsSource,
+) -> (Os, PrelimStats) {
+    assert!(l > 0, "prelim-l needs l >= 1");
+    assert_eq!(tds.table, ctx.gds.root_relation(), "t_DS must belong to the GDS root relation");
+    let mut stats = PrelimStats::default();
+
+    let mut os = Os::with_capacity(4 * l);
+    let root_w = ctx.local_importance(ctx.gds.root(), tds);
+    let root = os.add_root(tds, ctx.gds.root(), root_w);
+
+    // top-l PQ: a min-heap of the l largest local importances seen so far.
+    let mut top_l: BinaryHeap<Reverse<F64Ord>> = BinaryHeap::with_capacity(l + 1);
+    top_l.push(Reverse(F64Ord(root_w)));
+    // largest-l: the l-th largest local importance so far, or 0 while
+    // fewer than l tuples were extracted (Algorithm 4 lines 20-23).
+    let mut largest_l = if l == 1 { root_w } else { 0.0 };
+
+    let mut queue: VecDeque<OsNodeId> = VecDeque::from([root]);
+    let mut buf: Vec<TupleRef> = Vec::new();
+    while let Some(u) = queue.pop_front() {
+        let (u_tuple, u_gds, u_depth, u_parent) = {
+            let n = os.node(u);
+            (n.tuple, n.gds_node, n.depth, n.parent)
+        };
+        // The §3.3 footnote applies to prelim generation too: tuples at
+        // distance >= l cannot join a connected size-l OS.
+        if u_depth + 1 >= l as u32 {
+            continue;
+        }
+        let grandparent = u_parent.map(|p| os.node(p).tuple);
+        for &g_child in &ctx.gds.node(u_gds).children.clone() {
+            let child = ctx.gds.node(g_child);
+            let full = top_l.len() >= l;
+            // Avoidance Condition 1: fruitless GDS subtree.
+            if full && largest_l >= child.max_ri && largest_l >= child.mmax_ri {
+                stats.cond1_skips += 1;
+                continue;
+            }
+            buf.clear();
+            if largest_l >= child.mmax_ri {
+                // Avoidance Condition 2: fruitful-l relation — extract at
+                // most l tuples with li > largest-l.
+                stats.cond2_probes += 1;
+                fetch_top_l(ctx, g_child, u_tuple, grandparent, l, largest_l, source, &mut buf);
+            } else {
+                stats.full_joins += 1;
+                ctx.children_of(g_child, u_tuple, grandparent, source, &mut buf);
+            }
+            for &t in &buf {
+                let w = ctx.local_importance(g_child, t);
+                let id = os.add_child(u, t, g_child, w);
+                queue.push_back(id);
+                if w > largest_l {
+                    top_l.push(Reverse(F64Ord(w)));
+                    if top_l.len() > l {
+                        top_l.pop();
+                    }
+                }
+                largest_l = if top_l.len() < l {
+                    0.0
+                } else {
+                    top_l.peek().expect("non-empty").0.get()
+                };
+            }
+        }
+    }
+    (os, stats)
+}
+
+/// The Avoidance-Condition-2 fetch: `SELECT * TOP l FROM Ri WHERE
+/// tj.ID = Ri.ID AND Ri.li > largest-l` (Algorithm 4 line 10); see
+/// [`OsContext::children_of_top_l`] for the per-source behaviour.
+#[allow(clippy::too_many_arguments)]
+fn fetch_top_l(
+    ctx: &OsContext<'_>,
+    g_child: sizel_graph::GdsNodeId,
+    parent: TupleRef,
+    grandparent: Option<TupleRef>,
+    l: usize,
+    largest_l: f64,
+    source: OsSource,
+    out: &mut Vec<TupleRef>,
+) {
+    ctx.children_of_top_l(g_child, parent, grandparent, source, l, largest_l, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{BottomUp, DpKnapsack, SizeLAlgorithm};
+    use crate::osgen::generate_os;
+    use crate::test_fixtures::{dblp_fixture, tpch_fixture};
+    use std::collections::HashSet;
+
+    #[test]
+    fn prelim_is_a_valid_tree_and_smaller_than_complete() {
+        let f = dblp_fixture();
+        let ctx = f.ctx();
+        let tds = f.author_tds(0);
+        let l = 10;
+        let complete = generate_os(&ctx, tds, Some(l as u32 - 1), OsSource::DataGraph);
+        let (prelim, stats) = generate_prelim(&ctx, tds, l, OsSource::DataGraph);
+        prelim.validate().unwrap();
+        assert!(prelim.len() <= complete.len());
+        assert!(prelim.len() >= l.min(complete.len()), "prelim must hold at least l tuples");
+        assert!(stats.cond1_skips + stats.cond2_probes + stats.full_joins > 0);
+    }
+
+    #[test]
+    fn prelim_contains_the_top_l_set() {
+        // Definition 2: the prelim-l OS includes the l tuples of the OS
+        // with the largest local importance.
+        let f = dblp_fixture();
+        let ctx = f.ctx();
+        for i in [0, 1, 2] {
+            let tds = f.author_tds(i);
+            for l in [1, 5, 10, 20] {
+                let complete = generate_os(&ctx, tds, Some(l as u32 - 1), OsSource::DataGraph);
+                let (prelim, _) = generate_prelim(&ctx, tds, l, OsSource::DataGraph);
+                let mut weights: Vec<(f64, TupleRef, u32)> = complete
+                    .iter()
+                    .map(|(_, n)| (n.weight, n.tuple, n.gds_node.0))
+                    .collect();
+                weights.sort_by(|a, b| b.0.total_cmp(&a.0));
+                let top: Vec<&(f64, TupleRef, u32)> = weights.iter().take(l).collect();
+                let prelim_keys: HashSet<(TupleRef, u32)> =
+                    prelim.iter().map(|(_, n)| (n.tuple, n.gds_node.0)).collect();
+                // The l-th value can tie with excluded tuples; require only
+                // strictly-above-threshold members (ties are
+                // interchangeable for Im(S)).
+                let threshold = top.last().expect("l >= 1").0;
+                for &&(w, t, g) in &top {
+                    if w > threshold {
+                        assert!(
+                            prelim_keys.contains(&(t, g)),
+                            "author {i} l={l}: top tuple (w={w}) missing from prelim"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_on_prelim_matches_greedy_on_complete_quality() {
+        // §6.2: "top-l prelim-l OSs ... have no impact on the Bottom-Up
+        // algorithm" — on this small fixture we verify quality parity.
+        let f = dblp_fixture();
+        let ctx = f.ctx();
+        let tds = f.author_tds(0);
+        for l in [5, 10, 15] {
+            let complete = generate_os(&ctx, tds, Some(l as u32 - 1), OsSource::DataGraph);
+            let (prelim, _) = generate_prelim(&ctx, tds, l, OsSource::DataGraph);
+            let on_complete = BottomUp.compute(&complete, l);
+            let on_prelim = BottomUp.compute(&prelim, l);
+            assert!(
+                on_prelim.importance <= on_complete.importance + 1e-9,
+                "prelim cannot beat complete for the same algorithm"
+            );
+            let ratio = on_prelim.importance / on_complete.importance.max(1e-12);
+            assert!(ratio > 0.9, "l={l}: prelim quality ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn lemma3_monotone_scores_make_prelim_contain_the_optimum() {
+        // Force exact depth-monotonicity by using uniform global scores:
+        // local importance then equals the GDS affinity, which Equation 1
+        // makes non-increasing along every path. Lemma 3 must then hold:
+        // the prelim-l OS contains an optimal size-l OS.
+        let f = dblp_fixture();
+        let uniform = sizel_rank::RankScores {
+            scores: vec![1.0; f.dg.n_nodes()],
+            iterations: 0,
+            converged: true,
+            per_table_max: vec![1.0; f.dblp.db.table_count()],
+        };
+        let ctx = {
+            let mut gds = f.gds.clone();
+            gds.set_stats(&uniform.per_table_max);
+            // Rebuild a context over the uniform scores.
+            (gds, uniform)
+        };
+        let (gds, scores) = &ctx;
+        let octx = OsContext::new(&f.dblp.db, &f.sg, &f.dg, gds, scores);
+        let mut checked = 0;
+        for i in 0..5 {
+            let tds = f.author_tds(i);
+            for l in [4, 8, 12] {
+                let complete = generate_os(&octx, tds, Some(l as u32 - 1), OsSource::DataGraph);
+                if complete.len() < l {
+                    continue;
+                }
+                // Confirm the monotonicity premise.
+                for (_, n) in complete.iter() {
+                    if let Some(p) = n.parent {
+                        assert!(complete.node(p).weight >= n.weight - 1e-12);
+                    }
+                }
+                checked += 1;
+                let (prelim, _) = generate_prelim(&octx, tds, l, OsSource::DataGraph);
+                let opt_complete = DpKnapsack.compute(&complete, l);
+                let opt_prelim = DpKnapsack.compute(&prelim, l);
+                assert!(
+                    (opt_complete.importance - opt_prelim.importance).abs() < 1e-9,
+                    "Lemma 3 violated: author {i} l={l}: {} vs {}",
+                    opt_complete.importance,
+                    opt_prelim.importance
+                );
+            }
+        }
+        assert!(checked >= 5, "fixture produced only {checked} monotone cases");
+    }
+
+    #[test]
+    fn avoidance_conditions_save_accesses_in_database_mode() {
+        let f = tpch_fixture();
+        let ctx = f.supplier_ctx();
+        let suppliers = f.tpch.db.table(f.tpch.supplier);
+        let tds = TupleRef::new(f.tpch.supplier, suppliers.iter().next().expect("rows").0);
+        let l = 10;
+        f.tpch.db.access().reset();
+        let complete = generate_os(&ctx, tds, Some(l as u32 - 1), OsSource::Database);
+        let complete_cost = f.tpch.db.access().snapshot();
+        f.tpch.db.access().reset();
+        let (prelim, stats) = generate_prelim(&ctx, tds, l, OsSource::Database);
+        let prelim_cost = f.tpch.db.access().snapshot();
+        assert!(prelim.len() <= complete.len());
+        assert!(
+            prelim_cost.tuples <= complete_cost.tuples,
+            "prelim reads no more tuples than the complete OS"
+        );
+        assert!(stats.cond1_skips > 0 || stats.cond2_probes > 0, "conditions should fire");
+    }
+
+    #[test]
+    #[should_panic(expected = "l >= 1")]
+    fn l_zero_is_rejected() {
+        let f = dblp_fixture();
+        let ctx = f.ctx();
+        let _ = generate_prelim(&ctx, f.author_tds(0), 0, OsSource::DataGraph);
+    }
+}

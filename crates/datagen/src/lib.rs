@@ -1,0 +1,25 @@
+//! Deterministic synthetic workload generators.
+//!
+//! The paper evaluates on a real DBLP dump and on TPC-H SF-1. Neither is
+//! available offline, so this crate generates *synthetic equivalents* that
+//! preserve what the algorithms actually observe: schema topology (Figures 1
+//! and 11), foreign-key fan-outs with Zipfian skew (a few huge object
+//! summaries, many small ones), and value columns for ValueRank.
+//!
+//! Everything is a pure function of the config seed (see
+//! [`sizel_util::prng`]), so the experiment tables in `EXPERIMENTS.md` are
+//! reproducible bit-for-bit.
+//!
+//! * [`dblp`] — Author / Paper / AuthorPaper / Citation / Year / Conference,
+//!   with "famous author" seeds that pin OS sizes for the scalability
+//!   experiment (Figure 10e) and reproduce the Example 4/5 walk-through.
+//! * [`tpch`] — Region / Nation / Customer / Supplier / Part / Partsupp /
+//!   Orders / Lineitem with consistent prices (an order's `totalprice` is
+//!   the sum of its lineitems), scaled down from SF-1.
+
+pub mod dblp;
+pub mod names;
+pub mod tpch;
+
+pub use dblp::{DblpConfig, FamousAuthorSpec};
+pub use tpch::TpchConfig;

@@ -1,0 +1,136 @@
+//! Word lists for synthetic names and titles.
+//!
+//! The lists are intentionally generic; only a handful of entries (the
+//! SIGCOMM/SIGMOD-style venue acronyms and the pinned example names in
+//! [`crate::dblp`]) echo the paper's running example so that the README
+//! walk-through looks like Examples 1-5.
+
+/// First names for synthetic people.
+pub const FIRST_NAMES: &[&str] = &[
+    "Ada", "Alan", "Alex", "Alice", "Amir", "Ana", "Andre", "Anna", "Ben", "Bianca", "Boris",
+    "Carla", "Carlos", "Chen", "Clara", "Daniel", "Dario", "David", "Dawn", "Diego", "Dimitris",
+    "Elena", "Emil", "Erik", "Eva", "Felix", "Fiona", "Georg", "Georgia", "Hana", "Hans", "Helen",
+    "Hugo", "Ines", "Irene", "Ivan", "Jan", "Jana", "Jorge", "Julia", "Kai", "Karl", "Kenji",
+    "Lars", "Laura", "Lea", "Leon", "Lin", "Louis", "Luca", "Lucia", "Maja", "Marco", "Maria",
+    "Marta", "Mei", "Milan", "Mira", "Nadia", "Nikos", "Nina", "Noor", "Olga", "Omar", "Otto",
+    "Paula", "Pavel", "Pedro", "Petra", "Priya", "Rafael", "Rania", "Ravi", "Rosa", "Sara",
+    "Sergei", "Silvia", "Simon", "Sofia", "Stefan", "Tara", "Theo", "Tomas", "Uma", "Vera",
+    "Victor", "Wei", "Xavier", "Yara", "Yuki", "Zara", "Zhen",
+];
+
+/// Last names for synthetic people.
+pub const LAST_NAMES: &[&str] = &[
+    "Abadi", "Adler", "Aoki", "Baker", "Barros", "Bauer", "Becker", "Berg", "Bianchi", "Blake",
+    "Brandt", "Braun", "Castro", "Chen", "Cohen", "Costa", "Cruz", "Dias", "Duarte", "Dumont",
+    "Eriksen", "Farkas", "Ferrari", "Fischer", "Fontaine", "Fuchs", "Garcia", "Gruber", "Haas",
+    "Hansen", "Hartmann", "Hoffman", "Horvat", "Huang", "Ibrahim", "Ishikawa", "Ivanov", "Jansen",
+    "Jensen", "Kato", "Keller", "Kim", "Klein", "Kovacs", "Kraus", "Kumar", "Lang", "Larsen",
+    "Lehmann", "Lima", "Lopez", "Lorenz", "Maier", "Marino", "Martin", "Mendes", "Meyer",
+    "Miller", "Molnar", "Moreau", "Moretti", "Nagy", "Nakamura", "Neumann", "Novak", "Oliveira",
+    "Olsen", "Park", "Peters", "Petrov", "Pinto", "Popov", "Ramos", "Ricci", "Richter", "Rios",
+    "Romano", "Rossi", "Roy", "Ruiz", "Sato", "Schmidt", "Schneider", "Silva", "Simon", "Sokolov",
+    "Sousa", "Suzuki", "Takeda", "Tanaka", "Torres", "Vargas", "Vogel", "Wagner", "Walter",
+    "Wang", "Weber", "Winter", "Wolf", "Yamada", "Zhang", "Zimmer",
+];
+
+/// Venue acronyms; the first few mirror the paper's examples.
+pub const CONFERENCES: &[&str] = &[
+    "SIGCOMM", "SIGMOD", "VLDB", "PODS", "ICDE", "KDD", "SIGIR", "WWW", "SIGGRAPH", "PDIS",
+    "EDBT", "CIKM", "ICML", "SODA", "FOCS", "STOC", "OSDI", "SOSP", "NSDI", "EuroSys", "ATC",
+    "MIDL", "DEXA", "ADBIS", "SSDBM", "MDM", "WISE", "ER", "ICDT", "DASFAA",
+];
+
+/// Words used to assemble synthetic paper titles.
+pub const TITLE_WORDS: &[&str] = &[
+    "adaptive", "aggregate", "analysis", "approximate", "caching", "clustering", "compression",
+    "concurrent", "databases", "declustering", "dimensionality", "discovery", "distributed",
+    "dynamic", "efficient", "elastic", "estimation", "evaluation", "exploration", "fractal",
+    "graphs", "hashing", "hierarchical", "incremental", "indexing", "keyword", "learning",
+    "locality", "mining", "models", "multicast", "networks", "optimization", "parallel",
+    "partitioning", "patterns", "power-law", "probabilistic", "processing", "protocols",
+    "queries", "querying", "ranking", "relational", "retrieval", "sampling", "scalable",
+    "scheduling", "search", "semantics", "sequences", "similarity", "spatial", "storage",
+    "streams", "summaries", "systems", "temporal", "topology", "transactions", "workloads",
+];
+
+/// TPC-H region names (the official five).
+pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// TPC-H nation names (the official twenty-five).
+pub const NATIONS: &[&str] = &[
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
+    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
+    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+];
+
+/// Map from nation index to region index, following the TPC-H spec layout.
+pub const NATION_REGION: &[usize] = &[
+    0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1,
+];
+
+/// Adjectives for part names.
+pub const PART_ADJECTIVES: &[&str] = &[
+    "anodized", "brushed", "burnished", "chiffon", "cream", "dim", "drab", "floral", "frosted",
+    "glazed", "hot", "lace", "lemon", "light", "metallic", "midnight", "misty", "pale", "plum",
+    "polished", "powder", "sandy", "smoke", "spring", "steel", "thistle", "turquoise", "wheat",
+];
+
+/// Materials for part names.
+pub const PART_MATERIALS: &[&str] =
+    &["brass", "copper", "nickel", "steel", "tin", "zinc", "chrome", "cobalt"];
+
+/// Nouns for part names.
+pub const PART_NOUNS: &[&str] = &[
+    "anchor", "bearing", "bolt", "bracket", "casing", "clamp", "coupling", "fitting", "flange",
+    "gasket", "gear", "hinge", "lever", "pin", "plate", "rivet", "rod", "shaft", "spring",
+    "valve", "washer", "wheel",
+];
+
+/// Builds a synthetic paper title with `n` words, capitalized.
+pub fn title(words: &[&str]) -> String {
+    let mut out = String::new();
+    for (i, w) in words.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        if i == 0 {
+            let mut chars = w.chars();
+            if let Some(c) = chars.next() {
+                out.extend(c.to_uppercase());
+                out.push_str(chars.as_str());
+            }
+        } else {
+            out.push_str(w);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lists_are_nonempty_and_deduped() {
+        for list in [FIRST_NAMES, LAST_NAMES, CONFERENCES, TITLE_WORDS] {
+            assert!(!list.is_empty());
+            let mut v: Vec<&str> = list.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            assert_eq!(v.len(), list.len(), "duplicate entries in word list");
+        }
+    }
+
+    #[test]
+    fn nation_region_mapping_is_complete() {
+        assert_eq!(NATIONS.len(), 25);
+        assert_eq!(NATION_REGION.len(), 25);
+        assert!(NATION_REGION.iter().all(|&r| r < REGIONS.len()));
+    }
+
+    #[test]
+    fn title_capitalizes_first_word() {
+        assert_eq!(title(&["efficient", "similarity", "search"]), "Efficient similarity search");
+    }
+}

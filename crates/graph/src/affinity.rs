@@ -1,0 +1,152 @@
+//! Relation affinity (Equation 1 of the paper).
+//!
+//! `Af(Ri) = (Σ_j m_j · w_j) · Af(R_parent)` — a per-hop decay multiplied
+//! down the GDS. The metrics `m_j` follow the paper's reference \[8\]:
+//! *distance* (the per-hop base), *schema connectivity* (highly connected
+//! relations are less specific to the DS) and *data connectivity /
+//! cardinality* (steps with huge fan-out dilute the association).
+//!
+//! Because the paper also allows a domain expert to set affinities manually
+//! (Section 3.2: "alternatively, a domain expert can set Af(Ri)s manually"),
+//! [`AffinityModel::Manual`] accepts absolute affinities keyed by GDS *path*
+//! (e.g. `"Customer/Order/Lineitem/Partsupp"`), which is how the presets
+//! carry the exact values printed in Figures 2 and 12.
+
+use std::collections::HashMap;
+
+/// Weights for the computed affinity metrics. They must sum to at most 1 so
+/// the per-hop decay never exceeds 1 (affinity is monotone non-increasing
+/// with depth, which Section 5 relies on).
+#[derive(Clone, Copy, Debug)]
+pub struct MetricWeights {
+    /// Weight of the constant distance metric (m = 1 per hop).
+    pub distance: f64,
+    /// Weight of the schema-connectivity metric.
+    pub schema_connectivity: f64,
+    /// Weight of the data-cardinality metric.
+    pub cardinality: f64,
+}
+
+impl Default for MetricWeights {
+    fn default() -> Self {
+        MetricWeights { distance: 0.6, schema_connectivity: 0.2, cardinality: 0.2 }
+    }
+}
+
+impl MetricWeights {
+    /// Validates the weights: non-negative, summing to at most 1.
+    pub fn validate(&self) -> Result<(), String> {
+        let parts = [self.distance, self.schema_connectivity, self.cardinality];
+        if parts.iter().any(|&w| w < 0.0) {
+            return Err("affinity metric weights must be non-negative".into());
+        }
+        let sum: f64 = parts.iter().sum();
+        if sum > 1.0 + 1e-9 {
+            return Err(format!("affinity metric weights sum to {sum} > 1"));
+        }
+        Ok(())
+    }
+}
+
+/// How GDS node affinities are assigned.
+#[derive(Clone, Debug)]
+pub enum AffinityModel {
+    /// Equation 1 with the metric weights.
+    Computed(MetricWeights),
+    /// Expert-provided absolute affinities keyed by GDS path
+    /// (`"Root/Child/Grandchild"` of node labels). Paths not listed fall
+    /// back to `parent_affinity * fallback_ratio`.
+    Manual {
+        /// Path -> absolute affinity.
+        values: HashMap<String, f64>,
+        /// Decay ratio applied to nodes absent from `values`.
+        fallback_ratio: f64,
+    },
+}
+
+impl AffinityModel {
+    /// A manual model from `(path, affinity)` pairs with the given fallback.
+    pub fn manual(pairs: &[(&str, f64)], fallback_ratio: f64) -> Self {
+        AffinityModel::Manual {
+            values: pairs.iter().map(|&(p, a)| (p.to_owned(), a)).collect(),
+            fallback_ratio,
+        }
+    }
+
+    /// Inputs to one affinity evaluation, gathered by the GDS builder.
+    /// `schema_degree` is the schema-graph degree of the child relation and
+    /// `avg_fanout` the average number of child tuples per parent tuple
+    /// along the join step.
+    pub fn affinity(
+        &self,
+        path: &str,
+        parent_affinity: f64,
+        schema_degree: usize,
+        avg_fanout: f64,
+    ) -> f64 {
+        match self {
+            AffinityModel::Manual { values, fallback_ratio } => values
+                .get(path)
+                .copied()
+                .unwrap_or(parent_affinity * fallback_ratio),
+            AffinityModel::Computed(w) => {
+                let m_dist = 1.0;
+                // Highly connected relations (large schema degree) are hubs
+                // shared by many subjects -> lower specificity.
+                let m_conn = 1.0 / (1.0 + 0.2 * (schema_degree.saturating_sub(1)) as f64);
+                // Large fan-out steps dilute the association with the DS.
+                let m_card = 1.0 / (1.0 + 0.2 * (1.0 + avg_fanout).ln());
+                let ratio =
+                    w.distance * m_dist + w.schema_connectivity * m_conn + w.cardinality * m_card;
+                parent_affinity * ratio
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_weights_validate() {
+        MetricWeights::default().validate().unwrap();
+    }
+
+    #[test]
+    fn overweight_rejected() {
+        let w = MetricWeights { distance: 0.9, schema_connectivity: 0.2, cardinality: 0.2 };
+        assert!(w.validate().is_err());
+        let w = MetricWeights { distance: -0.1, schema_connectivity: 0.0, cardinality: 0.0 };
+        assert!(w.validate().is_err());
+    }
+
+    #[test]
+    fn computed_affinity_decreases_with_depth() {
+        let m = AffinityModel::Computed(MetricWeights::default());
+        let a1 = m.affinity("A/B", 1.0, 2, 3.0);
+        let a2 = m.affinity("A/B/C", a1, 2, 3.0);
+        assert!(a1 < 1.0);
+        assert!(a2 < a1);
+        assert!(a2 > 0.0);
+    }
+
+    #[test]
+    fn computed_affinity_penalizes_fanout_and_degree() {
+        let m = AffinityModel::Computed(MetricWeights::default());
+        let low_fanout = m.affinity("p", 1.0, 2, 1.0);
+        let high_fanout = m.affinity("p", 1.0, 2, 100.0);
+        assert!(high_fanout < low_fanout);
+        let low_degree = m.affinity("p", 1.0, 1, 1.0);
+        let high_degree = m.affinity("p", 1.0, 8, 1.0);
+        assert!(high_degree < low_degree);
+    }
+
+    #[test]
+    fn manual_lookup_and_fallback() {
+        let m = AffinityModel::manual(&[("Author/Paper", 0.92)], 0.5);
+        assert_eq!(m.affinity("Author/Paper", 1.0, 9, 9.0), 0.92);
+        // Unlisted path: parent * fallback.
+        assert_eq!(m.affinity("Author/Paper/Unknown", 0.92, 9, 9.0), 0.46);
+    }
+}

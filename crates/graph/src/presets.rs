@@ -1,0 +1,161 @@
+//! GDS configuration presets carrying the paper's published affinities.
+//!
+//! Figure 2 annotates the DBLP Author GDS and Figure 12 the TPC-H Customer
+//! GDS; the Paper and Supplier GDSs are described in Sections 6.2 and 6.3.
+//! These presets use [`crate::AffinityModel::Manual`] so experiments weight
+//! relations exactly as the paper did; the computed model remains available
+//! via [`crate::gds::GdsConfig::default`].
+
+use crate::affinity::AffinityModel;
+use crate::gds::GdsConfig;
+
+/// Rename map shared by the DBLP presets: the two citation-junction
+/// orientations become the paper's `PaperCites` / `PaperCitedBy`.
+fn dblp_labels() -> Vec<(String, String)> {
+    vec![
+        ("Paper[citing_id->cited_id]".into(), "PaperCites".into()),
+        ("Paper[cited_id->citing_id]".into(), "PaperCitedBy".into()),
+    ]
+}
+
+/// DBLP Author GDS (Figure 2): Author(1) → Paper(.92) →
+/// {CoAuthor(.82), PaperCites(.77), PaperCitedBy(.77), Year(.83) →
+/// Conference(.78)}.
+pub fn dblp_author_gds_config() -> GdsConfig {
+    GdsConfig {
+        affinity: AffinityModel::manual(
+            &[
+                ("Author/Paper", 0.92),
+                ("Author/Paper/CoAuthor", 0.82),
+                ("Author/Paper/PaperCites", 0.77),
+                ("Author/Paper/PaperCitedBy", 0.77),
+                ("Author/Paper/Year", 0.83),
+                ("Author/Paper/Year/Conference", 0.78),
+            ],
+            0.5,
+        ),
+        labels: dblp_labels(),
+        ..GdsConfig::default()
+    }
+}
+
+/// DBLP Paper GDS (Section 6.2): "Paper → (Author, PaperCitedBy,
+/// PaperCites, Year → (Conference))". Affinities follow the same relative
+/// weighting as the Author GDS.
+pub fn dblp_paper_gds_config() -> GdsConfig {
+    GdsConfig {
+        affinity: AffinityModel::manual(
+            &[
+                ("Paper/Author", 0.92),
+                ("Paper/PaperCites", 0.77),
+                ("Paper/PaperCitedBy", 0.77),
+                ("Paper/Year", 0.83),
+                ("Paper/Year/Conference", 0.78),
+            ],
+            0.5,
+        ),
+        labels: dblp_labels(),
+        ..GdsConfig::default()
+    }
+}
+
+/// TPC-H Customer GDS (Figure 12), including the sub-θ branch affinities
+/// the figure prints (Supplier .52 under Nation etc.); GDS(0.7) keeps
+/// exactly {Customer, Nation, Region, Orders, Lineitem, Partsupp}, as
+/// Section 2.1 states.
+pub fn tpch_customer_gds_config() -> GdsConfig {
+    GdsConfig {
+        affinity: AffinityModel::manual(
+            &[
+                ("Customer/Nation", 0.97),
+                ("Customer/Nation/Region", 0.91),
+                ("Customer/Nation/Supplier", 0.52),
+                ("Customer/Nation/Supplier/Partsupp", 0.43),
+                ("Customer/Nation/Supplier/Partsupp/Lineitem", 0.34),
+                ("Customer/Nation/Supplier/Partsupp/Part", 0.36),
+                ("Customer/Orders", 0.95),
+                ("Customer/Orders/Lineitem", 0.87),
+                ("Customer/Orders/Lineitem/Partsupp", 0.77),
+                ("Customer/Orders/Lineitem/Partsupp/Part", 0.65),
+                ("Customer/Orders/Lineitem/Partsupp/Supplier", 0.65),
+            ],
+            0.45,
+        ),
+        ..GdsConfig::default()
+    }
+}
+
+/// TPC-H Supplier GDS (used by Figures 8(d), 9(d), 10(d), 10(f)); the paper
+/// does not print its affinities, so we mirror the Customer GDS weighting:
+/// GDS(0.7) = {Supplier, Nation, Region, Partsupp, Part, Lineitem, Orders}.
+pub fn tpch_supplier_gds_config() -> GdsConfig {
+    GdsConfig {
+        affinity: AffinityModel::manual(
+            &[
+                ("Supplier/Nation", 0.97),
+                ("Supplier/Nation/Region", 0.91),
+                ("Supplier/Nation/Customer", 0.52),
+                ("Supplier/Partsupp", 0.95),
+                ("Supplier/Partsupp/Part", 0.87),
+                ("Supplier/Partsupp/Lineitem", 0.85),
+                ("Supplier/Partsupp/Lineitem/Orders", 0.75),
+                ("Supplier/Partsupp/Lineitem/Orders/Customer", 0.55),
+            ],
+            0.45,
+        ),
+        ..GdsConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gds::Gds;
+    use crate::schema_graph::SchemaGraph;
+    use sizel_datagen::{dblp, tpch};
+
+    #[test]
+    fn paper_gds_shape() {
+        let d = dblp::generate(&dblp::DblpConfig::tiny());
+        let sg = SchemaGraph::from_database(&d.db);
+        let gds = Gds::build(&d.db, &sg, &dblp_paper_gds_config(), d.paper).restrict(0.7);
+        let mut labels: Vec<&str> = gds.iter().map(|(_, n)| n.label.as_str()).collect();
+        labels.sort_unstable();
+        assert_eq!(
+            labels,
+            vec!["Author", "Conference", "Paper", "PaperCitedBy", "PaperCites", "Year"]
+        );
+    }
+
+    #[test]
+    fn supplier_gds_theta_07() {
+        let t = tpch::generate(&tpch::TpchConfig::tiny());
+        let sg = SchemaGraph::from_database(&t.db);
+        let gds = Gds::build(&t.db, &sg, &tpch_supplier_gds_config(), t.supplier).restrict(0.7);
+        let mut labels: Vec<&str> = gds.iter().map(|(_, n)| n.label.as_str()).collect();
+        labels.sort_unstable();
+        assert_eq!(
+            labels,
+            vec!["Lineitem", "Nation", "Orders", "Part", "Partsupp", "Region", "Supplier"]
+        );
+    }
+
+    #[test]
+    fn customer_full_gds_contains_both_partsupp_replicas() {
+        let t = tpch::generate(&tpch::TpchConfig::tiny());
+        let sg = SchemaGraph::from_database(&t.db);
+        let gds = Gds::build(&t.db, &sg, &tpch_customer_gds_config(), t.customer);
+        let ps_paths: Vec<&str> = gds
+            .iter()
+            .filter(|(_, n)| n.label == "Partsupp")
+            .map(|(_, n)| n.path.as_str())
+            .collect();
+        assert!(ps_paths.contains(&"Customer/Orders/Lineitem/Partsupp"));
+        assert!(ps_paths.contains(&"Customer/Nation/Supplier/Partsupp"));
+        // Their affinities differ, as Figure 12 annotates.
+        let a = gds.find_path("Customer/Orders/Lineitem/Partsupp").unwrap();
+        let b = gds.find_path("Customer/Nation/Supplier/Partsupp").unwrap();
+        assert!((gds.node(a).affinity - 0.77).abs() < 1e-12);
+        assert!((gds.node(b).affinity - 0.43).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,175 @@
+//! The database schema as a bidirectionally-traversable graph.
+
+use sizel_storage::{Database, TableId};
+
+/// Identifies one foreign-key edge of the schema graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SchemaEdgeId(pub u16);
+
+impl SchemaEdgeId {
+    /// The edge index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Traversal direction over a foreign-key edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Along the FK: from the referencing table to the referenced table
+    /// (N:1 — at most one target per tuple).
+    Forward,
+    /// Against the FK: from the referenced table to its referencing tuples
+    /// (1:N).
+    Backward,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::Forward => Direction::Backward,
+            Direction::Backward => Direction::Forward,
+        }
+    }
+}
+
+/// One foreign-key edge: `from.fk_col` references `to`'s primary key.
+#[derive(Clone, Debug)]
+pub struct SchemaEdge {
+    /// This edge's id.
+    pub id: SchemaEdgeId,
+    /// Referencing table (holds the FK column).
+    pub from: TableId,
+    /// The FK column index within `from`.
+    pub fk_col: usize,
+    /// Referenced table.
+    pub to: TableId,
+}
+
+impl SchemaEdge {
+    /// The table a step over this edge in `dir` arrives at.
+    pub fn target(&self, dir: Direction) -> TableId {
+        match dir {
+            Direction::Forward => self.to,
+            Direction::Backward => self.from,
+        }
+    }
+
+    /// The table a step over this edge in `dir` departs from.
+    pub fn source(&self, dir: Direction) -> TableId {
+        match dir {
+            Direction::Forward => self.from,
+            Direction::Backward => self.to,
+        }
+    }
+}
+
+/// The schema graph: relations as nodes, FKs as edges, with per-table
+/// adjacency lists of `(edge, direction)` steps.
+#[derive(Debug)]
+pub struct SchemaGraph {
+    edges: Vec<SchemaEdge>,
+    /// `steps[t]` = traversal steps available from table `t`.
+    steps: Vec<Vec<(SchemaEdgeId, Direction)>>,
+}
+
+impl SchemaGraph {
+    /// Derives the schema graph from a database's FK declarations.
+    pub fn from_database(db: &Database) -> Self {
+        let n = db.table_count();
+        let mut edges = Vec::new();
+        let mut steps = vec![Vec::new(); n];
+        for (tid, table) in db.tables() {
+            for fk in &table.schema.fks {
+                let to = db
+                    .table_id(&fk.ref_table)
+                    .expect("FK targets are validated when tables are created");
+                let id = SchemaEdgeId(edges.len() as u16);
+                edges.push(SchemaEdge { id, from: tid, fk_col: fk.column, to });
+                steps[tid.index()].push((id, Direction::Forward));
+                steps[to.index()].push((id, Direction::Backward));
+            }
+        }
+        SchemaGraph { edges, steps }
+    }
+
+    /// The edge with the given id.
+    pub fn edge(&self, id: SchemaEdgeId) -> &SchemaEdge {
+        &self.edges[id.index()]
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[SchemaEdge] {
+        &self.edges
+    }
+
+    /// Steps available from `table`.
+    pub fn steps_from(&self, table: TableId) -> &[(SchemaEdgeId, Direction)] {
+        &self.steps[table.index()]
+    }
+
+    /// Schema-graph degree of a table (number of incident FK endpoints).
+    pub fn degree(&self, table: TableId) -> usize {
+        self.steps[table.index()].len()
+    }
+
+    /// FK edges *of* a junction table (its outgoing FKs), in declaration
+    /// order. Junctions have exactly two by schema validation.
+    pub fn junction_edges(&self, junction: TableId) -> Vec<SchemaEdgeId> {
+        self.edges.iter().filter(|e| e.from == junction).map(|e| e.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sizel_datagen::dblp::{generate, DblpConfig};
+
+    #[test]
+    fn dblp_schema_graph_shape() {
+        let d = generate(&DblpConfig::tiny());
+        let sg = SchemaGraph::from_database(&d.db);
+        // FK edges: Year->Conference, Paper->Year, AuthorPaper->{Author,Paper},
+        // Citation->{Paper,Paper} = 6 edges.
+        assert_eq!(sg.edges().len(), 6);
+        // Paper is referenced by AuthorPaper and Citation (twice) and
+        // references Year: degree 5 (1 fwd + 4 bwd... AuthorPaper.paper_id,
+        // Citation.citing_id, Citation.cited_id, plus its own FK to Year).
+        assert_eq!(sg.degree(d.paper), 4);
+        assert_eq!(sg.degree(d.conference), 1);
+    }
+
+    #[test]
+    fn steps_are_consistent_with_edges() {
+        let d = generate(&DblpConfig::tiny());
+        let sg = SchemaGraph::from_database(&d.db);
+        for (eid, dir) in sg.steps_from(d.paper) {
+            let e = sg.edge(*eid);
+            assert_eq!(e.source(*dir), d.paper);
+            // Target must differ from source except for self-referencing
+            // tables (none among direct FKs here: citation is a junction).
+            assert_ne!(e.target(*dir), d.paper);
+        }
+    }
+
+    #[test]
+    fn junction_edges_found_in_order() {
+        let d = generate(&DblpConfig::tiny());
+        let sg = SchemaGraph::from_database(&d.db);
+        let je = sg.junction_edges(d.author_paper);
+        assert_eq!(je.len(), 2);
+        assert_eq!(sg.edge(je[0]).to, d.author, "author_id declared first");
+        assert_eq!(sg.edge(je[1]).to, d.paper);
+        let jc = sg.junction_edges(d.citation);
+        assert_eq!(jc.len(), 2);
+        assert_eq!(sg.edge(jc[0]).to, d.paper);
+        assert_eq!(sg.edge(jc[1]).to, d.paper);
+    }
+
+    #[test]
+    fn direction_flip() {
+        assert_eq!(Direction::Forward.flip(), Direction::Backward);
+        assert_eq!(Direction::Backward.flip(), Direction::Forward);
+    }
+}

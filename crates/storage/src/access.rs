@@ -1,0 +1,92 @@
+//! Join/tuple access instrumentation.
+//!
+//! The paper's cost discussion (Sections 5.3 and 6.3) counts *I/O accesses*:
+//! one per `Ri(tj)` join probe, "even when it returns no results". The
+//! counters are atomics so read-only query paths (`&Database`) can record
+//! accesses and fixtures can be shared across test threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts join probes and tuples materialized by the query layer.
+#[derive(Debug, Default)]
+pub struct AccessCounter {
+    joins: AtomicU64,
+    tuples: AtomicU64,
+}
+
+/// An immutable snapshot of the counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Number of `Ri(tj)` join probes issued.
+    pub joins: u64,
+    /// Number of tuples returned by those probes.
+    pub tuples: u64,
+}
+
+impl AccessStats {
+    /// Component-wise difference (`self` must be the later snapshot).
+    pub fn since(self, earlier: AccessStats) -> AccessStats {
+        AccessStats { joins: self.joins - earlier.joins, tuples: self.tuples - earlier.tuples }
+    }
+}
+
+impl AccessCounter {
+    /// Records one join probe returning `tuples` rows.
+    pub fn record_join(&self, tuples: usize) {
+        self.joins.fetch_add(1, Ordering::Relaxed);
+        self.tuples.fetch_add(tuples as u64, Ordering::Relaxed);
+    }
+
+    /// Current counter values.
+    pub fn snapshot(&self) -> AccessStats {
+        AccessStats {
+            joins: self.joins.load(Ordering::Relaxed),
+            tuples: self.tuples.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets both counters to zero.
+    pub fn reset(&self) {
+        self.joins.store(0, Ordering::Relaxed);
+        self.tuples.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots() {
+        let c = AccessCounter::default();
+        c.record_join(5);
+        c.record_join(0); // empty result still counts as one access
+        let s = c.snapshot();
+        assert_eq!(s, AccessStats { joins: 2, tuples: 5 });
+    }
+
+    #[test]
+    fn since_computes_delta() {
+        let c = AccessCounter::default();
+        c.record_join(3);
+        let before = c.snapshot();
+        c.record_join(4);
+        c.record_join(1);
+        let delta = c.snapshot().since(before);
+        assert_eq!(delta, AccessStats { joins: 2, tuples: 5 });
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let c = AccessCounter::default();
+        c.record_join(3);
+        c.reset();
+        assert_eq!(c.snapshot(), AccessStats::default());
+    }
+
+    #[test]
+    fn counter_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<AccessCounter>();
+    }
+}

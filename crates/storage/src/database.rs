@@ -1,0 +1,289 @@
+//! The catalog: named tables, FK validation, and the query forms used by
+//! the OS-generation algorithms.
+
+use std::collections::HashMap;
+
+use crate::access::AccessCounter;
+use crate::error::StorageError;
+use crate::schema::TableSchema;
+use crate::table::{RowId, Table};
+use crate::value::Value;
+use crate::Result;
+
+/// A table identifier (dense index into the catalog).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u16);
+
+impl TableId {
+    /// The table index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A reference to one tuple anywhere in the database.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleRef {
+    /// The containing table.
+    pub table: TableId,
+    /// The row within that table.
+    pub row: RowId,
+}
+
+impl TupleRef {
+    /// Convenience constructor.
+    pub fn new(table: TableId, row: RowId) -> Self {
+        TupleRef { table, row }
+    }
+}
+
+/// An in-memory relational database: a catalog of [`Table`]s plus an
+/// [`AccessCounter`] shared by all query paths.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: Vec<Table>,
+    by_name: HashMap<String, TableId>,
+    access: AccessCounter,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Registers a table; names must be unique.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<TableId> {
+        if self.by_name.contains_key(&schema.name) {
+            return Err(StorageError::BadSchema(format!("table `{}` already exists", schema.name)));
+        }
+        let id = TableId(self.tables.len() as u16);
+        self.by_name.insert(schema.name.clone(), id);
+        self.tables.push(Table::new(schema));
+        Ok(id)
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// The table with the given id.
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.index()]
+    }
+
+    /// Mutable access to a table (used by generators).
+    pub fn table_mut(&mut self, id: TableId) -> &mut Table {
+        &mut self.tables[id.index()]
+    }
+
+    /// Looks a table up by name.
+    pub fn table_id(&self, name: &str) -> Result<TableId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
+    }
+
+    /// Iterates `(TableId, &Table)` over the catalog.
+    pub fn tables(&self) -> impl Iterator<Item = (TableId, &Table)> {
+        self.tables.iter().enumerate().map(|(i, t)| (TableId(i as u16), t))
+    }
+
+    /// Inserts a row into a named table.
+    pub fn insert(&mut self, table: &str, values: Vec<Value>) -> Result<RowId> {
+        let id = self.table_id(table)?;
+        self.tables[id.index()].insert(values)
+    }
+
+    /// Total number of tuples across all tables (the paper reports
+    /// 2,959,511 for DBLP and 8,661,245 for TPC-H SF-1).
+    pub fn total_tuples(&self) -> usize {
+        self.tables.iter().map(|t| t.len()).sum()
+    }
+
+    /// The shared access counter.
+    pub fn access(&self) -> &AccessCounter {
+        &self.access
+    }
+
+    /// The value of a tuple's column.
+    pub fn value(&self, t: TupleRef, col: usize) -> &Value {
+        self.table(t.table).value(t.row, col)
+    }
+
+    /// Validates that every non-NULL FK value references an existing row.
+    /// Returns the number of FK values checked.
+    pub fn validate_foreign_keys(&self) -> Result<usize> {
+        let mut checked = 0;
+        for table in &self.tables {
+            for fk in &table.schema.fks {
+                let target_id = self.table_id(&fk.ref_table)?;
+                let target = self.table(target_id);
+                for (_, row) in table.iter() {
+                    match row[fk.column] {
+                        Value::Null => {}
+                        Value::Int(k) => {
+                            checked += 1;
+                            if target.by_pk(k).is_none() {
+                                return Err(StorageError::DanglingForeignKey {
+                                    table: table.schema.name.clone(),
+                                    column: table.schema.columns[fk.column].name.clone(),
+                                    key: k,
+                                });
+                            }
+                        }
+                        _ => {
+                            return Err(StorageError::TypeMismatch {
+                                table: table.schema.name.clone(),
+                                column: table.schema.columns[fk.column].name.clone(),
+                            })
+                        }
+                    }
+                }
+            }
+        }
+        Ok(checked)
+    }
+
+    /// `SELECT * FROM Ri WHERE Ri.col = key` — Algorithm 4 line 12 /
+    /// Algorithm 5 line 6. One counted join access.
+    pub fn select_eq(&self, table: TableId, col: usize, key: i64) -> Vec<RowId> {
+        let t = self.table(table);
+        let rows: Vec<RowId> = if col == t.schema.pk {
+            t.by_pk(key).into_iter().collect()
+        } else {
+            t.rows_where_eq(col, key).to_vec()
+        };
+        self.access.record_join(rows.len());
+        rows
+    }
+
+    /// `SELECT * TOP l FROM Ri WHERE Ri.col = key AND li(ti) > largest_l
+    /// ORDER BY li DESC` — Algorithm 4 line 10 (Avoidance Condition 2).
+    /// `li` maps a row of `table` to its local importance. One counted join
+    /// access even when the result is empty, matching the paper's cost
+    /// accounting.
+    pub fn select_eq_top_l(
+        &self,
+        table: TableId,
+        col: usize,
+        key: i64,
+        l: usize,
+        largest_l: f64,
+        li: &dyn Fn(RowId) -> f64,
+    ) -> Vec<RowId> {
+        let t = self.table(table);
+        let candidates: Vec<RowId> = if col == t.schema.pk {
+            t.by_pk(key).into_iter().collect()
+        } else {
+            t.rows_where_eq(col, key).to_vec()
+        };
+        let mut scored: Vec<(f64, RowId)> = candidates
+            .into_iter()
+            .filter_map(|r| {
+                let s = li(r);
+                (s > largest_l).then_some((s, r))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        scored.truncate(l);
+        let rows: Vec<RowId> = scored.into_iter().map(|(_, r)| r).collect();
+        self.access.record_join(rows.len());
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+    use crate::value::Value;
+
+    fn tiny_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(TableSchema::builder("Year").pk("id").column("year", crate::ValueType::Int).build().unwrap())
+            .unwrap();
+        db.create_table(
+            TableSchema::builder("Paper")
+                .pk("id")
+                .searchable_text("title")
+                .fk("year_id", "Year")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.insert("Year", vec![Value::Int(1), Value::Int(1999)]).unwrap();
+        db.insert("Paper", vec![Value::Int(10), "p1".into(), Value::Int(1)]).unwrap();
+        db.insert("Paper", vec![Value::Int(11), "p2".into(), Value::Int(1)]).unwrap();
+        db
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        let db = tiny_db();
+        let paper = db.table_id("Paper").unwrap();
+        assert_eq!(db.table(paper).schema.name, "Paper");
+        assert_eq!(db.total_tuples(), 3);
+        assert!(db.table_id("Nope").is_err());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = tiny_db();
+        let e = db.create_table(TableSchema::builder("Year").pk("id").build().unwrap());
+        assert!(matches!(e, Err(StorageError::BadSchema(_))));
+    }
+
+    #[test]
+    fn fk_validation_passes_then_catches_dangling() {
+        let mut db = tiny_db();
+        assert_eq!(db.validate_foreign_keys().unwrap(), 2);
+        db.insert("Paper", vec![Value::Int(12), "bad".into(), Value::Int(99)]).unwrap();
+        assert!(matches!(
+            db.validate_foreign_keys(),
+            Err(StorageError::DanglingForeignKey { key: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn select_eq_counts_accesses() {
+        let db = tiny_db();
+        let paper = db.table_id("Paper").unwrap();
+        let fk_col = db.table(paper).schema.column_index("year_id").unwrap();
+        let before = db.access().snapshot();
+        let rows = db.select_eq(paper, fk_col, 1);
+        assert_eq!(rows.len(), 2);
+        let delta = db.access().snapshot().since(before);
+        assert_eq!(delta.joins, 1);
+        assert_eq!(delta.tuples, 2);
+        // Empty probe still counts one join.
+        db.select_eq(paper, fk_col, 42);
+        assert_eq!(db.access().snapshot().since(before).joins, 2);
+    }
+
+    #[test]
+    fn select_eq_on_pk_column() {
+        let db = tiny_db();
+        let paper = db.table_id("Paper").unwrap();
+        let rows = db.select_eq(paper, 0, 11);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(db.table(paper).pk_of(rows[0]), 11);
+    }
+
+    #[test]
+    fn select_top_l_filters_and_orders() {
+        let db = tiny_db();
+        let paper = db.table_id("Paper").unwrap();
+        let fk_col = db.table(paper).schema.column_index("year_id").unwrap();
+        // Importance: pk 10 -> 1.0, pk 11 -> 5.0
+        let li = |r: RowId| if db.table(paper).pk_of(r) == 10 { 1.0 } else { 5.0 };
+        let rows = db.select_eq_top_l(paper, fk_col, 1, 1, 0.0, &li);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(db.table(paper).pk_of(rows[0]), 11, "highest importance first");
+        // threshold excludes everything
+        let rows = db.select_eq_top_l(paper, fk_col, 1, 10, 100.0, &li);
+        assert!(rows.is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! In-memory relational engine substrate.
+//!
+//! The paper runs on MySQL; under the offline-crate constraint we implement
+//! the small relational core its algorithms actually exercise:
+//!
+//! * typed tuples ([`value::Value`]) and table schemas with single-column
+//!   integer primary keys and foreign keys ([`schema`]),
+//! * tables with hash indexes on the primary key and on every foreign-key
+//!   column ([`table::Table`]), built incrementally on insert,
+//! * a catalog ([`database::Database`]) with foreign-key validation and the
+//!   two query forms Algorithm 4 issues as SQL
+//!   (`SELECT * FROM Ri WHERE tj.ID = Ri.ID` and
+//!   `SELECT * TOP l FROM Ri WHERE tj.ID = Ri.ID AND Ri.li > largest-l`),
+//! * an access counter ([`access::AccessCounter`]) that counts join probes
+//!   and tuples read, the cost unit of the paper's Section 5.3/6.3
+//!   discussion ("Avoidance Condition 2 still requires an I/O access even
+//!   when it returns no results").
+
+pub mod access;
+pub mod database;
+pub mod error;
+pub mod schema;
+pub mod table;
+pub mod text;
+pub mod value;
+
+pub use access::{AccessCounter, AccessStats};
+pub use database::{Database, TableId, TupleRef};
+pub use error::StorageError;
+pub use schema::{Column, ForeignKey, SchemaBuilder, TableSchema};
+pub use table::{RowId, Table};
+pub use value::{Value, ValueType};
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,260 @@
+//! Table schemas: columns, primary keys, foreign keys.
+
+use crate::error::StorageError;
+use crate::value::ValueType;
+use crate::Result;
+
+/// A column definition.
+#[derive(Clone, Debug)]
+pub struct Column {
+    /// Column name, unique within its table.
+    pub name: String,
+    /// Declared type.
+    pub ty: ValueType,
+    /// Whether the keyword index should cover this column (attribute-level
+    /// affinity: the paper's θ' selects which attributes participate; we
+    /// expose that choice as schema flags).
+    pub searchable: bool,
+    /// Whether the column appears when a tuple is rendered inside an OS.
+    pub display: bool,
+}
+
+/// A foreign-key constraint: `column` of this table references the primary
+/// key of `ref_table`. Keys are always single-column `Int`s.
+#[derive(Clone, Debug)]
+pub struct ForeignKey {
+    /// Index of the referencing column in this table.
+    pub column: usize,
+    /// Name of the referenced table (resolved against the catalog).
+    pub ref_table: String,
+}
+
+/// A table schema.
+#[derive(Clone, Debug)]
+pub struct TableSchema {
+    /// Table name, unique within the database.
+    pub name: String,
+    /// Column definitions in declaration order.
+    pub columns: Vec<Column>,
+    /// Index of the primary-key column (must be `Int`).
+    pub pk: usize,
+    /// Foreign keys declared on this table.
+    pub fks: Vec<ForeignKey>,
+    /// True for pure junction tables (two FKs realizing an M:N link). The
+    /// GDS treealization collapses junctions into single M:N steps, exactly
+    /// as the paper's Author—Paper and Paper—Paper(citation) links.
+    pub is_junction: bool,
+}
+
+impl TableSchema {
+    /// Starts a builder for a table with the given name.
+    pub fn builder(name: &str) -> SchemaBuilder {
+        SchemaBuilder {
+            name: name.to_owned(),
+            columns: Vec::new(),
+            pk: None,
+            fks: Vec::new(),
+            is_junction: false,
+        }
+    }
+
+    /// Looks up a column index by name.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| StorageError::UnknownColumn {
+                table: self.name.clone(),
+                column: name.to_owned(),
+            })
+    }
+
+    /// The column definition at `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Indices of columns flagged `searchable`.
+    pub fn searchable_columns(&self) -> impl Iterator<Item = usize> + '_ {
+        self.columns.iter().enumerate().filter(|(_, c)| c.searchable).map(|(i, _)| i)
+    }
+
+    /// Indices of columns flagged `display`.
+    pub fn display_columns(&self) -> impl Iterator<Item = usize> + '_ {
+        self.columns.iter().enumerate().filter(|(_, c)| c.display).map(|(i, _)| i)
+    }
+}
+
+/// Fluent builder for [`TableSchema`].
+#[derive(Debug)]
+pub struct SchemaBuilder {
+    name: String,
+    columns: Vec<Column>,
+    pk: Option<usize>,
+    fks: Vec<ForeignKey>,
+    is_junction: bool,
+}
+
+impl SchemaBuilder {
+    /// Adds the integer primary-key column (conventionally first).
+    pub fn pk(mut self, name: &str) -> Self {
+        assert!(self.pk.is_none(), "primary key declared twice on {}", self.name);
+        self.pk = Some(self.columns.len());
+        self.columns.push(Column {
+            name: name.to_owned(),
+            ty: ValueType::Int,
+            searchable: false,
+            display: false,
+        });
+        self
+    }
+
+    /// Adds a plain column.
+    pub fn column(mut self, name: &str, ty: ValueType) -> Self {
+        self.columns.push(Column { name: name.to_owned(), ty, searchable: false, display: true });
+        self
+    }
+
+    /// Adds a text column included in the keyword index and in rendering.
+    pub fn searchable_text(mut self, name: &str) -> Self {
+        self.columns.push(Column {
+            name: name.to_owned(),
+            ty: ValueType::Text,
+            searchable: true,
+            display: true,
+        });
+        self
+    }
+
+    /// Adds a column excluded from rendering (the paper's θ' exclusion, e.g.
+    /// `Partsupp.comment` in a Customer OS).
+    pub fn hidden_column(mut self, name: &str, ty: ValueType) -> Self {
+        self.columns.push(Column { name: name.to_owned(), ty, searchable: false, display: false });
+        self
+    }
+
+    /// Adds an integer foreign-key column referencing `ref_table`'s PK.
+    pub fn fk(mut self, name: &str, ref_table: &str) -> Self {
+        let column = self.columns.len();
+        self.columns.push(Column {
+            name: name.to_owned(),
+            ty: ValueType::Int,
+            searchable: false,
+            display: false,
+        });
+        self.fks.push(ForeignKey { column, ref_table: ref_table.to_owned() });
+        self
+    }
+
+    /// Marks the table as a pure M:N junction.
+    pub fn junction(mut self) -> Self {
+        self.is_junction = true;
+        self
+    }
+
+    /// Finalizes the schema, validating structural invariants.
+    pub fn build(self) -> Result<TableSchema> {
+        let pk = self
+            .pk
+            .ok_or_else(|| StorageError::BadSchema(format!("table {} has no primary key", self.name)))?;
+        let mut seen = std::collections::HashSet::new();
+        for c in &self.columns {
+            if !seen.insert(c.name.as_str()) {
+                return Err(StorageError::BadSchema(format!(
+                    "duplicate column `{}` in table {}",
+                    c.name, self.name
+                )));
+            }
+        }
+        for fk in &self.fks {
+            if self.columns[fk.column].ty != ValueType::Int {
+                return Err(StorageError::BadSchema(format!(
+                    "foreign key `{}.{}` must be Int",
+                    self.name, self.columns[fk.column].name
+                )));
+            }
+        }
+        if self.is_junction && self.fks.len() != 2 {
+            return Err(StorageError::BadSchema(format!(
+                "junction table {} must have exactly 2 foreign keys, has {}",
+                self.name,
+                self.fks.len()
+            )));
+        }
+        Ok(TableSchema {
+            name: self.name,
+            columns: self.columns,
+            pk,
+            fks: self.fks,
+            is_junction: self.is_junction,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_schema() -> TableSchema {
+        TableSchema::builder("Paper")
+            .pk("id")
+            .searchable_text("title")
+            .fk("year_id", "Year")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_expected_layout() {
+        let s = paper_schema();
+        assert_eq!(s.name, "Paper");
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.pk, 0);
+        assert_eq!(s.fks.len(), 1);
+        assert_eq!(s.fks[0].column, 2);
+        assert_eq!(s.fks[0].ref_table, "Year");
+    }
+
+    #[test]
+    fn column_lookup() {
+        let s = paper_schema();
+        assert_eq!(s.column_index("title").unwrap(), 1);
+        assert!(matches!(
+            s.column_index("nope"),
+            Err(StorageError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn searchable_and_display_flags() {
+        let s = paper_schema();
+        assert_eq!(s.searchable_columns().collect::<Vec<_>>(), vec![1]);
+        // pk and fk columns are not displayed; title is.
+        assert_eq!(s.display_columns().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn missing_pk_is_rejected() {
+        let e = TableSchema::builder("X").column("a", ValueType::Int).build();
+        assert!(matches!(e, Err(StorageError::BadSchema(_))));
+    }
+
+    #[test]
+    fn duplicate_column_is_rejected() {
+        let e = TableSchema::builder("X").pk("id").column("id", ValueType::Int).build();
+        assert!(matches!(e, Err(StorageError::BadSchema(_))));
+    }
+
+    #[test]
+    fn junction_requires_two_fks() {
+        let e = TableSchema::builder("J").pk("id").fk("a", "A").junction().build();
+        assert!(matches!(e, Err(StorageError::BadSchema(_))));
+        let ok = TableSchema::builder("J").pk("id").fk("a", "A").fk("b", "B").junction().build();
+        assert!(ok.is_ok());
+    }
+}

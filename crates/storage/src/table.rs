@@ -1,0 +1,237 @@
+//! Tables: row storage plus hash indexes on the PK and on FK columns.
+
+use std::collections::HashMap;
+
+use crate::error::StorageError;
+use crate::schema::TableSchema;
+use crate::value::Value;
+use crate::Result;
+
+/// A row identifier within one table (dense, insertion-ordered).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub u32);
+
+impl RowId {
+    /// The row index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One stored row. `Box<[Value]>` keeps the per-row footprint at two words.
+pub type Row = Box<[Value]>;
+
+/// A table: schema, rows, and hash indexes.
+///
+/// Indexes are maintained incrementally on insert:
+/// * a unique index on the primary key,
+/// * a multi-index on every foreign-key column (these serve the
+///   `WHERE tj.ID = Ri.ID` joins of Algorithms 4 and 5).
+#[derive(Debug)]
+pub struct Table {
+    /// The table's schema.
+    pub schema: TableSchema,
+    rows: Vec<Row>,
+    pk_index: HashMap<i64, RowId>,
+    /// column index -> (key -> row ids)
+    fk_indexes: HashMap<usize, HashMap<i64, Vec<RowId>>>,
+}
+
+impl Table {
+    /// Creates an empty table for the schema.
+    pub fn new(schema: TableSchema) -> Self {
+        let fk_indexes = schema.fks.iter().map(|fk| (fk.column, HashMap::new())).collect();
+        Table { schema, rows: Vec::new(), pk_index: HashMap::new(), fk_indexes }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts a row, validating arity, types, and PK uniqueness.
+    /// FK existence is validated at the database level (see
+    /// [`crate::Database::validate_foreign_keys`]), since it needs the
+    /// catalog.
+    pub fn insert(&mut self, values: Vec<Value>) -> Result<RowId> {
+        if values.len() != self.schema.arity() {
+            return Err(StorageError::Arity {
+                table: self.schema.name.clone(),
+                expected: self.schema.arity(),
+                got: values.len(),
+            });
+        }
+        for (i, v) in values.iter().enumerate() {
+            if !v.matches(self.schema.columns[i].ty) {
+                return Err(StorageError::TypeMismatch {
+                    table: self.schema.name.clone(),
+                    column: self.schema.columns[i].name.clone(),
+                });
+            }
+        }
+        let pk = values[self.schema.pk]
+            .as_int()
+            .ok_or_else(|| StorageError::BadPrimaryKey { table: self.schema.name.clone() })?;
+        let id = RowId(self.rows.len() as u32);
+        if let Some(old) = self.pk_index.insert(pk, id) {
+            self.pk_index.insert(pk, old);
+            return Err(StorageError::DuplicateKey { table: self.schema.name.clone(), key: pk });
+        }
+        for (&col, index) in self.fk_indexes.iter_mut() {
+            if let Some(k) = values[col].as_int() {
+                index.entry(k).or_default().push(id);
+            }
+        }
+        self.rows.push(values.into_boxed_slice());
+        Ok(id)
+    }
+
+    /// The row with the given id. Panics on out-of-range ids (they can only
+    /// be produced by this table).
+    pub fn row(&self, id: RowId) -> &Row {
+        &self.rows[id.index()]
+    }
+
+    /// A single value of a row.
+    pub fn value(&self, id: RowId, col: usize) -> &Value {
+        &self.rows[id.index()][col]
+    }
+
+    /// The primary-key value of a row.
+    pub fn pk_of(&self, id: RowId) -> i64 {
+        self.rows[id.index()][self.schema.pk]
+            .as_int()
+            .expect("primary keys are validated on insert")
+    }
+
+    /// Point lookup by primary key.
+    pub fn by_pk(&self, key: i64) -> Option<RowId> {
+        self.pk_index.get(&key).copied()
+    }
+
+    /// Rows whose indexed column `col` equals `key`. Only FK columns are
+    /// indexed; calling this on a non-indexed column is a logic error.
+    pub fn rows_where_eq(&self, col: usize, key: i64) -> &[RowId] {
+        static EMPTY: [RowId; 0] = [];
+        match self.fk_indexes.get(&col) {
+            Some(idx) => idx.get(&key).map(|v| v.as_slice()).unwrap_or(&EMPTY),
+            None => panic!(
+                "column {} of `{}` is not FK-indexed",
+                self.schema.columns[col].name, self.schema.name
+            ),
+        }
+    }
+
+    /// True when `col` carries an FK index.
+    pub fn is_indexed(&self, col: usize) -> bool {
+        self.fk_indexes.contains_key(&col)
+    }
+
+    /// Iterates over `(RowId, &Row)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.rows.iter().enumerate().map(|(i, r)| (RowId(i as u32), r))
+    }
+
+    /// Average fan-out of the FK index on `col`: rows / distinct keys.
+    /// Used by the computed affinity model's cardinality metric.
+    pub fn avg_fanout(&self, col: usize) -> f64 {
+        match self.fk_indexes.get(&col) {
+            Some(idx) if !idx.is_empty() => {
+                let referencing: usize = idx.values().map(|v| v.len()).sum();
+                referencing as f64 / idx.len() as f64
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+    use crate::value::Value;
+
+    fn make_table() -> Table {
+        let schema = TableSchema::builder("Paper")
+            .pk("id")
+            .searchable_text("title")
+            .fk("year_id", "Year")
+            .build()
+            .unwrap();
+        Table::new(schema)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut t = make_table();
+        let r0 = t.insert(vec![Value::Int(10), "a title".into(), Value::Int(5)]).unwrap();
+        let r1 = t.insert(vec![Value::Int(11), "another".into(), Value::Int(5)]).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.by_pk(10), Some(r0));
+        assert_eq!(t.by_pk(11), Some(r1));
+        assert_eq!(t.by_pk(12), None);
+        assert_eq!(t.pk_of(r0), 10);
+        assert_eq!(t.value(r1, 1).as_str(), Some("another"));
+    }
+
+    #[test]
+    fn fk_index_groups_rows() {
+        let mut t = make_table();
+        for (pk, y) in [(1, 5), (2, 5), (3, 6)] {
+            t.insert(vec![Value::Int(pk), "t".into(), Value::Int(y)]).unwrap();
+        }
+        assert_eq!(t.rows_where_eq(2, 5).len(), 2);
+        assert_eq!(t.rows_where_eq(2, 6).len(), 1);
+        assert_eq!(t.rows_where_eq(2, 7).len(), 0);
+        assert!(t.is_indexed(2));
+        assert!(!t.is_indexed(1));
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let mut t = make_table();
+        t.insert(vec![Value::Int(1), "x".into(), Value::Int(1)]).unwrap();
+        let e = t.insert(vec![Value::Int(1), "y".into(), Value::Int(2)]);
+        assert!(matches!(e, Err(StorageError::DuplicateKey { key: 1, .. })));
+        // The failed insert must not have left a phantom row.
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn arity_and_type_validation() {
+        let mut t = make_table();
+        assert!(matches!(
+            t.insert(vec![Value::Int(1)]),
+            Err(StorageError::Arity { expected: 3, got: 1, .. })
+        ));
+        assert!(matches!(
+            t.insert(vec![Value::Int(1), Value::Int(2), Value::Int(3)]),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            t.insert(vec![Value::from("k"), "x".into(), Value::Int(1)]),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn null_fk_is_allowed_and_unindexed() {
+        let mut t = make_table();
+        t.insert(vec![Value::Int(1), "x".into(), Value::Null]).unwrap();
+        assert_eq!(t.rows_where_eq(2, 0).len(), 0);
+    }
+
+    #[test]
+    fn avg_fanout() {
+        let mut t = make_table();
+        for (pk, y) in [(1, 5), (2, 5), (3, 5), (4, 6)] {
+            t.insert(vec![Value::Int(pk), "t".into(), Value::Int(y)]).unwrap();
+        }
+        assert!((t.avg_fanout(2) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,58 @@
+//! Text tokenization shared by the keyword index and the generators.
+
+/// Tokenizes text for keyword matching: lowercased maximal runs of
+/// alphanumeric characters. `"Power-law (Internet)"` becomes
+/// `["power", "law", "internet"]`.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// True when every query keyword appears as a token of `text`.
+/// This is the per-tuple conjunctive semantics of the paper's queries
+/// (e.g. Q: "Christos Faloutsos" matches the Author tuple containing both).
+pub fn contains_all_keywords(text: &str, keywords: &[String]) -> bool {
+    let tokens = tokenize(text);
+    keywords.iter().all(|k| tokens.iter().any(|t| t == k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_splits_on_non_alnum() {
+        assert_eq!(tokenize("On Power-law Relationships"), vec!["on", "power", "law", "relationships"]);
+    }
+
+    #[test]
+    fn tokenize_lowercases_and_keeps_digits() {
+        assert_eq!(tokenize("SIGCOMM 1999"), vec!["sigcomm", "1999"]);
+    }
+
+    #[test]
+    fn tokenize_empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("--- !!").is_empty());
+    }
+
+    #[test]
+    fn conjunctive_match() {
+        let kws = vec!["christos".to_owned(), "faloutsos".to_owned()];
+        assert!(contains_all_keywords("Christos Faloutsos", &kws));
+        assert!(!contains_all_keywords("Michalis Faloutsos", &kws));
+        // substring is not a token match
+        assert!(!contains_all_keywords("Christosfaloutsos", &kws));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the relational substrate: index consistency under
+//! arbitrary insert sequences.
+
+use proptest::prelude::*;
+
+use sizel_storage::{Database, StorageError, TableSchema, Value, ValueType};
+
+fn fresh_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(TableSchema::builder("Parent").pk("id").searchable_text("name").build().unwrap())
+        .unwrap();
+    db.create_table(
+        TableSchema::builder("Child")
+            .pk("id")
+            .column("payload", ValueType::Float)
+            .fk("parent_id", "Parent")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// PK index and FK multi-index agree with a full scan after any insert
+    /// sequence (duplicate PKs rejected without corrupting state).
+    #[test]
+    fn indexes_match_full_scan(
+        parent_keys in proptest::collection::vec(0i64..20, 1..30),
+        child_rows in proptest::collection::vec((0i64..50, 0i64..20, -1e6..1e6f64), 0..60),
+    ) {
+        let mut db = fresh_db();
+        let mut inserted_parents = std::collections::HashSet::new();
+        for &k in &parent_keys {
+            let r = db.insert("Parent", vec![Value::Int(k), format!("p{k}").into()]);
+            if inserted_parents.insert(k) {
+                prop_assert!(r.is_ok());
+            } else {
+                let dup = matches!(r, Err(StorageError::DuplicateKey { .. }));
+                prop_assert!(dup);
+            }
+        }
+        let mut inserted_children = std::collections::HashSet::new();
+        let mut accepted: Vec<(i64, i64)> = Vec::new();
+        for &(ck, pk, payload) in &child_rows {
+            let r = db.insert(
+                "Child",
+                vec![Value::Int(ck), Value::Float(payload), Value::Int(pk)],
+            );
+            if inserted_children.insert(ck) {
+                prop_assert!(r.is_ok());
+                accepted.push((ck, pk));
+            } else {
+                prop_assert!(r.is_err());
+            }
+        }
+        let child = db.table_id("Child").unwrap();
+        let fk_col = db.table(child).schema.column_index("parent_id").unwrap();
+        // The FK index groups exactly the accepted rows.
+        for pk in 0i64..20 {
+            let via_index = db.table(child).rows_where_eq(fk_col, pk).len();
+            let via_scan = accepted.iter().filter(|&&(_, p)| p == pk).count();
+            prop_assert_eq!(via_index, via_scan, "fk group for parent {}", pk);
+        }
+        // Every accepted child is found by PK lookup.
+        for &(ck, _) in &accepted {
+            prop_assert!(db.table(child).by_pk(ck).is_some());
+        }
+        // FK validation: succeeds iff every referenced parent exists.
+        let all_parents_exist =
+            accepted.iter().all(|&(_, p)| inserted_parents.contains(&p));
+        prop_assert_eq!(db.validate_foreign_keys().is_ok(), all_parents_exist);
+    }
+
+    /// select_eq_top_l returns a sorted prefix of the filtered group.
+    #[test]
+    fn top_l_select_is_sorted_prefix(
+        rows in proptest::collection::vec(0.0..100.0f64, 1..40),
+        l in 1usize..10,
+        threshold in 0.0..100.0f64,
+    ) {
+        let mut db = fresh_db();
+        db.insert("Parent", vec![Value::Int(1), "p".into()]).unwrap();
+        for (i, &w) in rows.iter().enumerate() {
+            db.insert("Child", vec![Value::Int(i as i64), Value::Float(w), Value::Int(1)])
+                .unwrap();
+        }
+        let child = db.table_id("Child").unwrap();
+        let fk_col = db.table(child).schema.column_index("parent_id").unwrap();
+        let payload = db.table(child).schema.column_index("payload").unwrap();
+        let li = |r: sizel_storage::RowId| db.table(child).value(r, payload).as_f64().unwrap();
+        let got = db.select_eq_top_l(child, fk_col, 1, l, threshold, &li);
+        prop_assert!(got.len() <= l);
+        // Sorted descending, all above threshold.
+        let scores: Vec<f64> = got.iter().map(|&r| li(r)).collect();
+        for w in scores.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        prop_assert!(scores.iter().all(|&s| s > threshold));
+        // It is a true top-l: no excluded row beats the smallest included.
+        if got.len() == l {
+            let floor = scores.last().copied().unwrap();
+            let better = rows.iter().filter(|&&w| w > floor).count();
+            prop_assert!(better < l + 1, "more than l rows strictly above the floor");
+        } else {
+            // Fewer than l returned: everything above threshold is included.
+            let above = rows.iter().filter(|&&w| w > threshold).count();
+            prop_assert_eq!(got.len(), above);
+        }
+    }
+}

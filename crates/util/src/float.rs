@@ -1,0 +1,92 @@
+//! Total-order `f64` wrapper for use as sort and priority-queue keys.
+
+use std::cmp::Ordering;
+
+/// An `f64` with a total order (IEEE-754 `totalOrder` via `f64::total_cmp`).
+///
+/// Importance scores in this workspace are finite and non-negative, but the
+/// wrapper is safe for any input: NaNs order after +inf, and -0.0 < +0.0.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct F64Ord(pub f64);
+
+impl F64Ord {
+    /// The wrapped value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for F64Ord {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+
+impl Eq for F64Ord {}
+
+impl PartialOrd for F64Ord {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for F64Ord {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for F64Ord {
+    fn from(v: f64) -> Self {
+        F64Ord(v)
+    }
+}
+
+/// Compares two floats for "approximately equal" with a relative tolerance,
+/// falling back to an absolute tolerance near zero. Used pervasively in
+/// tests that compare importance sums computed along different paths.
+pub fn approx_eq(a: f64, b: f64, rel: f64) -> bool {
+    let diff = (a - b).abs();
+    let scale = a.abs().max(b.abs());
+    diff <= (rel * scale).max(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn orders_like_floats() {
+        assert!(F64Ord(1.0) < F64Ord(2.0));
+        assert!(F64Ord(-1.0) < F64Ord(0.0));
+        assert_eq!(F64Ord(3.5), F64Ord(3.5));
+    }
+
+    #[test]
+    fn nan_sorts_last() {
+        let mut v = [F64Ord(f64::NAN), F64Ord(1.0), F64Ord(f64::INFINITY)];
+        v.sort();
+        assert_eq!(v[0].get(), 1.0);
+        assert!(v[1].get().is_infinite());
+        assert!(v[2].get().is_nan());
+    }
+
+    #[test]
+    fn works_in_binary_heap() {
+        let mut heap = BinaryHeap::new();
+        for w in [3.0, 1.0, 2.0] {
+            heap.push(F64Ord(w));
+        }
+        assert_eq!(heap.pop().unwrap().get(), 3.0);
+        assert_eq!(heap.pop().unwrap().get(), 2.0);
+        assert_eq!(heap.pop().unwrap().get(), 1.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_relative_error() {
+        assert!(approx_eq(100.0, 100.0 + 1e-9, 1e-9));
+        assert!(!approx_eq(100.0, 101.0, 1e-9));
+        assert!(approx_eq(0.0, 1e-12, 1e-6));
+    }
+}

@@ -1,0 +1,23 @@
+//! Shared utilities for the `sizel` workspace.
+//!
+//! This crate deliberately has no external dependencies so that every other
+//! crate in the workspace can rely on it without pulling anything in. It
+//! provides:
+//!
+//! * [`prng`] — a deterministic, seedable PRNG (SplitMix64 seeding feeding a
+//!   xoshiro256★★ stream) with the distributions the workload generators and
+//!   the synthetic evaluator panel need (uniform ints/floats, normal,
+//!   Zipfian). Data generation must be bit-reproducible across platforms and
+//!   crate versions for the experiment tables in `EXPERIMENTS.md` to be
+//!   comparable, which is why we do not use an external RNG crate here.
+//! * [`float`] — a total-order wrapper for `f64` so scores can be used as
+//!   priority-queue keys.
+//! * [`timer`] — a tiny wall-clock stopwatch used by the benchmark harness.
+
+pub mod float;
+pub mod prng;
+pub mod timer;
+
+pub use float::F64Ord;
+pub use prng::Prng;
+pub use timer::Stopwatch;

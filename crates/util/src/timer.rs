@@ -1,0 +1,92 @@
+//! Wall-clock stopwatch used by the benchmark harness.
+
+use std::time::{Duration, Instant};
+
+/// A stopwatch that accumulates elapsed time across start/stop cycles.
+///
+/// The `repro` harness uses this to split query cost into the same two parts
+/// the paper's Figure 10(f) reports: OS generation vs. size-l computation.
+#[derive(Debug)]
+pub struct Stopwatch {
+    accumulated: Duration,
+    started: Option<Instant>,
+}
+
+impl Stopwatch {
+    /// A fresh, stopped stopwatch with zero accumulated time.
+    pub fn new() -> Self {
+        Stopwatch { accumulated: Duration::ZERO, started: None }
+    }
+
+    /// Starts (or restarts) timing; a no-op if already running.
+    pub fn start(&mut self) {
+        if self.started.is_none() {
+            self.started = Some(Instant::now());
+        }
+    }
+
+    /// Stops timing and folds the elapsed interval into the total.
+    pub fn stop(&mut self) {
+        if let Some(t0) = self.started.take() {
+            self.accumulated += t0.elapsed();
+        }
+    }
+
+    /// Total accumulated time (including the running interval, if any).
+    pub fn elapsed(&self) -> Duration {
+        match self.started {
+            Some(t0) => self.accumulated + t0.elapsed(),
+            None => self.accumulated,
+        }
+    }
+
+    /// Times a closure and returns its result together with the duration.
+    pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+        let t0 = Instant::now();
+        let out = f();
+        (out, t0.elapsed())
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Formats a duration in seconds with millisecond resolution, matching the
+/// units of the paper's timing figures.
+pub fn fmt_secs(d: Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_across_cycles() {
+        let mut sw = Stopwatch::new();
+        sw.start();
+        std::thread::sleep(Duration::from_millis(5));
+        sw.stop();
+        let first = sw.elapsed();
+        assert!(first >= Duration::from_millis(4));
+        sw.start();
+        std::thread::sleep(Duration::from_millis(5));
+        sw.stop();
+        assert!(sw.elapsed() > first);
+    }
+
+    #[test]
+    fn time_closure_returns_value() {
+        let (v, d) = Stopwatch::time(|| 40 + 2);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn fmt_secs_format() {
+        assert_eq!(fmt_secs(Duration::from_millis(1500)), "1.500s");
+    }
+}
