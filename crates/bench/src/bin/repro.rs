@@ -23,12 +23,26 @@ const USAGE: &str = "usage: repro <all|fig8|fig9|fig10|fig10e|fig10f|show-gds|sh
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let commands: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let commands: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     let command = *commands.first().unwrap_or(&"all");
 
     let known = [
-        "all", "fig8", "fig9", "fig10", "fig10e", "fig10f", "show-gds", "show-ga", "example45",
-        "snippet-baseline", "datagraph-stats", "ablations", "calibrate", "consecutive", "wordbudget",
+        "all",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig10e",
+        "fig10f",
+        "show-gds",
+        "show-ga",
+        "example45",
+        "snippet-baseline",
+        "datagraph-stats",
+        "ablations",
+        "calibrate",
+        "consecutive",
+        "wordbudget",
     ];
     if !known.contains(&command) {
         eprintln!("unknown subcommand `{command}`\n{USAGE}");

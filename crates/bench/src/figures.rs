@@ -74,7 +74,8 @@ pub fn fig8(bench: &Bench) -> String {
         n_evaluators: if bench.quick { 4 } else { 8 },
         ..EvaluatorPanel::default()
     };
-    let mut out = String::from("## Figure 8 — Effectiveness (recall = precision), optimal size-l OS\n\n");
+    let mut out =
+        String::from("## Figure 8 — Effectiveness (recall = precision), optimal size-l OS\n\n");
     for kind in GdsKind::ALL {
         let samples = bench.samples(kind, n_samples(bench));
         let mut rows = Vec::new();
@@ -85,7 +86,8 @@ pub fn fig8(bench: &Bench) -> String {
                 let mut count = 0usize;
                 for &tds in &samples {
                     let ref_ctx = bench.ctx(kind, 0);
-                    let ref_os = generate_os(&ref_ctx, tds, Some(l as u32 - 1), OsSource::DataGraph);
+                    let ref_os =
+                        generate_os(&ref_ctx, tds, Some(l as u32 - 1), OsSource::DataGraph);
                     if ref_os.len() < l {
                         continue;
                     }
@@ -201,8 +203,12 @@ pub fn fig9(bench: &Bench) -> String {
     out.push_str("### (f) DBLP Author across settings (average over l=5..50)\n\n");
     let samples = bench.samples(GdsKind::Author, n_samples(bench));
     let mut rows = Vec::new();
-    let method_names =
-        ["Bottom-Up (Complete OS)", "Bottom-Up (Prelim-l OS)", "Update Top-Path-l (Complete OS)", "Update Top-Path-l (Prelim-l OS)"];
+    let method_names = [
+        "Bottom-Up (Complete OS)",
+        "Bottom-Up (Prelim-l OS)",
+        "Update Top-Path-l (Complete OS)",
+        "Update Top-Path-l (Prelim-l OS)",
+    ];
     for (m, name) in method_names.iter().enumerate() {
         let mut row = vec![name.to_string()];
         for (si, _) in SETTINGS.iter().enumerate() {
@@ -350,7 +356,15 @@ pub fn fig10e(bench: &Bench) -> String {
         ]);
     }
     out.push_str(&markdown_table(
-        &["author", "|OS|", "BU (complete)", "BU (prelim)", "TP (complete)", "TP (prelim)", "paper-DP (complete)"],
+        &[
+            "author",
+            "|OS|",
+            "BU (complete)",
+            "BU (prelim)",
+            "TP (complete)",
+            "TP (prelim)",
+            "paper-DP (complete)",
+        ],
         &rows,
     ));
     out
@@ -381,11 +395,21 @@ pub fn fig10f(bench: &Bench) -> String {
         let mut t_tp = 0.0;
         for &tds in &samples {
             gen_graph += time_ms(|| {
-                std::hint::black_box(generate_os(&ctx, tds, Some(l as u32 - 1), OsSource::DataGraph));
+                std::hint::black_box(generate_os(
+                    &ctx,
+                    tds,
+                    Some(l as u32 - 1),
+                    OsSource::DataGraph,
+                ));
             });
             db.access().reset();
             gen_db += time_ms(|| {
-                std::hint::black_box(generate_os(&ctx, tds, Some(l as u32 - 1), OsSource::Database));
+                std::hint::black_box(generate_os(
+                    &ctx,
+                    tds,
+                    Some(l as u32 - 1),
+                    OsSource::Database,
+                ));
             });
             joins_complete += db.access().snapshot().joins / 3; // time_ms runs 3x
             gen_prelim_graph += time_ms(|| {
@@ -451,9 +475,14 @@ pub fn fig10f(bench: &Bench) -> String {
 /// Figures 2 and 12 (and the two GDSs the paper describes in prose):
 /// annotated GDS(0.7) trees.
 pub fn show_gds(bench: &Bench) -> String {
-    let mut out = String::from("## Figures 2 / 12 — annotated GDS(0.7) per DS relation (GA1-d1)\n\n");
+    let mut out =
+        String::from("## Figures 2 / 12 — annotated GDS(0.7) per DS relation (GA1-d1)\n\n");
     for kind in GdsKind::ALL {
-        out.push_str(&format!("### {}\n\n```\n{}```\n\n", kind.label(), bench.gds(kind, 0).pretty()));
+        out.push_str(&format!(
+            "### {}\n\n```\n{}```\n\n",
+            kind.label(),
+            bench.gds(kind, 0).pretty()
+        ));
     }
     out
 }
@@ -523,9 +552,17 @@ pub fn example45(bench: &Bench) -> String {
     let trio: Vec<(String, TupleRef)> = ladder.iter().rev().take(3).cloned().collect();
     if let Some((name, tds)) = trio.first() {
         let complete = generate_os(&ctx, *tds, None, OsSource::DataGraph);
-        out.push_str(&format!("### Example 4 — complete OS for {name} ({} tuples)\n\n```\n", complete.len()));
+        out.push_str(&format!(
+            "### Example 4 — complete OS for {name} ({} tuples)\n\n```\n",
+            complete.len()
+        ));
         let opts = RenderOptions { max_lines: Some(14), ..RenderOptions::default() };
-        out.push_str(&render_os(bench.db(DbKind::Dblp), bench.gds(GdsKind::Author, 0), &complete, &opts));
+        out.push_str(&render_os(
+            bench.db(DbKind::Dblp),
+            bench.gds(GdsKind::Author, 0),
+            &complete,
+            &opts,
+        ));
         out.push_str("```\n\n");
     }
     out.push_str("### Example 5 — size-15 OSs\n\n");
@@ -534,7 +571,12 @@ pub fn example45(bench: &Bench) -> String {
         let r = TopPath.compute(&prelim, 15);
         let summary = prelim.project(&r.selected);
         out.push_str(&format!("**{name}** (Im(S) = {:.3}):\n\n```\n", r.importance));
-        out.push_str(&render_os(bench.db(DbKind::Dblp), bench.gds(GdsKind::Author, 0), &summary, &RenderOptions::default()));
+        out.push_str(&render_os(
+            bench.db(DbKind::Dblp),
+            bench.gds(GdsKind::Author, 0),
+            &summary,
+            &RenderOptions::default(),
+        ));
         out.push_str("```\n\n");
     }
     out
@@ -612,7 +654,9 @@ pub fn ablations(bench: &Bench) -> String {
     let mut out = String::from("## Ablations\n\n");
 
     // (1) DP variants.
-    out.push_str("### paper-DP (Algorithm 1, exponential) vs knapsack-DP (same optimum, O(n·l²))\n\n");
+    out.push_str(
+        "### paper-DP (Algorithm 1, exponential) vs knapsack-DP (same optimum, O(n·l²))\n\n",
+    );
     let ctx = bench.ctx(GdsKind::Author, 0);
     let tds = bench.samples(GdsKind::Author, 1)[0];
     let mut rows = Vec::new();
@@ -685,7 +729,9 @@ pub fn ablations(bench: &Bench) -> String {
 
     // (3) Avoidance conditions (database mode I/O), under both score
     // regimes: the paper's uncompressed ObjectRank skew prunes far more.
-    out.push_str("\n### Avoidance conditions: I/O accesses, complete vs prelim-l (database mode)\n\n");
+    out.push_str(
+        "\n### Avoidance conditions: I/O accesses, complete vs prelim-l (database mode)\n\n",
+    );
     let sup_samples = bench.samples(GdsKind::Supplier, n_samples(bench));
     let db = bench.db(DbKind::Tpch);
     let mut rows = Vec::new();
@@ -733,7 +779,17 @@ pub fn ablations(bench: &Bench) -> String {
         }
     }
     out.push_str(&markdown_table(
-        &["regime", "|OS|", "|prelim|", "joins C", "joins P", "tuples C", "tuples P", "cond1 skips", "cond2 probes"],
+        &[
+            "regime",
+            "|OS|",
+            "|prelim|",
+            "joins C",
+            "joins P",
+            "tuples C",
+            "tuples P",
+            "cond1 skips",
+            "cond2 probes",
+        ],
         &rows,
     ));
     out
@@ -771,9 +827,8 @@ pub fn consecutive(bench: &Bench) -> String {
 /// The §7 word-budget reformulation: summaries constrained by rendered
 /// word count instead of tuple count.
 pub fn wordbudget(bench: &Bench) -> String {
-    let mut out = String::from(
-        "## §7 extension — word-budget summaries (cost = rendered word count)\n\n",
-    );
+    let mut out =
+        String::from("## §7 extension — word-budget summaries (cost = rendered word count)\n\n");
     let ctx = bench.ctx(GdsKind::Author, 0);
     let db = bench.db(DbKind::Dblp);
     let tds = bench.samples(GdsKind::Author, 1)[0];
@@ -812,7 +867,12 @@ pub fn wordbudget(bench: &Bench) -> String {
 
 /// Calibration report: measured average |OS| per GDS vs the paper's.
 pub fn calibrate(bench: &Bench) -> String {
-    let paper = [("DBLP Author", 1116.0), ("DBLP Paper", 367.0), ("TPC-H Customer", 176.0), ("TPC-H Supplier", 1341.0)];
+    let paper = [
+        ("DBLP Author", 1116.0),
+        ("DBLP Paper", 367.0),
+        ("TPC-H Customer", 176.0),
+        ("TPC-H Supplier", 1341.0),
+    ];
     let mut out = String::from("## Calibration — Aver|OS| per GDS (paper vs measured)\n\n");
     let mut rows = Vec::new();
     for (kind, (label, expect)) in GdsKind::ALL.into_iter().zip(paper) {
@@ -833,10 +893,11 @@ pub fn calibrate(bench: &Bench) -> String {
 /// result must dominate every greedy method on the same input.
 pub fn verify_dominance(os: &Os, l: usize) -> (SizeLResult, Vec<(AlgoKind, SizeLResult)>) {
     let opt = DpKnapsack.compute(os, l);
-    let others: Vec<(AlgoKind, SizeLResult)> = [AlgoKind::BottomUp, AlgoKind::TopPath, AlgoKind::TopPathOpt]
-        .into_iter()
-        .map(|k| (k, k.algorithm().compute(os, l)))
-        .collect();
+    let others: Vec<(AlgoKind, SizeLResult)> =
+        [AlgoKind::BottomUp, AlgoKind::TopPath, AlgoKind::TopPathOpt]
+            .into_iter()
+            .map(|k| (k, k.algorithm().compute(os, l)))
+            .collect();
     (opt, others)
 }
 

@@ -43,7 +43,8 @@ pub enum GdsKind {
 
 impl GdsKind {
     /// All four cases in the paper's panel order.
-    pub const ALL: [GdsKind; 4] = [GdsKind::Author, GdsKind::Paper, GdsKind::Customer, GdsKind::Supplier];
+    pub const ALL: [GdsKind; 4] =
+        [GdsKind::Author, GdsKind::Paper, GdsKind::Customer, GdsKind::Supplier];
 
     /// The database the case runs on.
     pub fn db(self) -> DbKind {
@@ -268,19 +269,13 @@ impl Bench {
                 let ap = self.dblp.db.table(self.dblp.author_paper);
                 let col = ap.schema.column_index("author_id").expect("schema");
                 let authors = self.dblp.db.table(self.dblp.author);
-                (
-                    self.dblp.author,
-                    Box::new(move |r| ap.rows_where_eq(col, authors.pk_of(r)).len()),
-                )
+                (self.dblp.author, Box::new(move |r| ap.rows_where_eq(col, authors.pk_of(r)).len()))
             }
             GdsKind::Paper => {
                 let c = self.dblp.db.table(self.dblp.citation);
                 let col = c.schema.column_index("cited_id").expect("schema");
                 let papers = self.dblp.db.table(self.dblp.paper);
-                (
-                    self.dblp.paper,
-                    Box::new(move |r| c.rows_where_eq(col, papers.pk_of(r)).len()),
-                )
+                (self.dblp.paper, Box::new(move |r| c.rows_where_eq(col, papers.pk_of(r)).len()))
             }
             GdsKind::Customer => {
                 let o = self.tpch.db.table(self.tpch.orders);
@@ -306,8 +301,8 @@ impl Bench {
         ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
         // Connectivity bands matching the paper's Aver|OS| per GDS.
         let band: Option<(usize, usize)> = match kind {
-            GdsKind::Author => Some((80, 200)),  // papers -> |OS| ~ 800..1900
-            GdsKind::Paper => Some((60, 600)),   // cited-by -> |OS| ~ 70..620
+            GdsKind::Author => Some((80, 200)), // papers -> |OS| ~ 800..1900
+            GdsKind::Paper => Some((60, 600)),  // cited-by -> |OS| ~ 70..620
             GdsKind::Customer | GdsKind::Supplier => None,
         };
         let mut rng = Prng::new(0x5A11 ^ kind as u64);

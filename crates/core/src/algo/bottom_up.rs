@@ -46,7 +46,8 @@ impl SizeLAlgorithm for BottomUp {
 
         let mut size = n;
         while size > l {
-            let Reverse((_, id)) = pq.pop().expect("a tree with > l >= 1 nodes has a non-root leaf");
+            let Reverse((_, id)) =
+                pq.pop().expect("a tree with > l >= 1 nodes has a non-root leaf");
             debug_assert!(alive[id.index()], "leaves enter the queue exactly once");
             alive[id.index()] = false;
             size -= 1;

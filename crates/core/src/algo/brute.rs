@@ -32,7 +32,17 @@ impl BruteForce {
         let root = os.root();
         let mut selection = vec![root];
         let extensions: Vec<OsNodeId> = os.node(root).children.clone();
-        recurse(os, l, &extensions, 0, &mut selection, os.node(root).weight, &mut best, &mut count, budget);
+        recurse(
+            os,
+            l,
+            &extensions,
+            0,
+            &mut selection,
+            os.node(root).weight,
+            &mut best,
+            &mut count,
+            budget,
+        );
         let (importance, mut selected) = best.expect("at least the root-only prefix exists");
         selected.sort_unstable();
         (SizeLResult { selected, importance }, count)
@@ -90,10 +100,7 @@ mod tests {
         let os = figure4_tree();
         let r = BruteForce.compute(&os, 4);
         // Paper: S1,4 = {1, 4, 5, 6} with weight 176.
-        assert_eq!(
-            r.selected,
-            vec![OsNodeId(0), OsNodeId(3), OsNodeId(4), OsNodeId(5)]
-        );
+        assert_eq!(r.selected, vec![OsNodeId(0), OsNodeId(3), OsNodeId(4), OsNodeId(5)]);
         assert!((r.importance - 176.0).abs() < 1e-12);
     }
 

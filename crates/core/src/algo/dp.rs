@@ -132,13 +132,8 @@ fn reconstruct(
     // Rebuild the stage tables of v's merge, deterministically identical to
     // the forward pass (same code path, same float operation order).
     let cap_v = cap[v.index()];
-    let children: Vec<OsNodeId> = os
-        .node(v)
-        .children
-        .iter()
-        .copied()
-        .filter(|c| cap[c.index()] > 0)
-        .collect();
+    let children: Vec<OsNodeId> =
+        os.node(v).children.iter().copied().filter(|c| cap[c.index()] > 0).collect();
     let mut stages: Vec<Vec<f64>> = Vec::with_capacity(children.len() + 1);
     let mut f = vec![NEG; cap_v + 1];
     f[1] = os.node(v).weight;
@@ -186,10 +181,7 @@ pub(crate) mod tests {
     fn figure4_size4_matches_paper() {
         let os = figure4_tree();
         let r = DpKnapsack.compute(&os, 4);
-        assert_eq!(
-            r.selected,
-            vec![OsNodeId(0), OsNodeId(3), OsNodeId(4), OsNodeId(5)]
-        );
+        assert_eq!(r.selected, vec![OsNodeId(0), OsNodeId(3), OsNodeId(4), OsNodeId(5)]);
         assert!((r.importance - 176.0).abs() < 1e-12);
     }
 
@@ -259,10 +251,8 @@ pub(crate) mod tests {
         //   1 (1)    3 (50)
         //     |
         //   2 (100)
-        let os = crate::os::Os::synthetic(
-            &[None, Some(0), Some(1), Some(0)],
-            &[10.0, 1.0, 100.0, 50.0],
-        );
+        let os =
+            crate::os::Os::synthetic(&[None, Some(0), Some(1), Some(0)], &[10.0, 1.0, 100.0, 50.0]);
         // l=3: {0,1,2} = 111 beats {0,3,1} = 61 and {0,3,...}.
         let r = DpKnapsack.compute(&os, 3);
         assert_eq!(r.selected, vec![OsNodeId(0), OsNodeId(1), OsNodeId(2)]);

@@ -226,10 +226,7 @@ mod tests {
     fn figure4_size4_matches_paper() {
         let os = figure4_tree();
         let r = DpNaive::default().compute(&os, 4);
-        assert_eq!(
-            r.selected,
-            vec![OsNodeId(0), OsNodeId(3), OsNodeId(4), OsNodeId(5)]
-        );
+        assert_eq!(r.selected, vec![OsNodeId(0), OsNodeId(3), OsNodeId(4), OsNodeId(5)]);
         assert!((r.importance - 176.0).abs() < 1e-12);
     }
 
@@ -282,9 +279,6 @@ mod tests {
         };
         let s4 = steps_at(4);
         let s12 = steps_at(12);
-        assert!(
-            s12 > 20 * s4,
-            "naive DP should blow up with l: steps(4)={s4}, steps(12)={s12}"
-        );
+        assert!(s12 > 20 * s4, "naive DP should blow up with l: steps(4)={s4}, steps(12)={s12}");
     }
 }

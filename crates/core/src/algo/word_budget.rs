@@ -26,12 +26,7 @@ impl WordBudgetDp {
     /// Computes the optimal summary under `budget`, with `cost(node)`
     /// giving each node's display cost. Returns an empty selection when
     /// even the root exceeds the budget.
-    pub fn compute(
-        &self,
-        os: &Os,
-        budget: usize,
-        cost: &dyn Fn(OsNodeId) -> usize,
-    ) -> SizeLResult {
+    pub fn compute(&self, os: &Os, budget: usize, cost: &dyn Fn(OsNodeId) -> usize) -> SizeLResult {
         if os.is_empty() || budget == 0 {
             return SizeLResult { selected: Vec::new(), importance: 0.0 };
         }

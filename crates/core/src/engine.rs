@@ -355,11 +355,21 @@ mod tests {
         let e = engine();
         let a = e.query_with(
             "Petros Faloutsos",
-            QueryOptions { l: 10, source: OsSource::DataGraph, prelim: false, ..QueryOptions::default() },
+            QueryOptions {
+                l: 10,
+                source: OsSource::DataGraph,
+                prelim: false,
+                ..QueryOptions::default()
+            },
         );
         let b = e.query_with(
             "Petros Faloutsos",
-            QueryOptions { l: 10, source: OsSource::Database, prelim: false, ..QueryOptions::default() },
+            QueryOptions {
+                l: 10,
+                source: OsSource::Database,
+                prelim: false,
+                ..QueryOptions::default()
+            },
         );
         assert_eq!(a[0].result.importance, b[0].result.importance);
         assert_eq!(a[0].input_os_size, b[0].input_os_size);

@@ -130,7 +130,9 @@ impl EvaluatorPanel {
     fn stream_seed(&self, os: &Os, i: usize) -> u64 {
         let root = os.node(os.root()).tuple;
         let key = ((root.table.0 as u64) << 40) ^ ((root.row.0 as u64) << 8) ^ os.len() as u64;
-        self.seed ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407)
+        self.seed
+            ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407)
     }
 }
 
@@ -277,10 +279,8 @@ mod tests {
     #[test]
     fn consecutive_similarity_on_monotone_tree_is_nested() {
         // A pure path: optima are prefixes, always nested.
-        let os = crate::os::Os::synthetic(
-            &[None, Some(0), Some(1), Some(2)],
-            &[4.0, 3.0, 2.0, 1.0],
-        );
+        let os =
+            crate::os::Os::synthetic(&[None, Some(0), Some(1), Some(2)], &[4.0, 3.0, 2.0, 1.0]);
         let sims = consecutive_optima_similarity(&os, 4);
         assert!(sims.iter().all(|&(_, _, nested)| nested));
     }

@@ -166,7 +166,8 @@ impl Os {
                         map[p.index()] != u32::MAX,
                         "selected set must be connected through the root (Definition 1)"
                     );
-                    let new = out.add_child(OsNodeId(map[p.index()]), n.tuple, n.gds_node, n.weight);
+                    let new =
+                        out.add_child(OsNodeId(map[p.index()]), n.tuple, n.gds_node, n.weight);
                     map[id.index()] = new.0;
                 }
             }

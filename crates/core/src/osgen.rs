@@ -58,8 +58,7 @@ impl<'a> OsContext<'a> {
             .iter()
             .map(|(_, n)| match &n.join {
                 JoinSpec::ViaJunction { e_in, e_out, .. } => Some(
-                    dg.find_link(*e_in, *e_out)
-                        .expect("every junction step has a collapsed link"),
+                    dg.find_link(*e_in, *e_out).expect("every junction step has a collapsed link"),
                 ),
                 _ => None,
             })
@@ -85,7 +84,9 @@ impl<'a> OsContext<'a> {
     ) {
         let node = self.gds.node(child);
         match source {
-            OsSource::DataGraph => self.children_via_graph(child, node, parent_tuple, grandparent, out),
+            OsSource::DataGraph => {
+                self.children_via_graph(child, node, parent_tuple, grandparent, out)
+            }
             OsSource::Database => self.children_via_database(node, parent_tuple, grandparent, out),
         }
     }
@@ -113,9 +114,8 @@ impl<'a> OsContext<'a> {
                 }
             },
             JoinSpec::ViaJunction { exclude_parent, .. } => {
-                let link = self
-                    .dg
-                    .link(self.link_of_gds[child_id.index()].expect("resolved in new()"));
+                let link =
+                    self.dg.link(self.link_of_gds[child_id.index()].expect("resolved in new()"));
                 for &t in link.targets(parent.row) {
                     let tuple = self.dg.tuple_of(sizel_graph::NodeId(t));
                     if *exclude_parent && Some(tuple) == grandparent {
@@ -173,7 +173,10 @@ impl<'a> OsContext<'a> {
                 }
                 self.db.access().record_join(kept);
             }
-            (OsSource::Database, JoinSpec::ViaJunction { junction, e_in, e_out, exclude_parent }) => {
+            (
+                OsSource::Database,
+                JoinSpec::ViaJunction { junction, e_in, e_out, exclude_parent },
+            ) => {
                 // The junction probe is unavoidable (its rows are read to
                 // find the targets); the target fetch is TOP-l filtered.
                 let pk = self.db.table(parent_tuple.table).pk_of(parent_tuple.row);
@@ -290,11 +293,7 @@ pub fn generate_os(
     depth_cutoff: Option<u32>,
     source: OsSource,
 ) -> Os {
-    assert_eq!(
-        tds.table,
-        ctx.gds.root_relation(),
-        "t_DS must belong to the GDS root relation"
-    );
+    assert_eq!(tds.table, ctx.gds.root_relation(), "t_DS must belong to the GDS root relation");
     let mut os = Os::with_capacity(64);
     let root_w = ctx.local_importance(ctx.gds.root(), tds);
     let root = os.add_root(tds, ctx.gds.root(), root_w);
@@ -394,8 +393,8 @@ mod tests {
         let tds = f.author_tds(1);
         let os = generate_os(&ctx, tds, None, OsSource::DataGraph);
         for (_, n) in os.iter() {
-            let expect = ctx.scores.global(ctx.dg.node_id(n.tuple))
-                * ctx.gds.node(n.gds_node).affinity;
+            let expect =
+                ctx.scores.global(ctx.dg.node_id(n.tuple)) * ctx.gds.node(n.gds_node).affinity;
             assert!((n.weight - expect).abs() < 1e-12);
         }
     }

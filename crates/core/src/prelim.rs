@@ -102,11 +102,8 @@ pub fn generate_prelim(
                         top_l.pop();
                     }
                 }
-                largest_l = if top_l.len() < l {
-                    0.0
-                } else {
-                    top_l.peek().expect("non-empty").0.get()
-                };
+                largest_l =
+                    if top_l.len() < l { 0.0 } else { top_l.peek().expect("non-empty").0.get() };
             }
         }
     }
@@ -163,10 +160,8 @@ mod tests {
             for l in [1, 5, 10, 20] {
                 let complete = generate_os(&ctx, tds, Some(l as u32 - 1), OsSource::DataGraph);
                 let (prelim, _) = generate_prelim(&ctx, tds, l, OsSource::DataGraph);
-                let mut weights: Vec<(f64, TupleRef, u32)> = complete
-                    .iter()
-                    .map(|(_, n)| (n.weight, n.tuple, n.gds_node.0))
-                    .collect();
+                let mut weights: Vec<(f64, TupleRef, u32)> =
+                    complete.iter().map(|(_, n)| (n.weight, n.tuple, n.gds_node.0)).collect();
                 weights.sort_by(|a, b| b.0.total_cmp(&a.0));
                 let top: Vec<&(f64, TupleRef, u32)> = weights.iter().take(l).collect();
                 let prelim_keys: HashSet<(TupleRef, u32)> =

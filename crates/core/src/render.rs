@@ -93,7 +93,13 @@ fn render_children(
     let depth = os.node(id).depth as usize;
     let indent = ".".repeat(depth * 2);
     if is_root {
-        emit(out, lines, truncated, opts, &format!("{}{}", indent, node_text(db, gds, os, id, opts)));
+        emit(
+            out,
+            lines,
+            truncated,
+            opts,
+            &format!("{}{}", indent, node_text(db, gds, os, id, opts)),
+        );
     }
     let children = &os.node(id).children;
     let mut i = 0;
@@ -138,7 +144,13 @@ fn render_children(
     }
 }
 
-fn emit(out: &mut String, lines: &mut usize, truncated: &mut usize, opts: &RenderOptions, line: &str) {
+fn emit(
+    out: &mut String,
+    lines: &mut usize,
+    truncated: &mut usize,
+    opts: &RenderOptions,
+    line: &str,
+) {
     if let Some(cap) = opts.max_lines {
         if *lines >= cap {
             *truncated += 1;

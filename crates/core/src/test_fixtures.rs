@@ -53,7 +53,8 @@ fn build_dblp() -> DblpFixture {
     let ga = dblp_ga(GaPreset::Ga1, &d.db, &sg, &dg);
     let scores = compute(&d.db, &sg, &dg, &ga, &RankConfig::default());
 
-    let mut gds = Gds::build(&d.db, &sg, &presets::dblp_author_gds_config(), d.author).restrict(0.7);
+    let mut gds =
+        Gds::build(&d.db, &sg, &presets::dblp_author_gds_config(), d.author).restrict(0.7);
     gds.set_stats(&scores.per_table_max);
     let mut paper_gds =
         Gds::build(&d.db, &sg, &presets::dblp_paper_gds_config(), d.paper).restrict(0.7);

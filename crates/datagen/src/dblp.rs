@@ -166,7 +166,11 @@ fn create_schema(db: &mut Database) -> Result<(), StorageError> {
             .build()?,
     )?;
     db.create_table(
-        TableSchema::builder("Paper").pk("id").searchable_text("title").fk("year_id", "Year").build()?,
+        TableSchema::builder("Paper")
+            .pk("id")
+            .searchable_text("title")
+            .fk("year_id", "Year")
+            .build()?,
     )?;
     db.create_table(TableSchema::builder("Author").pk("id").searchable_text("name").build()?)?;
     db.create_table(
@@ -217,7 +221,11 @@ pub fn generate(cfg: &DblpConfig) -> Dblp {
             year_pk += 1;
             db.insert(
                 "Year",
-                vec![Value::Int(year_pk), Value::Int(first_year + k as i64), Value::Int(c as i64 + 1)],
+                vec![
+                    Value::Int(year_pk),
+                    Value::Int(first_year + k as i64),
+                    Value::Int(c as i64 + 1),
+                ],
             )
             .expect("year insert");
             ids.push(year_pk);
@@ -230,11 +238,8 @@ pub fn generate(cfg: &DblpConfig) -> Dblp {
     let mut famous = Vec::with_capacity(cfg.famous.len());
     let mut name_rng = rng.fork(0xA07);
     for a in 0..cfg.authors {
-        let mut name = format!(
-            "{} {}",
-            name_rng.pick(names::FIRST_NAMES),
-            name_rng.pick(names::LAST_NAMES)
-        );
+        let mut name =
+            format!("{} {}", name_rng.pick(names::FIRST_NAMES), name_rng.pick(names::LAST_NAMES));
         if !used_names.insert(name.clone()) {
             name = format!("{name} {:04}", a);
             used_names.insert(name.clone());
@@ -276,8 +281,7 @@ pub fn generate(cfg: &DblpConfig) -> Dblp {
         let conf = paper_rng.range(0, cfg.conferences);
         let year_id = *paper_rng.pick(&year_ids[conf]);
         let n_words = paper_rng.range(4, 8);
-        let words: Vec<&str> =
-            (0..n_words).map(|_| *paper_rng.pick(names::TITLE_WORDS)).collect();
+        let words: Vec<&str> = (0..n_words).map(|_| *paper_rng.pick(names::TITLE_WORDS)).collect();
         let title = names::title(&words);
         db.insert("Paper", vec![Value::Int(pk), title.into(), Value::Int(year_id)])
             .expect("paper insert");
@@ -443,12 +447,8 @@ mod tests {
         let b = generate(&cfg);
         // Same shape, different content.
         assert_eq!(a.db.table_count(), b.db.table_count());
-        let authors_a: Vec<String> = a
-            .db
-            .table(a.author)
-            .iter()
-            .map(|(_, r)| r[1].as_str().unwrap().to_owned())
-            .collect();
+        let authors_a: Vec<String> =
+            a.db.table(a.author).iter().map(|(_, r)| r[1].as_str().unwrap().to_owned()).collect();
         let authors_b: Vec<String> =
             b.db.table(b.author).iter().map(|(_, r)| r[1].as_str().unwrap().to_owned()).collect();
         assert_ne!(authors_a, authors_b);
@@ -493,9 +493,8 @@ mod tests {
         let d = generate(&DblpConfig::tiny());
         let ap = d.db.table(d.author_paper);
         let author_col = ap.schema.column_index("author_id").unwrap();
-        let mut counts: Vec<usize> = (1..=60)
-            .map(|a| ap.rows_where_eq(author_col, a).len())
-            .collect();
+        let mut counts: Vec<usize> =
+            (1..=60).map(|a| ap.rows_where_eq(author_col, a).len()).collect();
         counts.sort_unstable_by(|a, b| b.cmp(a));
         assert!(counts[0] >= 3 * counts[30].max(1), "head {} tail {}", counts[0], counts[30]);
     }

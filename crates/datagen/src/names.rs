@@ -20,37 +20,180 @@ pub const FIRST_NAMES: &[&str] = &[
 
 /// Last names for synthetic people.
 pub const LAST_NAMES: &[&str] = &[
-    "Abadi", "Adler", "Aoki", "Baker", "Barros", "Bauer", "Becker", "Berg", "Bianchi", "Blake",
-    "Brandt", "Braun", "Castro", "Chen", "Cohen", "Costa", "Cruz", "Dias", "Duarte", "Dumont",
-    "Eriksen", "Farkas", "Ferrari", "Fischer", "Fontaine", "Fuchs", "Garcia", "Gruber", "Haas",
-    "Hansen", "Hartmann", "Hoffman", "Horvat", "Huang", "Ibrahim", "Ishikawa", "Ivanov", "Jansen",
-    "Jensen", "Kato", "Keller", "Kim", "Klein", "Kovacs", "Kraus", "Kumar", "Lang", "Larsen",
-    "Lehmann", "Lima", "Lopez", "Lorenz", "Maier", "Marino", "Martin", "Mendes", "Meyer",
-    "Miller", "Molnar", "Moreau", "Moretti", "Nagy", "Nakamura", "Neumann", "Novak", "Oliveira",
-    "Olsen", "Park", "Peters", "Petrov", "Pinto", "Popov", "Ramos", "Ricci", "Richter", "Rios",
-    "Romano", "Rossi", "Roy", "Ruiz", "Sato", "Schmidt", "Schneider", "Silva", "Simon", "Sokolov",
-    "Sousa", "Suzuki", "Takeda", "Tanaka", "Torres", "Vargas", "Vogel", "Wagner", "Walter",
-    "Wang", "Weber", "Winter", "Wolf", "Yamada", "Zhang", "Zimmer",
+    "Abadi",
+    "Adler",
+    "Aoki",
+    "Baker",
+    "Barros",
+    "Bauer",
+    "Becker",
+    "Berg",
+    "Bianchi",
+    "Blake",
+    "Brandt",
+    "Braun",
+    "Castro",
+    "Chen",
+    "Cohen",
+    "Costa",
+    "Cruz",
+    "Dias",
+    "Duarte",
+    "Dumont",
+    "Eriksen",
+    "Farkas",
+    "Ferrari",
+    "Fischer",
+    "Fontaine",
+    "Fuchs",
+    "Garcia",
+    "Gruber",
+    "Haas",
+    "Hansen",
+    "Hartmann",
+    "Hoffman",
+    "Horvat",
+    "Huang",
+    "Ibrahim",
+    "Ishikawa",
+    "Ivanov",
+    "Jansen",
+    "Jensen",
+    "Kato",
+    "Keller",
+    "Kim",
+    "Klein",
+    "Kovacs",
+    "Kraus",
+    "Kumar",
+    "Lang",
+    "Larsen",
+    "Lehmann",
+    "Lima",
+    "Lopez",
+    "Lorenz",
+    "Maier",
+    "Marino",
+    "Martin",
+    "Mendes",
+    "Meyer",
+    "Miller",
+    "Molnar",
+    "Moreau",
+    "Moretti",
+    "Nagy",
+    "Nakamura",
+    "Neumann",
+    "Novak",
+    "Oliveira",
+    "Olsen",
+    "Park",
+    "Peters",
+    "Petrov",
+    "Pinto",
+    "Popov",
+    "Ramos",
+    "Ricci",
+    "Richter",
+    "Rios",
+    "Romano",
+    "Rossi",
+    "Roy",
+    "Ruiz",
+    "Sato",
+    "Schmidt",
+    "Schneider",
+    "Silva",
+    "Simon",
+    "Sokolov",
+    "Sousa",
+    "Suzuki",
+    "Takeda",
+    "Tanaka",
+    "Torres",
+    "Vargas",
+    "Vogel",
+    "Wagner",
+    "Walter",
+    "Wang",
+    "Weber",
+    "Winter",
+    "Wolf",
+    "Yamada",
+    "Zhang",
+    "Zimmer",
 ];
 
 /// Venue acronyms; the first few mirror the paper's examples.
 pub const CONFERENCES: &[&str] = &[
-    "SIGCOMM", "SIGMOD", "VLDB", "PODS", "ICDE", "KDD", "SIGIR", "WWW", "SIGGRAPH", "PDIS",
-    "EDBT", "CIKM", "ICML", "SODA", "FOCS", "STOC", "OSDI", "SOSP", "NSDI", "EuroSys", "ATC",
-    "MIDL", "DEXA", "ADBIS", "SSDBM", "MDM", "WISE", "ER", "ICDT", "DASFAA",
+    "SIGCOMM", "SIGMOD", "VLDB", "PODS", "ICDE", "KDD", "SIGIR", "WWW", "SIGGRAPH", "PDIS", "EDBT",
+    "CIKM", "ICML", "SODA", "FOCS", "STOC", "OSDI", "SOSP", "NSDI", "EuroSys", "ATC", "MIDL",
+    "DEXA", "ADBIS", "SSDBM", "MDM", "WISE", "ER", "ICDT", "DASFAA",
 ];
 
 /// Words used to assemble synthetic paper titles.
 pub const TITLE_WORDS: &[&str] = &[
-    "adaptive", "aggregate", "analysis", "approximate", "caching", "clustering", "compression",
-    "concurrent", "databases", "declustering", "dimensionality", "discovery", "distributed",
-    "dynamic", "efficient", "elastic", "estimation", "evaluation", "exploration", "fractal",
-    "graphs", "hashing", "hierarchical", "incremental", "indexing", "keyword", "learning",
-    "locality", "mining", "models", "multicast", "networks", "optimization", "parallel",
-    "partitioning", "patterns", "power-law", "probabilistic", "processing", "protocols",
-    "queries", "querying", "ranking", "relational", "retrieval", "sampling", "scalable",
-    "scheduling", "search", "semantics", "sequences", "similarity", "spatial", "storage",
-    "streams", "summaries", "systems", "temporal", "topology", "transactions", "workloads",
+    "adaptive",
+    "aggregate",
+    "analysis",
+    "approximate",
+    "caching",
+    "clustering",
+    "compression",
+    "concurrent",
+    "databases",
+    "declustering",
+    "dimensionality",
+    "discovery",
+    "distributed",
+    "dynamic",
+    "efficient",
+    "elastic",
+    "estimation",
+    "evaluation",
+    "exploration",
+    "fractal",
+    "graphs",
+    "hashing",
+    "hierarchical",
+    "incremental",
+    "indexing",
+    "keyword",
+    "learning",
+    "locality",
+    "mining",
+    "models",
+    "multicast",
+    "networks",
+    "optimization",
+    "parallel",
+    "partitioning",
+    "patterns",
+    "power-law",
+    "probabilistic",
+    "processing",
+    "protocols",
+    "queries",
+    "querying",
+    "ranking",
+    "relational",
+    "retrieval",
+    "sampling",
+    "scalable",
+    "scheduling",
+    "search",
+    "semantics",
+    "sequences",
+    "similarity",
+    "spatial",
+    "storage",
+    "streams",
+    "summaries",
+    "systems",
+    "temporal",
+    "topology",
+    "transactions",
+    "workloads",
 ];
 
 /// TPC-H region names (the official five).
@@ -58,22 +201,67 @@ pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EA
 
 /// TPC-H nation names (the official twenty-five).
 pub const NATIONS: &[&str] = &[
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
-    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
-    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
     "UNITED STATES",
 ];
 
 /// Map from nation index to region index, following the TPC-H spec layout.
-pub const NATION_REGION: &[usize] = &[
-    0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1,
-];
+pub const NATION_REGION: &[usize] =
+    &[0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1];
 
 /// Adjectives for part names.
 pub const PART_ADJECTIVES: &[&str] = &[
-    "anodized", "brushed", "burnished", "chiffon", "cream", "dim", "drab", "floral", "frosted",
-    "glazed", "hot", "lace", "lemon", "light", "metallic", "midnight", "misty", "pale", "plum",
-    "polished", "powder", "sandy", "smoke", "spring", "steel", "thistle", "turquoise", "wheat",
+    "anodized",
+    "brushed",
+    "burnished",
+    "chiffon",
+    "cream",
+    "dim",
+    "drab",
+    "floral",
+    "frosted",
+    "glazed",
+    "hot",
+    "lace",
+    "lemon",
+    "light",
+    "metallic",
+    "midnight",
+    "misty",
+    "pale",
+    "plum",
+    "polished",
+    "powder",
+    "sandy",
+    "smoke",
+    "spring",
+    "steel",
+    "thistle",
+    "turquoise",
+    "wheat",
 ];
 
 /// Materials for part names.
@@ -83,8 +271,8 @@ pub const PART_MATERIALS: &[&str] =
 /// Nouns for part names.
 pub const PART_NOUNS: &[&str] = &[
     "anchor", "bearing", "bolt", "bracket", "casing", "clamp", "coupling", "fitting", "flange",
-    "gasket", "gear", "hinge", "lever", "pin", "plate", "rivet", "rod", "shaft", "spring",
-    "valve", "washer", "wheel",
+    "gasket", "gear", "hinge", "lever", "pin", "plate", "rivet", "rod", "shaft", "spring", "valve",
+    "washer", "wheel",
 ];
 
 /// Builds a synthetic paper title with `n` words, capitalized.

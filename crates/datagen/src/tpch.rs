@@ -112,7 +112,11 @@ pub struct Tpch {
 fn create_schema(db: &mut Database) -> Result<(), StorageError> {
     db.create_table(TableSchema::builder("Region").pk("id").searchable_text("name").build()?)?;
     db.create_table(
-        TableSchema::builder("Nation").pk("id").searchable_text("name").fk("region_id", "Region").build()?,
+        TableSchema::builder("Nation")
+            .pk("id")
+            .searchable_text("name")
+            .fk("region_id", "Region")
+            .build()?,
     )?;
     db.create_table(
         TableSchema::builder("Customer")
@@ -189,12 +193,8 @@ pub fn generate(cfg: &TpchConfig) -> Tpch {
     // --- Customers and suppliers ------------------------------------------
     let mut used: HashSet<String> = HashSet::new();
     let mut person = |rng: &mut Prng, prefix: &str, i: usize| -> String {
-        let mut name = format!(
-            "{} {} {}",
-            prefix,
-            rng.pick(names::FIRST_NAMES),
-            rng.pick(names::LAST_NAMES)
-        );
+        let mut name =
+            format!("{} {} {}", prefix, rng.pick(names::FIRST_NAMES), rng.pick(names::LAST_NAMES));
         if !used.insert(name.clone()) {
             name = format!("{name} {i:05}");
             used.insert(name.clone());

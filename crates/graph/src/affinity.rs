@@ -85,10 +85,9 @@ impl AffinityModel {
         avg_fanout: f64,
     ) -> f64 {
         match self {
-            AffinityModel::Manual { values, fallback_ratio } => values
-                .get(path)
-                .copied()
-                .unwrap_or(parent_affinity * fallback_ratio),
+            AffinityModel::Manual { values, fallback_ratio } => {
+                values.get(path).copied().unwrap_or(parent_affinity * fallback_ratio)
+            }
             AffinityModel::Computed(w) => {
                 let m_dist = 1.0;
                 // Highly connected relations (large schema degree) are hubs

@@ -191,7 +191,15 @@ impl DataGraph {
                         cursor[local] += 1;
                     }
                 }
-                links.push(MnLink { junction: jid, e_from: ef, e_to: et, from_table, to_table, index, targets });
+                links.push(MnLink {
+                    junction: jid,
+                    e_from: ef,
+                    e_to: et,
+                    from_table,
+                    to_table,
+                    index,
+                    targets,
+                });
             }
         }
 
@@ -261,8 +269,7 @@ impl DataGraph {
 
     /// Total number of stored adjacency entries (for the §6.3 size report).
     pub fn n_adjacency_entries(&self) -> usize {
-        let d: usize =
-            self.direct.iter().map(|a| a.fwd.len() + a.bwd_targets.len()).sum();
+        let d: usize = self.direct.iter().map(|a| a.fwd.len() + a.bwd_targets.len()).sum();
         let l: usize = self.links.iter().map(|l| l.targets.len()).sum();
         d + l
     }
@@ -329,12 +336,7 @@ mod tests {
     #[test]
     fn bwd_counts_match_fk_index() {
         let (d, sg, dg) = setup();
-        let e = sg
-            .edges()
-            .iter()
-            .find(|e| e.from == d.paper && e.to == d.year)
-            .unwrap()
-            .id;
+        let e = sg.edges().iter().find(|e| e.from == d.paper && e.to == d.year).unwrap().id;
         let papers = d.db.table(d.paper);
         let years = d.db.table(d.year);
         let fk_col = papers.schema.column_index("year_id").unwrap();
@@ -377,11 +379,7 @@ mod tests {
     #[test]
     fn citation_links_are_directional() {
         let (d, _, dg) = setup();
-        let cites = dg
-            .links()
-            .iter()
-            .filter(|l| l.junction == d.citation)
-            .collect::<Vec<_>>();
+        let cites = dg.links().iter().filter(|l| l.junction == d.citation).collect::<Vec<_>>();
         assert_eq!(cites.len(), 2);
         // Total pairs in each orientation equal the junction size.
         for l in &cites {

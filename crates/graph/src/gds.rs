@@ -117,10 +117,7 @@ impl Gds {
     /// Builds the full GDS for `root` (down to the config's `max_depth` /
     /// `prune_floor`). Use [`Gds::restrict`] to obtain GDS(θ).
     pub fn build(db: &Database, sg: &SchemaGraph, cfg: &GdsConfig, root: TableId) -> Gds {
-        assert!(
-            !db.table(root).schema.is_junction,
-            "a junction table cannot be a DS relation"
-        );
+        assert!(!db.table(root).schema.is_junction, "a junction table cannot be a DS relation");
         let root_label = db.table(root).schema.name.clone();
         let mut nodes = vec![GdsNode {
             label: root_label.clone(),
@@ -168,7 +165,12 @@ impl Gds {
                                 if *junction == other && *e_in == e_out && *a_out == eid
                         );
                         candidates.push((
-                            JoinSpec::ViaJunction { junction: other, e_in: eid, e_out, exclude_parent },
+                            JoinSpec::ViaJunction {
+                                junction: other,
+                                e_in: eid,
+                                e_out,
+                                exclude_parent,
+                            },
                             to_table,
                         ));
                     }
@@ -197,8 +199,7 @@ impl Gds {
                     .unwrap_or(default_label);
                 let child_path = format!("{path}/{label}");
                 let fanout = join_fanout(db, sg, &join);
-                let af =
-                    cfg.affinity.affinity(&child_path, affinity, sg.degree(to_table), fanout);
+                let af = cfg.affinity.affinity(&child_path, affinity, sg.degree(to_table), fanout);
                 if af < cfg.prune_floor {
                     continue;
                 }

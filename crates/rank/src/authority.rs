@@ -110,7 +110,13 @@ impl AuthorityGraph {
     }
 
     /// Adds a ValueRank value function.
-    pub fn add_value_fn(&mut self, db: &Database, table: &str, column: &str, cap: f64) -> &mut Self {
+    pub fn add_value_fn(
+        &mut self,
+        db: &Database,
+        table: &str,
+        column: &str,
+        cap: f64,
+    ) -> &mut Self {
         let tid = db.table_id(table).expect("preset table name");
         let col = db.table(tid).schema.column_index(column).expect("preset column name");
         self.value_fns.push(ValueFunction { table: tid, column: col, cap });
@@ -182,8 +188,7 @@ mod tests {
         assert_eq!(ga.edge_rates[e.id.index()].forward, 0.2);
         assert_eq!(ga.edge_rates[e.id.index()].backward, 0.25);
         // Exactly two links rated, the rest zero.
-        let nonzero: Vec<f64> =
-            ga.link_rates.iter().copied().filter(|&r| r > 0.0).collect();
+        let nonzero: Vec<f64> = ga.link_rates.iter().copied().filter(|&r| r > 0.0).collect();
         assert_eq!(nonzero.len(), 2);
         // The rated citation link's source side must be the citing column.
         let idx = ga.link_rates.iter().position(|&r| r == 0.7).unwrap();

@@ -123,8 +123,7 @@ pub fn compute(
         }
     }
     // Emission scale: cap per-node outgoing authority at 1.
-    let scale: Vec<f64> =
-        out.iter().map(|&o| if o > 1.0 { 1.0 / o } else { 1.0 }).collect();
+    let scale: Vec<f64> = out.iter().map(|&o| if o > 1.0 { 1.0 / o } else { 1.0 }).collect();
 
     let d = cfg.damping;
     let base = (1.0 - d) / n as f64;
@@ -243,8 +242,13 @@ mod tests {
     fn log_compression_preserves_ranking() {
         let (d, sg, dg) = setup();
         let ga = dblp_ga(GaPreset::Ga1, &d.db, &sg, &dg);
-        let raw =
-            compute(&d.db, &sg, &dg, &ga, &RankConfig { log_compress: false, ..RankConfig::default() });
+        let raw = compute(
+            &d.db,
+            &sg,
+            &dg,
+            &ga,
+            &RankConfig { log_compress: false, ..RankConfig::default() },
+        );
         let log = compute(&d.db, &sg, &dg, &ga, &RankConfig::default());
         // Pairwise order is preserved (monotone transform) ...
         for pair in [(0usize, 100usize), (5, 200), (17, 42)] {
@@ -292,10 +296,7 @@ mod tests {
         let start = dg.table_start(d.paper) as usize;
         let top = r.scores[start + best.0];
         let bottom = r.scores[start + uncited.expect("some uncited paper")];
-        assert!(
-            top > bottom,
-            "well-cited paper should outrank uncited one ({top} vs {bottom})"
-        );
+        assert!(top > bottom, "well-cited paper should outrank uncited one ({top} vs {bottom})");
     }
 
     #[test]
@@ -315,8 +316,12 @@ mod tests {
     fn d3_converges_with_emission_cap() {
         let (d, sg, dg) = setup();
         let ga = dblp_ga(GaPreset::Ga1, &d.db, &sg, &dg);
-        let cfg =
-            RankConfig { damping: 0.99, epsilon: 1e-7, max_iterations: 3000, ..RankConfig::default() };
+        let cfg = RankConfig {
+            damping: 0.99,
+            epsilon: 1e-7,
+            max_iterations: 3000,
+            ..RankConfig::default()
+        };
         let r = compute(&d.db, &sg, &dg, &ga, &cfg);
         assert!(r.converged, "emission cap must keep d=0.99 convergent");
     }

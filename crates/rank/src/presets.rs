@@ -38,7 +38,12 @@ impl GaPreset {
 /// GA1 rates: Paper→Author 0.3, Author→Paper 0.1, citing→cited 0.7,
 /// cited→citing 0, Paper↔Year 0.2/0.2, Year↔Conference 0.3/0.3.
 /// GA2: uniform 0.3 everywhere.
-pub fn dblp_ga(preset: GaPreset, db: &Database, sg: &SchemaGraph, dg: &DataGraph) -> AuthorityGraph {
+pub fn dblp_ga(
+    preset: GaPreset,
+    db: &Database,
+    sg: &SchemaGraph,
+    dg: &DataGraph,
+) -> AuthorityGraph {
     match preset {
         GaPreset::Ga2 => AuthorityGraph::uniform("GA2", sg, dg, 0.3),
         GaPreset::Ga1 => {
@@ -61,7 +66,12 @@ pub fn dblp_ga(preset: GaPreset, db: &Database, sg: &SchemaGraph, dg: &DataGraph
 /// `f(supplycost)`, Part by `f(retailprice)`. GA2 keeps the same rates but
 /// drops the value functions ("neglects values, i.e. becomes an ObjectRank
 /// GA", Section 6).
-pub fn tpch_ga(preset: GaPreset, db: &Database, sg: &SchemaGraph, dg: &DataGraph) -> AuthorityGraph {
+pub fn tpch_ga(
+    preset: GaPreset,
+    db: &Database,
+    sg: &SchemaGraph,
+    dg: &DataGraph,
+) -> AuthorityGraph {
     let mut ga = AuthorityGraph::zero(preset.name(), sg, dg);
     ga.set_edge(db, sg, "Orders", "cust_id", 0.5, 0.3) // Order <-> Customer
         .set_edge(db, sg, "Lineitem", "order_id", 0.5, 0.3)

@@ -80,10 +80,7 @@ impl Database {
 
     /// Looks a table up by name.
     pub fn table_id(&self, name: &str) -> Result<TableId> {
-        self.by_name
-            .get(name)
-            .copied()
-            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
+        self.by_name.get(name).copied().ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
     }
 
     /// Iterates `(TableId, &Table)` over the catalog.
@@ -203,8 +200,14 @@ mod tests {
 
     fn tiny_db() -> Database {
         let mut db = Database::new();
-        db.create_table(TableSchema::builder("Year").pk("id").column("year", crate::ValueType::Int).build().unwrap())
-            .unwrap();
+        db.create_table(
+            TableSchema::builder("Year")
+                .pk("id")
+                .column("year", crate::ValueType::Int)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
         db.create_table(
             TableSchema::builder("Paper")
                 .pk("id")

@@ -60,13 +60,9 @@ impl TableSchema {
 
     /// Looks up a column index by name.
     pub fn column_index(&self, name: &str) -> Result<usize> {
-        self.columns
-            .iter()
-            .position(|c| c.name == name)
-            .ok_or_else(|| StorageError::UnknownColumn {
-                table: self.name.clone(),
-                column: name.to_owned(),
-            })
+        self.columns.iter().position(|c| c.name == name).ok_or_else(|| {
+            StorageError::UnknownColumn { table: self.name.clone(), column: name.to_owned() }
+        })
     }
 
     /// The column definition at `idx`.
@@ -159,9 +155,9 @@ impl SchemaBuilder {
 
     /// Finalizes the schema, validating structural invariants.
     pub fn build(self) -> Result<TableSchema> {
-        let pk = self
-            .pk
-            .ok_or_else(|| StorageError::BadSchema(format!("table {} has no primary key", self.name)))?;
+        let pk = self.pk.ok_or_else(|| {
+            StorageError::BadSchema(format!("table {} has no primary key", self.name))
+        })?;
         let mut seen = std::collections::HashSet::new();
         for c in &self.columns {
             if !seen.insert(c.name.as_str()) {
@@ -224,10 +220,7 @@ mod tests {
     fn column_lookup() {
         let s = paper_schema();
         assert_eq!(s.column_index("title").unwrap(), 1);
-        assert!(matches!(
-            s.column_index("nope"),
-            Err(StorageError::UnknownColumn { .. })
-        ));
+        assert!(matches!(s.column_index("nope"), Err(StorageError::UnknownColumn { .. })));
     }
 
     #[test]

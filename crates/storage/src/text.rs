@@ -33,7 +33,10 @@ mod tests {
 
     #[test]
     fn tokenize_splits_on_non_alnum() {
-        assert_eq!(tokenize("On Power-law Relationships"), vec!["on", "power", "law", "relationships"]);
+        assert_eq!(
+            tokenize("On Power-law Relationships"),
+            vec!["on", "power", "law", "relationships"]
+        );
     }
 
     #[test]

@@ -7,8 +7,10 @@ use sizel_storage::{Database, StorageError, TableSchema, Value, ValueType};
 
 fn fresh_db() -> Database {
     let mut db = Database::new();
-    db.create_table(TableSchema::builder("Parent").pk("id").searchable_text("name").build().unwrap())
-        .unwrap();
+    db.create_table(
+        TableSchema::builder("Parent").pk("id").searchable_text("name").build().unwrap(),
+    )
+    .unwrap();
     db.create_table(
         TableSchema::builder("Child")
             .pk("id")

@@ -33,10 +33,7 @@ fn main() {
     let complete = generate_os(&ctx, tds, None, OsSource::DataGraph);
     println!("DS = {}, |OS| = {} tuples\n", results[0].ds_label, complete.len());
 
-    println!(
-        "{:<6} {:<22} {:>12} {:>8} {:>10}",
-        "l", "algorithm", "Im(S)", "quality", "time"
-    );
+    println!("{:<6} {:<22} {:>12} {:>8} {:>10}", "l", "algorithm", "Im(S)", "quality", "time");
     for l in [5usize, 10, 15, 20, 25, 30] {
         let cut = generate_os(&ctx, tds, Some(l as u32 - 1), OsSource::DataGraph);
         let optimal = AlgoKind::Optimal.algorithm().compute(&cut, l);

@@ -36,7 +36,9 @@ fn main() {
     show("Bottom-Up size-10", &BottomUp.compute(&fig5, 10));
     show("Bottom-Up size-5", &BottomUp.compute(&fig5, 5));
     show("optimal size-5", &DpKnapsack.compute(&fig5, 5));
-    println!("  (the paper: Bottom-Up keeps {{1,5,6,11,13}} = 235; optimal is {{1,5,6,12,14}} = 240)");
+    println!(
+        "  (the paper: Bottom-Up keeps {{1,5,6,11,13}} = 235; optimal is {{1,5,6,12,14}} = 240)"
+    );
 
     println!("\n=== Figure 6: Update Top-Path-l (w12 = 12) ===");
     let fig6 = figure56_tree(12.0);

@@ -12,17 +12,13 @@
 //! ```
 
 use sizel::{
-    build_dblp_engine, generate_os, DblpConfig, GaPreset, OsSource, QueryOptions, RenderOptions,
-    D1,
+    build_dblp_engine, generate_os, DblpConfig, GaPreset, OsSource, QueryOptions, RenderOptions, D1,
 };
 
 fn main() {
     println!("Building a synthetic DBLP database and the size-l OS engine...");
     let engine = build_dblp_engine(&DblpConfig::small(), GaPreset::Ga1, D1);
-    println!(
-        "  {} tuples, vocabulary built, ObjectRank converged.\n",
-        engine.db().total_tuples()
-    );
+    println!("  {} tuples, vocabulary built, ObjectRank converged.\n", engine.db().total_tuples());
 
     // --- Example 3: the plain R-KwS answer --------------------------------
     println!("Q1 = \"Faloutsos\" as a plain R-KwS result (Example 3):");
@@ -42,10 +38,7 @@ fn main() {
         complete.len()
     );
     let preview = RenderOptions { max_lines: Some(12), ..RenderOptions::default() };
-    print!(
-        "{}",
-        sizel::render_os(engine.db(), engine.gds(top.tds.table), &complete, &preview)
-    );
+    print!("{}", sizel::render_os(engine.db(), engine.gds(top.tds.table), &complete, &preview));
     println!();
 
     // --- Example 5: the size-15 OSs ---------------------------------------
@@ -63,6 +56,7 @@ fn main() {
 
     // --- And the same query at a different l ------------------------------
     println!("\nThe same query with l = 5 (snippet-sized):");
-    let small = engine.query_with("Christos Faloutsos", QueryOptions { l: 5, ..QueryOptions::default() });
+    let small =
+        engine.query_with("Christos Faloutsos", QueryOptions { l: 5, ..QueryOptions::default() });
     print!("{}", engine.render(&small[0], &RenderOptions::default()));
 }

@@ -29,9 +29,7 @@ pub use sizel_core::algo::{
     AlgoKind, BottomUp, BruteForce, DpKnapsack, DpNaive, SizeLAlgorithm, SizeLResult, TopPath,
     TopPathOpt, WordBudgetDp,
 };
-pub use sizel_core::engine::{
-    EngineConfig, QueryOptions, QueryResult, ResultRanking, SizeLEngine,
-};
+pub use sizel_core::engine::{EngineConfig, QueryOptions, QueryResult, ResultRanking, SizeLEngine};
 pub use sizel_core::eval::{
     approximation_ratio, consecutive_optima_similarity, effectiveness, snippet_selection,
     tuple_effectiveness, EvaluatorPanel,
@@ -46,7 +44,9 @@ pub use sizel_datagen::tpch::{Tpch, TpchConfig};
 pub use sizel_graph::{
     presets as gds_presets, AffinityModel, DataGraph, Gds, GdsConfig, SchemaGraph,
 };
-pub use sizel_rank::{dblp_ga, tpch_ga, AuthorityGraph, GaPreset, RankConfig, RankScores, D1, D2, D3};
+pub use sizel_rank::{
+    dblp_ga, tpch_ga, AuthorityGraph, GaPreset, RankConfig, RankScores, D1, D2, D3,
+};
 pub use sizel_storage::{Database, StorageError, TableSchema, TupleRef, Value, ValueType};
 
 /// Builds a ready-to-query engine over a synthetic DBLP database, with

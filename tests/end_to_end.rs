@@ -52,7 +52,12 @@ fn all_algorithms_agree_on_validity_and_dominance() {
     let opt = dblp()
         .query_with(
             "Christos Faloutsos",
-            QueryOptions { l: 20, algo: AlgoKind::Optimal, prelim: false, ..QueryOptions::default() },
+            QueryOptions {
+                l: 20,
+                algo: AlgoKind::Optimal,
+                prelim: false,
+                ..QueryOptions::default()
+            },
         )
         .remove(0);
     for algo in [AlgoKind::BottomUp, AlgoKind::TopPath, AlgoKind::TopPathOpt] {
@@ -62,10 +67,7 @@ fn all_algorithms_agree_on_validity_and_dominance() {
                 QueryOptions { l: 20, algo, prelim: false, ..QueryOptions::default() },
             )
             .remove(0);
-        assert!(
-            r.result.importance <= opt.result.importance + 1e-9,
-            "{algo:?} beat the optimum"
-        );
+        assert!(r.result.importance <= opt.result.importance + 1e-9, "{algo:?} beat the optimum");
     }
 }
 
@@ -74,11 +76,21 @@ fn data_graph_and_database_sources_agree() {
     for keywords in ["Michalis Faloutsos", "Petros Faloutsos"] {
         let a = dblp().query_with(
             keywords,
-            QueryOptions { l: 12, source: OsSource::DataGraph, prelim: false, ..QueryOptions::default() },
+            QueryOptions {
+                l: 12,
+                source: OsSource::DataGraph,
+                prelim: false,
+                ..QueryOptions::default()
+            },
         );
         let b = dblp().query_with(
             keywords,
-            QueryOptions { l: 12, source: OsSource::Database, prelim: false, ..QueryOptions::default() },
+            QueryOptions {
+                l: 12,
+                source: OsSource::Database,
+                prelim: false,
+                ..QueryOptions::default()
+            },
         );
         assert_eq!(a[0].input_os_size, b[0].input_os_size);
         assert!((a[0].result.importance - b[0].result.importance).abs() < 1e-9);
@@ -107,7 +119,11 @@ fn ranking_modes_differ_only_in_order() {
     let by_ds = dblp().query_with("Faloutsos", QueryOptions { l: 10, ..QueryOptions::default() });
     let by_sum = dblp().query_with(
         "Faloutsos",
-        QueryOptions { l: 10, ranking: ResultRanking::SummaryImportance, ..QueryOptions::default() },
+        QueryOptions {
+            l: 10,
+            ranking: ResultRanking::SummaryImportance,
+            ..QueryOptions::default()
+        },
     );
     assert_eq!(by_ds.len(), by_sum.len());
     let mut a: Vec<_> = by_ds.iter().map(|r| r.tds).collect();

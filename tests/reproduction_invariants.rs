@@ -160,10 +160,7 @@ fn effectiveness_anchor_setting_wins_at_large_l() {
         ga2 += panel.panel_effectiveness(&ref_os, &computed_ga2, l);
     }
     assert!(count > 0, "need at least one large Author OS");
-    assert!(
-        anchor >= ga2,
-        "GA1-d1 effectiveness {anchor} must dominate GA2-d1 {ga2} at l={l}"
-    );
+    assert!(anchor >= ga2, "GA1-d1 effectiveness {anchor} must dominate GA2-d1 {ga2} at l={l}");
 }
 
 #[test]
