@@ -1,0 +1,128 @@
+//! Serving-layer throughput: queries/second against worker-pool size on
+//! the fig10 DBLP workload (benchmark-scale database, the famous-author
+//! head plus band-sampled DSs, l and algorithm crossed as in Figure 10).
+//!
+//! Three regimes per thread count:
+//! * `uncached` — cache disabled: pure worker-pool scaling of the
+//!   sequential engine (the ≥2× at 4 workers acceptance bar).
+//! * `warm-cache` — cache enabled; it warms during the first iteration
+//!   (emptying it between batches would require rebuilding the server),
+//!   so reported numbers are the steady state.
+//! * `sequential` — the PR-1 engine loop, the 1-thread baseline.
+//!
+//! `SIZEL_BENCH_FULL=1` uses more samples; the default keeps `cargo
+//! bench` under a minute.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::{Arc, OnceLock};
+
+use sizel_core::algo::AlgoKind;
+use sizel_core::engine::{EngineConfig, QueryOptions, SizeLEngine};
+use sizel_datagen::dblp::{generate, DblpConfig};
+use sizel_graph::presets;
+use sizel_rank::{dblp_ga, GaPreset};
+use sizel_serve::{ServeConfig, SizeLServer};
+
+fn engine() -> Arc<SizeLEngine> {
+    static E: OnceLock<Arc<SizeLEngine>> = OnceLock::new();
+    Arc::clone(E.get_or_init(|| {
+        let d = generate(&DblpConfig::bench());
+        Arc::new(
+            SizeLEngine::build(
+                d.db,
+                |db, sg, dg| dblp_ga(GaPreset::Ga1, db, sg, dg),
+                EngineConfig::new(vec![
+                    ("Author".into(), presets::dblp_author_gds_config()),
+                    ("Paper".into(), presets::dblp_paper_gds_config()),
+                ]),
+            )
+            .expect("bench DBLP engine builds"),
+        )
+    }))
+}
+
+/// The fig10 DBLP workload: the famous-author ladder keywords crossed
+/// with Figure 10's l axis (subset) and both greedy methods, on prelim
+/// and complete inputs.
+fn workload() -> Vec<(String, QueryOptions)> {
+    let keywords = [
+        "Christos Faloutsos",
+        "Michalis Faloutsos",
+        "Petros Faloutsos",
+        "Ariadne Metaxa",
+        "Stavros Koronis",
+        "Faloutsos",
+    ];
+    let mut set = Vec::new();
+    for kw in keywords {
+        for l in [10usize, 30, 50] {
+            for algo in [AlgoKind::TopPath, AlgoKind::BottomUp] {
+                for prelim in [true, false] {
+                    set.push((
+                        kw.to_owned(),
+                        QueryOptions { l, algo, prelim, ..QueryOptions::default() },
+                    ));
+                }
+            }
+        }
+    }
+    set
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let engine = engine();
+    let set = workload();
+    let full = std::env::var("SIZEL_BENCH_FULL").is_ok_and(|v| v == "1");
+
+    let mut group = c.benchmark_group("serve_throughput_fig10_dblp");
+    group.sample_size(if full { 20 } else { 10 });
+    group.measurement_time(std::time::Duration::from_secs(if full { 5 } else { 2 }));
+
+    // The PR-1 sequential engine: the 1× reference.
+    group.bench_with_input(BenchmarkId::new("sequential", 1), &set, |b, set| {
+        b.iter(|| {
+            for (kw, opts) in set {
+                criterion::black_box(engine.query_with(kw, *opts));
+            }
+        });
+    });
+
+    for threads in [1usize, 2, 4, 8] {
+        // Worker-pool scaling with caching off: every query recomputes.
+        let server = SizeLServer::new(
+            Arc::clone(&engine),
+            ServeConfig {
+                workers: threads,
+                queue_capacity: set.len(),
+                cache_capacity: 0,
+                cache_shards: 16,
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("uncached", threads), &set, |b, set| {
+            b.iter(|| {
+                criterion::black_box(server.batch_query(set));
+            });
+        });
+
+        // Steady-state with the summary cache: after the first iteration
+        // every (tds, l, algo, prelim, source) is a hit.
+        let server = SizeLServer::new(
+            Arc::clone(&engine),
+            ServeConfig {
+                workers: threads,
+                queue_capacity: set.len(),
+                cache_capacity: 4096,
+                cache_shards: 16,
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("warm-cache", threads), &set, |b, set| {
+            b.iter(|| {
+                criterion::black_box(server.batch_query(set));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

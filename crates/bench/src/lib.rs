@@ -301,8 +301,8 @@ impl Bench {
         ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
         // Connectivity bands matching the paper's Aver|OS| per GDS.
         let band: Option<(usize, usize)> = match kind {
-            GdsKind::Author => Some((80, 200)), // papers -> |OS| ~ 800..1900
-            GdsKind::Paper => Some((60, 600)),  // cited-by -> |OS| ~ 70..620
+            GdsKind::Author => Some((75, 175)), // papers -> |OS| ~ 750..1750
+            GdsKind::Paper => Some((200, 800)), // cited-by -> |OS| ~ 210..820
             GdsKind::Customer | GdsKind::Supplier => None,
         };
         let mut rng = Prng::new(0x5A11 ^ kind as u64);

@@ -76,7 +76,8 @@ pub trait SizeLAlgorithm {
 }
 
 /// Algorithm selector used by the engine and the benchmark harness.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// `Hash` because the serving layer's cache key includes the algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AlgoKind {
     /// Optimal via knapsack-merge tree DP (`O(n·l²)`).
     Optimal,

@@ -41,7 +41,7 @@ impl EngineConfig {
 /// How multi-DS results are ordered — the paper ranks by the DS tuple's
 /// global importance; ranking by the summary's `Im(S)` is the "combined
 /// size-l and top-k ranking of OSs" flagged as future work in §7.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum ResultRanking {
     /// By `Im(t_DS)` (the paper's ordering).
     #[default]
@@ -50,8 +50,9 @@ pub enum ResultRanking {
     SummaryImportance,
 }
 
-/// Per-query options.
-#[derive(Clone, Copy, Debug)]
+/// Per-query options. `Eq`/`Hash` so a serving layer can deduplicate
+/// identical requests within a batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct QueryOptions {
     /// Summary size l.
     pub l: usize,
@@ -170,43 +171,56 @@ impl SizeLEngine {
 
     /// Runs a keyword query with explicit options.
     pub fn query_with(&self, keywords: &str, opts: QueryOptions) -> Vec<QueryResult> {
-        let mut hits = self.kw.search(keywords);
-        // Rank DSs by global importance, descending (the paper ranks OSs by
-        // their DS's importance; see also [9]).
-        hits.sort_by(|a, b| {
-            let sa = self.scores.global(self.dg.node_id(*a));
-            let sb = self.scores.global(self.dg.node_id(*b));
-            sb.total_cmp(&sa).then(a.cmp(b))
-        });
-        hits.truncate(self.max_results);
-
-        let mut results = Vec::with_capacity(hits.len());
-        for tds in hits {
-            let ctx = self.context(tds.table);
-            let algo = opts.algo.algorithm();
-            let input = if opts.prelim && opts.l > 0 {
-                generate_prelim(&ctx, tds, opts.l, opts.source).0
-            } else {
-                let cutoff = if opts.l > 0 { Some(opts.l as u32 - 1) } else { None };
-                generate_os(&ctx, tds, cutoff, opts.source)
-            };
-            let result = algo.compute(&input, opts.l);
-            let summary = input.project(&result.selected);
-            results.push(QueryResult {
-                tds,
-                ds_label: self.ds_label(tds),
-                global_score: self.scores.global(self.dg.node_id(tds)),
-                input_os_size: input.len(),
-                result,
-                summary,
-            });
-        }
+        let mut results: Vec<QueryResult> =
+            self.ds_hits(keywords).into_iter().map(|tds| self.summarize(tds, opts)).collect();
         if opts.ranking == ResultRanking::SummaryImportance {
             results.sort_by(|a, b| {
                 b.result.importance.total_cmp(&a.result.importance).then(a.tds.cmp(&b.tds))
             });
         }
         results
+    }
+
+    /// Resolves a keyword query to its DS tuples, ranked by global
+    /// importance descending (the paper ranks OSs by their DS's importance;
+    /// see also [9]) and truncated to `max_results`. The per-DS summary
+    /// computation ([`Self::summarize`]) is deliberately separate so a
+    /// serving layer can memoize it per `(tds, options)` across queries.
+    pub fn ds_hits(&self, keywords: &str) -> Vec<TupleRef> {
+        let mut hits = self.kw.search(keywords);
+        hits.sort_by(|a, b| {
+            let sa = self.scores.global(self.dg.node_id(*a));
+            let sb = self.scores.global(self.dg.node_id(*b));
+            sb.total_cmp(&sa).then(a.cmp(b))
+        });
+        hits.truncate(self.max_results);
+        hits
+    }
+
+    /// Computes one DS tuple's ranked summary — the per-`t_DS` unit of
+    /// [`Self::query_with`]. Deterministic: a pure function of
+    /// `(tds, opts.l, opts.algo, opts.prelim, opts.source)` (`opts.ranking`
+    /// only reorders whole result lists), which is exactly the cache key the
+    /// serving layer uses.
+    pub fn summarize(&self, tds: TupleRef, opts: QueryOptions) -> QueryResult {
+        let ctx = self.context(tds.table);
+        let algo = opts.algo.algorithm();
+        let input = if opts.prelim && opts.l > 0 {
+            generate_prelim(&ctx, tds, opts.l, opts.source).0
+        } else {
+            let cutoff = if opts.l > 0 { Some(opts.l as u32 - 1) } else { None };
+            generate_os(&ctx, tds, cutoff, opts.source)
+        };
+        let result = algo.compute(&input, opts.l);
+        let summary = input.project(&result.selected);
+        QueryResult {
+            tds,
+            ds_label: self.ds_label(tds),
+            global_score: self.scores.global(self.dg.node_id(tds)),
+            input_os_size: input.len(),
+            result,
+            summary,
+        }
     }
 
     /// Renders a result's summary in the Example-5 format.
@@ -250,6 +264,35 @@ mod tests {
             )
             .expect("engine builds")
         })
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        // The serving layer shares one engine read-only across a worker
+        // pool (`Arc<SizeLEngine>`). Every field is either plain owned data
+        // or atomics (the storage `AccessCounter`); no interior mutability
+        // may creep in.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SizeLEngine>();
+        assert_send_sync::<QueryResult>();
+        assert_send_sync::<QueryOptions>();
+    }
+
+    #[test]
+    fn ds_hits_plus_summarize_equals_query_with() {
+        // The serving layer recomposes `query_with` from its two halves;
+        // they must stay equivalent.
+        let e = engine();
+        let opts = QueryOptions { l: 12, ..QueryOptions::default() };
+        let whole = e.query_with("Faloutsos", opts);
+        let parts: Vec<QueryResult> =
+            e.ds_hits("Faloutsos").into_iter().map(|t| e.summarize(t, opts)).collect();
+        assert_eq!(whole.len(), parts.len());
+        for (a, b) in whole.iter().zip(&parts) {
+            assert_eq!(a.tds, b.tds);
+            assert_eq!(a.result, b.result);
+            assert_eq!(a.global_score.to_bits(), b.global_score.to_bits());
+        }
     }
 
     #[test]

@@ -19,7 +19,8 @@ use sizel_storage::{Database, TupleRef};
 use crate::os::{Os, OsNodeId};
 
 /// Where OS generation reads tuples from.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// `Hash` because the serving layer's cache key includes the source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum OsSource {
     /// The in-memory tuple graph (fast path).
     DataGraph,
@@ -185,23 +186,19 @@ impl<'a> OsContext<'a> {
                 let jrows = self.db.select_eq(*junction, e1.fk_col, pk);
                 let jt = self.db.table(*junction);
                 let target = self.db.table(e2.to);
-                let mut scored: Vec<(f64, TupleRef)> = Vec::new();
-                for j in jrows {
-                    if let Some(k) = jt.value(j, e2.fk_col).as_int() {
-                        if let Some(r) = target.by_pk(k) {
-                            let tuple = TupleRef::new(e2.to, r);
-                            if *exclude_parent && Some(tuple) == grandparent {
-                                continue;
-                            }
-                            let w = self.local_importance(child, tuple);
-                            if w > largest_l {
-                                scored.push((w, tuple));
-                            }
+                let scored = sizel_storage::top_l(
+                    jrows.into_iter().filter_map(|j| {
+                        let k = jt.value(j, e2.fk_col).as_int()?;
+                        let r = target.by_pk(k)?;
+                        let tuple = TupleRef::new(e2.to, r);
+                        if *exclude_parent && Some(tuple) == grandparent {
+                            return None;
                         }
-                    }
-                }
-                scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-                scored.truncate(l);
+                        let w = self.local_importance(child, tuple);
+                        (w > largest_l).then_some((w, tuple))
+                    }),
+                    l,
+                );
                 self.db.access().record_join(scored.len());
                 out.extend(scored.into_iter().map(|(_, t)| t));
             }
@@ -210,15 +207,13 @@ impl<'a> OsContext<'a> {
                 // whose result is at most one row: fetch then filter.
                 let mut all = Vec::new();
                 self.children_of(child, parent_tuple, grandparent, source, &mut all);
-                let mut scored: Vec<(f64, TupleRef)> = all
-                    .into_iter()
-                    .filter_map(|t| {
+                let scored = sizel_storage::top_l(
+                    all.into_iter().filter_map(|t| {
                         let w = self.local_importance(child, t);
                         (w > largest_l).then_some((w, t))
-                    })
-                    .collect();
-                scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-                scored.truncate(l);
+                    }),
+                    l,
+                );
                 out.extend(scored.into_iter().map(|(_, t)| t));
             }
         }

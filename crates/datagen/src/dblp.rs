@@ -115,12 +115,14 @@ impl DblpConfig {
             papers: 12_000,
             authors: 3_000,
             author_zipf: 0.8,
-            // Citation skew calibrated against the paper's regime: steep
-            // enough for a well-cited head (Paper OS sizes near Aver=367)
-            // but not so steep that a handful of mega-cited tuples dominate
-            // every size-l OS (real DBLP's ObjectRank range is milder).
-            citations_per_paper_mean: 3.0,
-            citation_zipf: 0.6,
+            // Citation skew calibrated against the paper's regime: the
+            // *mean* stays moderate (it drives the per-paper PaperCites
+            // fan-out inside every Author OS, whose Aver|OS| must hold at
+            // ~1116) while the *zipf exponent* concentrates fan-in on the
+            // head papers the Paper-GDS samples draw from (real DBLP's
+            // well-cited papers, Aver|OS| = 367).
+            citations_per_paper_mean: 3.6,
+            citation_zipf: 1.0,
             famous: vec![
                 FamousAuthorSpec { name: "Christos Faloutsos".into(), papers: 124 },
                 FamousAuthorSpec { name: "Michalis Faloutsos".into(), papers: 87 },

@@ -1,0 +1,354 @@
+//! A sharded LRU cache for memoized query results.
+//!
+//! Lock contention, not capacity, is the scaling hazard of a single shared
+//! cache behind a worker pool: every hit mutates recency state, so even
+//! reads need exclusive access. The cache is therefore split into shards,
+//! each its own `Mutex`-guarded LRU, with keys assigned by hash — threads
+//! touching different keys almost never contend. Each shard is a classic
+//! O(1) LRU: a slab of entries threaded onto an intrusive doubly-linked
+//! recency list, plus a `HashMap` from key to slab slot.
+//!
+//! Hit / miss / eviction / insertion counters are shared across shards and
+//! atomically updated so the server can report one aggregate view.
+
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Aggregate counters, shared by every shard of one cache.
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+}
+
+/// A point-in-time view of a cache's counters and occupancy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced to make room at capacity.
+    pub evictions: u64,
+    /// Entries written (first writes and overwrites alike).
+    pub insertions: u64,
+    /// Live entries across all shards.
+    pub len: usize,
+    /// Maximum live entries across all shards.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit ratio over all lookups (0 when no lookups happened).
+    pub fn hit_ratio(self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: an O(1) LRU over a slab + intrusive recency list.
+#[derive(Debug)]
+struct LruShard<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    free: Vec<usize>,
+    /// Most recently used slot.
+    head: usize,
+    /// Least recently used slot — the eviction victim.
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> LruShard<K, V> {
+    fn new(capacity: usize) -> Self {
+        LruShard {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Unlinks `slot` from the recency list.
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    /// Links `slot` at the head (most recently used).
+    fn link_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        match self.head {
+            NIL => self.tail = slot,
+            h => self.slots[h].prev = slot,
+        }
+        self.head = slot;
+    }
+
+    fn get(&mut self, key: &K) -> Option<V> {
+        let slot = *self.map.get(key)?;
+        if slot != self.head {
+            self.unlink(slot);
+            self.link_front(slot);
+        }
+        Some(self.slots[slot].value.clone())
+    }
+
+    /// Inserts or overwrites; returns true when an eviction made room.
+    fn insert(&mut self, key: K, value: V) -> bool {
+        debug_assert!(self.capacity > 0, "zero-capacity shards reject inserts upstream");
+        match self.map.entry(key.clone()) {
+            MapEntry::Occupied(e) => {
+                let slot = *e.get();
+                self.slots[slot].value = value;
+                if slot != self.head {
+                    self.unlink(slot);
+                    self.link_front(slot);
+                }
+                false
+            }
+            MapEntry::Vacant(_) => {
+                let evicted = if self.map.len() >= self.capacity {
+                    let victim = self.tail;
+                    self.unlink(victim);
+                    self.map.remove(&self.slots[victim].key);
+                    self.free.push(victim);
+                    true
+                } else {
+                    false
+                };
+                let slot = match self.free.pop() {
+                    Some(s) => {
+                        self.slots[s] = Slot { key: key.clone(), value, prev: NIL, next: NIL };
+                        s
+                    }
+                    None => {
+                        self.slots.push(Slot { key: key.clone(), value, prev: NIL, next: NIL });
+                        self.slots.len() - 1
+                    }
+                };
+                self.map.insert(key, slot);
+                self.link_front(slot);
+                evicted
+            }
+        }
+    }
+}
+
+/// The sharded cache. `capacity = 0` disables it: every lookup misses, no
+/// entry is stored (used by benches to measure the uncached baseline).
+#[derive(Debug)]
+pub struct ShardedCache<K, V> {
+    shards: Vec<Mutex<LruShard<K, V>>>,
+    hasher: RandomState,
+    counters: CacheCounters,
+    capacity: usize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
+    /// A cache of `capacity` total entries spread over `shards` shards
+    /// (shard count is clamped to at least 1 and at most `capacity`).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let n_shards = shards.clamp(1, capacity.max(1));
+        // Ceiling split so shard capacities sum to >= capacity and every
+        // shard holds at least one entry.
+        let per_shard = if capacity == 0 { 0 } else { capacity.div_ceil(n_shards) };
+        ShardedCache {
+            shards: (0..n_shards).map(|_| Mutex::new(LruShard::new(per_shard))).collect(),
+            hasher: RandomState::new(),
+            counters: CacheCounters::default(),
+            capacity: per_shard * n_shards,
+        }
+    }
+
+    fn shard_of(&self, key: &K) -> &Mutex<LruShard<K, V>> {
+        let h = self.hasher.hash_one(key);
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        if self.capacity == 0 {
+            self.counters.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let found = self.shard_of(key).lock().expect("cache poisoned").get(key);
+        match found {
+            Some(v) => {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `key -> value`, evicting the shard's least recently used
+    /// entry at capacity. A no-op on a disabled (zero-capacity) cache.
+    pub fn insert(&self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        let evicted = self.shard_of(&key).lock().expect("cache poisoned").insert(key, value);
+        self.counters.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted {
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total capacity (0 when disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Live entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache poisoned").map.len()).sum()
+    }
+
+    /// True when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A consistent-enough snapshot of the counters plus occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            insertions: self.counters.insertions.load(Ordering::Relaxed),
+            len: self.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_miss() {
+        let c: ShardedCache<u32, String> = ShardedCache::new(8, 2);
+        assert_eq!(c.get(&1), None);
+        c.insert(1, "one".into());
+        assert_eq!(c.get(&1).as_deref(), Some("one"));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used_in_order() {
+        // Single shard so the recency order is fully observable.
+        let c: ShardedCache<u32, u32> = ShardedCache::new(3, 1);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert_eq!(c.get(&1), Some(10));
+        c.insert(4, 40);
+        assert_eq!(c.get(&2), None, "LRU entry evicted");
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.get(&3), Some(30));
+        assert_eq!(c.get(&4), Some(40));
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn overwrite_refreshes_without_eviction() {
+        let c: ShardedCache<u32, u32> = ShardedCache::new(2, 1);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11); // overwrite, no eviction
+        assert_eq!(c.stats().evictions, 0);
+        c.insert(3, 30); // 2 is now the LRU
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(11));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c: ShardedCache<u32, u32> = ShardedCache::new(0, 4);
+        c.insert(1, 10);
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.capacity(), 0);
+        assert_eq!(c.stats().insertions, 0);
+    }
+
+    #[test]
+    fn capacity_bound_holds_under_churn() {
+        let c: ShardedCache<u64, u64> = ShardedCache::new(16, 4);
+        for i in 0..1000u64 {
+            c.insert(i, i);
+            let _ = c.get(&(i / 2));
+        }
+        assert!(c.len() <= c.capacity(), "{} > {}", c.len(), c.capacity());
+        let s = c.stats();
+        assert_eq!(s.insertions, 1000);
+        assert!(s.evictions >= 1000 - s.capacity as u64);
+    }
+
+    #[test]
+    fn hit_ratio_math() {
+        let s = CacheStats { hits: 3, misses: 1, ..CacheStats::default() };
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let c = std::sync::Arc::new(ShardedCache::<u64, u64>::new(64, 8));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let c = std::sync::Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500 {
+                    let k = (t * 131 + i) % 100;
+                    if let Some(v) = c.get(&k) {
+                        assert_eq!(v, k, "a key must only ever map to its own value");
+                    } else {
+                        c.insert(k, k);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.len() <= c.capacity());
+    }
+}

@@ -1,0 +1,332 @@
+//! # sizel-serve — the concurrent serving layer
+//!
+//! [`SizeLEngine`] is a read-only query engine: once built, every query
+//! path takes `&self` and all shared mutation goes through atomics (the
+//! storage access counters). That makes one engine safely shareable across
+//! threads behind an `Arc` — which is exactly what this crate does:
+//!
+//! * [`SizeLServer`] owns an `Arc<SizeLEngine>` and a fixed pool of worker
+//!   threads pulling jobs from a *bounded* submission queue
+//!   ([`queue::BoundedQueue`]), so heavy traffic exerts backpressure
+//!   instead of growing an unbounded backlog.
+//! * A sharded LRU cache ([`cache::ShardedCache`]) memoizes the per-DS
+//!   summary computation across queries, keyed on
+//!   `(t_DS, l, algo, prelim, source)` — the exact argument tuple
+//!   [`SizeLEngine::summarize`] is a pure function of. Repeated keyword
+//!   queries over a slowly-changing ranking re-hit the same `t_DS` tuples
+//!   (the continual/top-k workload), so summary reuse dominates end-to-end
+//!   latency.
+//! * [`SizeLServer::batch_query`] amortizes keyword-index lookups across a
+//!   batch: duplicate `(keywords, options)` requests are resolved with one
+//!   index probe and one summary computation, then fanned back out.
+//!
+//! Results are returned as `Arc<QueryResult>` so a cache hit shares the
+//! materialized size-l OS instead of deep-copying it per request. The
+//! equivalence guarantee — server output byte-identical to the sequential
+//! engine — is enforced by `tests/stress.rs`.
+
+use std::collections::HashMap;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use sizel_core::algo::AlgoKind;
+use sizel_core::engine::{QueryOptions, QueryResult, ResultRanking, SizeLEngine};
+use sizel_core::osgen::OsSource;
+use sizel_storage::TupleRef;
+
+pub mod cache;
+pub mod queue;
+
+pub use cache::{CacheStats, ShardedCache};
+pub use queue::BoundedQueue;
+
+/// The cache key: everything [`SizeLEngine::summarize`] depends on.
+/// `ranking` is deliberately excluded — it only reorders whole result
+/// lists and must never fragment the cache (a hit for `(algo, prelim)`
+/// under one ranking is byte-identical under the other).
+pub type SummaryKey = (TupleRef, usize, AlgoKind, bool, OsSource);
+
+/// A cached, shareable query result.
+pub type SharedResult = Arc<QueryResult>;
+
+fn summary_key(tds: TupleRef, opts: QueryOptions) -> SummaryKey {
+    (tds, opts.l, opts.algo, opts.prelim, opts.source)
+}
+
+/// Server construction parameters.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Bounded submission-queue capacity (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Total cached summaries across all shards; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Cache shard count (clamped to `[1, cache_capacity]`).
+    pub cache_shards: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(4);
+        ServeConfig { workers: cores, queue_capacity: 1024, cache_capacity: 4096, cache_shards: 16 }
+    }
+}
+
+impl ServeConfig {
+    /// A config with `workers` threads and default everything else.
+    pub fn with_workers(workers: usize) -> Self {
+        ServeConfig { workers, ..ServeConfig::default() }
+    }
+}
+
+/// Point-in-time server health: cache counters plus served-query totals.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// The summary cache's counters.
+    pub cache: CacheStats,
+    /// Queries fully served (one per submitted job).
+    pub queries_served: u64,
+    /// Per-DS summaries computed (cache misses that did real work).
+    pub summaries_computed: u64,
+}
+
+/// One unit of work for the pool: a query plus its reply slot. `seq`
+/// restores submission order on the collecting side.
+struct Job {
+    keywords: String,
+    opts: QueryOptions,
+    seq: usize,
+    reply: mpsc::Sender<(usize, Vec<SharedResult>)>,
+}
+
+/// A shared read-only engine behind a worker pool with summary caching.
+///
+/// Dropping the server closes the queue, drains the backlog, and joins
+/// every worker.
+pub struct SizeLServer {
+    engine: Arc<SizeLEngine>,
+    cache: Arc<ShardedCache<SummaryKey, SharedResult>>,
+    jobs: Arc<BoundedQueue<Job>>,
+    queries_served: Arc<AtomicU64>,
+    summaries_computed: Arc<AtomicU64>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SizeLServer {
+    /// Spawns the worker pool over a shared engine.
+    pub fn new(engine: Arc<SizeLEngine>, cfg: ServeConfig) -> Self {
+        let cache = Arc::new(ShardedCache::new(cfg.cache_capacity, cfg.cache_shards));
+        let jobs: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(cfg.queue_capacity));
+        let queries_served = Arc::new(AtomicU64::new(0));
+        let summaries_computed = Arc::new(AtomicU64::new(0));
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                let cache = Arc::clone(&cache);
+                let jobs = Arc::clone(&jobs);
+                let served = Arc::clone(&queries_served);
+                let computed = Arc::clone(&summaries_computed);
+                std::thread::Builder::new()
+                    .name(format!("sizel-serve-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = jobs.pop() {
+                            // A panic while serving one query must not kill
+                            // the worker: queued jobs would strand and their
+                            // clients block forever. Catch it, drop the
+                            // reply sender (the submitter sees a recv error
+                            // naming the panic), keep serving.
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    run_query(&engine, &cache, &computed, &job.keywords, job.opts)
+                                }));
+                            if let Ok(results) = outcome {
+                                served.fetch_add(1, Ordering::Relaxed);
+                                // The submitter may have given up (dropped
+                                // the receiver); that is not a worker error.
+                                let _ = job.reply.send((job.seq, results));
+                            }
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        SizeLServer { engine, cache, jobs, queries_served, summaries_computed, workers }
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &SizeLEngine {
+        &self.engine
+    }
+
+    /// Runs one query through the pool, blocking for the result. Identical
+    /// output to [`SizeLEngine::query_with`] on the same engine (modulo
+    /// `Arc` wrapping) — the stress suite asserts this byte-for-byte.
+    pub fn query(&self, keywords: &str, opts: QueryOptions) -> Vec<SharedResult> {
+        let (tx, rx) = mpsc::channel();
+        let job = Job { keywords: keywords.to_owned(), opts, seq: 0, reply: tx };
+        if self.jobs.push(job).is_err() {
+            unreachable!("queue closes only in Drop, which takes &mut self");
+        }
+        let (_, results) =
+            rx.recv().expect("worker panicked while serving this query (see its panic output)");
+        results
+    }
+
+    /// Serves a whole batch concurrently, returning results in submission
+    /// order. Duplicate `(keywords, options)` requests are served by a
+    /// single keyword-index lookup + summary computation and fanned back
+    /// out, amortizing the index work across the batch.
+    pub fn batch_query(&self, requests: &[(String, QueryOptions)]) -> Vec<Vec<SharedResult>> {
+        let mut first_of: HashMap<(&str, QueryOptions), usize> = HashMap::new();
+        // duplicate_of[i] = index of the first identical request, if any.
+        let duplicate_of: Vec<Option<usize>> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, (kw, opts))| match first_of.entry((kw.as_str(), *opts)) {
+                std::collections::hash_map::Entry::Occupied(e) => Some(*e.get()),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(i);
+                    None
+                }
+            })
+            .collect();
+
+        let (tx, rx) = mpsc::channel();
+        let mut distinct = 0usize;
+        for (i, (keywords, opts)) in requests.iter().enumerate() {
+            if duplicate_of[i].is_some() {
+                continue;
+            }
+            distinct += 1;
+            let job = Job { keywords: keywords.clone(), opts: *opts, seq: i, reply: tx.clone() };
+            if self.jobs.push(job).is_err() {
+                unreachable!("queue closes only in Drop, which takes &mut self");
+            }
+        }
+        drop(tx);
+
+        let mut slots: Vec<Option<Vec<SharedResult>>> = vec![None; requests.len()];
+        for _ in 0..distinct {
+            let (seq, results) = rx
+                .recv()
+                .expect("worker panicked while serving a batched query (see its panic output)");
+            slots[seq] = Some(results);
+        }
+        (0..requests.len())
+            .map(|i| {
+                let src = duplicate_of[i].unwrap_or(i);
+                slots[src].clone().expect("every distinct request was served")
+            })
+            .collect()
+    }
+
+    /// Aggregate cache and throughput counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            cache: self.cache.stats(),
+            queries_served: self.queries_served.load(Ordering::Relaxed),
+            summaries_computed: self.summaries_computed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Worker pool size.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for SizeLServer {
+    fn drop(&mut self) {
+        self.jobs.close();
+        for w in self.workers.drain(..) {
+            // Per-job panics are caught in the worker loop, so join errors
+            // should be impossible; if one happens anyway, re-raise it —
+            // unless this drop is itself part of an unwind, where a second
+            // panic would abort the process and eat both messages.
+            if let Err(e) = w.join() {
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(e);
+                }
+            }
+        }
+    }
+}
+
+/// The worker-side query path: `ds_hits` + per-DS memoized `summarize` +
+/// the optional result-list reorder — a faithful recomposition of
+/// `SizeLEngine::query_with` with the per-DS unit routed through the cache.
+///
+/// Two workers missing the same key concurrently both compute it and both
+/// insert; `summarize` is deterministic, so last-write-wins is benign.
+fn run_query(
+    engine: &SizeLEngine,
+    cache: &ShardedCache<SummaryKey, SharedResult>,
+    summaries_computed: &AtomicU64,
+    keywords: &str,
+    opts: QueryOptions,
+) -> Vec<SharedResult> {
+    let mut results: Vec<SharedResult> = engine
+        .ds_hits(keywords)
+        .into_iter()
+        .map(|tds| {
+            let key = summary_key(tds, opts);
+            cache.get(&key).unwrap_or_else(|| {
+                let computed: SharedResult = Arc::new(engine.summarize(tds, opts));
+                summaries_computed.fetch_add(1, Ordering::Relaxed);
+                cache.insert(key, Arc::clone(&computed));
+                computed
+            })
+        })
+        .collect();
+    if opts.ranking == ResultRanking::SummaryImportance {
+        results.sort_by(|a, b| {
+            b.result.importance.total_cmp(&a.result.importance).then(a.tds.cmp(&b.tds))
+        });
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SizeLServer>();
+        assert_send_sync::<ShardedCache<SummaryKey, SharedResult>>();
+        assert_send_sync::<BoundedQueue<Job>>();
+    }
+
+    #[test]
+    fn summary_key_ignores_ranking() {
+        let tds = TupleRef::new(sizel_storage::TableId(0), sizel_storage::RowId(0));
+        let a = QueryOptions { ranking: ResultRanking::DsGlobalImportance, ..test_opts() };
+        let b = QueryOptions { ranking: ResultRanking::SummaryImportance, ..test_opts() };
+        assert_eq!(summary_key(tds, a), summary_key(tds, b));
+    }
+
+    fn test_opts() -> QueryOptions {
+        QueryOptions {
+            l: 10,
+            algo: AlgoKind::TopPath,
+            source: OsSource::DataGraph,
+            prelim: true,
+            ranking: ResultRanking::default(),
+        }
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = ServeConfig::default();
+        assert!(cfg.workers >= 1);
+        assert!(cfg.queue_capacity >= 1);
+        assert!(cfg.cache_shards >= 1);
+        let four = ServeConfig::with_workers(4);
+        assert_eq!(four.workers, 4);
+        assert_eq!(four.cache_capacity, cfg.cache_capacity);
+    }
+}

@@ -1,0 +1,181 @@
+//! A bounded MPMC submission queue built on `Mutex` + two `Condvar`s.
+//!
+//! The standard library offers only unbounded MPSC channels; the server
+//! needs *bounded* multi-producer/multi-consumer semantics so that
+//! submission exerts backpressure when the worker pool falls behind
+//! (producers block in [`BoundedQueue::push`] instead of growing an
+//! unbounded backlog). No external crates are available offline, so the
+//! classic two-condvar bounded buffer is implemented here directly.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A closable bounded FIFO shared by producers and consumers.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+    /// Signalled when an item is enqueued or the queue closes.
+    not_empty: Condvar,
+    /// Signalled when an item is dequeued or the queue closes.
+    not_full: Condvar,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Error returned by [`BoundedQueue::push`] on a closed queue; carries the
+/// rejected item back to the caller.
+#[derive(Debug)]
+pub struct Closed<T>(pub T);
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner { items: VecDeque::new(), closed: false }),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full. Fails only when
+    /// the queue has been closed.
+    pub fn push(&self, item: T) -> Result<(), Closed<T>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if inner.closed {
+                return Err(Closed(item));
+            }
+            if inner.items.len() < self.capacity {
+                inner.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.not_full.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty.
+    /// Returns `None` once the queue is closed *and* drained — consumers
+    /// use this as their shutdown signal after processing the backlog.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: pending `pop`s drain the backlog then return
+    /// `None`; subsequent `push`es fail. Idempotent.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.push(7).unwrap();
+        q.close();
+        assert!(q.push(8).is_err());
+        assert_eq!(q.pop(), Some(7), "backlog drains after close");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_push_wakes_on_pop() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(2).is_ok());
+        // The producer blocks on the full queue until this pop.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(1));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn many_producers_many_consumers() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let mut handles = Vec::new();
+        for p in 0..4u64 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    q.push(p * 1000 + i).unwrap();
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let q = Arc::clone(&q);
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.sort_unstable();
+        let expect: Vec<u64> =
+            (0..4u64).flat_map(|p| (0..100).map(move |i| p * 1000 + i)).collect();
+        assert_eq!(all, expect);
+    }
+}

@@ -1,0 +1,30 @@
+//! Shared fixture for the serving-layer integration tests: the same
+//! small-scale DBLP engine (Author + Paper DS relations, GA1) that
+//! `sizel-core`'s own engine tests build — the sequential baseline every
+//! server path is compared against.
+
+use std::sync::{Arc, OnceLock};
+
+use sizel_core::engine::{EngineConfig, SizeLEngine};
+use sizel_datagen::dblp::{generate, DblpConfig};
+use sizel_graph::presets;
+use sizel_rank::{dblp_ga, GaPreset};
+
+/// One engine per test binary, shared read-only across its tests.
+pub fn small_engine() -> Arc<SizeLEngine> {
+    static E: OnceLock<Arc<SizeLEngine>> = OnceLock::new();
+    Arc::clone(E.get_or_init(|| {
+        let d = generate(&DblpConfig::small());
+        Arc::new(
+            SizeLEngine::build(
+                d.db,
+                |db, sg, dg| dblp_ga(GaPreset::Ga1, db, sg, dg),
+                EngineConfig::new(vec![
+                    ("Author".into(), presets::dblp_author_gds_config()),
+                    ("Paper".into(), presets::dblp_paper_gds_config()),
+                ]),
+            )
+            .expect("engine builds"),
+        )
+    }))
+}

@@ -1,0 +1,244 @@
+//! The equivalence oracle for the serving layer: every path through the
+//! server must produce output *byte-identical* to the sequential
+//! `SizeLEngine` from PR 1 — same DS tuples in the same order, same float
+//! bits, same materialized size-l OS trees.
+//!
+//! The stress tests are barrier-driven: N client threads release at once
+//! and hammer the same query set through one server (so cache misses,
+//! hits, and concurrent same-key computations all occur), then every
+//! response is compared against the sequential baseline fingerprint.
+//!
+//! Tests honor `RUST_TEST_THREADS` (each test is self-contained; the
+//! shared engine is read-only) and pass in any order.
+
+use std::sync::{Arc, Barrier};
+
+use sizel_core::algo::AlgoKind;
+use sizel_core::engine::{QueryOptions, QueryResult, ResultRanking, SizeLEngine};
+use sizel_core::osgen::OsSource;
+use sizel_serve::{ServeConfig, SizeLServer};
+
+mod common;
+use common::small_engine as engine;
+
+/// A canonical byte-exact rendering of a result list: every float is
+/// printed as raw bits, every tree node with all of its structure.
+fn fingerprint(results: &[impl std::ops::Deref<Target = QueryResult>]) -> String {
+    let mut out = String::new();
+    for r in results {
+        out.push_str(&format!(
+            "tds={:?} label={:?} global={:016x} in_size={} im={:016x} sel={:?}\n",
+            r.tds,
+            r.ds_label,
+            r.global_score.to_bits(),
+            r.input_os_size,
+            r.result.importance.to_bits(),
+            r.result.selected,
+        ));
+        for (id, n) in r.summary.iter() {
+            out.push_str(&format!(
+                "  {:?}: t={:?} g={:?} p={:?} c={:?} d={} w={:016x}\n",
+                id,
+                n.tuple,
+                n.gds_node,
+                n.parent,
+                n.children,
+                n.depth,
+                n.weight.to_bits()
+            ));
+        }
+    }
+    out
+}
+
+/// The workload: real hits (one DS, several DSs, Paper-table DSs), misses,
+/// and empty queries, crossed with every algorithm/input/source/ranking
+/// combination the engine serves.
+fn query_set() -> Vec<(String, QueryOptions)> {
+    let keywords = [
+        "Faloutsos",
+        "Christos Faloutsos",
+        "Michalis Faloutsos",
+        "Petros Faloutsos",
+        "Power-law",
+        "declustering",
+        "xylophone quantum", // no hits
+    ];
+    let mut set = Vec::new();
+    for kw in keywords {
+        for l in [5usize, 15] {
+            for algo in [AlgoKind::TopPath, AlgoKind::BottomUp, AlgoKind::Optimal] {
+                for prelim in [true, false] {
+                    set.push((
+                        kw.to_owned(),
+                        QueryOptions {
+                            l,
+                            algo,
+                            prelim,
+                            source: OsSource::DataGraph,
+                            ranking: ResultRanking::default(),
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    // A few database-source and summary-ranked probes (slower, so fewer).
+    set.push((
+        "Faloutsos".into(),
+        QueryOptions {
+            l: 10,
+            algo: AlgoKind::TopPath,
+            prelim: true,
+            source: OsSource::Database,
+            ranking: ResultRanking::default(),
+        },
+    ));
+    set.push((
+        "Faloutsos".into(),
+        QueryOptions {
+            l: 10,
+            algo: AlgoKind::TopPath,
+            prelim: true,
+            source: OsSource::DataGraph,
+            ranking: ResultRanking::SummaryImportance,
+        },
+    ));
+    set
+}
+
+/// Sequential ground truth, computed directly on the engine.
+fn baseline(engine: &SizeLEngine, set: &[(String, QueryOptions)]) -> Vec<String> {
+    set.iter()
+        .map(|(kw, opts)| {
+            let results = engine.query_with(kw, *opts);
+            let refs: Vec<&QueryResult> = results.iter().collect();
+            fingerprint(&refs)
+        })
+        .collect()
+}
+
+#[test]
+fn n_thread_stress_matches_sequential_engine() {
+    let engine = engine();
+    let set = query_set();
+    let expected = baseline(&engine, &set);
+
+    let n_threads = 8;
+    let server = Arc::new(SizeLServer::new(
+        Arc::clone(&engine),
+        ServeConfig { workers: 4, queue_capacity: 16, cache_capacity: 256, cache_shards: 8 },
+    ));
+    let barrier = Arc::new(Barrier::new(n_threads));
+    let handles: Vec<_> = (0..n_threads)
+        .map(|t| {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            let set = set.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                // Each thread walks the set from a different offset so
+                // first-touch (miss) and re-touch (hit) interleave across
+                // threads.
+                for i in 0..set.len() {
+                    let j = (i + t * 7) % set.len();
+                    let (kw, opts) = &set[j];
+                    let got = server.query(kw, *opts);
+                    assert_eq!(
+                        fingerprint(&got),
+                        expected[j],
+                        "thread {t} query {j} ({kw:?}, {opts:?}) diverged from the \
+                         sequential engine"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.queries_served, (n_threads * set.len()) as u64);
+    assert!(stats.cache.hits > 0, "8 threads re-running the set must hit the cache");
+}
+
+#[test]
+fn batch_query_matches_sequential_engine_and_dedups() {
+    let engine = engine();
+    let set = query_set();
+    let expected = baseline(&engine, &set);
+
+    let server = SizeLServer::new(
+        Arc::clone(&engine),
+        ServeConfig { workers: 4, queue_capacity: 8, cache_capacity: 512, cache_shards: 4 },
+    );
+    // Duplicate the whole set 3x in interleaved order: results must come
+    // back in submission order, each identical to its baseline.
+    let mut batch = Vec::new();
+    let mut expect_order = Vec::new();
+    for round in 0..3 {
+        for i in 0..set.len() {
+            let j = (i + round) % set.len();
+            batch.push(set[j].clone());
+            expect_order.push(j);
+        }
+    }
+    let responses = server.batch_query(&batch);
+    assert_eq!(responses.len(), batch.len());
+    for (resp, &j) in responses.iter().zip(&expect_order) {
+        assert_eq!(fingerprint(resp), expected[j]);
+    }
+    // Only the distinct requests did index + summary work.
+    let stats = server.stats();
+    assert_eq!(stats.queries_served, set.len() as u64, "duplicates served without new jobs");
+}
+
+#[test]
+fn uncached_server_still_matches() {
+    // cache_capacity = 0 disables memoization entirely; the pool itself
+    // must still be equivalence-preserving.
+    let engine = engine();
+    let set: Vec<(String, QueryOptions)> = query_set().into_iter().take(12).collect();
+    let expected = baseline(&engine, &set);
+    let server = SizeLServer::new(
+        Arc::clone(&engine),
+        ServeConfig { workers: 3, queue_capacity: 4, cache_capacity: 0, cache_shards: 4 },
+    );
+    for ((kw, opts), want) in set.iter().zip(&expected) {
+        assert_eq!(&fingerprint(&server.query(kw, *opts)), want);
+    }
+    let stats = server.stats();
+    assert_eq!(stats.cache.hits, 0);
+    assert_eq!(stats.cache.len, 0);
+}
+
+#[test]
+fn single_worker_server_serializes_correctly() {
+    // One worker, many producers: the bounded queue provides the ordering
+    // and backpressure; results must still be correct.
+    let engine = engine();
+    let server = Arc::new(SizeLServer::new(
+        Arc::clone(&engine),
+        ServeConfig { workers: 1, queue_capacity: 2, cache_capacity: 64, cache_shards: 1 },
+    ));
+    let expected =
+        fingerprint(&engine.query("Faloutsos", 15).iter().collect::<Vec<&QueryResult>>());
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            let server = Arc::clone(&server);
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                for _ in 0..5 {
+                    let got =
+                        server.query("Faloutsos", QueryOptions { l: 15, ..Default::default() });
+                    assert_eq!(fingerprint(&got), expected);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+}

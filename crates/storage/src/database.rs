@@ -177,15 +177,15 @@ impl Database {
         } else {
             t.rows_where_eq(col, key).to_vec()
         };
-        let mut scored: Vec<(f64, RowId)> = candidates
-            .into_iter()
-            .filter_map(|r| {
+        // Bounded top-l selection — O(g log l) over a group of g rows
+        // instead of sorting the whole group (ROADMAP hot path).
+        let scored = crate::topl::top_l(
+            candidates.into_iter().filter_map(|r| {
                 let s = li(r);
                 (s > largest_l).then_some((s, r))
-            })
-            .collect();
-        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-        scored.truncate(l);
+            }),
+            l,
+        );
         let rows: Vec<RowId> = scored.into_iter().map(|(_, r)| r).collect();
         self.access.record_join(rows.len());
         rows

@@ -22,6 +22,7 @@ pub mod error;
 pub mod schema;
 pub mod table;
 pub mod text;
+pub mod topl;
 pub mod value;
 
 pub use access::{AccessCounter, AccessStats};
@@ -29,6 +30,7 @@ pub use database::{Database, TableId, TupleRef};
 pub use error::StorageError;
 pub use schema::{Column, ForeignKey, SchemaBuilder, TableSchema};
 pub use table::{RowId, Table};
+pub use topl::top_l;
 pub use value::{Value, ValueType};
 
 /// Crate-wide result type.

@@ -112,4 +112,67 @@ proptest! {
             prop_assert_eq!(got.len(), above);
         }
     }
+
+    /// The bounded-heap `select_eq_top_l` is *exactly* the sorted-prefix
+    /// oracle: full sort (score desc, RowId asc), filter by threshold,
+    /// truncate to l — same rows, same order, for random groups,
+    /// thresholds, and l. Scores include duplicates (narrow value range)
+    /// so tie-breaking is exercised.
+    #[test]
+    fn heap_top_l_equals_sorted_prefix_oracle(
+        // Scores quantized to 0.5 steps so duplicate scores (tie-breaking)
+        // are common.
+        groups in proptest::collection::vec(
+            (0i64..8, (0.0..16.0f64).prop_map(|w| (w * 2.0).floor() / 2.0)), 0..120),
+        l in 0usize..12,
+        threshold in 0.0..12.0f64,
+    ) {
+        let mut db = fresh_db();
+        for pk in 0i64..8 {
+            db.insert("Parent", vec![Value::Int(pk), format!("p{pk}").into()]).unwrap();
+        }
+        for (i, &(parent, w)) in groups.iter().enumerate() {
+            db.insert("Child", vec![Value::Int(i as i64), Value::Float(w), Value::Int(parent)])
+                .unwrap();
+        }
+        let child = db.table_id("Child").unwrap();
+        let fk_col = db.table(child).schema.column_index("parent_id").unwrap();
+        let payload = db.table(child).schema.column_index("payload").unwrap();
+        let li = |r: sizel_storage::RowId| db.table(child).value(r, payload).as_f64().unwrap();
+        for parent in 0i64..8 {
+            let got = db.select_eq_top_l(child, fk_col, parent, l, threshold, &li);
+            // Oracle: the full-sort prefix over the same group.
+            let mut oracle: Vec<(f64, sizel_storage::RowId)> = db
+                .table(child)
+                .rows_where_eq(fk_col, parent)
+                .iter()
+                .filter_map(|&r| {
+                    let s = li(r);
+                    (s > threshold).then_some((s, r))
+                })
+                .collect();
+            oracle.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+            oracle.truncate(l);
+            let oracle_rows: Vec<sizel_storage::RowId> =
+                oracle.into_iter().map(|(_, r)| r).collect();
+            prop_assert_eq!(&got, &oracle_rows, "group {} (l={}, θ={})", parent, l, threshold);
+        }
+    }
+
+    /// The standalone helper agrees with the oracle on arbitrary scored
+    /// lists (including NaN-free extreme floats and heavy ties).
+    #[test]
+    fn top_l_helper_equals_oracle(
+        scored in proptest::collection::vec((0.0..4.0f64, 0u32..1000), 0..80),
+        l in 0usize..20,
+    ) {
+        // Deduplicate items: rows are unique in the real call sites.
+        let mut seen = std::collections::HashSet::new();
+        let scored: Vec<(f64, u32)> =
+            scored.into_iter().filter(|&(_, t)| seen.insert(t)).collect();
+        let mut oracle = scored.clone();
+        oracle.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        oracle.truncate(l);
+        prop_assert_eq!(sizel_storage::top_l(scored, l), oracle);
+    }
 }

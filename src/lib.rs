@@ -44,6 +44,10 @@ pub use sizel_datagen::tpch::{Tpch, TpchConfig};
 pub use sizel_graph::{
     presets as gds_presets, AffinityModel, DataGraph, Gds, GdsConfig, SchemaGraph,
 };
+pub use sizel_serve::{
+    CacheStats, ServeConfig, ServerStats, SharedResult, SizeLServer, SummaryKey,
+};
+
 pub use sizel_rank::{
     dblp_ga, tpch_ga, AuthorityGraph, GaPreset, RankConfig, RankScores, D1, D2, D3,
 };
