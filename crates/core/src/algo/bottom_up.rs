@@ -34,13 +34,13 @@ impl SizeLAlgorithm for BottomUp {
 
         let mut alive = vec![true; n];
         let mut remaining_children: Vec<usize> =
-            os.iter().map(|(_, node)| node.children.len()).collect();
+            os.iter().map(|(id, _)| os.child_count(id)).collect();
 
         // Min-heap of current leaves; ties broken by node id for
         // determinism. The root is never enqueued (it must survive).
         let mut pq: BinaryHeap<Reverse<(F64Ord, OsNodeId)>> = os
             .iter()
-            .filter(|(id, node)| node.children.is_empty() && id.0 != 0)
+            .filter(|(id, _)| os.child_count(*id) == 0 && id.0 != 0)
             .map(|(id, node)| Reverse((F64Ord(node.weight), id)))
             .collect();
 

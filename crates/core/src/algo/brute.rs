@@ -31,7 +31,7 @@ impl BruteForce {
         let mut count = 0u64;
         let root = os.root();
         let mut selection = vec![root];
-        let extensions: Vec<OsNodeId> = os.node(root).children.clone();
+        let extensions: Vec<OsNodeId> = os.children(root).to_vec();
         recurse(
             os,
             l,
@@ -74,7 +74,7 @@ fn recurse(
         selection.push(v);
         // New extensions: everything after i, plus v's children.
         let mut next: Vec<OsNodeId> = extensions[i + 1..].to_vec();
-        next.extend_from_slice(&os.node(v).children);
+        next.extend_from_slice(os.children(v));
         recurse(os, l, &next, 0, selection, weight + os.node(v).weight, best, count, budget);
         selection.pop();
     }

@@ -77,7 +77,7 @@ impl SizeLAlgorithm for DpKnapsack {
 fn node_table(os: &Os, v: OsNodeId, cap_v: usize, cap: &[usize], dp: &[Vec<f64>]) -> Vec<f64> {
     let mut f = vec![NEG; cap_v + 1];
     f[1] = os.node(v).weight;
-    for &c in &os.node(v).children {
+    for &c in os.children(v) {
         let ci = c.index();
         if cap[ci] == 0 {
             continue;
@@ -133,7 +133,7 @@ fn reconstruct(
     // the forward pass (same code path, same float operation order).
     let cap_v = cap[v.index()];
     let children: Vec<OsNodeId> =
-        os.node(v).children.iter().copied().filter(|c| cap[c.index()] > 0).collect();
+        os.children(v).iter().copied().filter(|c| cap[c.index()] > 0).collect();
     let mut stages: Vec<Vec<f64>> = Vec::with_capacity(children.len() + 1);
     let mut f = vec![NEG; cap_v + 1];
     f[1] = os.node(v).weight;

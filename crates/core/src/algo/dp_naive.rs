@@ -109,7 +109,7 @@ impl DpNaive {
 }
 
 fn eligible_children(os: &Os, v: OsNodeId, cap: &[usize]) -> Vec<OsNodeId> {
-    os.node(v).children.iter().copied().filter(|c| cap[c.index()] > 0).collect()
+    os.children(v).iter().copied().filter(|c| cap[c.index()] > 0).collect()
 }
 
 /// Exhaustively enumerates compositions of `remaining` over `children[idx..]`

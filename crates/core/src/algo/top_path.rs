@@ -82,7 +82,7 @@ impl SizeLAlgorithm for TopPath {
                     if better {
                         best = Some((ai, v, r));
                     }
-                    for &ch in &os.node(v).children {
+                    for &ch in os.children(v) {
                         if alive[ch.index()] {
                             stack.push((ch, s, c));
                         }
@@ -98,7 +98,7 @@ impl SizeLAlgorithm for TopPath {
             }
             roots.retain(|&x| x != r);
             for &v in &path[..take] {
-                for &ch in &os.node(v).children {
+                for &ch in os.children(v) {
                     if alive[ch.index()] {
                         roots.push(ch);
                     }
@@ -136,7 +136,7 @@ impl SizeLAlgorithm for TopPathOpt {
         let mut s_of = vec![0u32; n];
         for i in (0..n).rev() {
             let mut best = i as u32;
-            for &c in &os.node(OsNodeId(i as u32)).children {
+            for &c in os.children(OsNodeId(i as u32)) {
                 let cand = s_of[c.index()];
                 if ai0[cand as usize] > ai0[best as usize]
                     || (ai0[cand as usize] == ai0[best as usize] && cand < best)
@@ -188,7 +188,7 @@ impl SizeLAlgorithm for TopPathOpt {
                 selected.push(v);
             }
             for &v in &path[..take] {
-                for &ch in &os.node(v).children {
+                for &ch in os.children(v) {
                     if alive[ch.index()] {
                         let (ai, cand) = recompute(ch);
                         entries.push((ai, cand, ch));

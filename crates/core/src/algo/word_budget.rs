@@ -76,7 +76,7 @@ impl WordBudgetDp {
             if costs[i] <= cap_v {
                 f[costs[i]] = os.node(v).weight;
             }
-            for &c in &os.node(v).children {
+            for &c in os.children(v) {
                 if cap[c.index()] == 0 {
                     continue;
                 }
@@ -141,7 +141,7 @@ fn reconstruct_cost(
     out.push(v);
     let vi = v.index();
     let children: Vec<OsNodeId> =
-        os.node(v).children.iter().copied().filter(|c| cap[c.index()] > 0).collect();
+        os.children(v).iter().copied().filter(|c| cap[c.index()] > 0).collect();
     // Rebuild stages deterministically, then split.
     let cap_v = cap[vi];
     let mut stages: Vec<Vec<f64>> = Vec::with_capacity(children.len() + 1);

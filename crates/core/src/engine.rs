@@ -13,9 +13,9 @@ use sizel_storage::{Database, StorageError, TableId, TupleRef};
 
 use crate::algo::{AlgoKind, SizeLResult};
 use crate::keyword::KeywordIndex;
-use crate::os::Os;
-use crate::osgen::{generate_os, OsContext, OsSource};
-use crate::prelim::generate_prelim;
+use crate::os::{Os, OsArenaPool};
+use crate::osgen::{generate_os_pooled, OsContext, OsSource};
+use crate::prelim::generate_prelim_pooled;
 use crate::render::{render_os, RenderOptions};
 
 /// Engine construction parameters.
@@ -110,9 +110,10 @@ pub struct SizeLEngine {
 impl SizeLEngine {
     /// Builds the engine: validates FKs, computes global importance with
     /// the GA produced by `ga`, builds each DS relation's GDS(θ) and the
-    /// keyword index.
+    /// keyword index, and installs the importance-sorted FK order so
+    /// Database-source TOP-l probes run as prefix scans.
     pub fn build(
-        db: Database,
+        mut db: Database,
         ga: impl FnOnce(&Database, &SchemaGraph, &DataGraph) -> AuthorityGraph,
         cfg: EngineConfig,
     ) -> Result<Self, StorageError> {
@@ -120,7 +121,8 @@ impl SizeLEngine {
         let sg = SchemaGraph::from_database(&db);
         let dg = DataGraph::build(&db, &sg);
         let authority = ga(&db, &sg, &dg);
-        let scores = compute(&db, &sg, &dg, &authority, &cfg.rank);
+        let mut scores = compute(&db, &sg, &dg, &authority, &cfg.rank);
+        sizel_rank::install_importance_order(&mut db, &dg, &mut scores);
 
         let mut gds_by_table: Vec<Option<Gds>> = (0..db.table_count()).map(|_| None).collect();
         let mut ds_tables = Vec::with_capacity(cfg.ds_relations.len());
@@ -202,25 +204,38 @@ impl SizeLEngine {
     /// `(tds, opts.l, opts.algo, opts.prelim, opts.source)` (`opts.ranking`
     /// only reorders whole result lists), which is exactly the cache key the
     /// serving layer uses.
+    ///
+    /// The input OS is drawn from a thread-local [`OsArenaPool`] and
+    /// released after projection, so a warm serving thread re-materializes
+    /// summaries without touching the allocator for the tree itself.
     pub fn summarize(&self, tds: TupleRef, opts: QueryOptions) -> QueryResult {
+        thread_local! {
+            static POOL: std::cell::RefCell<OsArenaPool> =
+                std::cell::RefCell::new(OsArenaPool::new());
+        }
         let ctx = self.context(tds.table);
         let algo = opts.algo.algorithm();
-        let input = if opts.prelim && opts.l > 0 {
-            generate_prelim(&ctx, tds, opts.l, opts.source).0
-        } else {
-            let cutoff = if opts.l > 0 { Some(opts.l as u32 - 1) } else { None };
-            generate_os(&ctx, tds, cutoff, opts.source)
-        };
-        let result = algo.compute(&input, opts.l);
-        let summary = input.project(&result.selected);
-        QueryResult {
-            tds,
-            ds_label: self.ds_label(tds),
-            global_score: self.scores.global(self.dg.node_id(tds)),
-            input_os_size: input.len(),
-            result,
-            summary,
-        }
+        POOL.with(|pool| {
+            let pool = &mut *pool.borrow_mut();
+            let input = if opts.prelim && opts.l > 0 {
+                generate_prelim_pooled(&ctx, tds, opts.l, opts.source, pool).0
+            } else {
+                let cutoff = if opts.l > 0 { Some(opts.l as u32 - 1) } else { None };
+                generate_os_pooled(&ctx, tds, cutoff, opts.source, pool)
+            };
+            let result = algo.compute(&input, opts.l);
+            let summary = input.project(&result.selected);
+            let input_os_size = input.len();
+            pool.release(input);
+            QueryResult {
+                tds,
+                ds_label: self.ds_label(tds),
+                global_score: self.scores.global(self.dg.node_id(tds)),
+                input_os_size,
+                result,
+                summary,
+            }
+        })
     }
 
     /// Renders a result's summary in the Example-5 format.

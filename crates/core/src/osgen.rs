@@ -10,13 +10,11 @@
 //! * [`OsSource::Database`] — the SQL-shaped joins of Algorithm 5 line 6,
 //!   every probe counted by the storage layer's access counter.
 
-use std::collections::VecDeque;
-
 use sizel_graph::{DataGraph, Direction, Gds, GdsNode, GdsNodeId, JoinSpec, MnLinkId, SchemaGraph};
 use sizel_rank::RankScores;
-use sizel_storage::{Database, TupleRef};
+use sizel_storage::{Database, FkOrderToken, TupleRef};
 
-use crate::os::{Os, OsNodeId};
+use crate::os::{Os, OsArenaPool};
 
 /// Where OS generation reads tuples from.
 /// `Hash` because the serving layer's cache key includes the source.
@@ -43,6 +41,12 @@ pub struct OsContext<'a> {
     pub scores: &'a RankScores,
     /// Resolved M:N link ids per GDS node (built once in [`OsContext::new`]).
     link_of_gds: Vec<Option<MnLinkId>>,
+    /// The database's installed importance order, when it matches these
+    /// scores — unlocks the sorted-FK prefix scan in
+    /// [`Database::select_eq_top_l`]. `None` (heap fallback) when the
+    /// scores never stamped an order or the database was re-ordered or
+    /// mutated since.
+    fk_order: Option<FkOrderToken>,
 }
 
 impl<'a> OsContext<'a> {
@@ -64,7 +68,8 @@ impl<'a> OsContext<'a> {
                 _ => None,
             })
             .collect();
-        OsContext { db, sg, dg, gds, scores, link_of_gds }
+        let fk_order = scores.fk_order.filter(|t| db.fk_order() == Some(*t));
+        OsContext { db, sg, dg, gds, scores, link_of_gds, fk_order }
     }
 
     /// Local importance `Im(OS, t_i) = Im(t_i) · Af(R_i)` (Equation 3).
@@ -154,7 +159,9 @@ impl<'a> OsContext<'a> {
                 let li = |r: sizel_storage::RowId| {
                     self.local_importance(child, TupleRef::new(e.from, r))
                 };
-                for r in self.db.select_eq_top_l(e.from, e.fk_col, pk, l, largest_l, &li) {
+                for r in
+                    self.db.select_eq_top_l(e.from, e.fk_col, pk, l, largest_l, self.fk_order, &li)
+                {
                     out.push(TupleRef::new(e.from, r));
                 }
             }
@@ -183,11 +190,12 @@ impl<'a> OsContext<'a> {
                 let pk = self.db.table(parent_tuple.table).pk_of(parent_tuple.row);
                 let e1 = self.sg.edge(*e_in);
                 let e2 = self.sg.edge(*e_out);
-                let jrows = self.db.select_eq(*junction, e1.fk_col, pk);
                 let jt = self.db.table(*junction);
+                let jrows = jt.rows_where_eq(e1.fk_col, pk);
+                self.db.access().record_join(jrows.len());
                 let target = self.db.table(e2.to);
                 let scored = sizel_storage::top_l(
-                    jrows.into_iter().filter_map(|j| {
+                    jrows.iter().filter_map(|&j| {
                         let k = jt.value(j, e2.fk_col).as_int()?;
                         let r = target.by_pk(k)?;
                         let tuple = TupleRef::new(e2.to, r);
@@ -226,24 +234,34 @@ impl<'a> OsContext<'a> {
         grandparent: Option<TupleRef>,
         out: &mut Vec<TupleRef>,
     ) {
+        // Each probe below is the SQL form of Algorithm 5 line 6 with the
+        // same access accounting as `Database::select_eq`, but reads the
+        // hash indexes through borrowed slices / point lookups instead of
+        // materializing a `Vec<RowId>` per probe — the Database-source BFS
+        // is allocation-free too (tests/alloc_guard.rs).
         match &node.join {
             JoinSpec::Root => {}
             JoinSpec::Step { edge, dir } => {
                 let e = self.sg.edge(*edge);
                 match dir {
                     Direction::Forward => {
-                        // SELECT * FROM To WHERE To.pk = parent.fk
+                        // SELECT * FROM To WHERE To.pk = parent.fk — O(1)
+                        // on the unique PK index.
                         if let Some(k) = self.db.value(parent, e.fk_col).as_int() {
-                            let to = self.db.table(e.to);
-                            for r in self.db.select_eq(e.to, to.schema.pk, k) {
+                            let mut fetched = 0usize;
+                            if let Some(r) = self.db.table(e.to).by_pk(k) {
+                                fetched = 1;
                                 out.push(TupleRef::new(e.to, r));
                             }
+                            self.db.access().record_join(fetched);
                         }
                     }
                     Direction::Backward => {
                         // SELECT * FROM From WHERE From.fk = parent.pk
                         let pk = self.db.table(parent.table).pk_of(parent.row);
-                        for r in self.db.select_eq(e.from, e.fk_col, pk) {
+                        let rows = self.db.table(e.from).rows_where_eq(e.fk_col, pk);
+                        self.db.access().record_join(rows.len());
+                        for &r in rows {
                             out.push(TupleRef::new(e.from, r));
                         }
                     }
@@ -255,11 +273,12 @@ impl<'a> OsContext<'a> {
                 let pk = self.db.table(parent.table).pk_of(parent.row);
                 let e1 = self.sg.edge(*e_in);
                 let e2 = self.sg.edge(*e_out);
-                let jrows = self.db.select_eq(*junction, e1.fk_col, pk);
                 let jt = self.db.table(*junction);
+                let jrows = jt.rows_where_eq(e1.fk_col, pk);
+                self.db.access().record_join(jrows.len());
                 let target = self.db.table(e2.to);
                 let mut fetched = 0usize;
-                for j in jrows {
+                for &j in jrows {
                     if let Some(k) = jt.value(j, e2.fk_col).as_int() {
                         if let Some(r) = target.by_pk(k) {
                             let tuple = TupleRef::new(e2.to, r);
@@ -282,19 +301,39 @@ impl<'a> OsContext<'a> {
 /// footnote ("any tuples or subtrees which have distance at least l from
 /// the root are excluded, as these cannot be part of a connected size-l
 /// OS").
+///
+/// One-shot convenience over [`generate_os_pooled`]: allocates a private
+/// pool per call. Loops should hold an [`OsArenaPool`] and call the pooled
+/// variant, which runs allocation-free once its buffers are warm.
 pub fn generate_os(
     ctx: &OsContext<'_>,
     tds: TupleRef,
     depth_cutoff: Option<u32>,
     source: OsSource,
 ) -> Os {
+    let mut pool = OsArenaPool::new();
+    generate_os_pooled(ctx, tds, depth_cutoff, source, &mut pool)
+}
+
+/// [`generate_os`] drawing the arena and all BFS scratch from `pool`.
+/// Release the returned OS back to the same pool when done with it to keep
+/// the steady state allocation-free (asserted by `tests/alloc_guard.rs`).
+pub fn generate_os_pooled(
+    ctx: &OsContext<'_>,
+    tds: TupleRef,
+    depth_cutoff: Option<u32>,
+    source: OsSource,
+    pool: &mut OsArenaPool,
+) -> Os {
     assert_eq!(tds.table, ctx.gds.root_relation(), "t_DS must belong to the GDS root relation");
-    let mut os = Os::with_capacity(64);
+    let mut os = pool.acquire();
+    let OsArenaPool { queue, buf, .. } = pool;
+    queue.clear();
+    buf.clear();
     let root_w = ctx.local_importance(ctx.gds.root(), tds);
     let root = os.add_root(tds, ctx.gds.root(), root_w);
 
-    let mut queue: VecDeque<OsNodeId> = VecDeque::from([root]);
-    let mut buf: Vec<TupleRef> = Vec::new();
+    queue.push_back(root);
     while let Some(u) = queue.pop_front() {
         let (u_tuple, u_gds, u_depth, u_parent) = {
             let n = os.node(u);
@@ -304,10 +343,10 @@ pub fn generate_os(
             continue;
         }
         let grandparent = u_parent.map(|p| os.node(p).tuple);
-        for &g_child in &ctx.gds.node(u_gds).children.clone() {
+        for &g_child in &ctx.gds.node(u_gds).children {
             buf.clear();
-            ctx.children_of(g_child, u_tuple, grandparent, source, &mut buf);
-            for &t in &buf {
+            ctx.children_of(g_child, u_tuple, grandparent, source, buf);
+            for &t in buf.iter() {
                 let w = ctx.local_importance(g_child, t);
                 let id = os.add_child(u, t, g_child, w);
                 queue.push_back(id);
@@ -338,6 +377,34 @@ mod tests {
             assert_eq!(x.tuple, y.tuple);
             assert_eq!(x.gds_node, y.gds_node);
         }
+    }
+
+    #[test]
+    fn pooled_generation_is_identical_and_recycles() {
+        let f = dblp_fixture();
+        let ctx = f.ctx();
+        let mut pool = OsArenaPool::new();
+        for i in 0..3 {
+            let tds = f.author_tds(i);
+            for source in [OsSource::DataGraph, OsSource::Database] {
+                let fresh = generate_os(&ctx, tds, Some(9), source);
+                // Generate twice through the same pool: the second run
+                // reuses the released arena and must be byte-identical.
+                let a = generate_os_pooled(&ctx, tds, Some(9), source, &mut pool);
+                pool.release(a);
+                let b = generate_os_pooled(&ctx, tds, Some(9), source, &mut pool);
+                b.validate().unwrap();
+                assert_eq!(b.len(), fresh.len());
+                for ((ia, na), (ib, nb)) in fresh.iter().zip(b.iter()) {
+                    assert_eq!(na.tuple, nb.tuple);
+                    assert_eq!(na.parent, nb.parent);
+                    assert_eq!(na.weight.to_bits(), nb.weight.to_bits());
+                    assert_eq!(fresh.children(ia), b.children(ib));
+                }
+                pool.release(b);
+            }
+        }
+        assert_eq!(pool.parked(), 1, "one arena cycles through the pool");
     }
 
     #[test]

@@ -20,12 +20,12 @@
 //! optimal size-l OS.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 
 use sizel_storage::TupleRef;
 use sizel_util::F64Ord;
 
-use crate::os::{Os, OsNodeId};
+use crate::os::{Os, OsArenaPool};
 use crate::osgen::{OsContext, OsSource};
 
 /// Statistics of one prelim-l generation.
@@ -40,17 +40,36 @@ pub struct PrelimStats {
 }
 
 /// Generates the prelim-l OS for `t_DS` (Algorithm 4).
+///
+/// One-shot convenience over [`generate_prelim_pooled`]; loops should hold
+/// an [`OsArenaPool`] and call the pooled variant.
 pub fn generate_prelim(
     ctx: &OsContext<'_>,
     tds: TupleRef,
     l: usize,
     source: OsSource,
 ) -> (Os, PrelimStats) {
+    let mut pool = OsArenaPool::new();
+    generate_prelim_pooled(ctx, tds, l, source, &mut pool)
+}
+
+/// [`generate_prelim`] drawing the arena and the BFS scratch from `pool`.
+/// Release the returned OS back to the same pool when done with it.
+pub fn generate_prelim_pooled(
+    ctx: &OsContext<'_>,
+    tds: TupleRef,
+    l: usize,
+    source: OsSource,
+    pool: &mut OsArenaPool,
+) -> (Os, PrelimStats) {
     assert!(l > 0, "prelim-l needs l >= 1");
     assert_eq!(tds.table, ctx.gds.root_relation(), "t_DS must belong to the GDS root relation");
     let mut stats = PrelimStats::default();
 
-    let mut os = Os::with_capacity(4 * l);
+    let mut os = pool.acquire();
+    let OsArenaPool { queue, buf, .. } = pool;
+    queue.clear();
+    buf.clear();
     let root_w = ctx.local_importance(ctx.gds.root(), tds);
     let root = os.add_root(tds, ctx.gds.root(), root_w);
 
@@ -61,8 +80,7 @@ pub fn generate_prelim(
     // fewer than l tuples were extracted (Algorithm 4 lines 20-23).
     let mut largest_l = if l == 1 { root_w } else { 0.0 };
 
-    let mut queue: VecDeque<OsNodeId> = VecDeque::from([root]);
-    let mut buf: Vec<TupleRef> = Vec::new();
+    queue.push_back(root);
     while let Some(u) = queue.pop_front() {
         let (u_tuple, u_gds, u_depth, u_parent) = {
             let n = os.node(u);
@@ -74,7 +92,7 @@ pub fn generate_prelim(
             continue;
         }
         let grandparent = u_parent.map(|p| os.node(p).tuple);
-        for &g_child in &ctx.gds.node(u_gds).children.clone() {
+        for &g_child in &ctx.gds.node(u_gds).children {
             let child = ctx.gds.node(g_child);
             let full = top_l.len() >= l;
             // Avoidance Condition 1: fruitless GDS subtree.
@@ -87,12 +105,12 @@ pub fn generate_prelim(
                 // Avoidance Condition 2: fruitful-l relation — extract at
                 // most l tuples with li > largest-l.
                 stats.cond2_probes += 1;
-                fetch_top_l(ctx, g_child, u_tuple, grandparent, l, largest_l, source, &mut buf);
+                fetch_top_l(ctx, g_child, u_tuple, grandparent, l, largest_l, source, buf);
             } else {
                 stats.full_joins += 1;
-                ctx.children_of(g_child, u_tuple, grandparent, source, &mut buf);
+                ctx.children_of(g_child, u_tuple, grandparent, source, buf);
             }
-            for &t in &buf {
+            for &t in buf.iter() {
                 let w = ctx.local_importance(g_child, t);
                 let id = os.add_child(u, t, g_child, w);
                 queue.push_back(id);
@@ -215,6 +233,7 @@ mod tests {
             iterations: 0,
             converged: true,
             per_table_max: vec![1.0; f.dblp.db.table_count()],
+            fk_order: None,
         };
         let ctx = {
             let mut gds = f.gds.clone();

@@ -101,17 +101,17 @@ fn render_children(
             &format!("{}{}", indent, node_text(db, gds, os, id, opts)),
         );
     }
-    let children = &os.node(id).children;
+    let children = os.children(id);
     let mut i = 0;
     while i < children.len() {
         let c = children[i];
         let c_node = os.node(c);
         // Group a run of >= 2 consecutive leaf siblings of the same GDS node.
-        if opts.group_siblings && c_node.children.is_empty() {
+        if opts.group_siblings && os.child_count(c) == 0 {
             let mut j = i;
             while j < children.len()
                 && os.node(children[j]).gds_node == c_node.gds_node
-                && os.node(children[j]).children.is_empty()
+                && os.child_count(children[j]) == 0
             {
                 j += 1;
             }

@@ -47,11 +47,12 @@ impl DblpFixture {
 }
 
 fn build_dblp() -> DblpFixture {
-    let d = dblp::generate(&DblpConfig::tiny());
+    let mut d = dblp::generate(&DblpConfig::tiny());
     let sg = SchemaGraph::from_database(&d.db);
     let dg = DataGraph::build(&d.db, &sg);
     let ga = dblp_ga(GaPreset::Ga1, &d.db, &sg, &dg);
-    let scores = compute(&d.db, &sg, &dg, &ga, &RankConfig::default());
+    let mut scores = compute(&d.db, &sg, &dg, &ga, &RankConfig::default());
+    sizel_rank::install_importance_order(&mut d.db, &dg, &mut scores);
 
     let mut gds =
         Gds::build(&d.db, &sg, &presets::dblp_author_gds_config(), d.author).restrict(0.7);
@@ -108,11 +109,12 @@ impl TpchFixture {
 }
 
 fn build_tpch() -> TpchFixture {
-    let t = tpch::generate(&TpchConfig::tiny());
+    let mut t = tpch::generate(&TpchConfig::tiny());
     let sg = SchemaGraph::from_database(&t.db);
     let dg = DataGraph::build(&t.db, &sg);
     let ga = tpch_ga(GaPreset::Ga1, &t.db, &sg, &dg);
-    let scores = compute(&t.db, &sg, &dg, &ga, &RankConfig::default());
+    let mut scores = compute(&t.db, &sg, &dg, &ga, &RankConfig::default());
+    sizel_rank::install_importance_order(&mut t.db, &dg, &mut scores);
     let mut customer_gds =
         Gds::build(&t.db, &sg, &presets::tpch_customer_gds_config(), t.customer).restrict(0.7);
     customer_gds.set_stats(&scores.per_table_max);

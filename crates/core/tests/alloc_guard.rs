@@ -1,0 +1,94 @@
+//! Allocation-count guard for the flat CSR arena (ISSUE 3 / ROADMAP hot
+//! path): once its pool is warm, `generate_os_pooled` must perform **zero
+//! heap allocations** on the DBLP fixture — the whole point of replacing
+//! the per-node `children: Vec` layout.
+//!
+//! A counting wrapper around the system allocator is installed for this
+//! test binary. Keep this file to a SINGLE `#[test]`: the counter is
+//! process-global, and a concurrently running test in the same binary
+//! would pollute the measured window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sizel_core::os::OsArenaPool;
+use sizel_core::osgen::{generate_os_pooled, OsSource};
+use sizel_core::test_fixtures::dblp_fixture;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System`; the counter is a relaxed
+// atomic with no allocation of its own.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc that moves is an allocation for our purposes: a warm
+        // steady state must not grow any buffer.
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn generate_os_steady_state_does_zero_allocations() {
+    let f = dblp_fixture();
+    let ctx = f.ctx();
+    let subjects: Vec<_> = (0..4).map(|i| f.author_tds(i)).collect();
+    let cutoffs = [None, Some(9)];
+    // Both tuple sources: the data graph reads CSR adjacency, the
+    // database source reads hash-index slices / PK point lookups — with
+    // the arena pooled, neither touches the allocator.
+    let sources = [OsSource::DataGraph, OsSource::Database];
+
+    // Warm the pool: the arena, BFS queue, and fetch buffer grow to the
+    // workload's high-water capacity during the first pass.
+    let mut pool = OsArenaPool::new();
+    let mut warm_nodes = 0usize;
+    for &tds in &subjects {
+        for cutoff in cutoffs {
+            for source in sources {
+                let os = generate_os_pooled(&ctx, tds, cutoff, source, &mut pool);
+                warm_nodes += os.len();
+                pool.release(os);
+            }
+        }
+    }
+    assert!(warm_nodes > 100, "fixture too small to make the guard meaningful");
+
+    // Steady state: the same serving loop, measured.
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut steady_nodes = 0usize;
+    for _ in 0..5 {
+        for &tds in &subjects {
+            for cutoff in cutoffs {
+                for source in sources {
+                    let os = generate_os_pooled(&ctx, tds, cutoff, source, &mut pool);
+                    steady_nodes += os.len();
+                    pool.release(os);
+                }
+            }
+        }
+    }
+    let delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(steady_nodes, 5 * warm_nodes, "steady state regenerates the same trees");
+    assert_eq!(
+        delta, 0,
+        "generate_os steady state allocated {delta} times over {steady_nodes} nodes \
+         (the CSR arena + pool must be allocation-free once warm)"
+    );
+}

@@ -1,0 +1,195 @@
+//! Property suite for the flat CSR Object-Summary arena: the CSR layout
+//! must be observationally identical to the legacy per-node `children:
+//! Vec<OsNodeId>` layout it replaced, and the BFS (grouped-append) builder
+//! must additionally keep every child range contiguous.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use sizel_core::os::{Os, OsNodeId};
+use sizel_graph::GdsNodeId;
+use sizel_storage::{RowId, TableId, TupleRef};
+
+/// The legacy layout, reconstructed: per-node child lists in insertion
+/// order (children were pushed as they were created, i.e. ascending id).
+fn legacy_child_lists(parents: &[Option<usize>]) -> Vec<Vec<OsNodeId>> {
+    let mut lists: Vec<Vec<OsNodeId>> = vec![Vec::new(); parents.len()];
+    for (i, p) in parents.iter().enumerate() {
+        if let Some(p) = p {
+            lists[*p].push(OsNodeId(i as u32));
+        }
+    }
+    lists
+}
+
+/// Turns a raw byte soup into a valid parent array (`parents[i] < i`).
+fn parents_from_raw(raw: &[u32]) -> Vec<Option<usize>> {
+    let mut parents = vec![None];
+    for (i, &r) in raw.iter().enumerate() {
+        parents.push(Some((r as usize) % (i + 1)));
+    }
+    parents
+}
+
+/// Builds the same tree through the *grouped append* path a BFS generator
+/// uses: nodes are created level by level, all children of a node
+/// consecutively. `counts[k]` is the child count of the k-th dequeued
+/// node. Returns the arena and the parent array in creation order.
+fn bfs_grouped(counts: &[usize]) -> (Os, Vec<Option<usize>>, Vec<f64>) {
+    let mut os = Os::new();
+    let mut parents: Vec<Option<usize>> = vec![None];
+    let mut weights = vec![0.5];
+    os.add_root(TupleRef::new(TableId(0), RowId(0)), GdsNodeId(0), 0.5);
+    let mut queue = VecDeque::from([OsNodeId(0)]);
+    let mut next_count = 0usize;
+    while let Some(u) = queue.pop_front() {
+        let k = counts.get(next_count).copied().unwrap_or(0);
+        next_count += 1;
+        for _ in 0..k {
+            let i = parents.len();
+            let w = (i % 17) as f64 + 0.25;
+            let id = os.add_child(u, TupleRef::new(TableId(0), RowId(i as u32)), GdsNodeId(0), w);
+            assert_eq!(id.index(), i);
+            parents.push(Some(u.index()));
+            weights.push(w);
+            queue.push_back(id);
+        }
+    }
+    (os, parents, weights)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Batch builder (`Os::synthetic`) vs the legacy child-list layout:
+    /// same children per node, same order, for arbitrary
+    /// parent-before-child insertion orders; BFS-order and linkage
+    /// invariants hold (`validate`).
+    #[test]
+    fn csr_children_equal_legacy_child_lists(
+        raw in proptest::collection::vec(0u32..1_000_000, 0..80),
+    ) {
+        let parents = parents_from_raw(&raw);
+        let weights: Vec<f64> = (0..parents.len()).map(|i| i as f64).collect();
+        let os = Os::synthetic(&parents, &weights);
+        prop_assert!(os.validate().is_ok(), "{:?}", os.validate());
+        let legacy = legacy_child_lists(&parents);
+        for (i, legacy_children) in legacy.iter().enumerate() {
+            let id = OsNodeId(i as u32);
+            prop_assert_eq!(os.children(id), legacy_children.as_slice(), "children of {}", i);
+            prop_assert_eq!(os.child_count(id), legacy_children.len());
+            // Parents always precede children (BFS-order invariant).
+            for &c in os.children(id) {
+                prop_assert!(c > id);
+                prop_assert_eq!(os.node(c).parent, Some(id));
+                prop_assert_eq!(os.node(c).depth, os.node(id).depth + 1);
+            }
+        }
+        // Leaves are exactly the nodes with no legacy children.
+        let leaves: Vec<OsNodeId> = (0..parents.len())
+            .filter(|&i| legacy[i].is_empty())
+            .map(|i| OsNodeId(i as u32))
+            .collect();
+        prop_assert_eq!(os.leaves(), leaves);
+    }
+
+    /// Grouped-append builder vs batch builder on the same tree: identical
+    /// CSR contents, and — the layout win — every child range is a run of
+    /// *consecutive* ids (children are appended together during BFS).
+    #[test]
+    fn bfs_grouped_ranges_are_contiguous_and_match_batch(
+        counts in proptest::collection::vec(0usize..5, 1..60),
+    ) {
+        let (inc, parents, weights) = bfs_grouped(&counts);
+        prop_assert!(inc.validate().is_ok(), "{:?}", inc.validate());
+        let batch = Os::synthetic(&parents, &weights);
+        prop_assert_eq!(inc.len(), batch.len());
+        for i in 0..inc.len() {
+            let id = OsNodeId(i as u32);
+            prop_assert_eq!(inc.children(id), batch.children(id), "children of {}", i);
+            prop_assert_eq!(inc.node(id).parent, batch.node(id).parent);
+            prop_assert_eq!(inc.node(id).depth, batch.node(id).depth);
+            prop_assert_eq!(inc.node(id).weight, batch.node(id).weight);
+            // Contiguity: children of a BFS-built node are consecutive ids.
+            for w in inc.children(id).windows(2) {
+                prop_assert_eq!(w[1].0, w[0].0 + 1, "range of {} not contiguous", i);
+            }
+        }
+    }
+
+    /// Projection preserves the legacy semantics on the CSR arena: the
+    /// projected tree's children are the selected originals in original
+    /// BFS order, relabeled densely.
+    #[test]
+    fn project_matches_legacy_filtering(
+        raw in proptest::collection::vec(0u32..1_000_000, 0..50),
+        keep_bits in proptest::collection::vec(proptest::prelude::any::<bool>(), 0..50),
+    ) {
+        let parents = parents_from_raw(&raw);
+        let n = parents.len();
+        let weights: Vec<f64> = (0..n).map(|i| (i * 3 % 13) as f64).collect();
+        let os = Os::synthetic(&parents, &weights);
+        // Build a connected, root-containing selection: keep the root and
+        // any node whose parent is kept and whose keep bit is set.
+        let mut kept = vec![false; n];
+        kept[0] = true;
+        for i in 1..n {
+            let bit = keep_bits.get(i - 1).copied().unwrap_or(false);
+            kept[i] = bit && kept[parents[i].unwrap()];
+        }
+        let selected: Vec<OsNodeId> =
+            (0..n).filter(|&i| kept[i]).map(|i| OsNodeId(i as u32)).collect();
+        let sub = os.project(&selected);
+        prop_assert!(sub.validate().is_ok(), "{:?}", sub.validate());
+        prop_assert_eq!(sub.len(), selected.len());
+        // Old-id -> new-id map follows the original BFS order.
+        let mut new_of = vec![usize::MAX; n];
+        for (new, old) in selected.iter().enumerate() {
+            new_of[old.index()] = new;
+        }
+        for (new, old) in selected.iter().enumerate() {
+            let id = OsNodeId(new as u32);
+            prop_assert_eq!(sub.node(id).weight, os.node(*old).weight);
+            prop_assert_eq!(sub.node(id).tuple, os.node(*old).tuple);
+            // Children of the projection = kept children of the original,
+            // relabeled, same relative order.
+            let expect: Vec<OsNodeId> = os
+                .children(*old)
+                .iter()
+                .filter(|c| kept[c.index()])
+                .map(|c| OsNodeId(new_of[c.index()] as u32))
+                .collect();
+            prop_assert_eq!(sub.children(id), expect.as_slice());
+        }
+    }
+
+    /// `weight_of` / `total_weight` / `is_valid_selection` behave like the
+    /// straightforward list implementations.
+    #[test]
+    fn aggregate_queries_match_naive(
+        raw in proptest::collection::vec(0u32..1_000_000, 0..40),
+        pick in proptest::collection::vec(proptest::prelude::any::<bool>(), 0..41),
+    ) {
+        let parents = parents_from_raw(&raw);
+        let n = parents.len();
+        let weights: Vec<f64> = (0..n).map(|i| (i as f64).sqrt()).collect();
+        let os = Os::synthetic(&parents, &weights);
+        let total: f64 = weights.iter().sum();
+        prop_assert!((os.total_weight() - total).abs() < 1e-9);
+        let sel: Vec<OsNodeId> = (0..n)
+            .filter(|&i| pick.get(i).copied().unwrap_or(false))
+            .map(|i| OsNodeId(i as u32))
+            .collect();
+        let sum: f64 = sel.iter().map(|id| weights[id.index()]).sum();
+        prop_assert!((os.weight_of(&sel) - sum).abs() < 1e-9);
+        // Validity matches the definition checked over the parent array.
+        let in_sel = |id: OsNodeId| sel.contains(&id);
+        let valid_naive = (sel.is_empty() || in_sel(OsNodeId(0)))
+            && sel.iter().all(|id| match parents[id.index()] {
+                None => true,
+                Some(p) => in_sel(OsNodeId(p as u32)),
+            });
+        prop_assert_eq!(os.is_valid_selection(&sel), valid_naive);
+    }
+}

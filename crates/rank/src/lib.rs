@@ -19,5 +19,5 @@ pub mod power;
 pub mod presets;
 
 pub use authority::{AuthorityGraph, ValueFunction};
-pub use power::{compute, RankConfig, RankScores};
+pub use power::{compute, install_importance_order, RankConfig, RankScores};
 pub use presets::{dblp_ga, tpch_ga, GaPreset, D1, D2, D3};

@@ -8,7 +8,7 @@
 //! radius by `d` and guarantees convergence for `d < 1` — including the
 //! paper's d3 = 0.99 setting.
 
-use sizel_storage::{Database, TableId};
+use sizel_storage::{Database, TableId, TupleRef};
 
 use sizel_graph::{DataGraph, NodeId, SchemaGraph};
 
@@ -57,6 +57,11 @@ pub struct RankScores {
     /// Per-table maximum score — the global statistic behind the GDS
     /// `max(Ri)` annotations (Section 5.3).
     pub per_table_max: Vec<f64>,
+    /// Token of the FK importance order these scores installed into their
+    /// database via [`crate::install_importance_order`], if any. Query
+    /// contexts compare it against `Database::fk_order` to decide whether
+    /// the sorted-FK prefix scan is valid under these scores.
+    pub fk_order: Option<sizel_storage::FkOrderToken>,
 }
 
 impl RankScores {
@@ -69,6 +74,21 @@ impl RankScores {
     pub fn table_max(&self, table: TableId) -> f64 {
         self.per_table_max[table.index()]
     }
+}
+
+/// Sorts every FK posting list of `db` by these scores' descending global
+/// importance and stamps the scores with the resulting order token, so
+/// query contexts built over `(db, scores)` serve Avoidance-Condition-2
+/// probes as bounded prefix scans (see `sizel_storage::fk_index`).
+///
+/// Local importance is `Im(t) · Af(Ri)` with the affinity a positive
+/// per-relation constant, so one global-importance order per table is
+/// valid for every GDS. Call once after ranking, before serving; scores
+/// from a *different* setting keep `fk_order: None` and fall back to the
+/// heap path automatically.
+pub fn install_importance_order(db: &mut Database, dg: &DataGraph, scores: &mut RankScores) {
+    let token = db.install_importance_order(&|t, r| scores.global(dg.node_id(TupleRef::new(t, r))));
+    scores.fk_order = Some(token);
 }
 
 /// Runs the power iteration. See module docs for semantics.
@@ -209,7 +229,7 @@ pub fn compute(
         per_table_max[tid.index()] = mx;
     }
 
-    RankScores { scores: cur, iterations, converged, per_table_max }
+    RankScores { scores: cur, iterations, converged, per_table_max, fk_order: None }
 }
 
 #[cfg(test)]

@@ -17,7 +17,9 @@ fn opts(l: usize, algo: AlgoKind, prelim: bool) -> QueryOptions {
     QueryOptions { l, algo, prelim, ..QueryOptions::default() }
 }
 
-/// Field-by-field equality against a freshly computed sequential result.
+/// Field-by-field equality against a freshly computed sequential result,
+/// including the flat arena's full structure: parent links, depths, and
+/// the CSR child slices.
 fn assert_same(cached: &QueryResult, fresh: &QueryResult) {
     assert_eq!(cached.tds, fresh.tds);
     assert_eq!(cached.ds_label, fresh.ds_label);
@@ -25,10 +27,13 @@ fn assert_same(cached: &QueryResult, fresh: &QueryResult) {
     assert_eq!(cached.input_os_size, fresh.input_os_size);
     assert_eq!(cached.result, fresh.result);
     assert_eq!(cached.summary.len(), fresh.summary.len());
-    for ((_, a), (_, b)) in cached.summary.iter().zip(fresh.summary.iter()) {
+    for ((ia, a), (ib, b)) in cached.summary.iter().zip(fresh.summary.iter()) {
         assert_eq!(a.tuple, b.tuple);
         assert_eq!(a.gds_node, b.gds_node);
         assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+        assert_eq!(a.parent, b.parent);
+        assert_eq!(a.depth, b.depth);
+        assert_eq!(cached.summary.children(ia), fresh.summary.children(ib));
     }
 }
 
@@ -123,4 +128,45 @@ fn no_stale_os_across_algo_and_prelim_combinations() {
     // Re-requesting the warm combination still hits.
     let _ = server.query("Christos Faloutsos", warm);
     assert_eq!(server.stats().cache.hits, 1);
+}
+
+#[test]
+fn cached_flat_os_round_trips_byte_identically_through_batch_query() {
+    // The cache stores the flat CSR `Os` by `Arc`; a batch that mixes
+    // first-touch misses, in-batch duplicates, and warm re-requests must
+    // hand every client the exact arena the sequential engine computes —
+    // same node slab, same child slices, same float bits.
+    let engine = engine();
+    let server = SizeLServer::new(
+        Arc::clone(&engine),
+        ServeConfig { workers: 3, queue_capacity: 8, cache_capacity: 128, ..Default::default() },
+    );
+    let a = opts(15, AlgoKind::TopPath, true);
+    let b = opts(10, AlgoKind::Optimal, false);
+    let batch: Vec<(String, QueryOptions)> = vec![
+        ("Faloutsos".into(), a),
+        ("Christos Faloutsos".into(), b),
+        ("Faloutsos".into(), a), // in-batch duplicate
+        ("Power-law".into(), a),
+    ];
+    let first = server.batch_query(&batch);
+    let second = server.batch_query(&batch); // warm: all summaries hit
+
+    for (responses, (kw, o)) in [&first, &second].into_iter().flat_map(|r| r.iter().zip(&batch)) {
+        let fresh = engine.query_with(kw, *o);
+        assert_eq!(responses.len(), fresh.len(), "{kw}");
+        for (res, seq) in responses.iter().zip(&fresh) {
+            assert_same(res, seq);
+        }
+    }
+    // In-batch duplicates share the very same Arc, and the warm pass
+    // re-serves the cached arenas rather than equal copies.
+    for (x, y) in first[0].iter().zip(&first[2]) {
+        assert!(Arc::ptr_eq(x, y), "duplicate requests share one computation");
+    }
+    for (x, y) in first[0].iter().zip(&second[0]) {
+        assert!(Arc::ptr_eq(x, y), "the warm pass serves the cached arena");
+    }
+    let stats = server.stats();
+    assert!(stats.cache.hits > 0);
 }

@@ -42,7 +42,7 @@ fn fingerprint(results: &[impl std::ops::Deref<Target = QueryResult>]) -> String
                 n.tuple,
                 n.gds_node,
                 n.parent,
-                n.children,
+                r.summary.children(id),
                 n.depth,
                 n.weight.to_bits()
             ));

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 
 use crate::access::AccessCounter;
 use crate::error::StorageError;
+use crate::fk_index::FkOrderToken;
 use crate::schema::TableSchema;
 use crate::table::{RowId, Table};
 use crate::value::Value;
@@ -44,6 +45,9 @@ pub struct Database {
     tables: Vec<Table>,
     by_name: HashMap<String, TableId>,
     access: AccessCounter,
+    /// The currently installed importance order, if any (see
+    /// [`crate::fk_index`]).
+    fk_order: Option<FkOrderToken>,
 }
 
 impl Database {
@@ -144,11 +148,37 @@ impl Database {
         Ok(checked)
     }
 
+    /// Sorts every table's FK posting lists by descending `score` (ties:
+    /// ascending RowId) and returns the token identifying this ordering.
+    /// Query paths pass the token back in ([`Self::select_eq_top_l`]); a
+    /// mismatch — different scores, or a later re-install — falls back to
+    /// the heap path. Finalization step: call after loading, before
+    /// serving; any later insert drops the affected table's sorted
+    /// postings.
+    pub fn install_importance_order(
+        &mut self,
+        score: &dyn Fn(TableId, RowId) -> f64,
+    ) -> FkOrderToken {
+        for (i, t) in self.tables.iter_mut().enumerate() {
+            let tid = TableId(i as u16);
+            t.build_sorted_fk(&|r| score(tid, r));
+        }
+        let token = FkOrderToken::fresh();
+        self.fk_order = Some(token);
+        token
+    }
+
+    /// The token of the currently installed importance order, if any.
+    pub fn fk_order(&self) -> Option<FkOrderToken> {
+        self.fk_order
+    }
+
     /// `SELECT * FROM Ri WHERE Ri.col = key` — Algorithm 4 line 12 /
     /// Algorithm 5 line 6. One counted join access.
     pub fn select_eq(&self, table: TableId, col: usize, key: i64) -> Vec<RowId> {
         let t = self.table(table);
         let rows: Vec<RowId> = if col == t.schema.pk {
+            // O(1): the unique PK hash index.
             t.by_pk(key).into_iter().collect()
         } else {
             t.rows_where_eq(col, key).to_vec()
@@ -162,6 +192,18 @@ impl Database {
     /// `li` maps a row of `table` to its local importance. One counted join
     /// access even when the result is empty, matching the paper's cost
     /// accounting.
+    ///
+    /// When `order` matches the installed importance order (which attests
+    /// that `li` is a monotone non-decreasing function of the installed
+    /// score — true for `li = global · affinity` with a positive
+    /// affinity), the probe is a bounded prefix scan of the pre-sorted
+    /// postings: `O(l + t)` rows visited (`t` = the li-tie run straddling
+    /// the cut) instead of `O(g log l)` over the whole FK group, and
+    /// byte-identical to the heap path even when distinct scores collapse
+    /// to equal `li` (the tie run at the boundary is collected in full and
+    /// re-ranked by `(li desc, RowId asc)`, exactly [`crate::top_l`]'s
+    /// order). Pass `None` (or a stale token) to force the heap path.
+    #[allow(clippy::too_many_arguments)] // mirrors the SQL probe's clause list
     pub fn select_eq_top_l(
         &self,
         table: TableId,
@@ -169,9 +211,38 @@ impl Database {
         key: i64,
         l: usize,
         largest_l: f64,
+        order: Option<FkOrderToken>,
         li: &dyn Fn(RowId) -> f64,
     ) -> Vec<RowId> {
         let t = self.table(table);
+        if l > 0 && order.is_some() && order == self.fk_order && col != t.schema.pk {
+            if let Some(sorted) = t.sorted_fk_index(col) {
+                let postings = sorted.rows(key);
+                let mut kept: Vec<(f64, RowId)> = Vec::with_capacity(l.min(postings.len()));
+                for &r in postings {
+                    let s = li(r);
+                    // li is non-increasing along the scan, so the first
+                    // value at or below the threshold ends the probe...
+                    if s <= largest_l {
+                        break;
+                    }
+                    // ...and once l rows are kept, the scan only continues
+                    // through rows tying the current l-th li (they may
+                    // displace it on the RowId tie-break).
+                    if kept.len() >= l && s < kept[l - 1].0 {
+                        break;
+                    }
+                    kept.push((s, r));
+                }
+                // Rank the collected prefix through the same `top_l` the
+                // heap path uses, so the two paths share one comparator by
+                // construction.
+                let rows: Vec<RowId> =
+                    crate::topl::top_l(kept, l).into_iter().map(|(_, r)| r).collect();
+                self.access.record_join(rows.len());
+                return rows;
+            }
+        }
         let candidates: Vec<RowId> = if col == t.schema.pk {
             t.by_pk(key).into_iter().collect()
         } else {
@@ -282,11 +353,112 @@ mod tests {
         let fk_col = db.table(paper).schema.column_index("year_id").unwrap();
         // Importance: pk 10 -> 1.0, pk 11 -> 5.0
         let li = |r: RowId| if db.table(paper).pk_of(r) == 10 { 1.0 } else { 5.0 };
-        let rows = db.select_eq_top_l(paper, fk_col, 1, 1, 0.0, &li);
+        let rows = db.select_eq_top_l(paper, fk_col, 1, 1, 0.0, None, &li);
         assert_eq!(rows.len(), 1);
         assert_eq!(db.table(paper).pk_of(rows[0]), 11, "highest importance first");
         // threshold excludes everything
-        let rows = db.select_eq_top_l(paper, fk_col, 1, 10, 100.0, &li);
+        let rows = db.select_eq_top_l(paper, fk_col, 1, 10, 100.0, None, &li);
         assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn fast_path_survives_li_ties_across_distinct_scores() {
+        // A monotone non-decreasing `li` may collapse *distinct* installed
+        // scores to equal values (in production: 1-ulp score gaps erased
+        // by the affinity multiplication). The prefix scan must then agree
+        // with the heap path's (li desc, RowId asc) order anyway — the
+        // boundary tie run is re-ranked, not trusted.
+        let mut db = Database::new();
+        db.create_table(TableSchema::builder("Parent").pk("id").build().unwrap()).unwrap();
+        db.create_table(
+            TableSchema::builder("Child").pk("id").fk("parent_id", "Parent").build().unwrap(),
+        )
+        .unwrap();
+        db.insert("Parent", vec![Value::Int(1)]).unwrap();
+        // Scores *ascend* with the RowId, so the sorted postings run in
+        // the opposite direction of the heap path's candidate order
+        // (RowId asc) — inside a collapsed li-tie the two paths would
+        // disagree if the boundary run were not re-ranked.
+        for pk in 0i64..10 {
+            db.insert("Child", vec![Value::Int(pk), Value::Int(1)]).unwrap();
+        }
+        let child = db.table_id("Child").unwrap();
+        let scores: Vec<f64> = (0..10).map(|i| i as f64 + 1.0).collect();
+        let token = db.install_importance_order(&|t, r| {
+            if t == child {
+                scores[r.index()]
+            } else {
+                0.0
+            }
+        });
+        // li collapses score pairs: {10,9} -> 5, {8,7} -> 4, ... so every
+        // cut position falls inside a tie run of distinct scores.
+        let li = |r: RowId| (scores[r.index()] / 2.0).ceil();
+        let fk_col = db.table(child).schema.column_index("parent_id").unwrap();
+        for l in 0..=10 {
+            for threshold in [0.0, 1.0, 2.5, 4.0, 10.0] {
+                let fast = db.select_eq_top_l(child, fk_col, 1, l, threshold, Some(token), &li);
+                let slow = db.select_eq_top_l(child, fk_col, 1, l, threshold, None, &li);
+                assert_eq!(fast, slow, "l={l} threshold={threshold}");
+            }
+        }
+    }
+
+    #[test]
+    fn installed_order_serves_prefix_scans() {
+        let mut db = tiny_db();
+        // Global importance: pk 10 -> 1.0, pk 11 -> 5.0.
+        let score = |db: &Database, t: TableId, r: RowId| {
+            if db.table(t).schema.name == "Paper" && db.table(t).pk_of(r) == 11 {
+                5.0
+            } else {
+                1.0
+            }
+        };
+        let token = {
+            let snapshot: Vec<Vec<f64>> = db
+                .tables()
+                .map(|(tid, t)| t.iter().map(|(r, _)| score(&db, tid, r)).collect())
+                .collect();
+            db.install_importance_order(&|t, r| snapshot[t.index()][r.index()])
+        };
+        assert_eq!(db.fk_order(), Some(token));
+        let paper = db.table_id("Paper").unwrap();
+        let fk_col = db.table(paper).schema.column_index("year_id").unwrap();
+        let li = |r: RowId| 0.5 * if db.table(paper).pk_of(r) == 11 { 5.0 } else { 1.0 };
+        // Fast path and heap path agree, including access accounting.
+        let before = db.access().snapshot();
+        let fast = db.select_eq_top_l(paper, fk_col, 1, 2, 0.0, Some(token), &li);
+        let mid = db.access().snapshot();
+        let slow = db.select_eq_top_l(paper, fk_col, 1, 2, 0.0, None, &li);
+        let after = db.access().snapshot();
+        assert_eq!(fast, slow);
+        assert_eq!(db.table(paper).pk_of(fast[0]), 11, "best importance first");
+        assert_eq!(mid.since(before), after.since(mid), "identical cost accounting");
+        // The threshold cuts the scan short.
+        let cut = db.select_eq_top_l(paper, fk_col, 1, 2, 2.0, Some(token), &li);
+        assert_eq!(cut.len(), 1);
+        // A stale token falls back to the heap path (still correct).
+        let stale = db.select_eq_top_l(paper, fk_col, 1, 2, 0.0, Some(FkOrderToken::fresh()), &li);
+        assert_eq!(stale, slow);
+    }
+
+    #[test]
+    fn insert_invalidates_sorted_postings() {
+        let mut db = tiny_db();
+        let token = db.install_importance_order(&|_, _| 1.0);
+        let paper = db.table_id("Paper").unwrap();
+        let fk_col = db.table(paper).schema.column_index("year_id").unwrap();
+        assert!(db.table(paper).sorted_fk_index(fk_col).is_some());
+        db.insert("Paper", vec![Value::Int(12), "p3".into(), Value::Int(1)]).unwrap();
+        assert!(
+            db.table(paper).sorted_fk_index(fk_col).is_none(),
+            "insert drops the snapshot postings"
+        );
+        // The probe still answers correctly via the heap fallback, and the
+        // new row is visible.
+        let li = |_: RowId| 1.0;
+        let rows = db.select_eq_top_l(paper, fk_col, 1, 10, 0.0, Some(token), &li);
+        assert_eq!(rows.len(), 3);
     }
 }

@@ -1,0 +1,115 @@
+//! Importance-sorted foreign-key indexes.
+//!
+//! The Avoidance-Condition-2 probe (`SELECT * TOP l FROM Ri WHERE
+//! tj.ID = Ri.ID AND Ri.li > largest-l ORDER BY li DESC`, Algorithm 4
+//! line 10) asks for a *prefix* of an FK group under a fixed ordering:
+//! local importance `li(t) = Im(t) · Af(Ri)` is the per-tuple global
+//! importance scaled by a per-relation constant, so *one* global-importance
+//! order per table serves every GDS node reading it. Pre-sorting each FK
+//! posting list by descending global importance turns the probe from a
+//! heap pass over the whole group (`O(g log l)`) into a bounded prefix
+//! scan (`O(l)`), the ROADMAP's remaining Database-source hot path.
+//!
+//! Ordering contract: postings are sorted by `(score descending, RowId
+//! ascending)`, and the prefix scan is valid for any `li` that is a
+//! *monotone non-decreasing* function of the installed score — `li =
+//! global · affinity` qualifies because IEEE multiplication by a positive
+//! constant is monotone. Monotone maps can still collapse distinct scores
+//! to equal `li` (a 1-ulp score gap erased by the multiplication), where
+//! the raw posting order (score desc) and the heap path's tie order
+//! (`RowId` asc, per [`crate::top_l`]) differ; the scan therefore collects
+//! the li-tie run straddling the cut in full and re-ranks it by `(li
+//! desc, RowId asc)`, keeping the two paths byte-identical
+//! unconditionally (unit- and property-tested).
+//!
+//! Because the sort key is external (global importance is computed by the
+//! ranking layer *after* the database is loaded), installation is a
+//! finalization step: [`crate::Database::install_importance_order`] sorts
+//! every posting list and returns an opaque [`FkOrderToken`]. Query paths
+//! pass the token they expect back in; the fast path only fires when it
+//! matches the installed one, so a context carrying scores from a
+//! *different* ranking setting silently falls back to the heap path
+//! instead of scanning postings in the wrong order. Any subsequent insert
+//! drops the affected table's sorted postings (and the heap path takes
+//! over) — the order is a snapshot, not an incrementally maintained index.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::table::RowId;
+
+/// Identifies one installed importance ordering. Tokens are unique per
+/// process ([`crate::Database::install_importance_order`] mints a fresh one
+/// on every call), so a token can never validate against an ordering it
+/// was not minted for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FkOrderToken(u64);
+
+static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+impl FkOrderToken {
+    /// Mints a process-unique token.
+    pub(crate) fn fresh() -> FkOrderToken {
+        FkOrderToken(NEXT_TOKEN.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// The importance-sorted postings of one FK column: the same keys and row
+/// sets as the base hash index, with every posting list pre-sorted by
+/// `(score descending, RowId ascending)`.
+#[derive(Clone, Debug, Default)]
+pub struct SortedFkIndex {
+    postings: HashMap<i64, Vec<RowId>>,
+}
+
+impl SortedFkIndex {
+    /// Builds the sorted copy of a base FK index under `score`.
+    pub(crate) fn build(
+        base: &HashMap<i64, Vec<RowId>>,
+        score: &dyn Fn(RowId) -> f64,
+    ) -> SortedFkIndex {
+        let postings = base
+            .iter()
+            .map(|(&key, rows)| {
+                let mut scored: Vec<(f64, RowId)> = rows.iter().map(|&r| (score(r), r)).collect();
+                scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+                (key, scored.into_iter().map(|(_, r)| r).collect())
+            })
+            .collect();
+        SortedFkIndex { postings }
+    }
+
+    /// The rows whose FK equals `key`, best-importance first.
+    pub fn rows(&self, key: i64) -> &[RowId] {
+        static EMPTY: [RowId; 0] = [];
+        self.postings.get(&key).map(|v| v.as_slice()).unwrap_or(&EMPTY)
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_are_unique() {
+        let a = FkOrderToken::fresh();
+        let b = FkOrderToken::fresh();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn build_sorts_by_score_desc_then_row_asc() {
+        let mut base: HashMap<i64, Vec<RowId>> = HashMap::new();
+        base.insert(7, vec![RowId(0), RowId(1), RowId(2), RowId(3)]);
+        let scores = [1.0, 3.0, 3.0, 2.0];
+        let idx = SortedFkIndex::build(&base, &|r: RowId| scores[r.index()]);
+        assert_eq!(idx.rows(7), &[RowId(1), RowId(2), RowId(3), RowId(0)]);
+        assert!(idx.rows(99).is_empty());
+        assert_eq!(idx.key_count(), 1);
+    }
+}

@@ -14,11 +14,15 @@
 //! * an access counter ([`access::AccessCounter`]) that counts join probes
 //!   and tuples read, the cost unit of the paper's Section 5.3/6.3
 //!   discussion ("Avoidance Condition 2 still requires an I/O access even
-//!   when it returns no results").
+//!   when it returns no results"),
+//! * importance-sorted FK postings ([`fk_index`]) installed as a
+//!   finalization step, which turn the `TOP l` probe into a bounded prefix
+//!   scan.
 
 pub mod access;
 pub mod database;
 pub mod error;
+pub mod fk_index;
 pub mod schema;
 pub mod table;
 pub mod text;
@@ -28,6 +32,7 @@ pub mod value;
 pub use access::{AccessCounter, AccessStats};
 pub use database::{Database, TableId, TupleRef};
 pub use error::StorageError;
+pub use fk_index::{FkOrderToken, SortedFkIndex};
 pub use schema::{Column, ForeignKey, SchemaBuilder, TableSchema};
 pub use table::{RowId, Table};
 pub use topl::top_l;

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use crate::error::StorageError;
+use crate::fk_index::SortedFkIndex;
 use crate::schema::TableSchema;
 use crate::value::Value;
 use crate::Result;
@@ -35,13 +36,22 @@ pub struct Table {
     pk_index: HashMap<i64, RowId>,
     /// column index -> (key -> row ids)
     fk_indexes: HashMap<usize, HashMap<i64, Vec<RowId>>>,
+    /// column index -> importance-sorted postings (a finalization-time
+    /// snapshot; dropped on insert — see [`crate::fk_index`]).
+    sorted_fk: HashMap<usize, SortedFkIndex>,
 }
 
 impl Table {
     /// Creates an empty table for the schema.
     pub fn new(schema: TableSchema) -> Self {
         let fk_indexes = schema.fks.iter().map(|fk| (fk.column, HashMap::new())).collect();
-        Table { schema, rows: Vec::new(), pk_index: HashMap::new(), fk_indexes }
+        Table {
+            schema,
+            rows: Vec::new(),
+            pk_index: HashMap::new(),
+            fk_indexes,
+            sorted_fk: HashMap::new(),
+        }
     }
 
     /// Number of rows.
@@ -87,6 +97,9 @@ impl Table {
                 index.entry(k).or_default().push(id);
             }
         }
+        // The sorted postings are a finalization-time snapshot; a new row
+        // is not in them, so they must not be consulted anymore.
+        self.sorted_fk.clear();
         self.rows.push(values.into_boxed_slice());
         Ok(id)
     }
@@ -130,6 +143,22 @@ impl Table {
     /// True when `col` carries an FK index.
     pub fn is_indexed(&self, col: usize) -> bool {
         self.fk_indexes.contains_key(&col)
+    }
+
+    /// Rebuilds every FK column's importance-sorted postings under `score`
+    /// (called by [`crate::Database::install_importance_order`]).
+    pub(crate) fn build_sorted_fk(&mut self, score: &dyn Fn(RowId) -> f64) {
+        self.sorted_fk = self
+            .fk_indexes
+            .iter()
+            .map(|(&col, base)| (col, SortedFkIndex::build(base, score)))
+            .collect();
+    }
+
+    /// The importance-sorted postings of `col`, if an order is installed
+    /// and no insert has invalidated it since.
+    pub fn sorted_fk_index(&self, col: usize) -> Option<&SortedFkIndex> {
+        self.sorted_fk.get(&col)
     }
 
     /// Iterates over `(RowId, &Row)` in insertion order.

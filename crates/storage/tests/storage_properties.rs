@@ -93,7 +93,7 @@ proptest! {
         let fk_col = db.table(child).schema.column_index("parent_id").unwrap();
         let payload = db.table(child).schema.column_index("payload").unwrap();
         let li = |r: sizel_storage::RowId| db.table(child).value(r, payload).as_f64().unwrap();
-        let got = db.select_eq_top_l(child, fk_col, 1, l, threshold, &li);
+        let got = db.select_eq_top_l(child, fk_col, 1, l, threshold, None, &li);
         prop_assert!(got.len() <= l);
         // Sorted descending, all above threshold.
         let scores: Vec<f64> = got.iter().map(|&r| li(r)).collect();
@@ -140,7 +140,7 @@ proptest! {
         let payload = db.table(child).schema.column_index("payload").unwrap();
         let li = |r: sizel_storage::RowId| db.table(child).value(r, payload).as_f64().unwrap();
         for parent in 0i64..8 {
-            let got = db.select_eq_top_l(child, fk_col, parent, l, threshold, &li);
+            let got = db.select_eq_top_l(child, fk_col, parent, l, threshold, None, &li);
             // Oracle: the full-sort prefix over the same group.
             let mut oracle: Vec<(f64, sizel_storage::RowId)> = db
                 .table(child)
@@ -156,6 +156,92 @@ proptest! {
             let oracle_rows: Vec<sizel_storage::RowId> =
                 oracle.into_iter().map(|(_, r)| r).collect();
             prop_assert_eq!(&got, &oracle_rows, "group {} (l={}, θ={})", parent, l, threshold);
+        }
+    }
+
+    /// The importance-sorted postings hold exactly the `select_eq` result
+    /// set (same rows, reordered by descending score with ascending RowId
+    /// ties), for arbitrary insert sequences and score assignments.
+    #[test]
+    fn sorted_fk_postings_equal_select_eq_result_set(
+        groups in proptest::collection::vec(
+            (0i64..8, (0.0..16.0f64).prop_map(|w| (w * 2.0).floor() / 2.0)), 0..120),
+    ) {
+        let mut db = fresh_db();
+        for pk in 0i64..8 {
+            db.insert("Parent", vec![Value::Int(pk), format!("p{pk}").into()]).unwrap();
+        }
+        for (i, &(parent, w)) in groups.iter().enumerate() {
+            db.insert("Child", vec![Value::Int(i as i64), Value::Float(w), Value::Int(parent)])
+                .unwrap();
+        }
+        let child = db.table_id("Child").unwrap();
+        let fk_col = db.table(child).schema.column_index("parent_id").unwrap();
+        let payload = db.table(child).schema.column_index("payload").unwrap();
+        let snapshot: Vec<f64> = db
+            .table(child)
+            .iter()
+            .map(|(r, _)| db.table(child).value(r, payload).as_f64().unwrap())
+            .collect();
+        // Parents score 0 (no FK postings reference them anyway).
+        db.install_importance_order(&|t, r| if t == child { snapshot[r.index()] } else { 0.0 });
+        let sorted = db.table(child).sorted_fk_index(fk_col).unwrap();
+        for parent in 0i64..9 {
+            let postings = sorted.rows(parent);
+            // Same row set as the unsorted probe.
+            let mut a: Vec<_> = postings.to_vec();
+            a.sort();
+            let mut b = db.select_eq(child, fk_col, parent);
+            b.sort();
+            prop_assert_eq!(a, b, "row set for parent {}", parent);
+            // Ordered by (score desc, RowId asc).
+            for w in postings.windows(2) {
+                let (s0, s1) = (snapshot[w[0].index()], snapshot[w[1].index()]);
+                prop_assert!(s0 > s1 || (s0 == s1 && w[0] < w[1]));
+            }
+        }
+    }
+
+    /// The prefix-scan fast path of `select_eq_top_l` is byte-identical to
+    /// the heap fallback whenever `li` is a positive multiple of the
+    /// installed score — the exact contract OS generation relies on
+    /// (`li = global · affinity`).
+    #[test]
+    fn sorted_fast_path_equals_heap_path(
+        groups in proptest::collection::vec(
+            (0i64..8, (0.0..16.0f64).prop_map(|w| (w * 2.0).floor() / 2.0)), 0..120),
+        l in 0usize..12,
+        threshold in 0.0..12.0f64,
+        affinity in 0.25..1.0f64,
+    ) {
+        let mut db = fresh_db();
+        for pk in 0i64..8 {
+            db.insert("Parent", vec![Value::Int(pk), format!("p{pk}").into()]).unwrap();
+        }
+        for (i, &(parent, w)) in groups.iter().enumerate() {
+            db.insert("Child", vec![Value::Int(i as i64), Value::Float(w), Value::Int(parent)])
+                .unwrap();
+        }
+        let child = db.table_id("Child").unwrap();
+        let fk_col = db.table(child).schema.column_index("parent_id").unwrap();
+        let payload = db.table(child).schema.column_index("payload").unwrap();
+        let snapshot: Vec<f64> = db
+            .table(child)
+            .iter()
+            .map(|(r, _)| db.table(child).value(r, payload).as_f64().unwrap())
+            .collect();
+        let token = db.install_importance_order(&|t, r| {
+            if t.index() == 1 { snapshot[r.index()] } else { 0.0 }
+        });
+        let li = |r: sizel_storage::RowId| affinity * snapshot[r.index()];
+        for parent in 0i64..8 {
+            let before = db.access().snapshot();
+            let fast = db.select_eq_top_l(child, fk_col, parent, l, threshold, Some(token), &li);
+            let mid = db.access().snapshot();
+            let slow = db.select_eq_top_l(child, fk_col, parent, l, threshold, None, &li);
+            let after = db.access().snapshot();
+            prop_assert_eq!(&fast, &slow, "group {} (l={}, θ={})", parent, l, threshold);
+            prop_assert_eq!(mid.since(before), after.since(mid), "cost accounting differs");
         }
     }
 

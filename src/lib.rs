@@ -35,9 +35,9 @@ pub use sizel_core::eval::{
     tuple_effectiveness, EvaluatorPanel,
 };
 pub use sizel_core::keyword::KeywordIndex;
-pub use sizel_core::os::{Os, OsNode, OsNodeId};
-pub use sizel_core::osgen::{generate_os, OsContext, OsSource};
-pub use sizel_core::prelim::{generate_prelim, PrelimStats};
+pub use sizel_core::os::{Os, OsArenaPool, OsNode, OsNodeId};
+pub use sizel_core::osgen::{generate_os, generate_os_pooled, OsContext, OsSource};
+pub use sizel_core::prelim::{generate_prelim, generate_prelim_pooled, PrelimStats};
 pub use sizel_core::render::{render_os, RenderOptions};
 pub use sizel_datagen::dblp::{Dblp, DblpConfig, FamousAuthorSpec};
 pub use sizel_datagen::tpch::{Tpch, TpchConfig};
@@ -49,9 +49,12 @@ pub use sizel_serve::{
 };
 
 pub use sizel_rank::{
-    dblp_ga, tpch_ga, AuthorityGraph, GaPreset, RankConfig, RankScores, D1, D2, D3,
+    dblp_ga, install_importance_order, tpch_ga, AuthorityGraph, GaPreset, RankConfig, RankScores,
+    D1, D2, D3,
 };
-pub use sizel_storage::{Database, StorageError, TableSchema, TupleRef, Value, ValueType};
+pub use sizel_storage::{
+    Database, FkOrderToken, StorageError, TableSchema, TupleRef, Value, ValueType,
+};
 
 /// Builds a ready-to-query engine over a synthetic DBLP database, with
 /// Author and Paper as DS relations and the paper's GDS presets
