@@ -14,7 +14,7 @@
 //! bench` under a minute.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use sizel_core::algo::AlgoKind;
 use sizel_core::engine::{EngineConfig, QueryOptions, SizeLEngine};
@@ -23,11 +23,11 @@ use sizel_graph::presets;
 use sizel_rank::{dblp_ga, GaPreset};
 use sizel_serve::{ServeConfig, SizeLServer};
 
-fn engine() -> Arc<SizeLEngine> {
-    static E: OnceLock<Arc<SizeLEngine>> = OnceLock::new();
+fn engine() -> Arc<RwLock<SizeLEngine>> {
+    static E: OnceLock<Arc<RwLock<SizeLEngine>>> = OnceLock::new();
     Arc::clone(E.get_or_init(|| {
         let d = generate(&DblpConfig::bench());
-        Arc::new(
+        Arc::new(RwLock::new(
             SizeLEngine::build(
                 d.db,
                 |db, sg, dg| dblp_ga(GaPreset::Ga1, db, sg, dg),
@@ -37,7 +37,7 @@ fn engine() -> Arc<SizeLEngine> {
                 ]),
             )
             .expect("bench DBLP engine builds"),
-        )
+        ))
     }))
 }
 
@@ -80,6 +80,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
 
     // The PR-1 sequential engine: the 1× reference.
     group.bench_with_input(BenchmarkId::new("sequential", 1), &set, |b, set| {
+        let engine = engine.read().unwrap();
         b.iter(|| {
             for (kw, opts) in set {
                 criterion::black_box(engine.query_with(kw, *opts));
@@ -89,7 +90,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
 
     for threads in [1usize, 2, 4, 8] {
         // Worker-pool scaling with caching off: every query recomputes.
-        let server = SizeLServer::new(
+        let server = SizeLServer::from_shared(
             Arc::clone(&engine),
             ServeConfig {
                 workers: threads,
@@ -106,7 +107,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
 
         // Steady-state with the summary cache: after the first iteration
         // every (tds, l, algo, prelim, source) is a hit.
-        let server = SizeLServer::new(
+        let server = SizeLServer::from_shared(
             Arc::clone(&engine),
             ServeConfig {
                 workers: threads,

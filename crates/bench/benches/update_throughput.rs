@@ -1,0 +1,169 @@
+//! Update-workload throughput (ISSUE 4): a mixed insert/query stream
+//! against the epoch-versioned server, with the prefix-scan retention
+//! that motivates the incremental maintenance reported as a probe-mix
+//! ratio.
+//!
+//! Three regimes over the same Database-source query workload (the one
+//! that actually drives TOP-l probes):
+//! * `query_only` — no mutations: the steady-state ceiling.
+//! * `mixed_incremental` — one incremental insert per batch: sorted
+//!   postings binary-maintained, token re-stamped, scores spliced. PR 3's
+//!   snapshot design would heap-fall-back *permanently* after the first
+//!   insert; here the fast-path ratio stays ~1 (printed after the run).
+//! * `mixed_exact` — one exact-refresh insert per batch: the escape
+//!   hatch's full re-derivation cost (power iteration + reinstall), as a
+//!   reference for what the incremental path avoids.
+//!
+//! `SIZEL_BENCH_FULL=1` uses more samples; the default keeps `cargo
+//! bench` fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use sizel_core::engine::{EngineConfig, Mutation, QueryOptions, SizeLEngine};
+use sizel_core::osgen::OsSource;
+use sizel_core::test_fixtures::max_pk;
+use sizel_datagen::dblp::{generate, DblpConfig};
+use sizel_graph::presets;
+use sizel_rank::{dblp_ga, GaPreset};
+use sizel_serve::{ServeConfig, SizeLServer};
+use sizel_storage::Value;
+
+fn build_engine() -> Arc<RwLock<SizeLEngine>> {
+    let d = generate(&DblpConfig::small());
+    Arc::new(RwLock::new(
+        SizeLEngine::build(
+            d.db,
+            |db, sg, dg| dblp_ga(GaPreset::Ga1, db, sg, dg),
+            EngineConfig::new(vec![
+                ("Author".into(), presets::dblp_author_gds_config()),
+                ("Paper".into(), presets::dblp_paper_gds_config()),
+            ]),
+        )
+        .expect("small DBLP engine builds"),
+    ))
+}
+
+/// Database-source prelim queries: the workload whose TOP-l probes the
+/// sorted postings serve (DataGraph-source queries never touch them).
+fn workload() -> Vec<(String, QueryOptions)> {
+    ["Christos Faloutsos", "Michalis Faloutsos", "Petros Faloutsos", "Faloutsos"]
+        .into_iter()
+        .flat_map(|kw| {
+            [10usize, 30].into_iter().map(move |l| {
+                (
+                    kw.to_owned(),
+                    QueryOptions {
+                        l,
+                        prelim: true,
+                        source: OsSource::Database,
+                        ..QueryOptions::default()
+                    },
+                )
+            })
+        })
+        .collect()
+}
+
+/// Fresh-pk mutation source: each call yields one new author plus one
+/// junction row linking it to an existing paper.
+struct MutationSource {
+    next_author: AtomicI64,
+    next_junction: AtomicI64,
+    paper_pk: i64,
+}
+
+impl MutationSource {
+    fn new(engine: &SizeLEngine) -> Self {
+        let db = engine.db();
+        MutationSource {
+            next_author: AtomicI64::new(max_pk(db, "Author") + 1),
+            next_junction: AtomicI64::new(max_pk(db, "AuthorPaper") + 1),
+            paper_pk: max_pk(db, "Paper"),
+        }
+    }
+
+    fn next(&self) -> [Mutation; 2] {
+        let a = self.next_author.fetch_add(1, Ordering::Relaxed);
+        let j = self.next_junction.fetch_add(1, Ordering::Relaxed);
+        [
+            Mutation::insert("Author", vec![Value::Int(a), format!("Churn Author{a}").into()]),
+            Mutation::insert(
+                "AuthorPaper",
+                vec![Value::Int(j), Value::Int(a), Value::Int(self.paper_pk)],
+            ),
+        ]
+    }
+}
+
+fn bench_update_throughput(c: &mut Criterion) {
+    let full = std::env::var("SIZEL_BENCH_FULL").is_ok_and(|v| v == "1");
+    let set = workload();
+
+    let mut group = c.benchmark_group("update_throughput_dblp");
+    group.sample_size(if full { 20 } else { 10 });
+    group.measurement_time(std::time::Duration::from_secs(if full { 5 } else { 2 }));
+
+    // Steady-state ceiling: queries only, cache disabled so every batch
+    // exercises the probes.
+    let engine = build_engine();
+    let server = SizeLServer::from_shared(
+        Arc::clone(&engine),
+        ServeConfig { workers: 2, queue_capacity: set.len(), cache_capacity: 0, cache_shards: 4 },
+    );
+    group.bench_with_input(BenchmarkId::new("query_only", 2), &set, |b, set| {
+        b.iter(|| criterion::black_box(server.batch_query(set)));
+    });
+    drop(server);
+
+    // Mixed stream, incremental maintenance: the fast path must survive
+    // the churn (ratio printed below).
+    let engine = build_engine();
+    let server = SizeLServer::from_shared(
+        Arc::clone(&engine),
+        ServeConfig { workers: 2, queue_capacity: set.len(), cache_capacity: 0, cache_shards: 4 },
+    );
+    let muts = MutationSource::new(&server.engine());
+    engine.read().unwrap().db().access().reset();
+    group.bench_with_input(BenchmarkId::new("mixed_incremental", 2), &set, |b, set| {
+        b.iter(|| {
+            for m in muts.next() {
+                server.apply(m).expect("incremental apply");
+            }
+            criterion::black_box(server.batch_query(set));
+        });
+    });
+    let probes = {
+        let e = engine.read().unwrap();
+        e.db().access().probes()
+    };
+    eprintln!(
+        "update_throughput: incremental stream probe mix fast={} heap={} (fast ratio {:.3}; \
+         PR 3's snapshot design pins this at 0.000 after the first insert)",
+        probes.fast,
+        probes.heap,
+        probes.fast_ratio()
+    );
+    drop(server);
+
+    // Mixed stream, exact escape hatch: full re-derivation per insert.
+    let engine = build_engine();
+    let server = SizeLServer::from_shared(
+        Arc::clone(&engine),
+        ServeConfig { workers: 2, queue_capacity: set.len(), cache_capacity: 0, cache_shards: 4 },
+    );
+    let muts = MutationSource::new(&server.engine());
+    group.bench_with_input(BenchmarkId::new("mixed_exact", 2), &set, |b, set| {
+        b.iter(|| {
+            for m in muts.next() {
+                server.apply(m.exact()).expect("exact apply");
+            }
+            criterion::black_box(server.batch_query(set));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_throughput);
+criterion_main!(benches);

@@ -6,10 +6,21 @@
 //! like the paper's system: find the `t_DS` tuples matching all keywords,
 //! generate each one's (prelim or complete) OS, size-l it, and return the
 //! summaries ranked by the DS tuple's global importance.
+//!
+//! The engine is **epoch-aware**: [`SizeLEngine::apply`] accepts row
+//! inserts and keeps every derived structure synchronized, either
+//! incrementally ([`RefreshPolicy::Incremental`] — estimated score
+//! spliced into the rank vector, sorted postings binary-maintained, the
+//! FK-order token re-stamped so the prefix-scan fast paths stay live) or
+//! exactly ([`RefreshPolicy::Exact`] — the escape hatch that re-derives
+//! everything, byte-identical to a fresh [`SizeLEngine::build`] over the
+//! mutated database). [`SizeLEngine::epoch`] exposes the database's
+//! mutation epoch for cache keying (the serving layer keys its summary
+//! cache by it).
 
-use sizel_graph::{DataGraph, Gds, GdsConfig, SchemaGraph};
+use sizel_graph::{DataGraph, Gds, GdsConfig, MnLinkId, SchemaGraph};
 use sizel_rank::{compute, AuthorityGraph, RankConfig, RankScores};
-use sizel_storage::{Database, StorageError, TableId, TupleRef};
+use sizel_storage::{Database, Epoch, StorageError, TableId, TupleRef, Value};
 
 use crate::algo::{AlgoKind, SizeLResult};
 use crate::keyword::KeywordIndex;
@@ -96,45 +107,237 @@ pub struct QueryResult {
     pub summary: Os,
 }
 
+/// How [`SizeLEngine::apply`] refreshes the derived state after a
+/// mutation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum RefreshPolicy {
+    /// Splice an estimated global importance for the appended row
+    /// (`sizel_rank::estimate_appended_score`, with its documented
+    /// approximation bound), binary-maintain the sorted postings, and
+    /// re-stamp the FK-order token — no power iteration, no posting
+    /// re-sort, no GDS/keyword rebuild.
+    #[default]
+    Incremental,
+    /// The exact escape hatch: re-derive everything (power iteration,
+    /// full importance-order install, GDS stats, keyword index) over the
+    /// mutated database. Byte-identical to a fresh [`SizeLEngine::build`].
+    Exact,
+}
+
+/// One write operation against a live engine. Constructed via
+/// [`Mutation::insert`]; the policy defaults to incremental and can be
+/// switched with [`Mutation::exact`].
+#[derive(Clone, Debug)]
+pub struct Mutation {
+    /// Target table name.
+    pub table: String,
+    /// The new row's values (validated like [`Database::insert`], plus
+    /// FK existence against the catalog before anything is mutated).
+    pub values: Vec<Value>,
+    /// Refresh strategy for the derived state.
+    pub policy: RefreshPolicy,
+}
+
+impl Mutation {
+    /// An insert refreshed incrementally.
+    pub fn insert(table: impl Into<String>, values: Vec<Value>) -> Self {
+        Mutation { table: table.into(), values, policy: RefreshPolicy::Incremental }
+    }
+
+    /// Switches this mutation to the exact-recompute escape hatch.
+    #[must_use]
+    pub fn exact(mut self) -> Self {
+        self.policy = RefreshPolicy::Exact;
+        self
+    }
+}
+
+/// The retained authority-graph builder (see [`SizeLEngine::build`]).
+type GaBuilder = Box<dyn Fn(&Database, &SchemaGraph, &DataGraph) -> AuthorityGraph + Send + Sync>;
+
+/// Everything derived from the database: rebuilt wholesale by the exact
+/// refresh path, built once by [`SizeLEngine::build`].
+struct Derived {
+    dg: DataGraph,
+    authority: AuthorityGraph,
+    scores: RankScores,
+    gds_by_table: Vec<Option<Gds>>,
+    links_by_table: Vec<Option<Vec<Option<MnLinkId>>>>,
+    kw: KeywordIndex,
+}
+
 /// The wired-up engine. Owns the database and every derived structure.
 pub struct SizeLEngine {
     db: Database,
     sg: SchemaGraph,
     dg: DataGraph,
+    authority: AuthorityGraph,
     scores: RankScores,
     gds_by_table: Vec<Option<Gds>>,
+    /// Per-DS-table resolved M:N link tables, precomputed at build so
+    /// [`SizeLEngine::context`] (and through it every `summarize`) stops
+    /// allocating and re-scanning links per query.
+    links_by_table: Vec<Option<Vec<Option<MnLinkId>>>>,
     kw: KeywordIndex,
-    max_results: usize,
+    /// The GA builder, retained so the exact refresh path can re-derive
+    /// the authority graph over the mutated database.
+    ga: GaBuilder,
+    cfg: EngineConfig,
 }
 
 impl SizeLEngine {
     /// Builds the engine: validates FKs, computes global importance with
     /// the GA produced by `ga`, builds each DS relation's GDS(θ) and the
     /// keyword index, and installs the importance-sorted FK order so
-    /// Database-source TOP-l probes run as prefix scans.
+    /// Database-source TOP-l probes run as prefix scans. The `ga` builder
+    /// is retained for [`SizeLEngine::apply`]'s exact refresh path.
     pub fn build(
         mut db: Database,
-        ga: impl FnOnce(&Database, &SchemaGraph, &DataGraph) -> AuthorityGraph,
+        ga: impl Fn(&Database, &SchemaGraph, &DataGraph) -> AuthorityGraph + Send + Sync + 'static,
         cfg: EngineConfig,
     ) -> Result<Self, StorageError> {
         db.validate_foreign_keys()?;
         let sg = SchemaGraph::from_database(&db);
-        let dg = DataGraph::build(&db, &sg);
-        let authority = ga(&db, &sg, &dg);
-        let mut scores = compute(&db, &sg, &dg, &authority, &cfg.rank);
-        sizel_rank::install_importance_order(&mut db, &dg, &mut scores);
+        let ga: GaBuilder = Box::new(ga);
+        let derived = Self::derive(&mut db, &sg, ga.as_ref(), &cfg)?;
+        let Derived { dg, authority, scores, gds_by_table, links_by_table, kw } = derived;
+        Ok(SizeLEngine { db, sg, dg, authority, scores, gds_by_table, links_by_table, kw, ga, cfg })
+    }
+
+    /// Computes every derived structure over `db` (which receives the
+    /// importance-order install). Shared by [`SizeLEngine::build`] and
+    /// the exact refresh of [`SizeLEngine::apply`] — the two are
+    /// byte-identical by construction.
+    fn derive(
+        db: &mut Database,
+        sg: &SchemaGraph,
+        ga: &(dyn Fn(&Database, &SchemaGraph, &DataGraph) -> AuthorityGraph + Send + Sync),
+        cfg: &EngineConfig,
+    ) -> Result<Derived, StorageError> {
+        let dg = DataGraph::build(db, sg);
+        let authority = ga(db, sg, &dg);
+        let mut scores = compute(db, sg, &dg, &authority, &cfg.rank);
+        sizel_rank::install_importance_order(db, &dg, &mut scores);
 
         let mut gds_by_table: Vec<Option<Gds>> = (0..db.table_count()).map(|_| None).collect();
+        let mut links_by_table: Vec<Option<Vec<Option<MnLinkId>>>> =
+            (0..db.table_count()).map(|_| None).collect();
         let mut ds_tables = Vec::with_capacity(cfg.ds_relations.len());
         for (name, gds_cfg) in &cfg.ds_relations {
             let tid = db.table_id(name)?;
-            let mut gds = Gds::build(&db, &sg, gds_cfg, tid).restrict(cfg.theta);
+            let mut gds = Gds::build(db, sg, gds_cfg, tid).restrict(cfg.theta);
             gds.set_stats(&scores.per_table_max);
+            links_by_table[tid.index()] = Some(OsContext::resolve_links(&dg, &gds));
             gds_by_table[tid.index()] = Some(gds);
             ds_tables.push(tid);
         }
-        let kw = KeywordIndex::build(&db, &ds_tables);
-        Ok(SizeLEngine { db, sg, dg, scores, gds_by_table, kw, max_results: cfg.max_results })
+        let kw = KeywordIndex::build(db, &ds_tables);
+        Ok(Derived { dg, authority, scores, gds_by_table, links_by_table, kw })
+    }
+
+    /// The database's mutation epoch — the version every query of this
+    /// engine is answered at. Serving layers key caches by it; any
+    /// [`SizeLEngine::apply`] advances it, so entries computed against
+    /// superseded data are never served again.
+    pub fn epoch(&self) -> Epoch {
+        self.db.epoch()
+    }
+
+    /// Applies a mutation, keeping every derived structure synchronized
+    /// (see [`RefreshPolicy`] for the incremental/exact trade). Returns
+    /// the new epoch. On error nothing is mutated.
+    pub fn apply(&mut self, m: Mutation) -> Result<Epoch, StorageError> {
+        let tid = self.db.table_id(&m.table)?;
+        self.validate_new_row_fks(tid, &m.values)?;
+        match m.policy {
+            RefreshPolicy::Exact => {
+                self.db.insert(&m.table, m.values)?;
+                let derived = Self::derive(&mut self.db, &self.sg, self.ga.as_ref(), &self.cfg)?;
+                let Derived { dg, authority, scores, gds_by_table, links_by_table, kw } = derived;
+                self.dg = dg;
+                self.authority = authority;
+                self.scores = scores;
+                self.gds_by_table = gds_by_table;
+                self.links_by_table = links_by_table;
+                self.kw = kw;
+            }
+            RefreshPolicy::Incremental => {
+                let est = sizel_rank::estimate_appended_score(
+                    &self.db,
+                    &self.sg,
+                    &self.dg,
+                    &self.authority,
+                    &self.cfg.rank,
+                    &self.scores,
+                    tid,
+                    &m.values,
+                );
+                let row = self.db.insert_scored(&m.table, m.values, est)?;
+                // Dense node ids shift behind the insertion point; rebuild
+                // the adjacency index and splice the score at the new
+                // row's slot. This is the O(|E|) linear part of an
+                // incremental apply — what it avoids is the power
+                // iteration (hundreds of O(|E|) sweeps) and the full
+                // posting re-sort.
+                self.dg = DataGraph::build(&self.db, &self.sg);
+                sizel_rank::splice_appended_score(
+                    &mut self.scores,
+                    &self.dg,
+                    TupleRef::new(tid, row),
+                    est,
+                    self.db.fk_order(),
+                );
+                for gds in self.gds_by_table.iter_mut().flatten() {
+                    gds.set_stats(&self.scores.per_table_max);
+                }
+                self.kw.add_row(&self.db, tid, row);
+                for (i, links) in self.links_by_table.iter_mut().enumerate() {
+                    if links.is_some() {
+                        let gds = self.gds_by_table[i].as_ref().expect("links imply a GDS");
+                        *links = Some(OsContext::resolve_links(&self.dg, gds));
+                    }
+                }
+            }
+        }
+        Ok(self.db.epoch())
+    }
+
+    /// Checks that a prospective row has the right arity and that every
+    /// FK resolves in the catalog (the per-row analogue of
+    /// [`Database::validate_foreign_keys`], run *before* the insert so a
+    /// dangling reference cannot poison the data graph and a short row
+    /// cannot be indexed by the incremental score estimate).
+    fn validate_new_row_fks(&self, table: TableId, values: &[Value]) -> Result<(), StorageError> {
+        let schema = &self.db.table(table).schema;
+        if values.len() != schema.arity() {
+            return Err(StorageError::Arity {
+                table: schema.name.clone(),
+                expected: schema.arity(),
+                got: values.len(),
+            });
+        }
+        for fk in &schema.fks {
+            match values[fk.column] {
+                Value::Null => {}
+                Value::Int(k) => {
+                    let target = self.db.table_id(&fk.ref_table)?;
+                    if self.db.table(target).by_pk(k).is_none() {
+                        return Err(StorageError::DanglingForeignKey {
+                            table: schema.name.clone(),
+                            column: schema.columns[fk.column].name.clone(),
+                            key: k,
+                        });
+                    }
+                }
+                _ => {
+                    return Err(StorageError::TypeMismatch {
+                        table: schema.name.clone(),
+                        column: schema.columns[fk.column].name.clone(),
+                    })
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The owned database.
@@ -160,9 +363,15 @@ impl SizeLEngine {
             .expect("table was not configured as a DS relation")
     }
 
-    /// An [`OsContext`] over a DS relation's GDS.
+    /// An [`OsContext`] over a DS relation's GDS, borrowing the link
+    /// table precomputed at build — allocation-free, so `summarize` no
+    /// longer pays a per-query `OsContext` rebuild (ROADMAP hot path;
+    /// guarded by `tests/alloc_guard.rs`).
     pub fn context(&self, table: TableId) -> OsContext<'_> {
-        OsContext::new(&self.db, &self.sg, &self.dg, self.gds(table), &self.scores)
+        let links = self.links_by_table[table.index()]
+            .as_deref()
+            .expect("table was not configured as a DS relation");
+        OsContext::with_links(&self.db, &self.sg, &self.dg, self.gds(table), &self.scores, links)
     }
 
     /// Runs a keyword query with default options (l = 15, Top-Path,
@@ -195,7 +404,7 @@ impl SizeLEngine {
             let sb = self.scores.global(self.dg.node_id(*b));
             sb.total_cmp(&sa).then(a.cmp(b))
         });
-        hits.truncate(self.max_results);
+        hits.truncate(self.cfg.max_results);
         hits
     }
 
@@ -260,6 +469,7 @@ impl SizeLEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::test_fixtures::{max_pk, result_fingerprint as fingerprint};
     use sizel_datagen::dblp::{generate, DblpConfig};
     use sizel_graph::presets;
     use sizel_rank::{dblp_ga, GaPreset};
@@ -279,6 +489,126 @@ mod tests {
             )
             .expect("engine builds")
         })
+    }
+
+    fn fresh_engine(d: sizel_datagen::dblp::Dblp) -> SizeLEngine {
+        SizeLEngine::build(
+            d.db,
+            |db, sg, dg| dblp_ga(GaPreset::Ga1, db, sg, dg),
+            EngineConfig::new(vec![
+                ("Author".into(), presets::dblp_author_gds_config()),
+                ("Paper".into(), presets::dblp_paper_gds_config()),
+            ]),
+        )
+        .expect("engine builds")
+    }
+
+    #[test]
+    fn exact_apply_is_byte_identical_to_fresh_rebuild() {
+        // Mutate a live engine with the exact policy, and build a second
+        // engine from scratch over an identically-mutated database: every
+        // query answer must match to the float bit.
+        let mut live = fresh_engine(generate(&DblpConfig::small()));
+        let paper_pk = max_pk(live.db(), "Paper"); // link the new author here
+        let author_pk = max_pk(live.db(), "Author") + 1;
+        let junction_pk = max_pk(live.db(), "AuthorPaper") + 1;
+        let author_row = vec![Value::Int(author_pk), "Zanthi Qyxmont".into()];
+        let link_row = vec![Value::Int(junction_pk), Value::Int(author_pk), Value::Int(paper_pk)];
+        let e0 = live.epoch();
+        let e1 = live.apply(Mutation::insert("Author", author_row.clone()).exact()).unwrap();
+        let e2 = live.apply(Mutation::insert("AuthorPaper", link_row.clone()).exact()).unwrap();
+        assert!(e0 < e1 && e1 < e2, "every apply advances the epoch");
+        assert_eq!(live.epoch(), e2);
+
+        let mut d = generate(&DblpConfig::small());
+        d.db.insert("Author", author_row).unwrap();
+        d.db.insert("AuthorPaper", link_row).unwrap();
+        let rebuilt = fresh_engine(d);
+
+        for kw in ["Faloutsos", "Zanthi", "Power-law"] {
+            for opts in [
+                QueryOptions { l: 12, ..QueryOptions::default() },
+                QueryOptions {
+                    l: 8,
+                    prelim: false,
+                    source: OsSource::Database,
+                    ..Default::default()
+                },
+            ] {
+                assert_eq!(
+                    fingerprint(&live.query_with(kw, opts)),
+                    fingerprint(&rebuilt.query_with(kw, opts)),
+                    "{kw} {opts:?} diverged from the fresh rebuild"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_apply_keeps_fast_paths_and_serves_new_rows() {
+        let mut live = fresh_engine(generate(&DblpConfig::small()));
+        let paper_pk = max_pk(live.db(), "Paper");
+        let author_pk = max_pk(live.db(), "Author") + 1;
+        let junction_pk = max_pk(live.db(), "AuthorPaper") + 1;
+        live.apply(Mutation::insert(
+            "Author",
+            vec![Value::Int(author_pk), "Wexler Vantriss".into()],
+        ))
+        .unwrap();
+        live.apply(Mutation::insert(
+            "AuthorPaper",
+            vec![Value::Int(junction_pk), Value::Int(author_pk), Value::Int(paper_pk)],
+        ))
+        .unwrap();
+
+        // The new author is queryable, with a real summary drawn through
+        // the junction row.
+        let results = live.query("Wexler", 10);
+        assert_eq!(results.len(), 1);
+        assert!(results[0].summary.len() > 1, "the linked paper joins the summary");
+        results[0].summary.validate().unwrap();
+
+        // Both tuple sources agree after the mutation (the Database source
+        // exercises the maintained sorted postings; byte-identical output
+        // proves the re-stamped order is correct).
+        for kw in ["Wexler", "Faloutsos"] {
+            let a = live.query_with(
+                kw,
+                QueryOptions { l: 10, source: OsSource::DataGraph, ..Default::default() },
+            );
+            let b = live.query_with(
+                kw,
+                QueryOptions { l: 10, source: OsSource::Database, ..Default::default() },
+            );
+            assert_eq!(fingerprint(&a), fingerprint(&b), "{kw}: sources diverged post-mutation");
+        }
+
+        // The prefix-scan fast path is retained: Database-source prelim
+        // probes after the inserts still hit sorted postings.
+        live.db().access().reset();
+        let _ = live.query_with(
+            "Faloutsos",
+            QueryOptions { l: 15, source: OsSource::Database, prelim: true, ..Default::default() },
+        );
+        let probes = live.db().access().probes();
+        assert!(probes.fast > 0, "prefix scans survive incremental inserts: {probes:?}");
+    }
+
+    #[test]
+    fn apply_rejects_bad_rows_without_mutating() {
+        let mut live = fresh_engine(generate(&DblpConfig::tiny()));
+        let before = live.epoch();
+        let dangling = Mutation::insert(
+            "AuthorPaper",
+            vec![
+                Value::Int(max_pk(live.db(), "AuthorPaper") + 1),
+                Value::Int(1 << 40),
+                Value::Int(0),
+            ],
+        );
+        assert!(matches!(live.apply(dangling), Err(StorageError::DanglingForeignKey { .. })));
+        assert!(live.apply(Mutation::insert("Nope", vec![])).is_err());
+        assert_eq!(live.epoch(), before, "failed applies leave the epoch untouched");
     }
 
     #[test]

@@ -45,6 +45,31 @@ impl KeywordIndex {
         KeywordIndex { postings, indexed_tables: ds_tables.to_vec() }
     }
 
+    /// Indexes one freshly inserted row of a covered table (a no-op for
+    /// uncovered tables): tokens of its searchable columns are merged into
+    /// the postings with sorted-insert, preserving the build-time
+    /// invariant (sorted, deduplicated) that [`KeywordIndex::search`]'s
+    /// binary-search intersection relies on. The engine's incremental
+    /// apply path calls this so new DS tuples become queryable without a
+    /// full index rebuild.
+    pub fn add_row(&mut self, db: &Database, table: TableId, row: sizel_storage::RowId) {
+        if !self.indexed_tables.contains(&table) {
+            return;
+        }
+        let t = db.table(table);
+        let tref = TupleRef::new(table, row);
+        for c in t.schema.searchable_columns() {
+            if let Some(s) = t.value(row, c).as_str() {
+                for tok in text::tokenize(s) {
+                    let list = self.postings.entry(tok).or_default();
+                    if let Err(pos) = list.binary_search(&tref) {
+                        list.insert(pos, tref);
+                    }
+                }
+            }
+        }
+    }
+
     /// Tables covered by this index.
     pub fn indexed_tables(&self) -> &[TableId] {
         &self.indexed_tables

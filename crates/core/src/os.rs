@@ -410,7 +410,17 @@ impl OsArenaPool {
         // A fresh arena pre-sizes for a typical small OS so one-shot
         // callers don't pay the doubling ladder; released arenas keep
         // whatever high-water capacity they grew to.
-        self.arenas.pop().unwrap_or_else(|| Os::with_capacity(64))
+        self.acquire_with_capacity(64)
+    }
+
+    /// [`OsArenaPool::acquire`] with a capacity hint for the *cold* case:
+    /// a freshly allocated arena pre-sizes to `cap` nodes (floor 64), so
+    /// one-shot callers with a known workload — `generate_prelim`'s `4·l`
+    /// sizing — skip the doubling ladder. Parked arenas are returned
+    /// as-is (they already carry their high-water capacity), so the warm
+    /// steady state is untouched.
+    pub fn acquire_with_capacity(&mut self, cap: usize) -> Os {
+        self.arenas.pop().unwrap_or_else(|| Os::with_capacity(cap.max(64)))
     }
 
     /// Returns an arena to the pool for reuse, keeping its capacity.

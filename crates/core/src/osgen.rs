@@ -39,19 +39,25 @@ pub struct OsContext<'a> {
     pub gds: &'a Gds,
     /// Global importance scores.
     pub scores: &'a RankScores,
-    /// Resolved M:N link ids per GDS node (built once in [`OsContext::new`]).
-    link_of_gds: Vec<Option<MnLinkId>>,
+    /// Resolved M:N link ids per GDS node. Owned when built ad hoc by
+    /// [`OsContext::new`]; borrowed from the engine's precomputed
+    /// per-table link tables on the serving path
+    /// ([`OsContext::with_links`]), so building a context per query stops
+    /// allocating and stops re-scanning the data graph's links.
+    link_of_gds: std::borrow::Cow<'a, [Option<MnLinkId>]>,
     /// The database's installed importance order, when it matches these
     /// scores — unlocks the sorted-FK prefix scan in
-    /// [`Database::select_eq_top_l`]. `None` (heap fallback) when the
-    /// scores never stamped an order or the database was re-ordered or
-    /// mutated since.
+    /// [`Database::select_eq_top_l`] and the sorted-link junction scan.
+    /// `None` (heap fallback) when the scores never stamped an order or
+    /// the database was re-ordered or mutated since.
     fk_order: Option<FkOrderToken>,
 }
 
 impl<'a> OsContext<'a> {
     /// Builds a context, resolving each GDS node's junction step to its
-    /// collapsed M:N link.
+    /// collapsed M:N link. One-shot convenience: loops and engines should
+    /// resolve the link table once ([`OsContext::resolve_links`]) and use
+    /// [`OsContext::with_links`], which allocates nothing.
     pub fn new(
         db: &'a Database,
         sg: &'a SchemaGraph,
@@ -59,17 +65,47 @@ impl<'a> OsContext<'a> {
         gds: &'a Gds,
         scores: &'a RankScores,
     ) -> Self {
-        let link_of_gds = gds
-            .iter()
+        let link_of_gds = std::borrow::Cow::Owned(Self::resolve_links(dg, gds));
+        let fk_order = scores.fk_order.filter(|t| db.fk_order() == Some(*t));
+        OsContext { db, sg, dg, gds, scores, link_of_gds, fk_order }
+    }
+
+    /// Builds a context over a precomputed link table (see
+    /// [`OsContext::resolve_links`]). Allocation-free — the engine calls
+    /// this once per query with its per-DS-table precomputation.
+    pub fn with_links(
+        db: &'a Database,
+        sg: &'a SchemaGraph,
+        dg: &'a DataGraph,
+        gds: &'a Gds,
+        scores: &'a RankScores,
+        link_of_gds: &'a [Option<MnLinkId>],
+    ) -> Self {
+        debug_assert_eq!(link_of_gds.len(), gds.len(), "link table must match the GDS");
+        let fk_order = scores.fk_order.filter(|t| db.fk_order() == Some(*t));
+        OsContext {
+            db,
+            sg,
+            dg,
+            gds,
+            scores,
+            link_of_gds: std::borrow::Cow::Borrowed(link_of_gds),
+            fk_order,
+        }
+    }
+
+    /// Resolves each GDS node's junction step to its collapsed M:N link —
+    /// the `O(|GDS| · |links|)` scan that used to run per query, now a
+    /// build-time precomputation.
+    pub fn resolve_links(dg: &DataGraph, gds: &Gds) -> Vec<Option<MnLinkId>> {
+        gds.iter()
             .map(|(_, n)| match &n.join {
                 JoinSpec::ViaJunction { e_in, e_out, .. } => Some(
                     dg.find_link(*e_in, *e_out).expect("every junction step has a collapsed link"),
                 ),
                 _ => None,
             })
-            .collect();
-        let fk_order = scores.fk_order.filter(|t| db.fk_order() == Some(*t));
-        OsContext { db, sg, dg, gds, scores, link_of_gds, fk_order }
+            .collect()
     }
 
     /// Local importance `Im(OS, t_i) = Im(t_i) · Af(R_i)` (Equation 3).
@@ -185,14 +221,50 @@ impl<'a> OsContext<'a> {
                 OsSource::Database,
                 JoinSpec::ViaJunction { junction, e_in, e_out, exclude_parent },
             ) => {
-                // The junction probe is unavoidable (its rows are read to
-                // find the targets); the target fetch is TOP-l filtered.
                 let pk = self.db.table(parent_tuple.table).pk_of(parent_tuple.row);
                 let e1 = self.sg.edge(*e_in);
                 let e2 = self.sg.edge(*e_out);
                 let jt = self.db.table(*junction);
+                // Sorted-link fast path: when the installed order matches
+                // these scores, the junction's pre-joined postings are
+                // already ordered by descending target importance, so the
+                // probe is a bounded prefix scan — same cut logic (and
+                // the same boundary li-tie re-rank through `top_l`) as
+                // the sorted-FK path of `select_eq_top_l`. Access
+                // accounting is identical to the heap path by
+                // construction: one junction probe reporting the raw FK
+                // group size, one target fetch reporting the result size.
+                if l > 0 && self.fk_order.is_some() && self.fk_order == self.db.fk_order() {
+                    if let Some(link) = jt.sorted_link_index(e1.fk_col) {
+                        self.db.access().record_join(link.raw_group_len(pk));
+                        let mut kept: Vec<(f64, TupleRef)> = Vec::with_capacity(l);
+                        for &(_, t) in link.pairs(pk) {
+                            let tuple = TupleRef::new(e2.to, t);
+                            let w = self.local_importance(child, tuple);
+                            if w <= largest_l {
+                                break;
+                            }
+                            if kept.len() >= l && w < kept[l - 1].0 {
+                                break;
+                            }
+                            if *exclude_parent && Some(tuple) == grandparent {
+                                continue;
+                            }
+                            kept.push((w, tuple));
+                        }
+                        let scored = sizel_storage::top_l(kept, l);
+                        self.db.access().record_join(scored.len());
+                        self.db.access().record_fast_probe();
+                        out.extend(scored.into_iter().map(|(_, t)| t));
+                        return;
+                    }
+                }
+                // Heap fallback: the junction probe is unavoidable (its
+                // rows are read to find the targets); the target fetch is
+                // TOP-l filtered.
                 let jrows = jt.rows_where_eq(e1.fk_col, pk);
                 self.db.access().record_join(jrows.len());
+                self.db.access().record_heap_probe();
                 let target = self.db.table(e2.to);
                 let scored = sizel_storage::top_l(
                     jrows.iter().filter_map(|&j| {
@@ -326,7 +398,10 @@ pub fn generate_os_pooled(
     pool: &mut OsArenaPool,
 ) -> Os {
     assert_eq!(tds.table, ctx.gds.root_relation(), "t_DS must belong to the GDS root relation");
-    let mut os = pool.acquire();
+    // Cold-arena sizing: a depth-cut OS for a size-l computation (cutoff
+    // l - 1) typically stays within `4·l` nodes; uncut generation falls
+    // back to the default floor.
+    let mut os = pool.acquire_with_capacity(depth_cutoff.map_or(64, |c| 4 * (c as usize + 1)));
     let OsArenaPool { queue, buf, .. } = pool;
     queue.clear();
     buf.clear();

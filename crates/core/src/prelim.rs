@@ -66,7 +66,11 @@ pub fn generate_prelim_pooled(
     assert_eq!(tds.table, ctx.gds.root_relation(), "t_DS must belong to the GDS root relation");
     let mut stats = PrelimStats::default();
 
-    let mut os = pool.acquire();
+    // The paper's sizing heuristic: a prelim-l OS holds the top-l set plus
+    // the partial expansions around it — `4·l` nodes covers the fixtures'
+    // high-water mark, so a cold one-shot arena skips the doubling ladder
+    // (warm pooled arenas keep their own capacity; ROADMAP nit from PR 3).
+    let mut os = pool.acquire_with_capacity(4 * l);
     let OsArenaPool { queue, buf, .. } = pool;
     queue.clear();
     buf.clear();
@@ -291,6 +295,49 @@ mod tests {
             "prelim reads no more tuples than the complete OS"
         );
         assert!(stats.cond1_skips > 0 || stats.cond2_probes > 0, "conditions should fire");
+    }
+
+    #[test]
+    fn sorted_link_fast_path_is_byte_identical_with_identical_accounting() {
+        // Database-source prelim generation over the Author GDS drives
+        // junction TOP-l probes (Paper, CoAuthor, citations). With the
+        // installed order attested, they run as sorted-link prefix scans;
+        // with it withheld, as heap passes. Both the generated OS and the
+        // paper-cost accounting must be byte-identical, and the fast run
+        // must actually prefix-scan (probe mix).
+        let f = dblp_fixture();
+        let fast_ctx = f.ctx();
+        let mut blind = f.scores.clone();
+        blind.fk_order = None;
+        let heap_ctx = OsContext::new(&f.dblp.db, &f.sg, &f.dg, &f.gds, &blind);
+        for i in 0..4 {
+            let tds = f.author_tds(i);
+            for l in [1usize, 5, 12] {
+                let s0 = f.dblp.db.access().snapshot();
+                let p0 = f.dblp.db.access().probes();
+                let (fast, _) = generate_prelim(&fast_ctx, tds, l, OsSource::Database);
+                let s1 = f.dblp.db.access().snapshot();
+                let p1 = f.dblp.db.access().probes();
+                let (heap, _) = generate_prelim(&heap_ctx, tds, l, OsSource::Database);
+                let s2 = f.dblp.db.access().snapshot();
+                assert_eq!(fast.len(), heap.len(), "author {i} l={l}");
+                for ((ia, na), (ib, nb)) in fast.iter().zip(heap.iter()) {
+                    assert_eq!(na.tuple, nb.tuple);
+                    assert_eq!(na.parent, nb.parent);
+                    assert_eq!(na.weight.to_bits(), nb.weight.to_bits());
+                    assert_eq!(fast.children(ia), heap.children(ib));
+                }
+                assert_eq!(
+                    s1.since(s0),
+                    s2.since(s1),
+                    "author {i} l={l}: access accounting diverges between link scan and heap"
+                );
+                assert_eq!(p1.heap, p0.heap, "attested context must never heap-fall-back");
+                if l > 1 {
+                    assert!(p1.fast > p0.fast, "author {i} l={l}: no prefix scan fired");
+                }
+            }
+        }
     }
 
     #[test]

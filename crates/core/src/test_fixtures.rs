@@ -6,9 +6,54 @@ use sizel_datagen::dblp::{self, Dblp, DblpConfig};
 use sizel_datagen::tpch::{self, Tpch, TpchConfig};
 use sizel_graph::{presets, DataGraph, Gds, SchemaGraph};
 use sizel_rank::{compute, dblp_ga, tpch_ga, GaPreset, RankConfig, RankScores};
-use sizel_storage::{RowId, TupleRef};
+use sizel_storage::{Database, RowId, TupleRef};
 
+use crate::engine::QueryResult;
 use crate::osgen::OsContext;
+
+/// The one canonical byte-exact rendering of a query-result list that
+/// every equivalence oracle compares — all scalar fields with floats as
+/// raw bits, plus the full flat-arena structure of each summary (tuples,
+/// GDS nodes, parents, CSR child slices, depths, weight bits). Accepts
+/// `QueryResult`, `&QueryResult`, and the serving layer's
+/// `Arc<QueryResult>` alike; keeping one renderer means every oracle
+/// compares the same bytes (a new field gets threaded in exactly once).
+pub fn result_fingerprint<R: std::borrow::Borrow<QueryResult>>(results: &[R]) -> String {
+    let mut out = String::new();
+    for r in results {
+        let r = r.borrow();
+        out.push_str(&format!(
+            "tds={:?} label={:?} global={:016x} in_size={} im={:016x} sel={:?}\n",
+            r.tds,
+            r.ds_label,
+            r.global_score.to_bits(),
+            r.input_os_size,
+            r.result.importance.to_bits(),
+            r.result.selected,
+        ));
+        for (id, n) in r.summary.iter() {
+            out.push_str(&format!(
+                "  {:?}: t={:?} g={:?} p={:?} c={:?} d={} w={:016x}\n",
+                id,
+                n.tuple,
+                n.gds_node,
+                n.parent,
+                r.summary.children(id),
+                n.depth,
+                n.weight.to_bits()
+            ));
+        }
+    }
+    out
+}
+
+/// The largest primary key currently in `table` — mutation tests and
+/// benches mint fresh rows above it.
+pub fn max_pk(db: &Database, table: &str) -> i64 {
+    let tid = db.table_id(table).expect("fixture table name");
+    let t = db.table(tid);
+    t.iter().map(|(r, _)| t.pk_of(r)).max().expect("non-empty fixture table")
+}
 
 /// A fully-built tiny DBLP stack.
 pub struct DblpFixture {

@@ -1,7 +1,13 @@
 //! Allocation-count guard for the flat CSR arena (ISSUE 3 / ROADMAP hot
 //! path): once its pool is warm, `generate_os_pooled` must perform **zero
 //! heap allocations** on the DBLP fixture — the whole point of replacing
-//! the per-node `children: Vec` layout.
+//! the per-node `children: Vec` layout. Extended by ISSUE 4 to the query
+//! path end-to-end: building an [`OsContext`] through the engine is
+//! allocation-free (the per-query `link_of_gds` Vec and O(|GDS|) junction
+//! scan are gone — precomputed at engine build), and a warm
+//! `SizeLEngine::summarize` costs a *constant* number of allocations per
+//! call (only the returned `QueryResult`'s own buffers), independent of
+//! how many queries ran before.
 //!
 //! A counting wrapper around the system allocator is installed for this
 //! test binary. Keep this file to a SINGLE `#[test]`: the counter is
@@ -11,6 +17,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use sizel_core::engine::{EngineConfig, QueryOptions, SizeLEngine};
 use sizel_core::os::OsArenaPool;
 use sizel_core::osgen::{generate_os_pooled, OsSource};
 use sizel_core::test_fixtures::dblp_fixture;
@@ -90,5 +97,58 @@ fn generate_os_steady_state_does_zero_allocations() {
         delta, 0,
         "generate_os steady state allocated {delta} times over {steady_nodes} nodes \
          (the CSR arena + pool must be allocation-free once warm)"
+    );
+
+    // --- ISSUE 4: the query path end-to-end ------------------------------
+    // Context construction through the engine borrows the precomputed
+    // link table: zero allocations per query.
+    let engine = SizeLEngine::build(
+        sizel_datagen::dblp::generate(&sizel_datagen::dblp::DblpConfig::tiny()).db,
+        |db, sg, dg| sizel_rank::dblp_ga(sizel_rank::GaPreset::Ga1, db, sg, dg),
+        EngineConfig::new(vec![
+            ("Author".into(), sizel_graph::presets::dblp_author_gds_config()),
+            ("Paper".into(), sizel_graph::presets::dblp_paper_gds_config()),
+        ]),
+    )
+    .expect("engine builds");
+    let author = engine.db().table_id("Author").unwrap();
+    let tds = sizel_storage::TupleRef::new(author, sizel_storage::RowId(0));
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..16 {
+        let ctx = engine.context(author);
+        std::hint::black_box(&ctx);
+    }
+    let ctx_delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        ctx_delta, 0,
+        "OsContext construction allocated {ctx_delta} times over 16 queries \
+         (the link table must be borrowed from the engine, not rebuilt per query)"
+    );
+
+    // A warm summarize costs a constant number of allocations per call —
+    // only the materialized QueryResult — with no growth across calls.
+    let opts = QueryOptions { l: 10, ..QueryOptions::default() };
+    for _ in 0..3 {
+        std::hint::black_box(engine.summarize(tds, opts)); // warm pool + scratch
+    }
+    let mut per_call = Vec::new();
+    for _ in 0..6 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        std::hint::black_box(engine.summarize(tds, opts));
+        per_call.push(ALLOCATIONS.load(Ordering::SeqCst) - before);
+    }
+    assert!(
+        per_call.windows(2).all(|w| w[0] == w[1]),
+        "summarize allocation count must be steady, got {per_call:?}"
+    );
+    // Measured 125/call on this fixture (size-l scratch of the algorithm
+    // + the returned QueryResult's own buffers; the generation side and
+    // the context are zero). The cap guards against re-introducing
+    // per-query derived-state rebuilds on the serving path.
+    assert!(
+        per_call[0] <= 200,
+        "summarize allocated {} times per call (measured baseline 125) — a per-query \
+         rebuild crept back into the serving path",
+        per_call[0]
     );
 }

@@ -19,5 +19,8 @@ pub mod power;
 pub mod presets;
 
 pub use authority::{AuthorityGraph, ValueFunction};
-pub use power::{compute, install_importance_order, RankConfig, RankScores};
+pub use power::{
+    compute, estimate_appended_score, install_importance_order, splice_appended_score, RankConfig,
+    RankScores,
+};
 pub use presets::{dblp_ga, tpch_ga, GaPreset, D1, D2, D3};

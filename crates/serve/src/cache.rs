@@ -60,7 +60,11 @@ const NIL: usize = usize::MAX;
 #[derive(Debug)]
 struct Slot<K, V> {
     key: K,
-    value: V,
+    /// `None` only while the slot sits on the free list — evicted and
+    /// retained-away values are dropped *immediately* (the whole point of
+    /// the write-through purge is to release superseded summaries), not
+    /// parked until the slot is reused.
+    value: Option<V>,
     prev: usize,
     next: usize,
 }
@@ -120,7 +124,8 @@ impl<K: Hash + Eq + Clone, V: Clone> LruShard<K, V> {
             self.unlink(slot);
             self.link_front(slot);
         }
-        Some(self.slots[slot].value.clone())
+        debug_assert!(self.slots[slot].value.is_some(), "mapped slots always hold a value");
+        self.slots[slot].value.clone()
     }
 
     /// Inserts or overwrites; returns true when an eviction made room.
@@ -129,7 +134,7 @@ impl<K: Hash + Eq + Clone, V: Clone> LruShard<K, V> {
         match self.map.entry(key.clone()) {
             MapEntry::Occupied(e) => {
                 let slot = *e.get();
-                self.slots[slot].value = value;
+                self.slots[slot].value = Some(value);
                 if slot != self.head {
                     self.unlink(slot);
                     self.link_front(slot);
@@ -141,6 +146,7 @@ impl<K: Hash + Eq + Clone, V: Clone> LruShard<K, V> {
                     let victim = self.tail;
                     self.unlink(victim);
                     self.map.remove(&self.slots[victim].key);
+                    self.slots[victim].value = None; // drop now, not at reuse
                     self.free.push(victim);
                     true
                 } else {
@@ -148,11 +154,17 @@ impl<K: Hash + Eq + Clone, V: Clone> LruShard<K, V> {
                 };
                 let slot = match self.free.pop() {
                     Some(s) => {
-                        self.slots[s] = Slot { key: key.clone(), value, prev: NIL, next: NIL };
+                        self.slots[s] =
+                            Slot { key: key.clone(), value: Some(value), prev: NIL, next: NIL };
                         s
                     }
                     None => {
-                        self.slots.push(Slot { key: key.clone(), value, prev: NIL, next: NIL });
+                        self.slots.push(Slot {
+                            key: key.clone(),
+                            value: Some(value),
+                            prev: NIL,
+                            next: NIL,
+                        });
                         self.slots.len() - 1
                     }
                 };
@@ -224,6 +236,25 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         self.counters.insertions.fetch_add(1, Ordering::Relaxed);
         if evicted {
             self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops every entry whose key fails the predicate — the write-through
+    /// invalidation hook: after a mutation bumps the epoch, the server
+    /// retains only current-epoch entries, so superseded summaries free
+    /// their memory immediately instead of aging out of the LRU. Dropped
+    /// entries count as evictions.
+    pub fn retain(&self, keep: impl Fn(&K) -> bool) {
+        for shard in &self.shards {
+            let mut s = shard.lock().expect("cache poisoned");
+            let doomed: Vec<K> = s.map.keys().filter(|k| !keep(k)).cloned().collect();
+            for key in doomed {
+                let slot = s.map.remove(&key).expect("key listed from this shard");
+                s.unlink(slot);
+                s.slots[slot].value = None; // release the summary now
+                s.free.push(slot);
+                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -320,6 +351,29 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.insertions, 1000);
         assert!(s.evictions >= 1000 - s.capacity as u64);
+    }
+
+    #[test]
+    fn retain_drops_only_failing_keys() {
+        // Capacity 64 over 4 shards = 16 per shard: 10 keys cannot
+        // overflow any shard whatever the (randomized) key hashing does,
+        // so the only evictions observable below come from `retain`.
+        let c: ShardedCache<u32, u32> = ShardedCache::new(64, 4);
+        for i in 0..10u32 {
+            c.insert(i, i * 10);
+        }
+        c.retain(|&k| k % 2 == 0);
+        for i in 0..10u32 {
+            let want = (i % 2 == 0).then_some(i * 10);
+            assert_eq!(c.get(&i), want, "key {i}");
+        }
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.stats().evictions, 5);
+        // The freed slots are reusable and the LRU stays coherent.
+        for i in 10..30u32 {
+            c.insert(i, i);
+        }
+        assert!(c.len() <= c.capacity());
     }
 
     #[test]

@@ -1,21 +1,29 @@
 //! # sizel-serve — the concurrent serving layer
 //!
-//! [`SizeLEngine`] is a read-only query engine: once built, every query
-//! path takes `&self` and all shared mutation goes through atomics (the
-//! storage access counters). That makes one engine safely shareable across
-//! threads behind an `Arc` — which is exactly what this crate does:
+//! [`SizeLEngine`]'s query paths take `&self` with all shared mutation
+//! through atomics (the storage access counters), so one engine is safely
+//! shareable across threads; its *write* path ([`SizeLEngine::apply`])
+//! takes `&mut self`. The server therefore holds the engine behind an
+//! `Arc<RwLock>` — many concurrent readers, one writer per mutation:
 //!
-//! * [`SizeLServer`] owns an `Arc<SizeLEngine>` and a fixed pool of worker
-//!   threads pulling jobs from a *bounded* submission queue
-//!   ([`queue::BoundedQueue`]), so heavy traffic exerts backpressure
-//!   instead of growing an unbounded backlog.
+//! * [`SizeLServer`] runs a fixed pool of worker threads pulling jobs
+//!   from a *bounded* submission queue ([`queue::BoundedQueue`]), so
+//!   heavy traffic exerts backpressure instead of growing an unbounded
+//!   backlog. Each job holds a read lock for exactly one query.
 //! * A sharded LRU cache ([`cache::ShardedCache`]) memoizes the per-DS
 //!   summary computation across queries, keyed on
-//!   `(t_DS, l, algo, prelim, source)` — the exact argument tuple
-//!   [`SizeLEngine::summarize`] is a pure function of. Repeated keyword
-//!   queries over a slowly-changing ranking re-hit the same `t_DS` tuples
-//!   (the continual/top-k workload), so summary reuse dominates end-to-end
-//!   latency.
+//!   `(epoch, t_DS, l, algo, prelim, source)` — the engine's mutation
+//!   epoch plus the exact argument tuple [`SizeLEngine::summarize`] is a
+//!   pure function of. Repeated keyword queries over a slowly-changing
+//!   ranking re-hit the same `t_DS` tuples (the continual/top-k
+//!   workload), so summary reuse dominates end-to-end latency.
+//! * [`SizeLServer::apply`] is the write path: it takes the write lock,
+//!   applies the [`Mutation`] (bumping the epoch), and retains only
+//!   current-epoch cache entries. Because every lookup and insert is
+//!   keyed by the epoch *read under the same lock as the computation*, a
+//!   summary computed against superseded data can never be served — the
+//!   epoch in its key no longer matches any future lookup (proven by
+//!   `tests/epoch_equivalence.rs`).
 //! * [`SizeLServer::batch_query`] amortizes keyword-index lookups across a
 //!   batch: duplicate `(keywords, options)` requests are resolved with one
 //!   index probe and one summary computation, then fanned back out.
@@ -23,36 +31,40 @@
 //! Results are returned as `Arc<QueryResult>` so a cache hit shares the
 //! materialized size-l OS instead of deep-copying it per request. The
 //! equivalence guarantee — server output byte-identical to the sequential
-//! engine — is enforced by `tests/stress.rs`.
+//! engine — is enforced by `tests/stress.rs` (read-only) and
+//! `tests/epoch_equivalence.rs` (interleaved insert/query streams).
 
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, RwLock, RwLockReadGuard};
 use std::thread::JoinHandle;
 
 use sizel_core::algo::AlgoKind;
 use sizel_core::engine::{QueryOptions, QueryResult, ResultRanking, SizeLEngine};
 use sizel_core::osgen::OsSource;
-use sizel_storage::TupleRef;
+use sizel_storage::{Epoch, StorageError, TupleRef};
 
 pub mod cache;
 pub mod queue;
 
 pub use cache::{CacheStats, ShardedCache};
 pub use queue::BoundedQueue;
+pub use sizel_core::engine::{Mutation, RefreshPolicy};
 
-/// The cache key: everything [`SizeLEngine::summarize`] depends on.
-/// `ranking` is deliberately excluded — it only reorders whole result
-/// lists and must never fragment the cache (a hit for `(algo, prelim)`
-/// under one ranking is byte-identical under the other).
-pub type SummaryKey = (TupleRef, usize, AlgoKind, bool, OsSource);
+/// The cache key: the engine's mutation epoch plus everything
+/// [`SizeLEngine::summarize`] depends on. `ranking` is deliberately
+/// excluded — it only reorders whole result lists and must never fragment
+/// the cache (a hit for `(algo, prelim)` under one ranking is
+/// byte-identical under the other). The epoch is first: a mutation makes
+/// every prior entry unreachable by key, which is the staleness proof.
+pub type SummaryKey = (Epoch, TupleRef, usize, AlgoKind, bool, OsSource);
 
 /// A cached, shareable query result.
 pub type SharedResult = Arc<QueryResult>;
 
-fn summary_key(tds: TupleRef, opts: QueryOptions) -> SummaryKey {
-    (tds, opts.l, opts.algo, opts.prelim, opts.source)
+fn summary_key(epoch: Epoch, tds: TupleRef, opts: QueryOptions) -> SummaryKey {
+    (epoch, tds, opts.l, opts.algo, opts.prelim, opts.source)
 }
 
 /// Server construction parameters.
@@ -91,6 +103,8 @@ pub struct ServerStats {
     pub queries_served: u64,
     /// Per-DS summaries computed (cache misses that did real work).
     pub summaries_computed: u64,
+    /// Mutations applied through [`SizeLServer::apply`].
+    pub mutations_applied: u64,
 }
 
 /// One unit of work for the pool: a query plus its reply slot. `seq`
@@ -102,22 +116,31 @@ struct Job {
     reply: mpsc::Sender<(usize, Vec<SharedResult>)>,
 }
 
-/// A shared read-only engine behind a worker pool with summary caching.
+/// A shared epoch-versioned engine behind a worker pool with summary
+/// caching and a write-through mutation path.
 ///
 /// Dropping the server closes the queue, drains the backlog, and joins
 /// every worker.
 pub struct SizeLServer {
-    engine: Arc<SizeLEngine>,
+    engine: Arc<RwLock<SizeLEngine>>,
     cache: Arc<ShardedCache<SummaryKey, SharedResult>>,
     jobs: Arc<BoundedQueue<Job>>,
     queries_served: Arc<AtomicU64>,
     summaries_computed: Arc<AtomicU64>,
+    mutations_applied: AtomicU64,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl SizeLServer {
-    /// Spawns the worker pool over a shared engine.
-    pub fn new(engine: Arc<SizeLEngine>, cfg: ServeConfig) -> Self {
+    /// Spawns the worker pool over an engine the server takes ownership
+    /// of. Use [`SizeLServer::from_shared`] to share one engine between a
+    /// server and other readers.
+    pub fn new(engine: SizeLEngine, cfg: ServeConfig) -> Self {
+        SizeLServer::from_shared(Arc::new(RwLock::new(engine)), cfg)
+    }
+
+    /// Spawns the worker pool over a shared, lock-wrapped engine.
+    pub fn from_shared(engine: Arc<RwLock<SizeLEngine>>, cfg: ServeConfig) -> Self {
         let cache = Arc::new(ShardedCache::new(cfg.cache_capacity, cfg.cache_shards));
         let jobs: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(cfg.queue_capacity));
         let queries_served = Arc::new(AtomicU64::new(0));
@@ -137,9 +160,12 @@ impl SizeLServer {
                             // the worker: queued jobs would strand and their
                             // clients block forever. Catch it, drop the
                             // reply sender (the submitter sees a recv error
-                            // naming the panic), keep serving.
+                            // naming the panic), keep serving. Read guards
+                            // never poison the lock.
                             let outcome =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    let engine =
+                                        engine.read().expect("a mutation panicked mid-apply");
                                     run_query(&engine, &cache, &computed, &job.keywords, job.opts)
                                 }));
                             if let Ok(results) = outcome {
@@ -153,12 +179,51 @@ impl SizeLServer {
                     .expect("spawn worker thread")
             })
             .collect();
-        SizeLServer { engine, cache, jobs, queries_served, summaries_computed, workers }
+        SizeLServer {
+            engine,
+            cache,
+            jobs,
+            queries_served,
+            summaries_computed,
+            mutations_applied: AtomicU64::new(0),
+            workers,
+        }
     }
 
-    /// The shared engine.
-    pub fn engine(&self) -> &SizeLEngine {
-        &self.engine
+    /// Read access to the shared engine (many readers may coexist with
+    /// the worker pool; held guards block [`SizeLServer::apply`]).
+    pub fn engine(&self) -> RwLockReadGuard<'_, SizeLEngine> {
+        self.engine.read().expect("a mutation panicked mid-apply")
+    }
+
+    /// The engine's current mutation epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.engine().epoch()
+    }
+
+    /// The write path: applies a [`Mutation`] under the write lock
+    /// (quiescing the pool for its duration), then drops every cache
+    /// entry of superseded epochs. Returns the new epoch.
+    ///
+    /// Staleness proof sketch: entries are keyed by the epoch read under
+    /// the *same read lock* as their computation, and the epoch only
+    /// advances under the write lock — so an entry's key epoch equals the
+    /// epoch of the data it was computed from, and a lookup (which keys
+    /// by the current epoch, again under a read lock) can only hit
+    /// entries computed against current data. The retain pass here is
+    /// purely for memory: unreachable entries are dropped eagerly instead
+    /// of aging out of the LRU.
+    pub fn apply(&self, m: Mutation) -> Result<Epoch, StorageError> {
+        let mut engine = self.engine.write().expect("a mutation panicked mid-apply");
+        let epoch = engine.apply(m)?;
+        // Purge while still holding the write lock: no reader can insert a
+        // fresh entry and no concurrent apply can advance the epoch until
+        // it is released, so `epoch` is exactly the current version and
+        // the retain can never evict another writer's current entries.
+        self.cache.retain(|k| k.0 == epoch);
+        drop(engine);
+        self.mutations_applied.fetch_add(1, Ordering::Relaxed);
+        Ok(epoch)
     }
 
     /// Runs one query through the pool, blocking for the result. Identical
@@ -229,6 +294,7 @@ impl SizeLServer {
             cache: self.cache.stats(),
             queries_served: self.queries_served.load(Ordering::Relaxed),
             summaries_computed: self.summaries_computed.load(Ordering::Relaxed),
+            mutations_applied: self.mutations_applied.load(Ordering::Relaxed),
         }
     }
 
@@ -268,11 +334,15 @@ fn run_query(
     keywords: &str,
     opts: QueryOptions,
 ) -> Vec<SharedResult> {
+    // The epoch is read under the same lock as the whole computation, so
+    // every entry inserted below is keyed by the exact version of the
+    // data it was computed from.
+    let epoch = engine.epoch();
     let mut results: Vec<SharedResult> = engine
         .ds_hits(keywords)
         .into_iter()
         .map(|tds| {
-            let key = summary_key(tds, opts);
+            let key = summary_key(epoch, tds, opts);
             cache.get(&key).unwrap_or_else(|| {
                 let computed: SharedResult = Arc::new(engine.summarize(tds, opts));
                 summaries_computed.fetch_add(1, Ordering::Relaxed);
@@ -302,11 +372,16 @@ mod tests {
     }
 
     #[test]
-    fn summary_key_ignores_ranking() {
+    fn summary_key_ignores_ranking_but_not_the_epoch() {
         let tds = TupleRef::new(sizel_storage::TableId(0), sizel_storage::RowId(0));
         let a = QueryOptions { ranking: ResultRanking::DsGlobalImportance, ..test_opts() };
         let b = QueryOptions { ranking: ResultRanking::SummaryImportance, ..test_opts() };
-        assert_eq!(summary_key(tds, a), summary_key(tds, b));
+        assert_eq!(summary_key(Epoch(3), tds, a), summary_key(Epoch(3), tds, b));
+        assert_ne!(
+            summary_key(Epoch(3), tds, a),
+            summary_key(Epoch(4), tds, a),
+            "a mutation makes every prior key unreachable"
+        );
     }
 
     fn test_opts() -> QueryOptions {

@@ -40,7 +40,7 @@ fn assert_same(cached: &QueryResult, fresh: &QueryResult) {
 #[test]
 fn hit_after_miss_returns_identical_result() {
     let engine = engine();
-    let server = SizeLServer::new(
+    let server = SizeLServer::from_shared(
         Arc::clone(&engine),
         ServeConfig { workers: 2, cache_capacity: 64, ..ServeConfig::default() },
     );
@@ -61,7 +61,7 @@ fn hit_after_miss_returns_identical_result() {
         assert!(Arc::ptr_eq(a, b), "a cache hit shares the stored summary");
     }
     // And both match sequential recomputation.
-    for (res, fresh) in second.iter().zip(engine.query_with("Faloutsos", o)) {
+    for (res, fresh) in second.iter().zip(engine.read().unwrap().query_with("Faloutsos", o)) {
         assert_same(res, &fresh);
     }
 }
@@ -71,14 +71,14 @@ fn eviction_at_capacity_keeps_serving_correctly() {
     let engine = engine();
     // Capacity 2 with one shard: three distinct summaries cannot coexist,
     // so the Faloutsos trio forces an eviction on every pass.
-    let server = SizeLServer::new(
+    let server = SizeLServer::from_shared(
         Arc::clone(&engine),
         ServeConfig { workers: 1, queue_capacity: 4, cache_capacity: 2, cache_shards: 1 },
     );
     let o = opts(10, AlgoKind::TopPath, true);
     for _ in 0..4 {
         let got = server.query("Faloutsos", o);
-        for (res, fresh) in got.iter().zip(engine.query_with("Faloutsos", o)) {
+        for (res, fresh) in got.iter().zip(engine.read().unwrap().query_with("Faloutsos", o)) {
             assert_same(res, &fresh);
         }
     }
@@ -91,7 +91,7 @@ fn eviction_at_capacity_keeps_serving_correctly() {
 #[test]
 fn no_stale_os_across_algo_and_prelim_combinations() {
     let engine = engine();
-    let server = SizeLServer::new(
+    let server = SizeLServer::from_shared(
         Arc::clone(&engine),
         ServeConfig { workers: 2, cache_capacity: 256, ..ServeConfig::default() },
     );
@@ -113,7 +113,7 @@ fn no_stale_os_across_algo_and_prelim_combinations() {
     ];
     for o in combos {
         let got = server.query("Christos Faloutsos", o);
-        let fresh = engine.query_with("Christos Faloutsos", o);
+        let fresh = engine.read().unwrap().query_with("Christos Faloutsos", o);
         assert_eq!(got.len(), fresh.len());
         for (a, b) in got.iter().zip(&fresh) {
             assert_same(a, b);
@@ -137,7 +137,7 @@ fn cached_flat_os_round_trips_byte_identically_through_batch_query() {
     // hand every client the exact arena the sequential engine computes —
     // same node slab, same child slices, same float bits.
     let engine = engine();
-    let server = SizeLServer::new(
+    let server = SizeLServer::from_shared(
         Arc::clone(&engine),
         ServeConfig { workers: 3, queue_capacity: 8, cache_capacity: 128, ..Default::default() },
     );
@@ -153,7 +153,7 @@ fn cached_flat_os_round_trips_byte_identically_through_batch_query() {
     let second = server.batch_query(&batch); // warm: all summaries hit
 
     for (responses, (kw, o)) in [&first, &second].into_iter().flat_map(|r| r.iter().zip(&batch)) {
-        let fresh = engine.query_with(kw, *o);
+        let fresh = engine.read().unwrap().query_with(kw, *o);
         assert_eq!(responses.len(), fresh.len(), "{kw}");
         for (res, seq) in responses.iter().zip(&fresh) {
             assert_same(res, seq);

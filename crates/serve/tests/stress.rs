@@ -19,37 +19,7 @@ use sizel_core::osgen::OsSource;
 use sizel_serve::{ServeConfig, SizeLServer};
 
 mod common;
-use common::small_engine as engine;
-
-/// A canonical byte-exact rendering of a result list: every float is
-/// printed as raw bits, every tree node with all of its structure.
-fn fingerprint(results: &[impl std::ops::Deref<Target = QueryResult>]) -> String {
-    let mut out = String::new();
-    for r in results {
-        out.push_str(&format!(
-            "tds={:?} label={:?} global={:016x} in_size={} im={:016x} sel={:?}\n",
-            r.tds,
-            r.ds_label,
-            r.global_score.to_bits(),
-            r.input_os_size,
-            r.result.importance.to_bits(),
-            r.result.selected,
-        ));
-        for (id, n) in r.summary.iter() {
-            out.push_str(&format!(
-                "  {:?}: t={:?} g={:?} p={:?} c={:?} d={} w={:016x}\n",
-                id,
-                n.tuple,
-                n.gds_node,
-                n.parent,
-                r.summary.children(id),
-                n.depth,
-                n.weight.to_bits()
-            ));
-        }
-    }
-    out
-}
+use common::{fingerprint, small_engine as engine};
 
 /// The workload: real hits (one DS, several DSs, Paper-table DSs), misses,
 /// and empty queries, crossed with every algorithm/input/source/ranking
@@ -122,10 +92,10 @@ fn baseline(engine: &SizeLEngine, set: &[(String, QueryOptions)]) -> Vec<String>
 fn n_thread_stress_matches_sequential_engine() {
     let engine = engine();
     let set = query_set();
-    let expected = baseline(&engine, &set);
+    let expected = baseline(&engine.read().unwrap(), &set);
 
     let n_threads = 8;
-    let server = Arc::new(SizeLServer::new(
+    let server = Arc::new(SizeLServer::from_shared(
         Arc::clone(&engine),
         ServeConfig { workers: 4, queue_capacity: 16, cache_capacity: 256, cache_shards: 8 },
     ));
@@ -168,9 +138,9 @@ fn n_thread_stress_matches_sequential_engine() {
 fn batch_query_matches_sequential_engine_and_dedups() {
     let engine = engine();
     let set = query_set();
-    let expected = baseline(&engine, &set);
+    let expected = baseline(&engine.read().unwrap(), &set);
 
-    let server = SizeLServer::new(
+    let server = SizeLServer::from_shared(
         Arc::clone(&engine),
         ServeConfig { workers: 4, queue_capacity: 8, cache_capacity: 512, cache_shards: 4 },
     );
@@ -201,8 +171,8 @@ fn uncached_server_still_matches() {
     // must still be equivalence-preserving.
     let engine = engine();
     let set: Vec<(String, QueryOptions)> = query_set().into_iter().take(12).collect();
-    let expected = baseline(&engine, &set);
-    let server = SizeLServer::new(
+    let expected = baseline(&engine.read().unwrap(), &set);
+    let server = SizeLServer::from_shared(
         Arc::clone(&engine),
         ServeConfig { workers: 3, queue_capacity: 4, cache_capacity: 0, cache_shards: 4 },
     );
@@ -219,12 +189,13 @@ fn single_worker_server_serializes_correctly() {
     // One worker, many producers: the bounded queue provides the ordering
     // and backpressure; results must still be correct.
     let engine = engine();
-    let server = Arc::new(SizeLServer::new(
+    let server = Arc::new(SizeLServer::from_shared(
         Arc::clone(&engine),
         ServeConfig { workers: 1, queue_capacity: 2, cache_capacity: 64, cache_shards: 1 },
     ));
-    let expected =
-        fingerprint(&engine.query("Faloutsos", 15).iter().collect::<Vec<&QueryResult>>());
+    let expected = fingerprint(
+        &engine.read().unwrap().query("Faloutsos", 15).iter().collect::<Vec<&QueryResult>>(),
+    );
     let handles: Vec<_> = (0..6)
         .map(|_| {
             let server = Arc::clone(&server);

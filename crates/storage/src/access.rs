@@ -8,10 +8,43 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counts join probes and tuples materialized by the query layer.
+///
+/// Besides the paper's cost unit, the counter tracks the *probe mix* of
+/// the TOP-l paths — how many probes ran as importance-sorted prefix
+/// scans versus the bounded-heap fallback. The mix is deliberately **not**
+/// part of [`AccessStats`]: the two paths are byte-identical in results
+/// and in paper-cost accounting (property-tested by comparing
+/// `AccessStats` deltas), so the mix is reported separately
+/// ([`AccessCounter::probes`]) for benchmarks tracking fast-path
+/// retention under update churn.
 #[derive(Debug, Default)]
 pub struct AccessCounter {
     joins: AtomicU64,
     tuples: AtomicU64,
+    fast_probes: AtomicU64,
+    heap_probes: AtomicU64,
+}
+
+/// A snapshot of the TOP-l probe mix.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// TOP-l probes served as sorted-posting prefix scans.
+    pub fast: u64,
+    /// TOP-l probes served by the bounded-heap fallback.
+    pub heap: u64,
+}
+
+impl ProbeStats {
+    /// Fraction of TOP-l probes that took the prefix-scan fast path
+    /// (0 when no probe ran).
+    pub fn fast_ratio(self) -> f64 {
+        let total = self.fast + self.heap;
+        if total == 0 {
+            0.0
+        } else {
+            self.fast as f64 / total as f64
+        }
+    }
 }
 
 /// An immutable snapshot of the counters.
@@ -37,6 +70,24 @@ impl AccessCounter {
         self.tuples.fetch_add(tuples as u64, Ordering::Relaxed);
     }
 
+    /// Records one TOP-l probe served as a prefix scan.
+    pub fn record_fast_probe(&self) {
+        self.fast_probes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one TOP-l probe served by the heap fallback.
+    pub fn record_heap_probe(&self) {
+        self.heap_probes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current probe-mix values.
+    pub fn probes(&self) -> ProbeStats {
+        ProbeStats {
+            fast: self.fast_probes.load(Ordering::Relaxed),
+            heap: self.heap_probes.load(Ordering::Relaxed),
+        }
+    }
+
     /// Current counter values.
     pub fn snapshot(&self) -> AccessStats {
         AccessStats {
@@ -45,10 +96,12 @@ impl AccessCounter {
         }
     }
 
-    /// Resets both counters to zero.
+    /// Resets all counters to zero.
     pub fn reset(&self) {
         self.joins.store(0, Ordering::Relaxed);
         self.tuples.store(0, Ordering::Relaxed);
+        self.fast_probes.store(0, Ordering::Relaxed);
+        self.heap_probes.store(0, Ordering::Relaxed);
     }
 }
 

@@ -4,12 +4,18 @@
 use std::collections::HashMap;
 
 use crate::access::AccessCounter;
+use crate::epoch::Epoch;
 use crate::error::StorageError;
-use crate::fk_index::FkOrderToken;
+use crate::fk_index::{FkOrderToken, LinkTarget, SortedLinkIndex};
 use crate::schema::TableSchema;
 use crate::table::{RowId, Table};
 use crate::value::Value;
 use crate::Result;
+
+/// Incremental scored inserts a table absorbs before the maintenance
+/// switches to an epoch-batched full re-sort of its postings (see
+/// [`Database::set_churn_threshold`]).
+pub const DEFAULT_CHURN_THRESHOLD: usize = 4096;
 
 /// A table identifier (dense index into the catalog).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -40,7 +46,7 @@ impl TupleRef {
 
 /// An in-memory relational database: a catalog of [`Table`]s plus an
 /// [`AccessCounter`] shared by all query paths.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Database {
     tables: Vec<Table>,
     by_name: HashMap<String, TableId>,
@@ -48,12 +54,50 @@ pub struct Database {
     /// The currently installed importance order, if any (see
     /// [`crate::fk_index`]).
     fk_order: Option<FkOrderToken>,
+    /// Global mutation epoch: bumped on every insert into any table.
+    epoch: Epoch,
+    /// Per-table churn bound before the epoch-batched posting re-sort.
+    churn_threshold: usize,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database {
+            tables: Vec::new(),
+            by_name: HashMap::new(),
+            access: AccessCounter::default(),
+            fk_order: None,
+            epoch: Epoch::default(),
+            churn_threshold: DEFAULT_CHURN_THRESHOLD,
+        }
+    }
 }
 
 impl Database {
     /// An empty database.
     pub fn new() -> Self {
         Database::default()
+    }
+
+    /// The global mutation epoch (bumped on every insert; see
+    /// [`crate::epoch`]).
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Sets the per-table churn bound: after this many incremental scored
+    /// inserts, the next one triggers a full re-sort of the table's
+    /// postings instead of another binary insert. Both strategies are
+    /// byte-identical; the threshold only trades insert latency
+    /// (`O(g)` memmove per posting) against a periodic `O(Σ g log g)`
+    /// batch.
+    pub fn set_churn_threshold(&mut self, threshold: usize) {
+        self.churn_threshold = threshold.max(1);
+    }
+
+    /// The current churn bound.
+    pub fn churn_threshold(&self) -> usize {
+        self.churn_threshold
     }
 
     /// Registers a table; names must be unique.
@@ -92,10 +136,143 @@ impl Database {
         self.tables.iter().enumerate().map(|(i, t)| (TableId(i as u16), t))
     }
 
-    /// Inserts a row into a named table.
+    /// Inserts a row into a named table (the legacy *un-scored* path: any
+    /// installed sorted postings of that table are dropped and the heap
+    /// path takes over for it — see [`Database::insert_scored`] for the
+    /// maintenance path). Bumps the table's and the global epoch.
     pub fn insert(&mut self, table: &str, values: Vec<Value>) -> Result<RowId> {
         let id = self.table_id(table)?;
-        self.tables[id.index()].insert(values)
+        let row = self.tables[id.index()].insert(values)?;
+        self.epoch = self.epoch.next();
+        Ok(row)
+    }
+
+    /// Inserts a row whose installed global importance is `score`,
+    /// *maintaining* the importance order instead of invalidating it: the
+    /// row is binary-inserted into every affected sorted FK posting list
+    /// (and, for junction tables, into both orientations' sorted link
+    /// postings), and the installed [`FkOrderToken`] is re-stamped with
+    /// the new epoch. Holders of the superseded token heap-fall-back;
+    /// contexts synchronized to the new token keep the prefix-scan fast
+    /// path. Above the churn threshold the table's postings are re-sorted
+    /// in one epoch-batched pass instead (byte-identical either way).
+    ///
+    /// Falls back to the plain [`Database::insert`] when no live
+    /// importance order covers the table (nothing to maintain).
+    pub fn insert_scored(&mut self, table: &str, values: Vec<Value>, score: f64) -> Result<RowId> {
+        let tid = self.table_id(table)?;
+        if self.fk_order.is_none() || !self.tables[tid.index()].has_installed_scores() {
+            return self.insert(table, values);
+        }
+        // Resolve junction link updates before the row lands: per
+        // orientation, the source key and the pre-joined target row. A
+        // dead target snapshot — or a *dangling* target FK, whose row
+        // could arrive later and would then be invisible to the postings
+        // while the heap path resolves it live — makes the orientation
+        // unmaintainable, so its link postings are dropped below (the
+        // heap fallback stays correct; the next install/re-sort rebuilds
+        // them if the references resolve by then). Wrong-arity rows skip
+        // resolution entirely and let the insert report the arity error.
+        let mut link_updates: Vec<(usize, i64, Option<RowId>, TableId)> = Vec::new();
+        let mut drop_links = false;
+        if values.len() == self.tables[tid.index()].schema.arity() {
+            if let Some(orientations) = self.junction_orientations(tid) {
+                for (s_col, t_col, t_table) in orientations {
+                    if !self.tables[t_table.index()].has_installed_scores() {
+                        drop_links = true;
+                        continue;
+                    }
+                    let Some(key) = values[s_col].as_int() else { continue };
+                    let target = match values[t_col].as_int() {
+                        None => None, // NULL target: counts in raw_len only
+                        Some(k) => match self.tables[t_table.index()].by_pk(k) {
+                            Some(row) => Some(row),
+                            None => {
+                                drop_links = true;
+                                continue;
+                            }
+                        },
+                    };
+                    link_updates.push((s_col, key, target, t_table));
+                }
+            }
+        }
+        let row = self.tables[tid.index()].insert_scored_indexed(values, score)?;
+        if drop_links {
+            self.tables[tid.index()].drop_sorted_links();
+        } else {
+            for (s_col, key, target, t_table) in link_updates {
+                // Take the index out so the target table's score snapshot
+                // can be borrowed alongside the junction table.
+                let Some(mut idx) = self.tables[tid.index()].take_sorted_link(s_col) else {
+                    continue;
+                };
+                idx.insert_scored(
+                    key,
+                    row,
+                    target,
+                    self.tables[t_table.index()].installed_scores(),
+                );
+                self.tables[tid.index()].set_sorted_link(s_col, idx);
+            }
+        }
+        if self.tables[tid.index()].churn() > self.churn_threshold {
+            self.tables[tid.index()].resort_from_snapshot();
+            self.rebuild_links_for(tid);
+        }
+        self.epoch = self.epoch.next();
+        self.fk_order = self.fk_order.map(|t| t.restamped(self.epoch));
+        Ok(row)
+    }
+
+    /// The two (source column, target column, target table) orientations
+    /// of a junction table, or `None` for non-junctions.
+    fn junction_orientations(&self, jid: TableId) -> Option<[(usize, usize, TableId); 2]> {
+        let jt = self.table(jid);
+        if !jt.schema.is_junction || jt.schema.fks.len() != 2 {
+            return None;
+        }
+        let (a, b) = (&jt.schema.fks[0], &jt.schema.fks[1]);
+        let ta = self.table_id(&a.ref_table).ok()?;
+        let tb = self.table_id(&b.ref_table).ok()?;
+        Some([(a.column, b.column, tb), (b.column, a.column, ta)])
+    }
+
+    /// (Re)builds both orientations' sorted link postings of a junction
+    /// table from the current score snapshots. An orientation whose
+    /// target snapshot is dead, or that contains a dangling target FK,
+    /// is left absent (heap fallback).
+    fn rebuild_links_for(&mut self, jid: TableId) {
+        let Some(orientations) = self.junction_orientations(jid) else { return };
+        let mut built: Vec<(usize, SortedLinkIndex)> = Vec::new();
+        {
+            let jt = self.table(jid);
+            for (s_col, t_col, t_table) in orientations {
+                let target = self.table(t_table);
+                if !target.has_installed_scores() {
+                    continue;
+                }
+                let Some(base) = jt.fk_index_base(s_col) else { continue };
+                let idx = SortedLinkIndex::build(
+                    base,
+                    &|j| match jt.value(j, t_col).as_int() {
+                        None => LinkTarget::Null,
+                        Some(k) => match target.by_pk(k) {
+                            Some(row) => LinkTarget::Row(row),
+                            None => LinkTarget::Dangling,
+                        },
+                    },
+                    &|t| target.installed_score(t),
+                );
+                if let Some(idx) = idx {
+                    built.push((s_col, idx));
+                }
+            }
+        }
+        self.tables[jid.index()].drop_sorted_links();
+        for (col, idx) in built {
+            self.tables[jid.index()].set_sorted_link(col, idx);
+        }
     }
 
     /// Total number of tuples across all tables (the paper reports
@@ -149,12 +326,17 @@ impl Database {
     }
 
     /// Sorts every table's FK posting lists by descending `score` (ties:
-    /// ascending RowId) and returns the token identifying this ordering.
-    /// Query paths pass the token back in ([`Self::select_eq_top_l`]); a
-    /// mismatch — different scores, or a later re-install — falls back to
-    /// the heap path. Finalization step: call after loading, before
-    /// serving; any later insert drops the affected table's sorted
-    /// postings.
+    /// ascending RowId), pre-joins and sorts every junction table's link
+    /// postings by target score, snapshots the per-row scores (so scored
+    /// inserts can maintain the order incrementally), and returns the
+    /// token identifying this ordering at the current epoch. Query paths
+    /// pass the token back in ([`Self::select_eq_top_l`]); a mismatch —
+    /// different scores, a later re-install, or a mutation epoch the
+    /// holder has not synchronized to — falls back to the heap path.
+    ///
+    /// Call after loading, before serving. [`Self::insert_scored`] keeps
+    /// the order live across inserts; the plain [`Self::insert`] drops the
+    /// affected table's sorted postings.
     pub fn install_importance_order(
         &mut self,
         score: &dyn Fn(TableId, RowId) -> f64,
@@ -163,7 +345,12 @@ impl Database {
             let tid = TableId(i as u16);
             t.build_sorted_fk(&|r| score(tid, r));
         }
-        let token = FkOrderToken::fresh();
+        let junctions: Vec<TableId> =
+            self.tables().filter(|(_, t)| t.schema.is_junction).map(|(id, _)| id).collect();
+        for jid in junctions {
+            self.rebuild_links_for(jid);
+        }
+        let token = FkOrderToken::fresh(self.epoch);
         self.fk_order = Some(token);
         token
     }
@@ -240,9 +427,11 @@ impl Database {
                 let rows: Vec<RowId> =
                     crate::topl::top_l(kept, l).into_iter().map(|(_, r)| r).collect();
                 self.access.record_join(rows.len());
+                self.access.record_fast_probe();
                 return rows;
             }
         }
+        self.access.record_heap_probe();
         let candidates: Vec<RowId> = if col == t.schema.pk {
             t.by_pk(key).into_iter().collect()
         } else {
@@ -439,7 +628,15 @@ mod tests {
         let cut = db.select_eq_top_l(paper, fk_col, 1, 2, 2.0, Some(token), &li);
         assert_eq!(cut.len(), 1);
         // A stale token falls back to the heap path (still correct).
-        let stale = db.select_eq_top_l(paper, fk_col, 1, 2, 0.0, Some(FkOrderToken::fresh()), &li);
+        let stale = db.select_eq_top_l(
+            paper,
+            fk_col,
+            1,
+            2,
+            0.0,
+            Some(FkOrderToken::fresh(db.epoch())),
+            &li,
+        );
         assert_eq!(stale, slow);
     }
 
@@ -453,12 +650,204 @@ mod tests {
         db.insert("Paper", vec![Value::Int(12), "p3".into(), Value::Int(1)]).unwrap();
         assert!(
             db.table(paper).sorted_fk_index(fk_col).is_none(),
-            "insert drops the snapshot postings"
+            "un-scored insert drops the snapshot postings"
         );
         // The probe still answers correctly via the heap fallback, and the
         // new row is visible.
         let li = |_: RowId| 1.0;
         let rows = db.select_eq_top_l(paper, fk_col, 1, 10, 0.0, Some(token), &li);
         assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn epochs_bump_on_every_insert() {
+        let mut db = tiny_db();
+        let (g0, paper) = (db.epoch(), db.table_id("Paper").unwrap());
+        let year = db.table_id("Year").unwrap();
+        let (t0, y0) = (db.table(paper).epoch(), db.table(year).epoch());
+        assert!(g0 > Epoch::default(), "loading already advanced the global epoch");
+        db.insert("Paper", vec![Value::Int(12), "p3".into(), Value::Int(1)]).unwrap();
+        assert_eq!(db.epoch(), g0.next());
+        assert_eq!(db.table(paper).epoch(), t0.next());
+        // Other tables' epochs are untouched.
+        assert_eq!(db.table(year).epoch(), y0);
+    }
+
+    #[test]
+    fn scored_insert_maintains_postings_and_restamps_token() {
+        let mut db = tiny_db();
+        let paper = db.table_id("Paper").unwrap();
+        let fk_col = db.table(paper).schema.column_index("year_id").unwrap();
+        // Importance: pk 10 -> 1.0, pk 11 -> 5.0 (as in the install test).
+        let snapshot: Vec<Vec<f64>> = db
+            .tables()
+            .map(|(_, t)| {
+                t.iter()
+                    .map(
+                        |(r, _)| {
+                            if t.schema.name == "Paper" && t.pk_of(r) == 11 {
+                                5.0
+                            } else {
+                                1.0
+                            }
+                        },
+                    )
+                    .collect()
+            })
+            .collect();
+        let old = db.install_importance_order(&|t, r| snapshot[t.index()][r.index()]);
+        // Insert a row scoring between the two existing ones.
+        db.insert_scored("Paper", vec![Value::Int(12), "p3".into(), Value::Int(1)], 3.0).unwrap();
+        let token = db.fk_order().expect("order survives the scored insert");
+        assert_ne!(token, old, "the token is re-stamped, not reused verbatim");
+        assert!(token.same_order(old), "…but it still names the same installed order");
+        assert_eq!(token.epoch(), db.epoch());
+        let sorted = db.table(paper).sorted_fk_index(fk_col).expect("postings maintained");
+        let pks: Vec<i64> = sorted.rows(1).iter().map(|&r| db.table(paper).pk_of(r)).collect();
+        assert_eq!(pks, vec![11, 12, 10], "new row binary-inserted by score");
+        // The re-stamped token serves the fast path; the superseded one
+        // falls back (both correct and byte-identical).
+        let li = |r: RowId| db.table(paper).installed_score(r);
+        let before = db.access().probes();
+        let fast = db.select_eq_top_l(paper, fk_col, 1, 3, 0.0, Some(token), &li);
+        let mid = db.access().probes();
+        let slow = db.select_eq_top_l(paper, fk_col, 1, 3, 0.0, Some(old), &li);
+        let after = db.access().probes();
+        assert_eq!(fast, slow);
+        assert_eq!(mid.fast - before.fast, 1, "current token prefix-scans");
+        assert_eq!(after.heap - mid.heap, 1, "superseded token heap-falls-back");
+        assert_eq!(db.table(paper).pk_of(fast[0]), 11);
+        assert_eq!(db.table(paper).pk_of(fast[1]), 12);
+    }
+
+    #[test]
+    fn dangling_junction_target_drops_link_postings_conservatively() {
+        // A junction row whose target pk does not (yet) exist must not be
+        // silently absent from the sorted link postings while the heap
+        // path resolves it live after the target arrives — the orientation
+        // is dropped instead (heap fallback until the next install finds
+        // every reference resolved). FK validation is a separate step, so
+        // the storage layer has to tolerate this on its own.
+        let mut db = Database::new();
+        db.create_table(TableSchema::builder("P").pk("id").build().unwrap()).unwrap();
+        db.create_table(TableSchema::builder("C").pk("id").build().unwrap()).unwrap();
+        db.create_table(
+            TableSchema::builder("J")
+                .pk("id")
+                .fk("p_id", "P")
+                .fk("c_id", "C")
+                .junction()
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.insert("P", vec![Value::Int(1)]).unwrap();
+        db.insert("C", vec![Value::Int(10)]).unwrap();
+        db.insert("J", vec![Value::Int(100), Value::Int(1), Value::Int(10)]).unwrap();
+        db.install_importance_order(&|_, _| 1.0);
+        let j = db.table_id("J").unwrap();
+        let (p_col, c_col) = (1, 2);
+        assert!(db.table(j).sorted_link_index(p_col).is_some());
+        // Scored insert referencing child pk 99, which does not exist.
+        db.insert_scored("J", vec![Value::Int(101), Value::Int(1), Value::Int(99)], 0.5).unwrap();
+        assert!(
+            db.table(j).sorted_link_index(p_col).is_none()
+                && db.table(j).sorted_link_index(c_col).is_none(),
+            "a dangling target must drop the link postings, not skip the pair"
+        );
+        // The late-arriving target heals at the next install: the rebuild
+        // resolves every reference and the orientation returns.
+        db.insert_scored("C", vec![Value::Int(99)], 2.0).unwrap();
+        db.install_importance_order(&|_, _| 1.0);
+        let links = db.table(j).sorted_link_index(p_col).expect("rebuilt once resolvable");
+        assert_eq!(links.pairs(1).len(), 2, "both junction rows pre-joined after the heal");
+        // A junction loaded with a dangling row *before* install gets no
+        // postings either (build-time poisoning) — the symmetric case.
+        let mut db2 = Database::new();
+        db2.create_table(TableSchema::builder("P").pk("id").build().unwrap()).unwrap();
+        db2.create_table(TableSchema::builder("C").pk("id").build().unwrap()).unwrap();
+        db2.create_table(
+            TableSchema::builder("J")
+                .pk("id")
+                .fk("p_id", "P")
+                .fk("c_id", "C")
+                .junction()
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db2.insert("P", vec![Value::Int(1)]).unwrap();
+        db2.insert("J", vec![Value::Int(100), Value::Int(1), Value::Int(99)]).unwrap();
+        db2.install_importance_order(&|_, _| 1.0);
+        let j2 = db2.table_id("J").unwrap();
+        assert!(db2.table(j2).sorted_link_index(p_col).is_none());
+    }
+
+    #[test]
+    fn scored_insert_rejects_bad_arity_without_panicking() {
+        let mut db = tiny_db();
+        db.install_importance_order(&|_, _| 1.0);
+        // Junction-free table with short row: clean Arity error.
+        assert!(matches!(
+            db.insert_scored("Paper", vec![Value::Int(12)], 1.0),
+            Err(StorageError::Arity { expected: 3, got: 1, .. })
+        ));
+        // A junction table with a short row must not panic while
+        // resolving link orientations either.
+        let mut jdb = Database::new();
+        jdb.create_table(TableSchema::builder("A").pk("id").build().unwrap()).unwrap();
+        jdb.create_table(
+            TableSchema::builder("J")
+                .pk("id")
+                .fk("x", "A")
+                .fk("y", "A")
+                .junction()
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        jdb.insert("A", vec![Value::Int(1)]).unwrap();
+        jdb.install_importance_order(&|_, _| 1.0);
+        assert!(matches!(
+            jdb.insert_scored("J", vec![Value::Int(7)], 1.0),
+            Err(StorageError::Arity { expected: 3, got: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn scored_insert_without_order_degrades_to_plain_insert() {
+        let mut db = tiny_db();
+        let row = db
+            .insert_scored("Paper", vec![Value::Int(12), "p3".into(), Value::Int(1)], 1.0)
+            .unwrap();
+        let paper = db.table_id("Paper").unwrap();
+        assert_eq!(db.table(paper).pk_of(row), 12);
+        assert!(db.fk_order().is_none());
+    }
+
+    #[test]
+    fn churn_threshold_triggers_batched_resort() {
+        let mut db = tiny_db();
+        db.set_churn_threshold(2);
+        let snapshot: Vec<Vec<f64>> =
+            db.tables().map(|(_, t)| t.iter().map(|_| 1.0).collect()).collect();
+        db.install_importance_order(&|t, r| snapshot[t.index()][r.index()]);
+        let paper = db.table_id("Paper").unwrap();
+        let fk_col = db.table(paper).schema.column_index("year_id").unwrap();
+        for (i, pk) in (20..26).enumerate() {
+            let score = (i + 2) as f64;
+            db.insert_scored("Paper", vec![Value::Int(pk), "t".into(), Value::Int(1)], score)
+                .unwrap();
+        }
+        // 6 scored inserts with threshold 2: at least one batched re-sort
+        // happened, so the churn counter wrapped below the insert count.
+        assert!(db.table(paper).churn() <= 2, "re-sort resets the churn counter");
+        // The postings are still exactly the install-from-scratch order.
+        let li = |r: RowId| db.table(paper).installed_score(r);
+        let token = db.fk_order().unwrap();
+        let fast = db.select_eq_top_l(paper, fk_col, 1, 10, 0.0, Some(token), &li);
+        let slow = db.select_eq_top_l(paper, fk_col, 1, 10, 0.0, None, &li);
+        assert_eq!(fast, slow);
+        assert_eq!(fast.len(), 8);
     }
 }

@@ -1,0 +1,54 @@
+//! Mutation epochs: the version counter behind the update subsystem.
+//!
+//! The paper's OSs are computed over a *live* database; the continual
+//! top-k line of work assumes the data keeps changing under the query
+//! stream. Every derived structure in this stack (sorted FK postings,
+//! rank scores, serve-cache entries) is therefore versioned by an
+//! [`Epoch`]: a monotonically increasing counter bumped on every
+//! mutation. The database carries one global epoch plus one per table, so
+//! consumers can reason both about "has *anything* changed" (cache
+//! keying) and "has *this table* changed" (posting maintenance).
+//!
+//! Epochs are plain data, deliberately not process-unique: two databases
+//! both start at epoch 0. Identity is provided by the
+//! [`crate::FkOrderToken`]'s order id; the epoch rides on the token to
+//! distinguish *versions* of one installed order (see
+//! [`crate::fk_index`]).
+
+/// A monotonically increasing mutation counter. `Epoch(0)` is the
+/// freshly-created (or freshly-finalized) state; every insert bumps it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Epoch(pub u64);
+
+impl Epoch {
+    /// The successor epoch.
+    #[must_use]
+    pub fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+
+    /// The raw counter value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Epoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_order_and_advance() {
+        let e = Epoch::default();
+        assert_eq!(e, Epoch(0));
+        assert!(e.next() > e);
+        assert_eq!(e.next().get(), 1);
+        assert_eq!(format!("{}", Epoch(7)), "e7");
+    }
+}

@@ -1,4 +1,4 @@
-//! Importance-sorted foreign-key indexes.
+//! Importance-sorted foreign-key and junction-link indexes.
 //!
 //! The Avoidance-Condition-2 probe (`SELECT * TOP l FROM Ri WHERE
 //! tj.ID = Ri.ID AND Ri.li > largest-l ORDER BY li DESC`, Algorithm 4
@@ -8,7 +8,7 @@
 //! order per table serves every GDS node reading it. Pre-sorting each FK
 //! posting list by descending global importance turns the probe from a
 //! heap pass over the whole group (`O(g log l)`) into a bounded prefix
-//! scan (`O(l)`), the ROADMAP's remaining Database-source hot path.
+//! scan (`O(l)`).
 //!
 //! Ordering contract: postings are sorted by `(score descending, RowId
 //! ascending)`, and the prefix scan is valid for any `li` that is a
@@ -29,28 +29,74 @@
 //! pass the token they expect back in; the fast path only fires when it
 //! matches the installed one, so a context carrying scores from a
 //! *different* ranking setting silently falls back to the heap path
-//! instead of scanning postings in the wrong order. Any subsequent insert
-//! drops the affected table's sorted postings (and the heap path takes
-//! over) — the order is a snapshot, not an incrementally maintained index.
+//! instead of scanning postings in the wrong order.
+//!
+//! **Updates.** The installed order is *maintained*, not torn down, under
+//! scored inserts ([`crate::Database::insert_scored`]): the new row is
+//! binary-inserted into every affected posting list and the token is
+//! **re-stamped** with the database's new [`Epoch`] — contexts built
+//! after the mutation (whose scores carry the re-stamped token) keep the
+//! prefix-scan fast path, while contexts holding the superseded token
+//! fall back to the heap path. Only the legacy un-scored
+//! [`crate::Database::insert`] still drops the affected table's sorted
+//! postings (it has no score to place the row with). Above a churn
+//! threshold the per-table maintenance switches to an epoch-batched full
+//! re-sort, amortizing the `O(g)` memmove of many binary inserts into one
+//! `O(Σ g log g)` pass; both strategies are byte-identical to a
+//! from-scratch install (property-tested).
+//!
+//! [`SortedLinkIndex`] extends the same idea to junction tables: per
+//! (junction, orientation), the junction rows of each source key are
+//! pre-joined to their target rows and sorted by descending *target*
+//! importance, so junction-source TOP-l probes (CoAuthor, citations)
+//! become prefix scans too — mirroring the data graph's collapsed
+//! `MnLink`, but with counted accesses.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::epoch::Epoch;
 use crate::table::RowId;
 
-/// Identifies one installed importance ordering. Tokens are unique per
-/// process ([`crate::Database::install_importance_order`] mints a fresh one
-/// on every call), so a token can never validate against an ordering it
-/// was not minted for.
+/// Identifies one installed importance ordering at one mutation epoch.
+///
+/// The `order` id is process-unique
+/// ([`crate::Database::install_importance_order`] mints a fresh one on
+/// every call), so a token can never validate against an ordering it was
+/// not minted for. The `epoch` distinguishes *versions* of one order:
+/// scored inserts re-stamp the installed token with the new epoch instead
+/// of invalidating it, so holders of the superseded token (score sets
+/// that predate the mutation) heap-fall-back while freshly synchronized
+/// contexts keep the fast path.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub struct FkOrderToken(u64);
+pub struct FkOrderToken {
+    order: u64,
+    epoch: Epoch,
+}
 
 static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
 
 impl FkOrderToken {
-    /// Mints a process-unique token.
-    pub(crate) fn fresh() -> FkOrderToken {
-        FkOrderToken(NEXT_TOKEN.fetch_add(1, Ordering::Relaxed))
+    /// Mints a token with a process-unique order id at `epoch`.
+    pub(crate) fn fresh(epoch: Epoch) -> FkOrderToken {
+        FkOrderToken { order: NEXT_TOKEN.fetch_add(1, Ordering::Relaxed), epoch }
+    }
+
+    /// The same order, re-stamped at a later epoch (maintenance, not
+    /// re-installation).
+    #[must_use]
+    pub(crate) fn restamped(self, epoch: Epoch) -> FkOrderToken {
+        FkOrderToken { order: self.order, epoch }
+    }
+
+    /// The mutation epoch this token was (re-)stamped at.
+    pub fn epoch(self) -> Epoch {
+        self.epoch
+    }
+
+    /// True when `other` is the same installed order, at any epoch.
+    pub fn same_order(self, other: FkOrderToken) -> bool {
+        self.order == other.order
     }
 }
 
@@ -79,6 +125,17 @@ impl SortedFkIndex {
         SortedFkIndex { postings }
     }
 
+    /// Binary-inserts a freshly appended row into `key`'s posting list,
+    /// keeping the `(score desc, RowId asc)` order. `scores[r]` must give
+    /// the installed score of every already-posted row; `row` is the
+    /// largest RowId of its table by construction, so it lands *after*
+    /// every equal-scored row — exactly where a full re-sort would put it.
+    pub(crate) fn insert_scored(&mut self, key: i64, row: RowId, score: f64, scores: &[f64]) {
+        let list = self.postings.entry(key).or_default();
+        let pos = list.partition_point(|&r| scores[r.index()].total_cmp(&score).is_ge());
+        list.insert(pos, row);
+    }
+
     /// The rows whose FK equals `key`, best-importance first.
     pub fn rows(&self, key: i64) -> &[RowId] {
         static EMPTY: [RowId; 0] = [];
@@ -91,15 +148,139 @@ impl SortedFkIndex {
     }
 }
 
+/// One source key's pre-joined postings in a [`SortedLinkIndex`].
+#[derive(Clone, Debug, Default)]
+struct LinkPostings {
+    /// `(junction row, target row)` pairs, sorted by `(target score desc,
+    /// target RowId asc, junction RowId asc)`.
+    pairs: Vec<(RowId, RowId)>,
+    /// Size of the raw junction FK group for this key (includes junction
+    /// rows whose target FK is NULL or unresolvable). The prefix-scan
+    /// probe reports this as the junction-probe tuple count so its access
+    /// accounting is identical to the heap path's.
+    raw_len: u32,
+}
+
+/// Per-(junction, orientation) link postings sorted by target importance:
+/// for each source key, the junction rows joined to their target rows,
+/// best target first. Lives on the *junction* table, keyed by the source
+/// FK column; maintained under scored inserts exactly like
+/// [`SortedFkIndex`].
+#[derive(Clone, Debug, Default)]
+pub struct SortedLinkIndex {
+    postings: HashMap<i64, LinkPostings>,
+}
+
+/// How one junction row's target FK resolves while building a
+/// [`SortedLinkIndex`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum LinkTarget {
+    /// NULL target FK: no pair, but the row counts toward the raw group.
+    Null,
+    /// Non-NULL target FK with no matching row. The referenced row could
+    /// be inserted later — at which point the postings would silently
+    /// miss it while a live heap probe finds it — so a dangling target
+    /// poisons the whole orientation ([`SortedLinkIndex::build`] returns
+    /// `None`; the heap fallback serves it until a later install/re-sort
+    /// finds every reference resolved).
+    Dangling,
+    /// Resolved target row.
+    Row(RowId),
+}
+
+impl SortedLinkIndex {
+    /// Builds the index for one orientation of a junction table, or
+    /// `None` when any junction row's target FK dangles (see
+    /// [`LinkTarget::Dangling`]).
+    ///
+    /// `base` is the junction's hash FK index on the *source* column;
+    /// `target_of` resolves a junction row's target; `target_score` gives
+    /// the installed importance of a target row.
+    pub(crate) fn build(
+        base: &HashMap<i64, Vec<RowId>>,
+        target_of: &dyn Fn(RowId) -> LinkTarget,
+        target_score: &dyn Fn(RowId) -> f64,
+    ) -> Option<SortedLinkIndex> {
+        let mut postings = HashMap::with_capacity(base.len());
+        for (&key, jrows) in base {
+            let mut scored: Vec<(f64, RowId, RowId)> = Vec::with_capacity(jrows.len());
+            for &j in jrows {
+                match target_of(j) {
+                    LinkTarget::Null => {}
+                    LinkTarget::Dangling => return None,
+                    LinkTarget::Row(t) => scored.push((target_score(t), t, j)),
+                }
+            }
+            scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+            let pairs = scored.into_iter().map(|(_, t, j)| (j, t)).collect();
+            postings.insert(key, LinkPostings { pairs, raw_len: jrows.len() as u32 });
+        }
+        Some(SortedLinkIndex { postings })
+    }
+
+    /// Binary-inserts a freshly appended junction row. `target` is `None`
+    /// when the row's target FK is NULL/unresolvable (it still counts in
+    /// `raw_len`). `target_scores[t]` must give the installed score of
+    /// target rows; the new junction RowId is the largest of its table, so
+    /// ties land after equal `(score, target)` pairs — matching a rebuild.
+    pub(crate) fn insert_scored(
+        &mut self,
+        key: i64,
+        junction_row: RowId,
+        target: Option<RowId>,
+        target_scores: &[f64],
+    ) {
+        let entry = self.postings.entry(key).or_default();
+        entry.raw_len += 1;
+        if let Some(t) = target {
+            let s = target_scores[t.index()];
+            // An existing pair precedes the new one iff its target scores
+            // higher, or ties with target RowId <= t (on a full target tie
+            // the junction RowId breaks it, and the new junction row is
+            // the largest of its table).
+            let pos = entry.pairs.partition_point(|&(_, pt)| {
+                match target_scores[pt.index()].total_cmp(&s) {
+                    std::cmp::Ordering::Greater => true,
+                    std::cmp::Ordering::Equal => pt <= t,
+                    std::cmp::Ordering::Less => false,
+                }
+            });
+            entry.pairs.insert(pos, (junction_row, t));
+        }
+    }
+
+    /// The `(junction row, target row)` pairs of `key`, best target first.
+    pub fn pairs(&self, key: i64) -> &[(RowId, RowId)] {
+        static EMPTY: [(RowId, RowId); 0] = [];
+        self.postings.get(&key).map(|p| p.pairs.as_slice()).unwrap_or(&EMPTY)
+    }
+
+    /// The raw junction FK group size of `key` (what a heap-path junction
+    /// probe reports as its tuple count).
+    pub fn raw_group_len(&self, key: i64) -> usize {
+        self.postings.get(&key).map(|p| p.raw_len as usize).unwrap_or(0)
+    }
+
+    /// Number of distinct source keys.
+    pub fn key_count(&self) -> usize {
+        self.postings.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn tokens_are_unique() {
-        let a = FkOrderToken::fresh();
-        let b = FkOrderToken::fresh();
+    fn tokens_are_unique_and_restamp_preserves_order_identity() {
+        let a = FkOrderToken::fresh(Epoch(0));
+        let b = FkOrderToken::fresh(Epoch(0));
         assert_ne!(a, b);
+        let a2 = a.restamped(Epoch(3));
+        assert_ne!(a, a2, "a re-stamped token no longer equals the superseded one");
+        assert!(a.same_order(a2), "re-stamping preserves the order identity");
+        assert!(!a.same_order(b));
+        assert_eq!(a2.epoch(), Epoch(3));
     }
 
     #[test]
@@ -111,5 +292,79 @@ mod tests {
         assert_eq!(idx.rows(7), &[RowId(1), RowId(2), RowId(3), RowId(0)]);
         assert!(idx.rows(99).is_empty());
         assert_eq!(idx.key_count(), 1);
+    }
+
+    #[test]
+    fn incremental_insert_matches_rebuild() {
+        let mut base: HashMap<i64, Vec<RowId>> = HashMap::new();
+        base.insert(7, vec![RowId(0), RowId(1), RowId(2)]);
+        let mut scores = vec![1.0, 3.0, 2.0];
+        let mut idx = SortedFkIndex::build(&base, &|r: RowId| scores[r.index()]);
+        // Append rows with a fresh-max, a middle, and a tying score.
+        for (row, s) in [(RowId(3), 5.0), (RowId(4), 2.5), (RowId(5), 3.0)] {
+            scores.push(s);
+            base.get_mut(&7).unwrap().push(row);
+            idx.insert_scored(7, row, s, &scores);
+            let rebuilt = SortedFkIndex::build(&base, &|r: RowId| scores[r.index()]);
+            assert_eq!(idx.rows(7), rebuilt.rows(7), "after appending {row:?}");
+        }
+        assert_eq!(
+            idx.rows(7),
+            &[RowId(3), RowId(1), RowId(5), RowId(4), RowId(2), RowId(0)],
+            "ties resolved by ascending RowId"
+        );
+    }
+
+    #[test]
+    fn link_index_build_and_incremental_insert_match() {
+        // Junction rows 0..4 map source key 7 to targets with varying
+        // scores; row 4 has a NULL target (counts in raw_len, no pair).
+        let mut base: HashMap<i64, Vec<RowId>> = HashMap::new();
+        base.insert(7, vec![RowId(0), RowId(1), RowId(2), RowId(3), RowId(4)]);
+        let targets = [Some(RowId(0)), Some(RowId(1)), Some(RowId(2)), Some(RowId(1)), None];
+        let as_link = |t: Option<RowId>| t.map_or(LinkTarget::Null, LinkTarget::Row);
+        let mut tscores = vec![2.0, 3.0, 1.0];
+        let mut idx =
+            SortedLinkIndex::build(&base, &|j: RowId| as_link(targets[j.index()]), &|t: RowId| {
+                tscores[t.index()]
+            })
+            .expect("no dangling targets");
+        assert_eq!(idx.raw_group_len(7), 5);
+        assert_eq!(
+            idx.pairs(7),
+            &[
+                (RowId(1), RowId(1)),
+                (RowId(3), RowId(1)),
+                (RowId(0), RowId(0)),
+                (RowId(2), RowId(2))
+            ]
+        );
+        // Append a new target row (score 2.5) and a junction row to it,
+        // plus one tying an existing (score, target) pair.
+        tscores.push(2.5);
+        idx.insert_scored(7, RowId(5), Some(RowId(3)), &tscores);
+        idx.insert_scored(7, RowId(6), Some(RowId(1)), &tscores);
+        base.get_mut(&7).unwrap().extend([RowId(5), RowId(6)]);
+        let targets2 = {
+            let mut t = targets.to_vec();
+            t.extend([Some(RowId(3)), Some(RowId(1))]);
+            t
+        };
+        let rebuilt =
+            SortedLinkIndex::build(&base, &|j: RowId| as_link(targets2[j.index()]), &|t: RowId| {
+                tscores[t.index()]
+            })
+            .expect("no dangling targets");
+        assert_eq!(idx.pairs(7), rebuilt.pairs(7));
+        assert_eq!(idx.raw_group_len(7), rebuilt.raw_group_len(7));
+
+        // A dangling (non-NULL, unresolvable) target poisons the build:
+        // the orientation is withheld and the heap path serves it.
+        let mut dangle: HashMap<i64, Vec<RowId>> = HashMap::new();
+        dangle.insert(1, vec![RowId(0)]);
+        let poisoned = SortedLinkIndex::build(&dangle, &|_: RowId| LinkTarget::Dangling, &|t| {
+            tscores[t.index()]
+        });
+        assert!(poisoned.is_none());
     }
 }

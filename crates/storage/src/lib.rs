@@ -15,12 +15,17 @@
 //!   and tuples read, the cost unit of the paper's Section 5.3/6.3
 //!   discussion ("Avoidance Condition 2 still requires an I/O access even
 //!   when it returns no results"),
-//! * importance-sorted FK postings ([`fk_index`]) installed as a
-//!   finalization step, which turn the `TOP l` probe into a bounded prefix
-//!   scan.
+//! * importance-sorted FK and junction-link postings ([`fk_index`])
+//!   installed as a finalization step and *maintained* under scored
+//!   inserts, which turn the `TOP l` probe into a bounded prefix scan
+//!   that survives update workloads,
+//! * mutation epochs ([`epoch`]) versioning the catalog (global and per
+//!   table) so derived structures — sorted postings, rank scores, serve
+//!   caches — can detect and synchronize to data changes.
 
 pub mod access;
 pub mod database;
+pub mod epoch;
 pub mod error;
 pub mod fk_index;
 pub mod schema;
@@ -29,10 +34,11 @@ pub mod text;
 pub mod topl;
 pub mod value;
 
-pub use access::{AccessCounter, AccessStats};
-pub use database::{Database, TableId, TupleRef};
+pub use access::{AccessCounter, AccessStats, ProbeStats};
+pub use database::{Database, TableId, TupleRef, DEFAULT_CHURN_THRESHOLD};
+pub use epoch::Epoch;
 pub use error::StorageError;
-pub use fk_index::{FkOrderToken, SortedFkIndex};
+pub use fk_index::{FkOrderToken, SortedFkIndex, SortedLinkIndex};
 pub use schema::{Column, ForeignKey, SchemaBuilder, TableSchema};
 pub use table::{RowId, Table};
 pub use topl::top_l;

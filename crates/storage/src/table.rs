@@ -2,8 +2,9 @@
 
 use std::collections::HashMap;
 
+use crate::epoch::Epoch;
 use crate::error::StorageError;
-use crate::fk_index::SortedFkIndex;
+use crate::fk_index::{SortedFkIndex, SortedLinkIndex};
 use crate::schema::TableSchema;
 use crate::value::Value;
 use crate::Result;
@@ -36,9 +37,27 @@ pub struct Table {
     pk_index: HashMap<i64, RowId>,
     /// column index -> (key -> row ids)
     fk_indexes: HashMap<usize, HashMap<i64, Vec<RowId>>>,
-    /// column index -> importance-sorted postings (a finalization-time
-    /// snapshot; dropped on insert — see [`crate::fk_index`]).
+    /// column index -> importance-sorted postings. Installed at
+    /// finalization, *maintained* under scored inserts, dropped by the
+    /// legacy un-scored insert — see [`crate::fk_index`].
     sorted_fk: HashMap<usize, SortedFkIndex>,
+    /// Source column index -> importance-sorted junction link postings
+    /// (junction tables only; same lifecycle as `sorted_fk`).
+    sorted_links: HashMap<usize, SortedLinkIndex>,
+    /// Per-row installed importance snapshot (parallel to `rows`; empty
+    /// when no order is installed or the snapshot was killed by an
+    /// un-scored insert). Scored inserts append to it, which is what lets
+    /// binary insertion find the right posting slot.
+    installed_scores: Vec<f64>,
+    /// True while `installed_scores` mirrors `rows` (set by
+    /// [`Table::build_sorted_fk`], cleared by the un-scored insert).
+    scores_live: bool,
+    /// Mutation epoch of this table (bumped on every insert).
+    epoch: Epoch,
+    /// Scored inserts absorbed incrementally since the last full (re)sort
+    /// of the postings. Above the database's churn threshold the next
+    /// scored insert triggers an epoch-batched re-sort instead.
+    churn: usize,
 }
 
 impl Table {
@@ -51,6 +70,11 @@ impl Table {
             pk_index: HashMap::new(),
             fk_indexes,
             sorted_fk: HashMap::new(),
+            sorted_links: HashMap::new(),
+            installed_scores: Vec::new(),
+            scores_live: false,
+            epoch: Epoch::default(),
+            churn: 0,
         }
     }
 
@@ -68,7 +92,28 @@ impl Table {
     /// FK existence is validated at the database level (see
     /// [`crate::Database::validate_foreign_keys`]), since it needs the
     /// catalog.
+    ///
+    /// This is the *un-scored* path: it carries no importance for the new
+    /// row, so any installed sorted postings (and the score snapshot that
+    /// places rows in them) are dropped and the heap path takes over for
+    /// this table. Use [`crate::Database::insert_scored`] to keep the
+    /// prefix-scan fast path live across inserts.
     pub fn insert(&mut self, values: Vec<Value>) -> Result<RowId> {
+        let id = self.insert_validated(values)?;
+        // The sorted postings were placed under a per-row score snapshot;
+        // a row without a score cannot join them, so both die together.
+        self.sorted_fk.clear();
+        self.sorted_links.clear();
+        self.installed_scores.clear();
+        self.scores_live = false;
+        self.epoch = self.epoch.next();
+        Ok(id)
+    }
+
+    /// The shared validate-and-append core of both insert paths: checks
+    /// arity, types, and PK uniqueness, maintains the hash indexes, and
+    /// appends the row. Does not touch sorted postings or the epoch.
+    fn insert_validated(&mut self, values: Vec<Value>) -> Result<RowId> {
         if values.len() != self.schema.arity() {
             return Err(StorageError::Arity {
                 table: self.schema.name.clone(),
@@ -97,10 +142,33 @@ impl Table {
                 index.entry(k).or_default().push(id);
             }
         }
-        // The sorted postings are a finalization-time snapshot; a new row
-        // is not in them, so they must not be consulted anymore.
-        self.sorted_fk.clear();
         self.rows.push(values.into_boxed_slice());
+        Ok(id)
+    }
+
+    /// Inserts a row whose installed importance is `score`, maintaining
+    /// the sorted FK postings incrementally: the new row is binary-
+    /// inserted into every affected posting list, so the prefix-scan fast
+    /// path stays live. Requires a live score snapshot
+    /// ([`Self::has_installed_scores`]); junction link postings are
+    /// maintained by the caller ([`crate::Database::insert_scored`]),
+    /// which owns the cross-table target lookups. Bumps the epoch and the
+    /// churn counter.
+    pub(crate) fn insert_scored_indexed(
+        &mut self,
+        values: Vec<Value>,
+        score: f64,
+    ) -> Result<RowId> {
+        debug_assert!(self.has_installed_scores(), "caller checks the snapshot is live");
+        let id = self.insert_validated(values)?;
+        self.installed_scores.push(score);
+        for (&col, sorted) in self.sorted_fk.iter_mut() {
+            if let Some(k) = self.rows[id.index()][col].as_int() {
+                sorted.insert_scored(k, id, score, &self.installed_scores);
+            }
+        }
+        self.epoch = self.epoch.next();
+        self.churn += 1;
         Ok(id)
     }
 
@@ -145,20 +213,85 @@ impl Table {
         self.fk_indexes.contains_key(&col)
     }
 
-    /// Rebuilds every FK column's importance-sorted postings under `score`
-    /// (called by [`crate::Database::install_importance_order`]).
+    /// The base (unsorted) hash index of an FK column, if any — the input
+    /// the sorted link postings are built from.
+    pub(crate) fn fk_index_base(&self, col: usize) -> Option<&HashMap<i64, Vec<RowId>>> {
+        self.fk_indexes.get(&col)
+    }
+
+    /// Rebuilds every FK column's importance-sorted postings under
+    /// `score`, snapshotting the per-row scores so later scored inserts
+    /// can binary-insert (called by
+    /// [`crate::Database::install_importance_order`] and by the
+    /// epoch-batched re-sort). Resets the churn counter.
     pub(crate) fn build_sorted_fk(&mut self, score: &dyn Fn(RowId) -> f64) {
+        self.installed_scores = (0..self.rows.len()).map(|i| score(RowId(i as u32))).collect();
+        self.scores_live = true;
         self.sorted_fk = self
             .fk_indexes
             .iter()
             .map(|(&col, base)| (col, SortedFkIndex::build(base, score)))
             .collect();
+        self.churn = 0;
+    }
+
+    /// Re-sorts the postings from the retained score snapshot (the
+    /// epoch-batched fallback above the churn threshold). Byte-identical
+    /// to the incremental maintenance it replaces.
+    pub(crate) fn resort_from_snapshot(&mut self) {
+        debug_assert!(self.has_installed_scores());
+        let scores = std::mem::take(&mut self.installed_scores);
+        self.build_sorted_fk(&|r| scores[r.index()]);
+        self.installed_scores = scores;
     }
 
     /// The importance-sorted postings of `col`, if an order is installed
-    /// and no insert has invalidated it since.
+    /// and no un-scored insert has invalidated it since.
     pub fn sorted_fk_index(&self, col: usize) -> Option<&SortedFkIndex> {
         self.sorted_fk.get(&col)
+    }
+
+    /// The importance-sorted junction link postings whose *source* FK is
+    /// `col` (junction tables under a live installed order only).
+    pub fn sorted_link_index(&self, col: usize) -> Option<&SortedLinkIndex> {
+        self.sorted_links.get(&col)
+    }
+
+    pub(crate) fn set_sorted_link(&mut self, col: usize, index: SortedLinkIndex) {
+        self.sorted_links.insert(col, index);
+    }
+
+    pub(crate) fn take_sorted_link(&mut self, col: usize) -> Option<SortedLinkIndex> {
+        self.sorted_links.remove(&col)
+    }
+
+    pub(crate) fn drop_sorted_links(&mut self) {
+        self.sorted_links.clear();
+    }
+
+    /// True when the per-row installed-score snapshot covers every row
+    /// (i.e. an order is installed and no un-scored insert killed it).
+    pub fn has_installed_scores(&self) -> bool {
+        self.scores_live
+    }
+
+    /// The installed importance of a row (panics without a live snapshot).
+    pub fn installed_score(&self, id: RowId) -> f64 {
+        self.installed_scores[id.index()]
+    }
+
+    pub(crate) fn installed_scores(&self) -> &[f64] {
+        &self.installed_scores
+    }
+
+    /// This table's mutation epoch (bumped on every insert).
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Scored inserts absorbed incrementally since the last full sort.
+    pub fn churn(&self) -> usize {
+        self.churn
     }
 
     /// Iterates over `(RowId, &Row)` in insertion order.

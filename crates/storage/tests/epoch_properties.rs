@@ -1,0 +1,250 @@
+//! Property suite for the epoch subsystem (ISSUE 4): incremental
+//! sorted-posting maintenance under arbitrary insert interleavings must
+//! be **byte-identical** to a from-scratch `install_importance_order`
+//! over the final database — for FK postings and junction link postings
+//! alike, at every churn threshold (binary insert and epoch-batched
+//! re-sort are the same function) — and the prefix-scan fast path must
+//! keep the heap path's answers *and* its paper-cost accounting.
+
+use proptest::prelude::*;
+
+use sizel_storage::{Database, Epoch, RowId, TableId, TableSchema, Value, ValueType};
+
+/// Parent (link target) / Child (FK postings) / Rel (junction between
+/// Parent and Child, exercising both link orientations).
+fn fresh_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::builder("Parent").pk("id").searchable_text("name").build().unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::builder("Child")
+            .pk("id")
+            .column("payload", ValueType::Float)
+            .fk("parent_id", "Parent")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::builder("Rel")
+            .pk("id")
+            .fk("parent_id", "Parent")
+            .fk("child_id", "Child")
+            .junction()
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    db
+}
+
+const N_PARENTS: i64 = 6;
+
+/// One step of the mutation stream.
+#[derive(Clone, Debug)]
+enum Op {
+    /// (child pk, parent key, installed score)
+    Child(i64, i64, f64),
+    /// (rel pk, parent key, child pk candidate, installed score)
+    Rel(i64, i64, i64, f64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // (kind, pk, parent key, child pk, raw score); scores quantized to
+    // 0.5 steps so tie-breaking is exercised constantly.
+    (0u8..2, 0i64..64, 0i64..N_PARENTS, 0i64..64, 0.0..8.0f64).prop_map(
+        |(kind, pk, parent, child, w)| {
+            let s = (w * 2.0).floor() / 2.0;
+            if kind == 0 {
+                Op::Child(pk, parent, s)
+            } else {
+                Op::Rel(pk, parent, child, s)
+            }
+        },
+    )
+}
+
+/// Seeds the database, installs an order, then drives the op stream
+/// through `insert_scored`. Returns the per-table score log (the oracle's
+/// install input).
+fn run_stream(db: &mut Database, ops: &[Op], churn_threshold: usize) -> Vec<Vec<f64>> {
+    db.set_churn_threshold(churn_threshold);
+    for p in 0..N_PARENTS {
+        db.insert("Parent", vec![Value::Int(p), format!("p{p}").into()]).unwrap();
+    }
+    // Two seed children so the install covers non-trivial postings.
+    db.insert("Child", vec![Value::Int(100), Value::Float(1.0), Value::Int(0)]).unwrap();
+    db.insert("Child", vec![Value::Int(101), Value::Float(2.0), Value::Int(1)]).unwrap();
+    db.insert("Rel", vec![Value::Int(100), Value::Int(0), Value::Int(100)]).unwrap();
+
+    let mut scores: Vec<Vec<f64>> = vec![
+        (0..N_PARENTS).map(|p| 1.0 + p as f64).collect(), // Parent
+        vec![3.0, 1.5],                                   // Child seeds
+        vec![0.25],                                       // Rel seed
+    ];
+    {
+        let snapshot = scores.clone();
+        db.install_importance_order(&|t: TableId, r: RowId| snapshot[t.index()][r.index()]);
+    }
+
+    for op in ops {
+        match *op {
+            Op::Child(pk, parent, s) => {
+                let dup = {
+                    let child = db.table_id("Child").unwrap();
+                    db.table(child).by_pk(pk).is_some()
+                };
+                let r = db.insert_scored(
+                    "Child",
+                    vec![Value::Int(pk), Value::Float(s), Value::Int(parent)],
+                    s,
+                );
+                if dup {
+                    assert!(r.is_err(), "duplicate child pk must be rejected");
+                } else {
+                    r.unwrap();
+                    scores[1].push(s);
+                }
+            }
+            Op::Rel(pk, parent, child_pk, s) => {
+                let (dup, child_exists) = {
+                    let rel = db.table_id("Rel").unwrap();
+                    let child = db.table_id("Child").unwrap();
+                    (db.table(rel).by_pk(pk).is_some(), db.table(child).by_pk(child_pk).is_some())
+                };
+                if !child_exists {
+                    continue; // keep the database FK-consistent
+                }
+                let r = db.insert_scored(
+                    "Rel",
+                    vec![Value::Int(pk), Value::Int(parent), Value::Int(child_pk)],
+                    s,
+                );
+                if dup {
+                    assert!(r.is_err(), "duplicate rel pk must be rejected");
+                } else {
+                    r.unwrap();
+                    scores[2].push(s);
+                }
+            }
+        }
+    }
+    scores
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (a) Incremental posting maintenance is byte-identical to a
+    /// from-scratch install after arbitrary insert interleavings — FK
+    /// postings and both junction link orientations — for churn
+    /// thresholds that force pure binary insertion, a mix, and pure
+    /// batched re-sorts.
+    #[test]
+    fn incremental_maintenance_equals_from_scratch_install(
+        ops in proptest::collection::vec(op_strategy(), 0..60),
+        // 1 forces batched re-sorts almost every insert, 7 mixes the two
+        // strategies, the large value keeps maintenance purely
+        // incremental.
+        churn_threshold in (0u8..3).prop_map(|i| [1usize, 7, 1_000_000][i as usize]),
+    ) {
+        let mut live = fresh_db();
+        let scores = run_stream(&mut live, &ops, churn_threshold);
+
+        // Oracle: the same final rows, plainly inserted, with one
+        // from-scratch install over the recorded scores.
+        let mut oracle = fresh_db();
+        for (tid, t) in live.tables() {
+            let name = t.schema.name.clone();
+            for (_, row) in t.iter() {
+                oracle.insert(&name, row.to_vec()).unwrap();
+            }
+            prop_assert_eq!(oracle.table(tid).len(), t.len());
+        }
+        oracle.install_importance_order(&|t: TableId, r: RowId| scores[t.index()][r.index()]);
+
+        let child = live.table_id("Child").unwrap();
+        let child_fk = live.table(child).schema.column_index("parent_id").unwrap();
+        let rel = live.table_id("Rel").unwrap();
+        let rel_parent = live.table(rel).schema.column_index("parent_id").unwrap();
+        let rel_child = live.table(rel).schema.column_index("child_id").unwrap();
+
+        // FK postings: Child.parent_id and both junction FK columns.
+        for (tid, col) in [(child, child_fk), (rel, rel_parent), (rel, rel_child)] {
+            let a = live.table(tid).sorted_fk_index(col).expect("maintained");
+            let b = oracle.table(tid).sorted_fk_index(col).expect("installed");
+            prop_assert_eq!(a.key_count(), b.key_count());
+            for key in -1..128i64 {
+                prop_assert_eq!(
+                    a.rows(key), b.rows(key),
+                    "fk postings diverge: table {:?} col {} key {}", tid, col, key
+                );
+            }
+        }
+        // Link postings: both orientations of the junction.
+        for col in [rel_parent, rel_child] {
+            let a = live.table(rel).sorted_link_index(col).expect("maintained");
+            let b = oracle.table(rel).sorted_link_index(col).expect("installed");
+            prop_assert_eq!(a.key_count(), b.key_count());
+            for key in -1..128i64 {
+                prop_assert_eq!(
+                    a.pairs(key), b.pairs(key),
+                    "link pairs diverge: col {} key {}", col, key
+                );
+                prop_assert_eq!(a.raw_group_len(key), b.raw_group_len(key));
+            }
+        }
+        // The token survived the whole stream, re-stamped to the live
+        // epoch — never torn down.
+        let token = live.fk_order().expect("order survives the stream");
+        prop_assert_eq!(token.epoch(), live.epoch());
+    }
+
+    /// (c) After any interleaving, the prefix-scan fast path and the heap
+    /// fallback return identical rows with identical paper-cost
+    /// accounting — and the fast path actually fires (probe mix).
+    #[test]
+    fn fast_path_is_byte_identical_with_identical_accounting_after_churn(
+        ops in proptest::collection::vec(op_strategy(), 0..60),
+        l in 1usize..8,
+        threshold in 0.0..6.0f64,
+        affinity in 0.25..1.0f64,
+    ) {
+        let mut db = fresh_db();
+        run_stream(&mut db, &ops, 9);
+        let token = db.fk_order().unwrap();
+        let child = db.table_id("Child").unwrap();
+        let fk = db.table(child).schema.column_index("parent_id").unwrap();
+        let li = |r: RowId| affinity * db.table(child).installed_score(r);
+        for parent in 0..N_PARENTS {
+            let s0 = db.access().snapshot();
+            let p0 = db.access().probes();
+            let fast = db.select_eq_top_l(child, fk, parent, l, threshold, Some(token), &li);
+            let s1 = db.access().snapshot();
+            let p1 = db.access().probes();
+            let slow = db.select_eq_top_l(child, fk, parent, l, threshold, None, &li);
+            let s2 = db.access().snapshot();
+            prop_assert_eq!(&fast, &slow, "rows diverge for parent {}", parent);
+            prop_assert_eq!(s1.since(s0), s2.since(s1), "accounting diverges");
+            prop_assert_eq!(p1.fast - p0.fast, 1, "the maintained order must prefix-scan");
+        }
+    }
+
+    /// The global epoch advances by exactly one per accepted insert:
+    /// after any stream it equals the sum of the per-table epochs (each
+    /// of which counts that table's inserts), which also forces strict
+    /// monotonicity step by step.
+    #[test]
+    fn epochs_count_every_insert(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        let mut db = fresh_db();
+        prop_assert_eq!(db.epoch(), Epoch::default());
+        run_stream(&mut db, &ops, 9);
+        prop_assert!(db.epoch() > Epoch::default());
+        let total: u64 = db.tables().map(|(_, t)| t.epoch().get()).sum();
+        prop_assert_eq!(db.epoch().get(), total, "global epoch counts every table's inserts");
+    }
+}

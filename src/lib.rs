@@ -29,7 +29,9 @@ pub use sizel_core::algo::{
     AlgoKind, BottomUp, BruteForce, DpKnapsack, DpNaive, SizeLAlgorithm, SizeLResult, TopPath,
     TopPathOpt, WordBudgetDp,
 };
-pub use sizel_core::engine::{EngineConfig, QueryOptions, QueryResult, ResultRanking, SizeLEngine};
+pub use sizel_core::engine::{
+    EngineConfig, Mutation, QueryOptions, QueryResult, RefreshPolicy, ResultRanking, SizeLEngine,
+};
 pub use sizel_core::eval::{
     approximation_ratio, consecutive_optima_similarity, effectiveness, snippet_selection,
     tuple_effectiveness, EvaluatorPanel,
@@ -53,7 +55,7 @@ pub use sizel_rank::{
     D1, D2, D3,
 };
 pub use sizel_storage::{
-    Database, FkOrderToken, StorageError, TableSchema, TupleRef, Value, ValueType,
+    Database, Epoch, FkOrderToken, StorageError, TableSchema, TupleRef, Value, ValueType,
 };
 
 /// Builds a ready-to-query engine over a synthetic DBLP database, with
@@ -63,7 +65,7 @@ pub fn build_dblp_engine(cfg: &DblpConfig, preset: GaPreset, damping: f64) -> Si
     let d = sizel_datagen::dblp::generate(cfg);
     SizeLEngine::build(
         d.db,
-        |db, sg, dg| sizel_rank::dblp_ga(preset, db, sg, dg),
+        move |db, sg, dg| sizel_rank::dblp_ga(preset, db, sg, dg),
         EngineConfig {
             rank: RankConfig::with_damping(damping),
             ..EngineConfig::new(vec![
@@ -82,7 +84,7 @@ pub fn build_tpch_engine(cfg: &TpchConfig, preset: GaPreset, damping: f64) -> Si
     let t = sizel_datagen::tpch::generate(cfg);
     SizeLEngine::build(
         t.db,
-        |db, sg, dg| sizel_rank::tpch_ga(preset, db, sg, dg),
+        move |db, sg, dg| sizel_rank::tpch_ga(preset, db, sg, dg),
         EngineConfig {
             rank: RankConfig::with_damping(damping),
             ..EngineConfig::new(vec![
