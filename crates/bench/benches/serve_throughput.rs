@@ -97,6 +97,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
                 queue_capacity: set.len(),
                 cache_capacity: 0,
                 cache_shards: 16,
+                ..ServeConfig::default()
             },
         );
         group.bench_with_input(BenchmarkId::new("uncached", threads), &set, |b, set| {
@@ -114,6 +115,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
                 queue_capacity: set.len(),
                 cache_capacity: 4096,
                 cache_shards: 16,
+                ..ServeConfig::default()
             },
         );
         group.bench_with_input(BenchmarkId::new("warm-cache", threads), &set, |b, set| {

@@ -1,0 +1,442 @@
+//! # sizel-cluster — multi-tenant sharded serving
+//!
+//! A [`ClusterRouter`] owns N independent [`SizeLServer`] shards and
+//! routes queries and writes across them, in one of two modes:
+//!
+//! * **Partitioned** ([`ClusterRouter::partitioned`]): N replica engines
+//!   of *one* logical database; each Data Subject is owned by exactly one
+//!   shard via a deterministic TDS → shard hash
+//!   ([`ClusterRouter::shard_of`]), so the expensive per-DS work —
+//!   summary computation, cache residency, hotness tracking — partitions
+//!   across shards while any shard can resolve the (cheap) keyword
+//!   lookup. Cross-shard queries fan the per-DS jobs out to their owners
+//!   and merge the answers back in rank order, byte-identical to one
+//!   sequential engine (the equivalence suite proves it at every epoch).
+//! * **Multi-tenant** ([`ClusterRouter::multi_tenant`]): one engine per
+//!   tenant database; queries and writes name the tenant and route to
+//!   its shard, isolating tenants' data, caches, and write paths.
+//!
+//! Writes go through [`ClusterRouter::apply_batch`]: mutations are
+//! grouped per shard and applied through the engines' batched path (one
+//! `DataGraph` rebuild and one posting settlement per incremental run —
+//! see `SizeLEngine::apply_batch`), under a cluster-wide write gate so
+//! readers always observe every shard at one consistent epoch. A
+//! [`refresh::RefreshWorker`] per cluster watches epoch bumps and
+//! proactively re-warms each shard's hottest summary keys under a budget
+//! (continual top-k refresh à la Xu, PAPERS.md), so steady-state readers
+//! of hot keys don't eat cold recomputes after writes.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use sizel_core::engine::{QueryOptions, QueryResult, ResultRanking, SizeLEngine};
+use sizel_serve::{Mutation, ServeConfig, ServerStats, SharedResult, SizeLServer};
+use sizel_storage::{Epoch, StorageError, TupleRef};
+
+pub mod refresh;
+
+pub use refresh::{RefreshConfig, RefreshStats};
+pub use sizel_serve::HotKey;
+
+/// Cluster construction parameters.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Per-shard server configuration.
+    pub serve: ServeConfig,
+    /// Continual-refresh worker configuration; `None` disables the
+    /// worker (hot keys are then only demand-filled).
+    pub refresh: Option<RefreshConfig>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig { serve: ServeConfig::default(), refresh: Some(RefreshConfig::default()) }
+    }
+}
+
+/// Everything that can go wrong at the cluster layer.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// A shard's storage/engine layer rejected the operation.
+    Storage(StorageError),
+    /// The operation does not exist in this router's mode (e.g. a
+    /// tenant-less query against a multi-tenant cluster).
+    WrongMode(&'static str),
+    /// No tenant with that name.
+    UnknownTenant(String),
+    /// Partitioned replicas disagreed (construction-time validation or a
+    /// write that left shards at different epochs — a bug, surfaced
+    /// rather than served).
+    ReplicaMismatch(String),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Storage(e) => write!(f, "shard storage error: {e}"),
+            ClusterError::WrongMode(m) => write!(f, "wrong cluster mode: {m}"),
+            ClusterError::UnknownTenant(t) => write!(f, "unknown tenant `{t}`"),
+            ClusterError::ReplicaMismatch(m) => write!(f, "replica mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<StorageError> for ClusterError {
+    fn from(e: StorageError) -> Self {
+        ClusterError::Storage(e)
+    }
+}
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, ClusterError>;
+
+/// How the router maps work to shards.
+#[derive(Debug)]
+enum Mode {
+    /// Replicas of one database; DS ownership by TDS hash.
+    Partitioned,
+    /// One engine per tenant; name → shard index.
+    MultiTenant(HashMap<String, usize>),
+}
+
+/// Per-cluster aggregate view: every shard's counters plus their sum.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterStats {
+    /// One entry per shard, in shard order.
+    pub per_shard: Vec<ServerStats>,
+    /// The shards' mutation epochs, in shard order.
+    pub epochs: Vec<Epoch>,
+    /// Refresh-worker counters (zeroes when the worker is disabled).
+    pub refresh: RefreshStats,
+}
+
+impl ClusterStats {
+    /// Sums a counter across shards.
+    pub fn total<F: Fn(&ServerStats) -> u64>(&self, f: F) -> u64 {
+        self.per_shard.iter().map(f).sum()
+    }
+}
+
+/// The shard router (see module docs).
+pub struct ClusterRouter {
+    shards: Vec<Arc<SizeLServer>>,
+    mode: Mode,
+    /// Cluster-wide epoch gate: queries hold it shared, applies hold it
+    /// exclusively while mutating *every* affected shard — so a reader
+    /// can never observe shard A at the new epoch and shard B at the old
+    /// one (torn cross-shard results are impossible by construction, the
+    /// cluster analogue of the serve layer's epoch-keyed cache proof).
+    gate: RwLock<()>,
+    refresh: Option<refresh::RefreshWorker>,
+}
+
+/// FNV-1a over the `(table, row)` identity — process-independent, so a
+/// DS's owner shard is stable across restarts and (because appends never
+/// renumber existing rows) across incremental writes; only a shard-count
+/// change rebalances.
+fn fnv_shard(tds: TupleRef, n_shards: usize) -> usize {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in tds.table.0.to_le_bytes().into_iter().chain(tds.row.0.to_le_bytes()) {
+        h = (h ^ b as u64).wrapping_mul(PRIME);
+    }
+    (h % n_shards as u64) as usize
+}
+
+impl ClusterRouter {
+    /// A partitioned cluster over N replica engines of one database
+    /// (build them identically — same data, same config; validated
+    /// cheaply here). Queries route per Data Subject by
+    /// [`ClusterRouter::shard_of`]; writes apply to every replica under
+    /// the cluster gate.
+    pub fn partitioned(engines: Vec<SizeLEngine>, cfg: ClusterConfig) -> Result<Self> {
+        if engines.is_empty() {
+            return Err(ClusterError::ReplicaMismatch("at least one shard required".into()));
+        }
+        let (epoch, tuples) = (engines[0].epoch(), engines[0].db().total_tuples());
+        for (i, e) in engines.iter().enumerate() {
+            if e.epoch() != epoch || e.db().total_tuples() != tuples {
+                return Err(ClusterError::ReplicaMismatch(format!(
+                    "shard {i} disagrees with shard 0 (epoch {} vs {}, {} vs {} tuples)",
+                    e.epoch(),
+                    epoch,
+                    e.db().total_tuples(),
+                    tuples
+                )));
+            }
+        }
+        Ok(Self::assemble(engines, Mode::Partitioned, cfg))
+    }
+
+    /// A multi-tenant cluster: one engine per named tenant database.
+    pub fn multi_tenant(tenants: Vec<(String, SizeLEngine)>, cfg: ClusterConfig) -> Result<Self> {
+        if tenants.is_empty() {
+            return Err(ClusterError::ReplicaMismatch("at least one tenant required".into()));
+        }
+        let mut by_name = HashMap::with_capacity(tenants.len());
+        let mut engines = Vec::with_capacity(tenants.len());
+        for (i, (name, engine)) in tenants.into_iter().enumerate() {
+            if by_name.insert(name.clone(), i).is_some() {
+                return Err(ClusterError::ReplicaMismatch(format!("duplicate tenant `{name}`")));
+            }
+            engines.push(engine);
+        }
+        Ok(Self::assemble(engines, Mode::MultiTenant(by_name), cfg))
+    }
+
+    fn assemble(engines: Vec<SizeLEngine>, mode: Mode, cfg: ClusterConfig) -> Self {
+        let shards: Vec<Arc<SizeLServer>> =
+            engines.into_iter().map(|e| Arc::new(SizeLServer::new(e, cfg.serve.clone()))).collect();
+        let refresh = cfg.refresh.map(|rc| refresh::RefreshWorker::spawn(shards.clone(), rc));
+        ClusterRouter { shards, mode, gate: RwLock::new(()), refresh }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Direct access to one shard's server (stats, diagnostics).
+    pub fn shard(&self, i: usize) -> &SizeLServer {
+        &self.shards[i]
+    }
+
+    /// The owner shard of a Data Subject (partitioned mode's routing
+    /// function): deterministic FNV-1a over the tuple identity.
+    pub fn shard_of(&self, tds: TupleRef) -> usize {
+        fnv_shard(tds, self.shards.len())
+    }
+
+    /// The tenant's shard index.
+    pub fn tenant_shard(&self, tenant: &str) -> Result<usize> {
+        match &self.mode {
+            Mode::MultiTenant(by_name) => by_name
+                .get(tenant)
+                .copied()
+                .ok_or_else(|| ClusterError::UnknownTenant(tenant.to_owned())),
+            Mode::Partitioned => {
+                Err(ClusterError::WrongMode("tenant routing needs a multi-tenant cluster"))
+            }
+        }
+    }
+
+    /// Runs one keyword query across the partitioned cluster: the
+    /// keyword lookup resolves on shard 0 (any replica could), each hit's
+    /// summary is computed by its owner shard, and the merged result is
+    /// byte-identical to the sequential single-engine answer.
+    pub fn query(&self, keywords: &str, opts: QueryOptions) -> Result<Vec<SharedResult>> {
+        self.batch_query(&[(keywords.to_owned(), opts)]).map(|mut r| r.pop().expect("one request"))
+    }
+
+    /// Cross-shard batch fan-out/merge (partitioned mode): all requests'
+    /// keyword lookups resolve under one read pass, the per-DS summary
+    /// jobs are grouped by owner shard and served by every owner's worker
+    /// pool concurrently, and the answers are reassembled per request in
+    /// rank order.
+    pub fn batch_query(
+        &self,
+        requests: &[(String, QueryOptions)],
+    ) -> Result<Vec<Vec<SharedResult>>> {
+        if !matches!(self.mode, Mode::Partitioned) {
+            return Err(ClusterError::WrongMode(
+                "tenant-less queries need a partitioned cluster (see query_tenant)",
+            ));
+        }
+        let _epoch_gate = self.gate.read().expect("cluster gate poisoned");
+        // Resolve every request's DS hits on one replica.
+        let hits_per_request: Vec<Vec<TupleRef>> = {
+            let engine = self.shards[0].engine();
+            requests.iter().map(|(kw, _)| engine.ds_hits(kw)).collect()
+        };
+        // Group the per-DS jobs by owner shard, remembering where each
+        // answer goes: (request index, hit index within the request).
+        let mut per_shard: Vec<Vec<(usize, usize, TupleRef, QueryOptions)>> =
+            vec![Vec::new(); self.shards.len()];
+        for (ri, hits) in hits_per_request.iter().enumerate() {
+            let opts = requests[ri].1;
+            for (hi, &tds) in hits.iter().enumerate() {
+                per_shard[self.shard_of(tds)].push((ri, hi, tds, opts));
+            }
+        }
+        // Fan out: every owner shard's pool works its group concurrently.
+        let mut slots: Vec<Vec<Option<SharedResult>>> =
+            hits_per_request.iter().map(|h| vec![None; h.len()]).collect();
+        std::thread::scope(|scope| {
+            let tasks: Vec<_> = per_shard
+                .iter()
+                .enumerate()
+                .filter(|(_, items)| !items.is_empty())
+                .map(|(si, items)| {
+                    let shard = &self.shards[si];
+                    scope.spawn(move || {
+                        let batch: Vec<(TupleRef, QueryOptions)> =
+                            items.iter().map(|&(_, _, tds, opts)| (tds, opts)).collect();
+                        shard.summarize_batch(&batch)
+                    })
+                })
+                .collect();
+            let groups: Vec<Vec<SharedResult>> =
+                tasks.into_iter().map(|t| t.join().expect("shard fan-out task")).collect();
+            for (items, results) in per_shard.iter().filter(|i| !i.is_empty()).zip(groups) {
+                for (&(ri, hi, _, _), result) in items.iter().zip(results) {
+                    slots[ri][hi] = Some(result);
+                }
+            }
+        });
+        // Merge: per request, hits order (the paper's global-importance
+        // rank) or the summary-importance reorder — the exact comparator
+        // the sequential engine uses.
+        Ok(slots
+            .into_iter()
+            .zip(requests)
+            .map(|(row, (_, opts))| {
+                let mut results: Vec<SharedResult> =
+                    row.into_iter().map(|s| s.expect("every hit was summarized")).collect();
+                if opts.ranking == ResultRanking::SummaryImportance {
+                    results.sort_by(|a, b| {
+                        b.result.importance.total_cmp(&a.result.importance).then(a.tds.cmp(&b.tds))
+                    });
+                }
+                results
+            })
+            .collect())
+    }
+
+    /// Runs one keyword query against a tenant's shard.
+    pub fn query_tenant(
+        &self,
+        tenant: &str,
+        keywords: &str,
+        opts: QueryOptions,
+    ) -> Result<Vec<SharedResult>> {
+        let shard = self.tenant_shard(tenant)?;
+        let _epoch_gate = self.gate.read().expect("cluster gate poisoned");
+        Ok(self.shards[shard].query(keywords, opts))
+    }
+
+    /// Applies one mutation cluster-wide (partitioned mode: every
+    /// replica) under the exclusive gate. Returns the shards' common new
+    /// epoch.
+    pub fn apply(&self, m: Mutation) -> Result<Epoch> {
+        self.apply_batch(vec![m])
+    }
+
+    /// The batched write path (partitioned mode): the whole batch applies
+    /// to every replica through `SizeLEngine::apply_batch` — one
+    /// `DataGraph` rebuild and one posting settlement per shard per
+    /// incremental run — under the exclusive cluster gate, then the
+    /// refresh worker is signalled. Returns the common new epoch;
+    /// replicas ending at different epochs (impossible for deterministic
+    /// mutation streams) surface as [`ClusterError::ReplicaMismatch`].
+    pub fn apply_batch(&self, ms: Vec<Mutation>) -> Result<Epoch> {
+        if !matches!(self.mode, Mode::Partitioned) {
+            return Err(ClusterError::WrongMode(
+                "tenant-less writes need a partitioned cluster (see apply_batch_grouped)",
+            ));
+        }
+        let _epoch_gate = self.gate.write().expect("cluster gate poisoned");
+        let mut epochs = Vec::with_capacity(self.shards.len());
+        let mut failure: Option<StorageError> = None;
+        for shard in &self.shards {
+            // Replicas apply the same stream; a deterministic rejection
+            // hits every shard at the same prefix, keeping them aligned.
+            match shard.apply_batch(ms.clone()) {
+                Ok(e) => epochs.push(e),
+                Err(e) => {
+                    epochs.push(shard.epoch());
+                    failure.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = failure {
+            self.notify_refresh();
+            return Err(e.into());
+        }
+        if epochs.windows(2).any(|w| w[0] != w[1]) {
+            return Err(ClusterError::ReplicaMismatch(format!("epochs diverged: {epochs:?}")));
+        }
+        self.notify_refresh();
+        Ok(epochs[0])
+    }
+
+    /// The multi-tenant batched write path: mutations are grouped per
+    /// tenant shard (preserving each tenant's order) and applied through
+    /// each shard's batched path under the exclusive gate. Returns each
+    /// touched tenant's new epoch, in first-touch order.
+    pub fn apply_batch_grouped(&self, ms: Vec<(String, Mutation)>) -> Result<Vec<(String, Epoch)>> {
+        let mut groups: Vec<(String, usize, Vec<Mutation>)> = Vec::new();
+        for (tenant, m) in ms {
+            let shard = self.tenant_shard(&tenant)?;
+            match groups.iter_mut().find(|(_, s, _)| *s == shard) {
+                Some((_, _, batch)) => batch.push(m),
+                None => groups.push((tenant, shard, vec![m])),
+            }
+        }
+        let _epoch_gate = self.gate.write().expect("cluster gate poisoned");
+        let mut epochs = Vec::with_capacity(groups.len());
+        for (tenant, shard, batch) in groups {
+            let e = self.shards[shard].apply_batch(batch).map_err(|e| {
+                self.notify_refresh();
+                ClusterError::Storage(e)
+            })?;
+            epochs.push((tenant, e));
+        }
+        self.notify_refresh();
+        Ok(epochs)
+    }
+
+    /// Per-shard counters, epochs, and refresh-worker activity.
+    pub fn stats(&self) -> ClusterStats {
+        ClusterStats {
+            per_shard: self.shards.iter().map(|s| s.stats()).collect(),
+            epochs: self.shards.iter().map(|s| s.epoch()).collect(),
+            refresh: self.refresh.as_ref().map(|r| r.stats()).unwrap_or_default(),
+        }
+    }
+
+    fn notify_refresh(&self) {
+        if let Some(r) = &self.refresh {
+            r.notify();
+        }
+    }
+}
+
+// QueryResult rides through the router inside Arc'd SharedResults.
+#[allow(dead_code)]
+fn _assert_result_shareable(r: SharedResult) -> Arc<QueryResult> {
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sizel_storage::{RowId, TableId};
+
+    #[test]
+    fn shard_hash_is_deterministic_and_spreads() {
+        let tds = |t: u16, r: u32| TupleRef::new(TableId(t), RowId(r));
+        // Stable across calls (and, being pure FNV-1a over the identity,
+        // across processes).
+        assert_eq!(fnv_shard(tds(1, 7), 4), fnv_shard(tds(1, 7), 4));
+        // Different identities spread over shards.
+        let mut seen = [false; 4];
+        for r in 0..64 {
+            seen[fnv_shard(tds(0, r), 4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "64 subjects cover all 4 shards");
+        // Single shard degenerates to 0.
+        assert_eq!(fnv_shard(tds(3, 9), 1), 0);
+    }
+
+    #[test]
+    fn cluster_error_formats() {
+        let e = ClusterError::UnknownTenant("acme".into());
+        assert!(e.to_string().contains("acme"));
+        assert!(ClusterError::WrongMode("x").to_string().contains("x"));
+        let s: ClusterError = StorageError::UnknownTable("nope".into()).into();
+        assert!(s.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,151 @@
+//! The continual-refresh worker: keep served top-l summaries fresh under
+//! updates instead of recomputing on demand (the continual top-k line of
+//! work — Xu, PAPERS.md — that the epoch subsystem was built to enable).
+//!
+//! One background thread per cluster watches the shards' mutation epochs.
+//! When an epoch moves (the router signals after every apply; a fallback
+//! interval sweep catches anything else), the worker asks each moved
+//! shard to [`rewarm`](sizel_serve::SizeLServer::rewarm_hottest) its
+//! hottest summary keys under a per-pass **budget** — so the cache
+//! entries a write just purged are recomputed *before* steady-state
+//! readers of those keys arrive, and the refresh cost is bounded per
+//! epoch bump rather than proportional to the cache.
+//!
+//! Freshness-correctness is inherited, not re-proven: the re-warm runs
+//! under a shard read lock and keys every entry by the epoch read under
+//! that same lock — exactly the staleness-impossible-by-construction
+//! argument of the demand path — and `summarize` is deterministic, so a
+//! refreshed entry is byte-identical to what the reader would have
+//! computed. The worker can therefore never serve (or cause to be
+//! served) anything the sequential engine would not.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use sizel_serve::SizeLServer;
+use sizel_storage::Epoch;
+
+/// Continual-refresh configuration.
+#[derive(Clone, Debug)]
+pub struct RefreshConfig {
+    /// Hottest keys recomputed per shard per epoch bump (the refresh
+    /// budget; what it does not cover is demand-filled as before).
+    pub budget: usize,
+    /// Fallback sweep interval: the worker re-checks shard epochs at
+    /// least this often even without a router signal.
+    pub interval: Duration,
+}
+
+impl Default for RefreshConfig {
+    fn default() -> Self {
+        RefreshConfig { budget: 32, interval: Duration::from_millis(50) }
+    }
+}
+
+/// Counters of the refresh worker's activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RefreshStats {
+    /// Sweeps that checked every shard's epoch.
+    pub passes: u64,
+    /// Summary keys recomputed across all shards.
+    pub rewarmed_keys: u64,
+}
+
+struct Shared {
+    /// "An epoch may have moved" — set by the router, consumed by the
+    /// worker.
+    pending: Mutex<bool>,
+    cv: Condvar,
+    stop: AtomicBool,
+    passes: AtomicU64,
+    rewarmed_keys: AtomicU64,
+}
+
+/// The background refresh thread; dropping it (via the router) stops and
+/// joins the worker.
+pub(crate) struct RefreshWorker {
+    shared: Arc<Shared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl RefreshWorker {
+    pub(crate) fn spawn(shards: Vec<Arc<SizeLServer>>, cfg: RefreshConfig) -> Self {
+        let shared = Arc::new(Shared {
+            pending: Mutex::new(false),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            passes: AtomicU64::new(0),
+            rewarmed_keys: AtomicU64::new(0),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("sizel-cluster-refresh".into())
+            .spawn(move || {
+                let shared = worker_shared;
+                let mut last: Vec<Epoch> = shards.iter().map(|s| s.epoch()).collect();
+                loop {
+                    {
+                        let mut pending = shared.pending.lock().expect("refresh signal poisoned");
+                        while !*pending && !shared.stop.load(Ordering::Acquire) {
+                            let (guard, timeout) = shared
+                                .cv
+                                .wait_timeout(pending, cfg.interval)
+                                .expect("refresh signal poisoned");
+                            pending = guard;
+                            if timeout.timed_out() {
+                                break; // fallback sweep
+                            }
+                        }
+                        *pending = false;
+                    }
+                    if shared.stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    for (i, shard) in shards.iter().enumerate() {
+                        let epoch = shard.epoch();
+                        if epoch != last[i] {
+                            let warmed = shard.rewarm_hottest(cfg.budget);
+                            shared.rewarmed_keys.fetch_add(warmed as u64, Ordering::Relaxed);
+                            last[i] = epoch;
+                        }
+                    }
+                    shared.passes.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+            .expect("spawn refresh worker");
+        RefreshWorker { shared, handle: Some(handle) }
+    }
+
+    /// Signals the worker that an epoch moved (called by the router after
+    /// every apply).
+    pub(crate) fn notify(&self) {
+        let mut pending = self.shared.pending.lock().expect("refresh signal poisoned");
+        *pending = true;
+        self.shared.cv.notify_one();
+    }
+
+    pub(crate) fn stats(&self) -> RefreshStats {
+        RefreshStats {
+            passes: self.shared.passes.load(Ordering::Relaxed),
+            rewarmed_keys: self.shared.rewarmed_keys.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for RefreshWorker {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.notify();
+        if let Some(h) = self.handle.take() {
+            // The worker checks `stop` right after every wakeup; a panic
+            // here would mean it already panicked on its own.
+            if let Err(e) = h.join() {
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(e);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Shared fixture for the cluster integration tests: small DBLP engines
+//! (Author + Paper DS relations, GA1) — the same stack the serve-layer
+//! suites compare against, built N times for replica shards.
+
+#![allow(dead_code)] // each test binary uses the subset it needs
+
+use sizel_core::engine::{EngineConfig, SizeLEngine};
+use sizel_datagen::dblp::{generate, DblpConfig};
+use sizel_graph::presets;
+use sizel_rank::{dblp_ga, GaPreset};
+
+/// The canonical byte-exact result fingerprint (shared with every other
+/// equivalence oracle in the workspace).
+pub use sizel_core::test_fixtures::result_fingerprint as fingerprint;
+
+/// A fresh engine over `cfg`.
+pub fn build_engine(cfg: &DblpConfig) -> SizeLEngine {
+    SizeLEngine::build(
+        generate(cfg).db,
+        |db, sg, dg| dblp_ga(GaPreset::Ga1, db, sg, dg),
+        engine_config(),
+    )
+    .expect("engine builds")
+}
+
+/// N identically-built replica engines (the generator is a pure function
+/// of the config seed, so these are byte-for-byte the same database).
+pub fn replicas(cfg: &DblpConfig, n: usize) -> Vec<SizeLEngine> {
+    (0..n).map(|_| build_engine(cfg)).collect()
+}
+
+/// The engine configuration every fixture shares.
+pub fn engine_config() -> EngineConfig {
+    EngineConfig::new(vec![
+        ("Author".into(), presets::dblp_author_gds_config()),
+        ("Paper".into(), presets::dblp_paper_gds_config()),
+    ])
+}
+
+/// A keyword resolving to pre-existing DS tuples of the fixture.
+pub fn existing_keyword(engine: &SizeLEngine) -> String {
+    let tid = engine.db().table_id("Author").unwrap();
+    let name =
+        engine.db().table(tid).value(sizel_storage::RowId(0), 1).as_str().unwrap().to_owned();
+    name.split(' ').next().unwrap().to_owned()
+}

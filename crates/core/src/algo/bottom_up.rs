@@ -10,7 +10,7 @@ use std::collections::BinaryHeap;
 
 use sizel_util::F64Ord;
 
-use crate::algo::{SizeLAlgorithm, SizeLResult};
+use crate::algo::{AlgoScratch, SizeLAlgorithm, SizeLResult};
 use crate::os::{Os, OsNodeId};
 
 /// Algorithm 2.
@@ -23,6 +23,10 @@ impl SizeLAlgorithm for BottomUp {
     }
 
     fn compute(&self, os: &Os, l: usize) -> SizeLResult {
+        self.compute_pooled(os, l, &mut AlgoScratch::new())
+    }
+
+    fn compute_pooled(&self, os: &Os, l: usize, scratch: &mut AlgoScratch) -> SizeLResult {
         if os.is_empty() || l == 0 {
             return SizeLResult { selected: Vec::new(), importance: 0.0 };
         }
@@ -32,17 +36,26 @@ impl SizeLAlgorithm for BottomUp {
             return SizeLResult::from_selection(os, all);
         }
 
-        let mut alive = vec![true; n];
-        let mut remaining_children: Vec<usize> =
-            os.iter().map(|(id, _)| os.child_count(id)).collect();
+        let AlgoScratch { alive, counts: remaining_children, heap, .. } = scratch;
+        alive.clear();
+        alive.resize(n, true);
+        remaining_children.clear();
+        remaining_children.extend(os.iter().map(|(id, _)| os.child_count(id)));
 
-        // Min-heap of current leaves; ties broken by node id for
-        // determinism. The root is never enqueued (it must survive).
-        let mut pq: BinaryHeap<Reverse<(F64Ord, OsNodeId)>> = os
-            .iter()
-            .filter(|(id, _)| os.child_count(*id) == 0 && id.0 != 0)
-            .map(|(id, node)| Reverse((F64Ord(node.weight), id)))
-            .collect();
+        // Min-heap of current leaves over the recycled backing storage
+        // (cleared *before* heapification — `from` on a non-empty vec
+        // would sift the previous call's garbage); ties broken by node id
+        // for determinism (node ids are unique, so the pop order is
+        // independent of how the heap was built). The root is never
+        // enqueued (it must survive).
+        let mut buf = std::mem::take(heap);
+        buf.clear();
+        let mut pq: BinaryHeap<Reverse<(F64Ord, OsNodeId)>> = BinaryHeap::from(buf);
+        for (id, node) in os.iter() {
+            if os.child_count(id) == 0 && id.0 != 0 {
+                pq.push(Reverse((F64Ord(node.weight), id)));
+            }
+        }
 
         let mut size = n;
         while size > l {
@@ -61,6 +74,7 @@ impl SizeLAlgorithm for BottomUp {
 
         let selected: Vec<OsNodeId> =
             (0..n).filter(|&i| alive[i]).map(|i| OsNodeId(i as u32)).collect();
+        *heap = pq.into_vec();
         SizeLResult::from_selection(os, selected)
     }
 }

@@ -13,7 +13,7 @@
 //! Section 4 ("the subtree rooted at v can contribute at most l - d(v)
 //! nodes").
 
-use crate::algo::{SizeLAlgorithm, SizeLResult};
+use crate::algo::{AlgoScratch, SizeLAlgorithm, SizeLResult};
 use crate::os::{Os, OsNodeId};
 
 /// Optimal size-l OS algorithm (knapsack-merge DP).
@@ -28,14 +28,20 @@ impl SizeLAlgorithm for DpKnapsack {
     }
 
     fn compute(&self, os: &Os, l: usize) -> SizeLResult {
+        self.compute_pooled(os, l, &mut AlgoScratch::new())
+    }
+
+    fn compute_pooled(&self, os: &Os, l: usize, scratch: &mut AlgoScratch) -> SizeLResult {
         if os.is_empty() || l == 0 {
             return SizeLResult { selected: Vec::new(), importance: 0.0 };
         }
         let n = os.len();
         let l = l.min(n);
+        let AlgoScratch { counts: subtree, caps: cap, f64a, f64b, dp_flat, dp_off, .. } = scratch;
 
         // Subtree sizes, children-first (reverse BFS index order).
-        let mut subtree = vec![1usize; n];
+        subtree.clear();
+        subtree.resize(n, 1);
         for i in (1..n).rev() {
             let p = os.node(OsNodeId(i as u32)).parent.expect("non-root").index();
             subtree[p] += subtree[i];
@@ -43,56 +49,67 @@ impl SizeLAlgorithm for DpKnapsack {
 
         // cap[v] = min(l - depth(v), subtree(v)); nodes at depth >= l cannot
         // participate at all.
-        let cap: Vec<usize> = (0..n)
-            .map(|i| {
-                let d = os.node(OsNodeId(i as u32)).depth as usize;
-                if d >= l {
-                    0
-                } else {
-                    (l - d).min(subtree[i])
-                }
-            })
-            .collect();
+        cap.clear();
+        cap.extend((0..n).map(|i| {
+            let d = os.node(OsNodeId(i as u32)).depth as usize;
+            if d >= l {
+                0
+            } else {
+                (l - d).min(subtree[i])
+            }
+        }));
 
-        // dp tables, children-first.
-        let mut dp: Vec<Vec<f64>> = vec![Vec::new(); n];
+        // The DP tables live in one flat arena: node i's table occupies
+        // dp_flat[dp_off[i]..dp_off[i + 1]] (empty for cap 0) — no
+        // per-node Vec (the scratch-reuse analogue of the Os CSR layout).
+        dp_off.clear();
+        dp_off.reserve(n + 1);
+        let mut acc = 0usize;
+        for &c in cap.iter() {
+            dp_off.push(acc);
+            if c > 0 {
+                acc += c + 1;
+            }
+        }
+        dp_off.push(acc);
+        dp_flat.clear();
+        dp_flat.resize(acc, NEG);
+
+        // dp tables, children-first: each node's row is merged in the
+        // f64a/f64b ping-pong buffers, then copied into its arena slot.
         for i in (0..n).rev() {
-            if cap[i] == 0 {
+            let cap_v = cap[i];
+            if cap_v == 0 {
                 continue;
             }
-            dp[i] = node_table(os, OsNodeId(i as u32), cap[i], &cap, &dp);
+            let v = OsNodeId(i as u32);
+            f64a.clear();
+            f64a.resize(cap_v + 1, NEG);
+            f64a[1] = os.node(v).weight;
+            for &c in os.children(v) {
+                let ci = c.index();
+                if cap[ci] == 0 {
+                    continue;
+                }
+                merge_into(f64a, &dp_flat[dp_off[ci]..dp_off[ci + 1]], cap_v, f64b);
+                std::mem::swap(f64a, f64b);
+            }
+            f64a[0] = 0.0;
+            dp_flat[dp_off[i]..dp_off[i] + cap_v + 1].copy_from_slice(f64a);
         }
 
         let k = l.min(cap[0]);
         let mut selected = Vec::with_capacity(k);
-        reconstruct(os, os.root(), k, &cap, &dp, &mut selected);
+        reconstruct(os, os.root(), k, cap, dp_flat, dp_off, &mut selected);
         debug_assert_eq!(selected.len(), k);
         SizeLResult::from_selection(os, selected)
     }
 }
 
-/// Computes `dp[v]` by merging children left to right. Index 0 holds 0.0
-/// ("select nothing from this subtree"); `table[k]` for `k >= 1` is the best
-/// weight of a k-node subtree rooted at `v` (NEG if infeasible).
-fn node_table(os: &Os, v: OsNodeId, cap_v: usize, cap: &[usize], dp: &[Vec<f64>]) -> Vec<f64> {
-    let mut f = vec![NEG; cap_v + 1];
-    f[1] = os.node(v).weight;
-    for &c in os.children(v) {
-        let ci = c.index();
-        if cap[ci] == 0 {
-            continue;
-        }
-        f = merge(&f, &dp[ci], cap_v);
-    }
-    f[0] = 0.0;
-    f
-}
-
-/// Knapsack merge of a partial table with one child's table. Also used by
-/// [`crate::algo::dp_naive`] to reconstruct selections from its
-/// (exponentially computed) tables without re-enumerating.
-pub(crate) fn merge(f: &[f64], child: &[f64], cap_v: usize) -> Vec<f64> {
-    let mut g = vec![NEG; cap_v + 1];
+/// Knapsack merge of a partial table with one child's table into `out`.
+pub(crate) fn merge_into(f: &[f64], child: &[f64], cap_v: usize, out: &mut Vec<f64>) {
+    out.clear();
+    out.resize(cap_v + 1, NEG);
     for (k, &fk) in f.iter().enumerate() {
         if fk == NEG {
             continue;
@@ -103,23 +120,33 @@ pub(crate) fn merge(f: &[f64], child: &[f64], cap_v: usize) -> Vec<f64> {
                 continue;
             }
             let cand = fk + cj;
-            if cand > g[k + j] {
-                g[k + j] = cand;
+            if cand > out[k + j] {
+                out[k + j] = cand;
             }
         }
     }
-    g
+}
+
+/// Allocating form of [`merge_into`]. Also used by
+/// [`crate::algo::dp_naive`] to reconstruct selections from its
+/// (exponentially computed) tables without re-enumerating.
+pub(crate) fn merge(f: &[f64], child: &[f64], cap_v: usize) -> Vec<f64> {
+    let mut out = Vec::new();
+    merge_into(f, child, cap_v, &mut out);
+    out
 }
 
 /// Walks the DP back: selects `k` nodes from the subtree rooted at `v` by
 /// re-running the merges of `v` (only on the O(l) selected nodes) and
-/// splitting `k` across children.
+/// splitting `k` across children. The small per-level stage tables are
+/// plain allocations — bounded by the O(l) selection, not by |OS|.
 fn reconstruct(
     os: &Os,
     v: OsNodeId,
     k: usize,
     cap: &[usize],
-    dp: &[Vec<f64>],
+    dp_flat: &[f64],
+    dp_off: &[usize],
     out: &mut Vec<OsNodeId>,
 ) {
     if k == 0 {
@@ -129,6 +156,7 @@ fn reconstruct(
     if k == 1 {
         return;
     }
+    let dp_of = |i: usize| &dp_flat[dp_off[i]..dp_off[i + 1]];
     // Rebuild the stage tables of v's merge, deterministically identical to
     // the forward pass (same code path, same float operation order).
     let cap_v = cap[v.index()];
@@ -139,14 +167,14 @@ fn reconstruct(
     f[1] = os.node(v).weight;
     stages.push(f.clone());
     for &c in &children {
-        f = merge(&f, &dp[c.index()], cap_v);
+        f = merge(&f, dp_of(c.index()), cap_v);
         stages.push(f.clone());
     }
     // Split k across children, last stage first.
     let mut need = k;
     for i in (0..children.len()).rev() {
         let c = children[i];
-        let child_dp = &dp[c.index()];
+        let child_dp = dp_of(c.index());
         let prev = &stages[i];
         let cur_val = stages[i + 1][need];
         let mut found = None;
@@ -164,7 +192,7 @@ fn reconstruct(
             }
         }
         let j = found.expect("DP reconstruction must find an exact split");
-        reconstruct(os, c, j, cap, dp, out);
+        reconstruct(os, c, j, cap, dp_flat, dp_off, out);
         need -= j;
     }
     debug_assert_eq!(need, 1, "after children, exactly v itself remains");

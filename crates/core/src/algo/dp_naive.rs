@@ -87,9 +87,12 @@ impl DpNaive {
             let hi = ctx.cap[i];
             let mut table = vec![NEG; hi + 1];
             table[0] = 0.0;
+            // One eligible-children collection per node, not per (node, k)
+            // — the cap vector is fixed for the whole loop, and the
+            // measured blow-up lives in `best_combination`'s steps.
+            let children: Vec<OsNodeId> = eligible_children(ctx.os, v, &ctx.cap);
             #[allow(clippy::needless_range_loop)] // mirrors Algorithm 1 lines 5-6
             for k in lo..=hi {
-                let children: Vec<OsNodeId> = eligible_children(ctx.os, v, &ctx.cap);
                 match best_combination(&mut ctx, &children, 0, k - 1) {
                     Some(best) => table[k] = ctx.os.node(v).weight + best,
                     None => return NaiveOutcome::BudgetExceeded,

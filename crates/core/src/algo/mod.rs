@@ -15,6 +15,54 @@ pub use top_path::{TopPath, TopPathOpt};
 pub use word_budget::WordBudgetDp;
 
 use crate::os::{Os, OsNodeId};
+use sizel_util::F64Ord;
+
+/// Reusable scratch for the size-l algorithms — the computation-side
+/// analogue of [`crate::os::OsArenaPool`] (ROADMAP scratch-reuse item):
+/// the DP/greedy working sets (alive flags, forest roots, DFS stacks,
+/// path buffers, per-node tables, the DP arena) are drawn from here
+/// instead of being allocated per `compute` call, so a warm serving
+/// thread's size-l computation only allocates what it returns (the
+/// selection vector inside [`SizeLResult`]). Buffers grow to the
+/// workload's high-water mark and stay; the counting-allocator guard
+/// (`crates/core/tests/alloc_guard.rs`) pins the resulting per-call
+/// budget on the serving path.
+#[derive(Debug, Default)]
+pub struct AlgoScratch {
+    /// Per-node liveness (Top-Path forests, Bottom-Up pruning).
+    alive: Vec<bool>,
+    /// Current forest roots (Top-Path).
+    roots: Vec<OsNodeId>,
+    /// Iterative-DFS stack carrying `(node, path sum, path len)`.
+    stack: Vec<(OsNodeId, f64, u32)>,
+    /// Root-to-target path buffer.
+    path: Vec<OsNodeId>,
+    /// `(candidate AI, candidate node, forest root)` entries (Top-Path
+    /// `s(v)` variant).
+    entries: Vec<(f64, OsNodeId, OsNodeId)>,
+    /// Subtree sizes / remaining-children counters.
+    counts: Vec<usize>,
+    /// Per-node DP capacity bounds.
+    caps: Vec<usize>,
+    /// Ping-pong DP row buffers.
+    f64a: Vec<f64>,
+    f64b: Vec<f64>,
+    /// Per-node subtree-argmax ids (Top-Path `s(v)`).
+    ids: Vec<u32>,
+    /// The Bottom-Up leaf priority queue's backing storage.
+    heap: Vec<std::cmp::Reverse<(F64Ord, OsNodeId)>>,
+    /// Flat DP-table arena: node `i`'s table occupies
+    /// `dp_flat[dp_off[i] .. dp_off[i + 1]]`.
+    dp_flat: Vec<f64>,
+    dp_off: Vec<usize>,
+}
+
+impl AlgoScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        AlgoScratch::default()
+    }
+}
 
 /// The result of a size-l computation: a connected node set containing the
 /// root (Definition 1) and its total importance (Equation 2).
@@ -73,6 +121,16 @@ pub trait SizeLAlgorithm {
 
     /// Computes a size-l OS over the (complete or prelim) input OS.
     fn compute(&self, os: &Os, l: usize) -> SizeLResult;
+
+    /// [`SizeLAlgorithm::compute`] drawing its working sets from a
+    /// reusable [`AlgoScratch`] — byte-identical output (same float
+    /// operation order), no per-call scratch allocations. The default
+    /// falls back to `compute` for the reference/test algorithms whose
+    /// cost is dominated elsewhere (brute force, the paper's naive DP).
+    fn compute_pooled(&self, os: &Os, l: usize, scratch: &mut AlgoScratch) -> SizeLResult {
+        let _ = scratch;
+        self.compute(os, l)
+    }
 }
 
 /// Algorithm selector used by the engine and the benchmark harness.
@@ -101,6 +159,19 @@ impl AlgoKind {
             AlgoKind::BottomUp => Box::new(BottomUp),
             AlgoKind::TopPath => Box::new(TopPath),
             AlgoKind::TopPathOpt => Box::new(TopPathOpt),
+        }
+    }
+
+    /// Statically-dispatched scratch-reusing computation — the serving
+    /// path's entry point: no `Box` per call, no per-call scratch (see
+    /// [`AlgoScratch`]).
+    pub fn compute_pooled(self, os: &Os, l: usize, scratch: &mut AlgoScratch) -> SizeLResult {
+        match self {
+            AlgoKind::Optimal => DpKnapsack.compute_pooled(os, l, scratch),
+            AlgoKind::OptimalNaive => DpNaive::default().compute_pooled(os, l, scratch),
+            AlgoKind::BottomUp => BottomUp.compute_pooled(os, l, scratch),
+            AlgoKind::TopPath => TopPath.compute_pooled(os, l, scratch),
+            AlgoKind::TopPathOpt => TopPathOpt.compute_pooled(os, l, scratch),
         }
     }
 

@@ -7,7 +7,7 @@
 //! Selecting whole paths lets deep high-importance nodes pull their cheap
 //! ancestors in, which Bottom-Up cannot do (Figure 6).
 
-use crate::algo::{SizeLAlgorithm, SizeLResult};
+use crate::algo::{AlgoScratch, SizeLAlgorithm, SizeLResult};
 use crate::os::{Os, OsNodeId};
 
 /// Algorithm 3, the reference version: after each selection the affected
@@ -38,16 +38,17 @@ fn trivial(os: &Os, l: usize) -> Option<SizeLResult> {
     None
 }
 
-/// Collects the path from forest root `r` down to `t` (inclusive).
-fn path_of(os: &Os, r: OsNodeId, t: OsNodeId) -> Vec<OsNodeId> {
-    let mut path = vec![t];
+/// Collects the path from forest root `r` down to `t` (inclusive) into
+/// the reusable `path` buffer.
+fn path_of_into(os: &Os, r: OsNodeId, t: OsNodeId, path: &mut Vec<OsNodeId>) {
+    path.clear();
+    path.push(t);
     let mut cur = t;
     while cur != r {
         cur = os.node(cur).parent.expect("t lies in the subtree of r");
         path.push(cur);
     }
     path.reverse();
-    path
 }
 
 impl SizeLAlgorithm for TopPath {
@@ -56,21 +57,29 @@ impl SizeLAlgorithm for TopPath {
     }
 
     fn compute(&self, os: &Os, l: usize) -> SizeLResult {
+        self.compute_pooled(os, l, &mut AlgoScratch::new())
+    }
+
+    fn compute_pooled(&self, os: &Os, l: usize, scratch: &mut AlgoScratch) -> SizeLResult {
         if let Some(r) = trivial(os, l) {
             return r;
         }
         let n = os.len();
-        let mut alive = vec![true; n];
+        let AlgoScratch { alive, roots, stack, path, .. } = scratch;
+        alive.clear();
+        alive.resize(n, true);
+        roots.clear();
+        roots.push(os.root());
         let mut selected: Vec<OsNodeId> = Vec::with_capacity(l);
-        let mut roots = vec![os.root()];
 
         while selected.len() < l {
             // Find the highest-AI node across all forest trees (ties:
             // smaller node id, for determinism).
             let mut best: Option<(f64, OsNodeId, OsNodeId)> = None; // (ai, node, root)
-            for &r in &roots {
+            for &r in roots.iter() {
                 // Iterative DFS carrying (node, path_sum, path_len).
-                let mut stack = vec![(r, 0.0f64, 0u32)];
+                stack.clear();
+                stack.push((r, 0.0f64, 0u32));
                 while let Some((v, sum, len)) = stack.pop() {
                     let s = sum + os.node(v).weight;
                     let c = len + 1;
@@ -90,7 +99,7 @@ impl SizeLAlgorithm for TopPath {
                 }
             }
             let (_, t, r) = best.expect("forest is non-empty while selected < l <= n");
-            let path = path_of(os, r, t);
+            path_of_into(os, r, t, path);
             let take = (l - selected.len()).min(path.len());
             for &v in &path[..take] {
                 alive[v.index()] = false;
@@ -115,15 +124,22 @@ impl SizeLAlgorithm for TopPathOpt {
     }
 
     fn compute(&self, os: &Os, l: usize) -> SizeLResult {
+        self.compute_pooled(os, l, &mut AlgoScratch::new())
+    }
+
+    fn compute_pooled(&self, os: &Os, l: usize, scratch: &mut AlgoScratch) -> SizeLResult {
         if let Some(r) = trivial(os, l) {
             return r;
         }
         let n = os.len();
+        let AlgoScratch { alive, path, entries, f64a: ai0, f64b: sum, ids: s_of, .. } = scratch;
 
         // Initial AI (w.r.t. the OS root) for every node, then s(v) =
         // argmax AI over v's subtree, computed children-first.
-        let mut ai0 = vec![0.0f64; n];
-        let mut sum = vec![0.0f64; n];
+        ai0.clear();
+        ai0.resize(n, 0.0);
+        sum.clear();
+        sum.resize(n, 0.0);
         for (id, node) in os.iter() {
             let i = id.index();
             let (s, d) = match node.parent {
@@ -133,7 +149,8 @@ impl SizeLAlgorithm for TopPathOpt {
             sum[i] = s;
             ai0[i] = s / d as f64;
         }
-        let mut s_of = vec![0u32; n];
+        s_of.clear();
+        s_of.resize(n, 0);
         for i in (0..n).rev() {
             let mut best = i as u32;
             for &c in os.children(OsNodeId(i as u32)) {
@@ -148,6 +165,7 @@ impl SizeLAlgorithm for TopPathOpt {
         }
 
         // AI of s(v) relative to forest root v: walk the path v..s(v).
+        let s_of = &*s_of;
         let recompute = |v: OsNodeId| -> (f64, OsNodeId) {
             let t = OsNodeId(s_of[v.index()]);
             let mut cur = t;
@@ -164,13 +182,15 @@ impl SizeLAlgorithm for TopPathOpt {
             (total / count as f64, t)
         };
 
-        let mut alive = vec![true; n];
+        alive.clear();
+        alive.resize(n, true);
         let mut selected: Vec<OsNodeId> = Vec::with_capacity(l);
         // (candidate ai, candidate node, forest root)
-        let mut entries: Vec<(f64, OsNodeId, OsNodeId)> = {
+        entries.clear();
+        {
             let (ai, t) = recompute(os.root());
-            vec![(ai, t, os.root())]
-        };
+            entries.push((ai, t, os.root()));
+        }
 
         while selected.len() < l {
             let (pos, _) = entries
@@ -181,7 +201,7 @@ impl SizeLAlgorithm for TopPathOpt {
                 })
                 .expect("forest is non-empty while selected < l <= n");
             let (_, t, r) = entries.swap_remove(pos);
-            let path = path_of(os, r, t);
+            path_of_into(os, r, t, path);
             let take = (l - selected.len()).min(path.len());
             for &v in &path[..take] {
                 alive[v.index()] = false;

@@ -341,6 +341,117 @@ mod tests {
     }
 
     #[test]
+    fn dangling_junction_heal_restores_the_fast_path_ratio() {
+        // ISSUE 5 satellite: a scored junction insert referencing a
+        // not-yet-existing endpoint drops the sorted link postings (heap
+        // fallback); when the endpoint later arrives through a scored
+        // insert, the storage layer *heals* the postings and re-stamps the
+        // token — so Database-source prelim probes go back to a fast-path
+        // ratio of 1.0 without any reinstall, byte-identical to a
+        // token-less heap run. (Before the heal existed, the drop was
+        // permanent until the next full install.)
+        use sizel_datagen::dblp::{generate, DblpConfig};
+        use sizel_graph::{presets, DataGraph, Gds, SchemaGraph};
+        use sizel_rank::RankScores;
+        use sizel_storage::{Database, RowId, TableId, Value};
+
+        let mut d = generate(&DblpConfig::tiny());
+        let sg = SchemaGraph::from_database(&d.db);
+        // Synthetic deterministic importance, installed directly: the
+        // maintained snapshot then *is* the global score, which keeps the
+        // prefix-scan precondition (li monotone in the installed score)
+        // true by construction after the mutations below.
+        let score_of = |t: TableId, r: RowId| 1.0 + ((t.index() * 31 + r.index() * 7) % 13) as f64;
+        d.db.install_importance_order(&score_of);
+
+        let max_pk = |db: &Database, t: &str| {
+            let tid = db.table_id(t).unwrap();
+            let tb = db.table(tid);
+            tb.iter().map(|(r, _)| tb.pk_of(r)).max().unwrap()
+        };
+        let missing_paper = max_pk(&d.db, "Paper") + 1;
+        let jpk = max_pk(&d.db, "AuthorPaper") + 1;
+        let author_pk = d.db.table(d.author).pk_of(RowId(0));
+        let ap = d.db.table_id("AuthorPaper").unwrap();
+        let ap_author_col = d.db.table(ap).schema.column_index("author_id").unwrap();
+
+        // The dangling insert drops the link postings: heap fallback.
+        d.db.insert_scored(
+            "AuthorPaper",
+            vec![Value::Int(jpk), Value::Int(author_pk), Value::Int(missing_paper)],
+            0.1,
+        )
+        .unwrap();
+        assert!(
+            d.db.table(ap).sorted_link_index(ap_author_col).is_none(),
+            "dangling endpoint drops the junction's link postings"
+        );
+
+        // The endpoint arrives: the postings heal on the spot.
+        let year_pk = {
+            let year = d.db.table_id("Year").unwrap();
+            d.db.table(year).pk_of(RowId(0))
+        };
+        d.db.insert_scored(
+            "Paper",
+            vec![Value::Int(missing_paper), "healed endpoint".into(), Value::Int(year_pk)],
+            4.5,
+        )
+        .unwrap();
+        assert!(
+            d.db.table(ap).sorted_link_index(ap_author_col).is_some(),
+            "the arriving endpoint heals the postings without a reinstall"
+        );
+
+        // Rebuild the read stack over the healed database (FK-consistent
+        // again) with the *maintained* scores as the global importance.
+        let dg = DataGraph::build(&d.db, &sg);
+        let mut per_table_max = vec![0.0f64; d.db.table_count()];
+        let mut dense = Vec::with_capacity(d.db.total_tuples());
+        for (tid, t) in d.db.tables() {
+            for (r, _) in t.iter() {
+                let s = t.installed_score(r);
+                dense.push(s);
+                per_table_max[tid.index()] = per_table_max[tid.index()].max(s);
+            }
+        }
+        let scores = RankScores {
+            scores: dense,
+            iterations: 0,
+            converged: true,
+            per_table_max,
+            fk_order: d.db.fk_order(),
+        };
+        let mut gds =
+            Gds::build(&d.db, &sg, &presets::dblp_author_gds_config(), d.author).restrict(0.7);
+        gds.set_stats(&scores.per_table_max);
+        let ctx = OsContext::new(&d.db, &sg, &dg, &gds, &scores);
+        let mut blind = scores.clone();
+        blind.fk_order = None;
+        let heap_ctx = OsContext::new(&d.db, &sg, &dg, &gds, &blind);
+
+        let tds = TupleRef::new(d.author, RowId(0));
+        d.db.access().reset();
+        let (fast, _) = generate_prelim(&ctx, tds, 8, OsSource::Database);
+        let probes = d.db.access().probes();
+        assert!(probes.fast > 0, "healed postings must serve prefix scans again: {probes:?}");
+        assert_eq!(probes.heap, 0, "fast-path ratio recovers to 1.0: {probes:?}");
+        let (heap, _) = generate_prelim(&heap_ctx, tds, 8, OsSource::Database);
+        assert_eq!(fast.len(), heap.len());
+        for ((ia, na), (ib, nb)) in fast.iter().zip(heap.iter()) {
+            assert_eq!(na.tuple, nb.tuple);
+            assert_eq!(na.weight.to_bits(), nb.weight.to_bits());
+            assert_eq!(fast.children(ia), heap.children(ib));
+        }
+        // The healed summary really sees the new endpoint.
+        assert!(
+            fast.iter().any(|(_, n)| n.tuple.table == d.paper
+                && d.db.table(d.paper).pk_of(n.tuple.row) == missing_paper),
+            "the healed pair surfaces in the generated OS"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "l >= 1")]
     fn l_zero_is_rejected() {
         let f = dblp_fixture();

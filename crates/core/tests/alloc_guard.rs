@@ -141,14 +141,19 @@ fn generate_os_steady_state_does_zero_allocations() {
         per_call.windows(2).all(|w| w[0] == w[1]),
         "summarize allocation count must be steady, got {per_call:?}"
     );
-    // Measured 125/call on this fixture (size-l scratch of the algorithm
-    // + the returned QueryResult's own buffers; the generation side and
-    // the context are zero). The cap guards against re-introducing
-    // per-query derived-state rebuilds on the serving path.
+    eprintln!("alloc_guard: warm summarize allocates {} times per call", per_call[0]);
+    // Measured 57/call on this fixture after ISSUE 5's scratch-reuse pass
+    // (was 125 when the size-l algorithms allocated their DP/greedy
+    // working sets per call; the thread-local `AlgoScratch` removed
+    // those). What remains is the returned QueryResult's own buffers plus
+    // the prelim probes' bounded top-l collection vectors (ROADMAP
+    // follow-up). The cap guards against per-call scratch — or a
+    // per-query derived-state rebuild — creeping back into the serving
+    // path.
     assert!(
-        per_call[0] <= 200,
-        "summarize allocated {} times per call (measured baseline 125) — a per-query \
-         rebuild crept back into the serving path",
+        per_call[0] <= 80,
+        "summarize allocated {} times per call (measured baseline 57) — per-call scratch \
+         crept back into the serving path",
         per_call[0]
     );
 }

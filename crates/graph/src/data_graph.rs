@@ -104,8 +104,11 @@ pub struct DataGraph {
 impl DataGraph {
     /// Builds the graph from a database and its schema graph. Panics on
     /// dangling FKs — run [`Database::validate_foreign_keys`] first when
-    /// the input is untrusted.
+    /// the input is untrusted. Records one maintenance graph-build
+    /// (`db.access().maint()`), the counter the batched-apply subsystem
+    /// asserts its one-rebuild-per-batch amortization against.
     pub fn build(db: &Database, sg: &SchemaGraph) -> Self {
+        db.access().record_graph_build();
         let n_tables = db.table_count();
         let mut starts = Vec::with_capacity(n_tables + 1);
         let mut acc = 0u32;

@@ -130,6 +130,36 @@ pub fn estimate_appended_score(
     table: TableId,
     values: &[Value],
 ) -> f64 {
+    estimate_appended_score_with(
+        db,
+        sg,
+        ga,
+        cfg,
+        &|t: TupleRef| scores.global(dg.node_id(t)),
+        table,
+        values,
+    )
+}
+
+/// [`estimate_appended_score`] with the converged scores read through a
+/// caller-supplied resolver instead of a materialized score vector — the
+/// form the **batched** apply path needs: mid-batch, the fold's spliced
+/// vector does not exist yet, but its entries are exactly "the pre-batch
+/// score for pre-batch tuples, the already-estimated score for rows
+/// appended earlier in this batch", which the resolver expresses without
+/// a data-graph rebuild per mutation. The FK in-degree is read from the
+/// database's hash index, which equals the data graph's backward
+/// adjacency count by construction (pinned by a graph property test), so
+/// the two entry points are float-identical.
+pub fn estimate_appended_score_with(
+    db: &Database,
+    sg: &SchemaGraph,
+    ga: &AuthorityGraph,
+    cfg: &RankConfig,
+    score_of: &dyn Fn(TupleRef) -> f64,
+    table: TableId,
+    values: &[Value],
+) -> f64 {
     let decompress = |s: f64| {
         if cfg.log_compress {
             ((s - 1.0).exp() - 1.0).max(0.0)
@@ -149,8 +179,8 @@ pub fn estimate_appended_score(
         }
         let Some(k) = values[e.fk_col].as_int() else { continue };
         let Some(p) = db.table(e.to).by_pk(k) else { continue };
-        let deg = dg.bwd_neighbors(e.id, p).len() + 1;
-        let parent = decompress(scores.global(dg.node_id(TupleRef::new(e.to, p))));
+        let deg = db.table(table).rows_where_eq(e.fk_col, k).len() + 1;
+        let parent = decompress(score_of(TupleRef::new(e.to, p)));
         raw += d * rate * parent / deg as f64;
     }
     if cfg.log_compress {
@@ -175,10 +205,42 @@ pub fn splice_appended_score(
     score: f64,
     fk_order: Option<sizel_storage::FkOrderToken>,
 ) {
-    let idx = dg_new.node_id(tuple).index();
-    scores.scores.insert(idx, score);
-    let mx = &mut scores.per_table_max[tuple.table.index()];
-    *mx = mx.max(score);
+    splice_appended_scores(scores, dg_new, &[(tuple, score)], fk_order);
+}
+
+/// Splices a whole batch of appended rows' scores in one `O(n + B log B)`
+/// merge pass — the batched form of [`splice_appended_score`], producing
+/// exactly the vector the fold of single splices would (each new value
+/// lands at its final node index of `dg_new`, which reflects *all* the
+/// appended rows; pre-existing entries keep their values and relative
+/// order, `per_table_max` takes running maxima — an order-independent
+/// fold).
+pub fn splice_appended_scores(
+    scores: &mut RankScores,
+    dg_new: &DataGraph,
+    appended: &[(TupleRef, f64)],
+    fk_order: Option<sizel_storage::FkOrderToken>,
+) {
+    let mut items: Vec<(usize, TupleRef, f64)> =
+        appended.iter().map(|&(t, s)| (dg_new.node_id(t).index(), t, s)).collect();
+    items.sort_unstable_by_key(|&(i, _, _)| i);
+    let n = scores.scores.len() + items.len();
+    debug_assert_eq!(n, dg_new.n_nodes(), "splice covers every appended row exactly once");
+    let mut merged = Vec::with_capacity(n);
+    let mut old = scores.scores.iter().copied();
+    let mut next = items.iter().peekable();
+    for idx in 0..n {
+        match next.peek() {
+            Some(&&(i, tuple, score)) if i == idx => {
+                next.next();
+                merged.push(score);
+                let mx = &mut scores.per_table_max[tuple.table.index()];
+                *mx = mx.max(score);
+            }
+            _ => merged.push(old.next().expect("old scores fill the non-appended slots")),
+        }
+    }
+    scores.scores = merged;
     scores.fk_order = fk_order;
 }
 
@@ -505,6 +567,58 @@ mod tests {
             for i in 0..t.len() {
                 assert!(spliced.scores[start + i] <= spliced.table_max(tid) + 1e-12);
             }
+        }
+    }
+
+    #[test]
+    fn batch_splice_is_bit_identical_to_the_fold_of_single_splices() {
+        // Append two papers and one author; the one-pass merge must equal
+        // folding single splices (each against the then-current graph) to
+        // the float bit, including per_table_max.
+        let (d, sg, dg) = setup();
+        let ga = dblp_ga(GaPreset::Ga1, &d.db, &sg, &dg);
+        let cfg = RankConfig::default();
+        let base = compute(&d.db, &sg, &dg, &ga, &cfg);
+        let years = d.db.table(d.year);
+        let year_pk = years.pk_of(sizel_storage::RowId(0));
+        let max_pk = |t: sizel_storage::TableId| {
+            let tb = d.db.table(t);
+            tb.iter().map(|(r, _)| tb.pk_of(r)).max().unwrap()
+        };
+        let rows: Vec<(&str, Vec<Value>, f64)> = vec![
+            ("Paper", vec![Value::Int(max_pk(d.paper) + 1), "a".into(), Value::Int(year_pk)], 1.25),
+            ("Author", vec![Value::Int(max_pk(d.author) + 1), "b".into()], 0.75),
+            ("Paper", vec![Value::Int(max_pk(d.paper) + 2), "c".into(), Value::Int(year_pk)], 2.5),
+        ];
+
+        // The fold: rebuild + single splice per insert.
+        let mut folded = base.clone();
+        let mut db1 = generate(&DblpConfig::tiny()).db;
+        for (table, values, score) in &rows {
+            let row = db1.insert(table, values.clone()).unwrap();
+            let dg1 = DataGraph::build(&db1, &sg);
+            let tid = db1.table_id(table).unwrap();
+            splice_appended_score(&mut folded, &dg1, TupleRef::new(tid, row), *score, None);
+        }
+
+        // The batch: one rebuild, one merge.
+        let mut batched = base.clone();
+        let mut db2 = generate(&DblpConfig::tiny()).db;
+        let mut appended = Vec::new();
+        for (table, values, score) in &rows {
+            let row = db2.insert(table, values.clone()).unwrap();
+            let tid = db2.table_id(table).unwrap();
+            appended.push((TupleRef::new(tid, row), *score));
+        }
+        let dg2 = DataGraph::build(&db2, &sg);
+        splice_appended_scores(&mut batched, &dg2, &appended, None);
+
+        assert_eq!(folded.scores.len(), batched.scores.len());
+        for (a, b) in folded.scores.iter().zip(&batched.scores) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in folded.per_table_max.iter().zip(&batched.per_table_max) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

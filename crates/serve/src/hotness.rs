@@ -1,0 +1,211 @@
+//! Hot-key tracking: a small space-saving frequency sketch over summary
+//! lookups.
+//!
+//! The continual-refresh worker (the `sizel-cluster` crate) wants "the
+//! keys readers actually hit", not "the keys currently cached" — a cache
+//! entry dies with every epoch bump (its epoch-prefixed key becomes
+//! unreachable), while *hotness* survives mutations: the same
+//! `(t_DS, l, algo, prelim, source)` tuple will be asked again at the new
+//! epoch, and that is exactly the recompute the refresh worker wants to
+//! pay **before** a reader does. The sketch therefore tracks the
+//! epoch-less key.
+//!
+//! The structure is the classic space-saving top-k sketch (Metwally et
+//! al.): a fixed budget of `capacity` counters; a tracked key increments
+//! its counter, an untracked key evicts the current minimum and inherits
+//! `min + 1` (an upper bound on the evicted history, which is what makes
+//! the sketch's top-k a superset guarantee for sufficiently skewed
+//! streams). A serving workload's hot head is heavily skewed by
+//! construction — famous-subject queries — which is the regime the sketch
+//! is designed for. All methods take `&self` behind one small mutex —
+//! and, because the sketch rides on **every** summary lookup (the
+//! warm-cache fast path included), [`HotSketch::record`] only
+//! `try_lock`s: under contention the sample is dropped instead of
+//! serializing the worker pool on one lock. A frequency sketch is
+//! approximate by nature, and uniformly-dropped samples preserve the
+//! relative ordering the refresh worker consumes.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Mutex;
+
+/// A concurrency-safe space-saving top-k frequency sketch.
+///
+/// `capacity` bounds the tracked key set; 0 disables the sketch entirely
+/// (every `record` is a no-op and `hottest` is empty).
+#[derive(Debug)]
+pub struct HotSketch<K> {
+    inner: Mutex<SpaceSaving<K>>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct SpaceSaving<K> {
+    counts: HashMap<K, u64>,
+}
+
+impl<K: Hash + Eq + Clone> HotSketch<K> {
+    /// A sketch tracking at most `capacity` keys.
+    pub fn new(capacity: usize) -> Self {
+        HotSketch {
+            inner: Mutex::new(SpaceSaving { counts: HashMap::with_capacity(capacity) }),
+            capacity,
+        }
+    }
+
+    /// Records one occurrence of `key`. Lossy under lock contention (see
+    /// module docs): the serving fast path must never queue on the
+    /// sketch.
+    pub fn record(&self, key: K) {
+        if self.capacity == 0 {
+            return;
+        }
+        let Ok(mut s) = self.inner.try_lock() else { return };
+        if let Some(c) = s.counts.get_mut(&key) {
+            *c += 1;
+            return;
+        }
+        if s.counts.len() < self.capacity {
+            s.counts.insert(key, 1);
+            return;
+        }
+        // Space-saving eviction: the new key replaces the current minimum
+        // and inherits its count as an over-estimate.
+        let (victim, min) = s
+            .counts
+            .iter()
+            .min_by_key(|&(_, &c)| c)
+            .map(|(k, &c)| (k.clone(), c))
+            .expect("capacity > 0 implies a non-empty full sketch");
+        s.counts.remove(&victim);
+        s.counts.insert(key, min + 1);
+    }
+
+    /// The up-to-`n` hottest keys, most-counted first (ties in
+    /// unspecified order).
+    ///
+    /// Every ranking read also **ages** the sketch (all counts halve):
+    /// with monotone counts, a formerly-hot key would outrank the keys
+    /// readers currently hit forever and the refresh budget would chase
+    /// dead traffic after a workload shift. Halving preserves the current
+    /// ranking (monotone) while still-hot keys re-earn their counts
+    /// before the next read and stale ones decay toward eviction — tying
+    /// the decay rate to the consumer's own cadence (the refresh worker
+    /// reads once per epoch bump).
+    pub fn hottest(&self, n: usize) -> Vec<K> {
+        let mut s = self.inner.lock().expect("sketch poisoned");
+        let mut entries: Vec<(K, u64)> = s.counts.iter().map(|(k, &c)| (k.clone(), c)).collect();
+        entries.sort_unstable_by_key(|e| std::cmp::Reverse(e.1));
+        entries.truncate(n);
+        for c in s.counts.values_mut() {
+            *c /= 2;
+        }
+        entries.into_iter().map(|(k, _)| k).collect()
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("sketch poisoned").counts.len()
+    }
+
+    /// True when nothing has been recorded (or the sketch is disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The tracking budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_and_ranks_by_frequency() {
+        let s: HotSketch<u32> = HotSketch::new(8);
+        for _ in 0..5 {
+            s.record(1);
+        }
+        for _ in 0..3 {
+            s.record(2);
+        }
+        s.record(3);
+        assert_eq!(s.hottest(2), vec![1, 2]);
+        assert_eq!(s.hottest(10), vec![1, 2, 3]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn eviction_keeps_the_heavy_hitters() {
+        let s: HotSketch<u32> = HotSketch::new(2);
+        for _ in 0..50 {
+            s.record(1);
+        }
+        for _ in 0..30 {
+            s.record(2);
+        }
+        // A burst of one-off keys churns the minimum slot (each eviction
+        // inherits min + 1, so ten one-offs lift it from 30 to 40) but
+        // can never displace the heavy head at 50.
+        for k in 100..110 {
+            s.record(k);
+        }
+        let hot = s.hottest(1);
+        assert_eq!(hot, vec![1], "the heavy hitter survives the churn");
+        assert_eq!(s.len(), 2, "the budget holds");
+    }
+
+    #[test]
+    fn ranking_reads_age_the_sketch_so_shifted_workloads_take_over() {
+        let s: HotSketch<u32> = HotSketch::new(8);
+        for _ in 0..64 {
+            s.record(1); // the old hot key
+        }
+        // The workload shifts: key 2 is what readers hit now. Each
+        // ranking read halves the stale count while the live key keeps
+        // re-earning, so it overtakes within a few refresh passes.
+        let mut overtaken = false;
+        for _ in 0..12 {
+            for _ in 0..4 {
+                s.record(2);
+            }
+            if s.hottest(1) == vec![2] {
+                overtaken = true;
+                break;
+            }
+        }
+        assert!(overtaken, "a shifted workload must displace the stale head");
+    }
+
+    #[test]
+    fn zero_capacity_disables_tracking() {
+        let s: HotSketch<u32> = HotSketch::new(0);
+        s.record(1);
+        assert!(s.is_empty());
+        assert!(s.hottest(5).is_empty());
+        assert_eq!(s.capacity(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let s = std::sync::Arc::new(HotSketch::<u64>::new(16));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        s.record(i % (4 + t));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(s.len() <= 16);
+        assert!(!s.hottest(4).is_empty());
+    }
+}

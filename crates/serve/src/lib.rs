@@ -46,9 +46,11 @@ use sizel_core::osgen::OsSource;
 use sizel_storage::{Epoch, StorageError, TupleRef};
 
 pub mod cache;
+pub mod hotness;
 pub mod queue;
 
 pub use cache::{CacheStats, ShardedCache};
+pub use hotness::HotSketch;
 pub use queue::BoundedQueue;
 pub use sizel_core::engine::{Mutation, RefreshPolicy};
 
@@ -60,11 +62,21 @@ pub use sizel_core::engine::{Mutation, RefreshPolicy};
 /// every prior entry unreachable by key, which is the staleness proof.
 pub type SummaryKey = (Epoch, TupleRef, usize, AlgoKind, bool, OsSource);
 
+/// The *epoch-less* summary key tracked by the hotness sketch: hotness
+/// must survive mutations (the whole point of proactive re-warming is to
+/// recompute exactly these keys at the **new** epoch before a reader
+/// does), so the epoch stays out.
+pub type HotKey = (TupleRef, usize, AlgoKind, bool, OsSource);
+
 /// A cached, shareable query result.
 pub type SharedResult = Arc<QueryResult>;
 
 fn summary_key(epoch: Epoch, tds: TupleRef, opts: QueryOptions) -> SummaryKey {
     (epoch, tds, opts.l, opts.algo, opts.prelim, opts.source)
+}
+
+fn hot_key(tds: TupleRef, opts: QueryOptions) -> HotKey {
+    (tds, opts.l, opts.algo, opts.prelim, opts.source)
 }
 
 /// Server construction parameters.
@@ -78,12 +90,21 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Cache shard count (clamped to `[1, cache_capacity]`).
     pub cache_shards: usize,
+    /// Hot-key sketch budget (tracked summary keys for proactive
+    /// re-warming; 0 disables hotness tracking).
+    pub hot_capacity: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         let cores = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(4);
-        ServeConfig { workers: cores, queue_capacity: 1024, cache_capacity: 4096, cache_shards: 16 }
+        ServeConfig {
+            workers: cores,
+            queue_capacity: 1024,
+            cache_capacity: 4096,
+            cache_shards: 16,
+            hot_capacity: 128,
+        }
     }
 }
 
@@ -103,14 +124,26 @@ pub struct ServerStats {
     pub queries_served: u64,
     /// Per-DS summaries computed (cache misses that did real work).
     pub summaries_computed: u64,
-    /// Mutations applied through [`SizeLServer::apply`].
+    /// Mutations applied through [`SizeLServer::apply`] /
+    /// [`SizeLServer::apply_batch`].
     pub mutations_applied: u64,
+    /// Cache entries proactively recomputed by
+    /// [`SizeLServer::rewarm_hottest`].
+    pub rewarmed: u64,
 }
 
-/// One unit of work for the pool: a query plus its reply slot. `seq`
-/// restores submission order on the collecting side.
+/// What one pool job computes: a whole keyword query, or a single
+/// `(t_DS, options)` summary (the unit a cluster router fans out after
+/// resolving the keyword lookup itself).
+enum Work {
+    Query { keywords: String },
+    Summarize { tds: TupleRef },
+}
+
+/// One unit of work for the pool plus its reply slot. `seq` restores
+/// submission order on the collecting side.
 struct Job {
-    keywords: String,
+    work: Work,
     opts: QueryOptions,
     seq: usize,
     reply: mpsc::Sender<(usize, Vec<SharedResult>)>,
@@ -124,10 +157,12 @@ struct Job {
 pub struct SizeLServer {
     engine: Arc<RwLock<SizeLEngine>>,
     cache: Arc<ShardedCache<SummaryKey, SharedResult>>,
+    hot: Arc<HotSketch<HotKey>>,
     jobs: Arc<BoundedQueue<Job>>,
     queries_served: Arc<AtomicU64>,
     summaries_computed: Arc<AtomicU64>,
     mutations_applied: AtomicU64,
+    rewarmed: AtomicU64,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -142,6 +177,7 @@ impl SizeLServer {
     /// Spawns the worker pool over a shared, lock-wrapped engine.
     pub fn from_shared(engine: Arc<RwLock<SizeLEngine>>, cfg: ServeConfig) -> Self {
         let cache = Arc::new(ShardedCache::new(cfg.cache_capacity, cfg.cache_shards));
+        let hot = Arc::new(HotSketch::new(cfg.hot_capacity));
         let jobs: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(cfg.queue_capacity));
         let queries_served = Arc::new(AtomicU64::new(0));
         let summaries_computed = Arc::new(AtomicU64::new(0));
@@ -149,6 +185,7 @@ impl SizeLServer {
             .map(|i| {
                 let engine = Arc::clone(&engine);
                 let cache = Arc::clone(&cache);
+                let hot = Arc::clone(&hot);
                 let jobs = Arc::clone(&jobs);
                 let served = Arc::clone(&queries_served);
                 let computed = Arc::clone(&summaries_computed);
@@ -166,10 +203,26 @@ impl SizeLServer {
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                     let engine =
                                         engine.read().expect("a mutation panicked mid-apply");
-                                    run_query(&engine, &cache, &computed, &job.keywords, job.opts)
+                                    match &job.work {
+                                        Work::Query { keywords } => run_query(
+                                            &engine, &cache, &hot, &computed, keywords, job.opts,
+                                        ),
+                                        Work::Summarize { tds } => {
+                                            let epoch = engine.epoch();
+                                            vec![summarize_cached(
+                                                &engine, &cache, &hot, &computed, epoch, *tds,
+                                                job.opts,
+                                            )]
+                                        }
+                                    }
                                 }));
                             if let Ok(results) = outcome {
-                                served.fetch_add(1, Ordering::Relaxed);
+                                // Per-DS Summarize jobs are fan-out units
+                                // of someone else's query, not queries —
+                                // they must not inflate `queries_served`.
+                                if matches!(job.work, Work::Query { .. }) {
+                                    served.fetch_add(1, Ordering::Relaxed);
+                                }
                                 // The submitter may have given up (dropped
                                 // the receiver); that is not a worker error.
                                 let _ = job.reply.send((job.seq, results));
@@ -182,10 +235,12 @@ impl SizeLServer {
         SizeLServer {
             engine,
             cache,
+            hot,
             jobs,
             queries_served,
             summaries_computed,
             mutations_applied: AtomicU64::new(0),
+            rewarmed: AtomicU64::new(0),
             workers,
         }
     }
@@ -226,18 +281,107 @@ impl SizeLServer {
         Ok(epoch)
     }
 
+    /// The batched write path: applies a whole [`Mutation`] batch under
+    /// **one** write-lock acquisition via [`SizeLEngine::apply_batch`]
+    /// (one `DataGraph` rebuild and one posting settlement per
+    /// incremental run, where folding [`SizeLServer::apply`] pays both —
+    /// plus a cache purge and a pool quiescence — per mutation), then
+    /// retains only current-epoch cache entries once. Same staleness
+    /// proof as [`SizeLServer::apply`]: the epoch advances under the
+    /// write lock, so every surviving and future entry is keyed by
+    /// current data. On error the engine keeps the fold's applied prefix
+    /// (synchronized), the purge still runs, and the error is returned.
+    pub fn apply_batch(&self, ms: Vec<Mutation>) -> Result<Epoch, StorageError> {
+        let mut engine = self.engine.write().expect("a mutation panicked mid-apply");
+        let before = engine.epoch();
+        let outcome = engine.apply_batch(ms);
+        let epoch = engine.epoch();
+        self.cache.retain(|k| k.0 == epoch);
+        drop(engine);
+        // Count exactly the mutations that landed (the epoch advances
+        // once per accepted insert), so error paths stay accurate.
+        self.mutations_applied.fetch_add(epoch.get() - before.get(), Ordering::Relaxed);
+        outcome.map(|_| epoch)
+    }
+
     /// Runs one query through the pool, blocking for the result. Identical
     /// output to [`SizeLEngine::query_with`] on the same engine (modulo
     /// `Arc` wrapping) — the stress suite asserts this byte-for-byte.
     pub fn query(&self, keywords: &str, opts: QueryOptions) -> Vec<SharedResult> {
         let (tx, rx) = mpsc::channel();
-        let job = Job { keywords: keywords.to_owned(), opts, seq: 0, reply: tx };
+        let job =
+            Job { work: Work::Query { keywords: keywords.to_owned() }, opts, seq: 0, reply: tx };
         if self.jobs.push(job).is_err() {
             unreachable!("queue closes only in Drop, which takes &mut self");
         }
         let (_, results) =
             rx.recv().expect("worker panicked while serving this query (see its panic output)");
         results
+    }
+
+    /// Computes (or serves from cache) one `(t_DS, options)` summary
+    /// through the pool — the per-DS unit a cluster router dispatches
+    /// after resolving the keyword lookup itself. Byte-identical to
+    /// [`SizeLEngine::summarize`] on the same engine (modulo `Arc`).
+    pub fn summarize(&self, tds: TupleRef, opts: QueryOptions) -> SharedResult {
+        self.summarize_batch(&[(tds, opts)]).pop().expect("one job yields one result")
+    }
+
+    /// Serves a whole batch of `(t_DS, options)` summaries concurrently
+    /// through the pool, in submission order.
+    pub fn summarize_batch(&self, items: &[(TupleRef, QueryOptions)]) -> Vec<SharedResult> {
+        let (tx, rx) = mpsc::channel();
+        for (i, &(tds, opts)) in items.iter().enumerate() {
+            let job = Job { work: Work::Summarize { tds }, opts, seq: i, reply: tx.clone() };
+            if self.jobs.push(job).is_err() {
+                unreachable!("queue closes only in Drop, which takes &mut self");
+            }
+        }
+        drop(tx);
+        let mut slots: Vec<Option<SharedResult>> = vec![None; items.len()];
+        for _ in 0..items.len() {
+            let (seq, mut results) = rx
+                .recv()
+                .expect("worker panicked while serving a summary job (see its panic output)");
+            slots[seq] = Some(results.pop().expect("summarize jobs yield exactly one result"));
+        }
+        slots.into_iter().map(|s| s.expect("every job was served")).collect()
+    }
+
+    /// Proactively recomputes up to `budget` of the hottest summary keys
+    /// at the **current** epoch — the continual-refresh hook: called
+    /// after a mutation purged the cache, it pays the cold recomputes
+    /// before steady-state readers of those keys do. Keys already cached
+    /// at the current epoch are skipped. Returns the number recomputed.
+    ///
+    /// Staleness remains impossible by construction: each key's
+    /// recompute runs under a read guard and is keyed by the epoch read
+    /// under that same guard — exactly the argument that covers
+    /// demand-filled entries. The guard is taken *per key* (not across
+    /// the whole budget) so a concurrent writer stalls for at most one
+    /// summary computation, never the full refresh pass; a write landing
+    /// mid-pass simply makes the remaining keys re-warm at the newer
+    /// epoch, which is what the next refresh would have done anyway.
+    pub fn rewarm_hottest(&self, budget: usize) -> usize {
+        let keys = self.hot.hottest(budget);
+        let mut warmed = 0usize;
+        for (tds, l, algo, prelim, source) in keys {
+            let opts = QueryOptions { l, algo, prelim, source, ranking: ResultRanking::default() };
+            let engine = self.engine.read().expect("a mutation panicked mid-apply");
+            let key = summary_key(engine.epoch(), tds, opts);
+            if self.cache.get(&key).is_none() {
+                let computed: SharedResult = Arc::new(engine.summarize(tds, opts));
+                self.cache.insert(key, computed);
+                warmed += 1;
+            }
+        }
+        self.rewarmed.fetch_add(warmed as u64, Ordering::Relaxed);
+        warmed
+    }
+
+    /// The up-to-`n` hottest summary keys observed by the sketch.
+    pub fn hottest(&self, n: usize) -> Vec<HotKey> {
+        self.hot.hottest(n)
     }
 
     /// Serves a whole batch concurrently, returning results in submission
@@ -266,7 +410,12 @@ impl SizeLServer {
                 continue;
             }
             distinct += 1;
-            let job = Job { keywords: keywords.clone(), opts: *opts, seq: i, reply: tx.clone() };
+            let job = Job {
+                work: Work::Query { keywords: keywords.clone() },
+                opts: *opts,
+                seq: i,
+                reply: tx.clone(),
+            };
             if self.jobs.push(job).is_err() {
                 unreachable!("queue closes only in Drop, which takes &mut self");
             }
@@ -295,6 +444,7 @@ impl SizeLServer {
             queries_served: self.queries_served.load(Ordering::Relaxed),
             summaries_computed: self.summaries_computed.load(Ordering::Relaxed),
             mutations_applied: self.mutations_applied.load(Ordering::Relaxed),
+            rewarmed: self.rewarmed.load(Ordering::Relaxed),
         }
     }
 
@@ -330,6 +480,7 @@ impl Drop for SizeLServer {
 fn run_query(
     engine: &SizeLEngine,
     cache: &ShardedCache<SummaryKey, SharedResult>,
+    hot: &HotSketch<HotKey>,
     summaries_computed: &AtomicU64,
     keywords: &str,
     opts: QueryOptions,
@@ -341,15 +492,7 @@ fn run_query(
     let mut results: Vec<SharedResult> = engine
         .ds_hits(keywords)
         .into_iter()
-        .map(|tds| {
-            let key = summary_key(epoch, tds, opts);
-            cache.get(&key).unwrap_or_else(|| {
-                let computed: SharedResult = Arc::new(engine.summarize(tds, opts));
-                summaries_computed.fetch_add(1, Ordering::Relaxed);
-                cache.insert(key, Arc::clone(&computed));
-                computed
-            })
-        })
+        .map(|tds| summarize_cached(engine, cache, hot, summaries_computed, epoch, tds, opts))
         .collect();
     if opts.ranking == ResultRanking::SummaryImportance {
         results.sort_by(|a, b| {
@@ -357,6 +500,30 @@ fn run_query(
         });
     }
     results
+}
+
+/// The per-DS unit behind every serving path: hotness-recorded,
+/// epoch-keyed, cache-memoized `summarize`.
+fn summarize_cached(
+    engine: &SizeLEngine,
+    cache: &ShardedCache<SummaryKey, SharedResult>,
+    hot: &HotSketch<HotKey>,
+    summaries_computed: &AtomicU64,
+    epoch: Epoch,
+    tds: TupleRef,
+    opts: QueryOptions,
+) -> SharedResult {
+    // Every lookup — hit or miss — feeds the hotness sketch: the refresh
+    // worker wants "what readers ask for", which a hit-only signal would
+    // starve right after each purge.
+    hot.record(hot_key(tds, opts));
+    let key = summary_key(epoch, tds, opts);
+    cache.get(&key).unwrap_or_else(|| {
+        let computed: SharedResult = Arc::new(engine.summarize(tds, opts));
+        summaries_computed.fetch_add(1, Ordering::Relaxed);
+        cache.insert(key, Arc::clone(&computed));
+        computed
+    })
 }
 
 #[cfg(test)]

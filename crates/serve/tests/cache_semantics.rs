@@ -73,7 +73,13 @@ fn eviction_at_capacity_keeps_serving_correctly() {
     // so the Faloutsos trio forces an eviction on every pass.
     let server = SizeLServer::from_shared(
         Arc::clone(&engine),
-        ServeConfig { workers: 1, queue_capacity: 4, cache_capacity: 2, cache_shards: 1 },
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 4,
+            cache_capacity: 2,
+            cache_shards: 1,
+            ..ServeConfig::default()
+        },
     );
     let o = opts(10, AlgoKind::TopPath, true);
     for _ in 0..4 {

@@ -97,7 +97,13 @@ fn n_thread_stress_matches_sequential_engine() {
     let n_threads = 8;
     let server = Arc::new(SizeLServer::from_shared(
         Arc::clone(&engine),
-        ServeConfig { workers: 4, queue_capacity: 16, cache_capacity: 256, cache_shards: 8 },
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 16,
+            cache_capacity: 256,
+            cache_shards: 8,
+            ..ServeConfig::default()
+        },
     ));
     let barrier = Arc::new(Barrier::new(n_threads));
     let handles: Vec<_> = (0..n_threads)
@@ -142,7 +148,13 @@ fn batch_query_matches_sequential_engine_and_dedups() {
 
     let server = SizeLServer::from_shared(
         Arc::clone(&engine),
-        ServeConfig { workers: 4, queue_capacity: 8, cache_capacity: 512, cache_shards: 4 },
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 8,
+            cache_capacity: 512,
+            cache_shards: 4,
+            ..ServeConfig::default()
+        },
     );
     // Duplicate the whole set 3x in interleaved order: results must come
     // back in submission order, each identical to its baseline.
@@ -174,7 +186,13 @@ fn uncached_server_still_matches() {
     let expected = baseline(&engine.read().unwrap(), &set);
     let server = SizeLServer::from_shared(
         Arc::clone(&engine),
-        ServeConfig { workers: 3, queue_capacity: 4, cache_capacity: 0, cache_shards: 4 },
+        ServeConfig {
+            workers: 3,
+            queue_capacity: 4,
+            cache_capacity: 0,
+            cache_shards: 4,
+            ..ServeConfig::default()
+        },
     );
     for ((kw, opts), want) in set.iter().zip(&expected) {
         assert_eq!(&fingerprint(&server.query(kw, *opts)), want);
@@ -191,7 +209,13 @@ fn single_worker_server_serializes_correctly() {
     let engine = engine();
     let server = Arc::new(SizeLServer::from_shared(
         Arc::clone(&engine),
-        ServeConfig { workers: 1, queue_capacity: 2, cache_capacity: 64, cache_shards: 1 },
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 2,
+            cache_capacity: 64,
+            cache_shards: 1,
+            ..ServeConfig::default()
+        },
     ));
     let expected = fingerprint(
         &engine.read().unwrap().query("Faloutsos", 15).iter().collect::<Vec<&QueryResult>>(),

@@ -23,6 +23,10 @@ pub struct AccessCounter {
     tuples: AtomicU64,
     fast_probes: AtomicU64,
     heap_probes: AtomicU64,
+    graph_builds: AtomicU64,
+    posting_resorts: AtomicU64,
+    link_rebuilds: AtomicU64,
+    binary_inserts: AtomicU64,
 }
 
 /// A snapshot of the TOP-l probe mix.
@@ -43,6 +47,41 @@ impl ProbeStats {
             0.0
         } else {
             self.fast as f64 / total as f64
+        }
+    }
+}
+
+/// A snapshot of the *derived-structure maintenance* work performed by
+/// the update paths. Like [`ProbeStats`], deliberately not part of
+/// [`AccessStats`] (it is engine-maintenance cost, not the paper's query
+/// I/O unit). The batched-apply subsystem asserts its amortization claims
+/// against these counters: a `B`-mutation batch performs exactly **one**
+/// data-graph rebuild and at most **one** posting re-sort per affected
+/// table, where folding single applies pays `B` rebuilds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaintStats {
+    /// Full data-graph rebuilds (recorded by the graph layer's `build`;
+    /// the `O(|E|)` linear step of an incremental apply).
+    pub graph_builds: u64,
+    /// Full per-table posting re-sort passes (the epoch-batched churn
+    /// fallback re-sorting every posting list of one table at once).
+    pub posting_resorts: u64,
+    /// Junction link-posting rebuild passes (installs, churn re-sorts,
+    /// and dangling-reference heals).
+    pub link_rebuilds: u64,
+    /// Rows absorbed by per-posting binary insertion (the incremental
+    /// maintenance path below the churn threshold).
+    pub binary_inserts: u64,
+}
+
+impl MaintStats {
+    /// Component-wise difference (`self` must be the later snapshot).
+    pub fn since(self, earlier: MaintStats) -> MaintStats {
+        MaintStats {
+            graph_builds: self.graph_builds - earlier.graph_builds,
+            posting_resorts: self.posting_resorts - earlier.posting_resorts,
+            link_rebuilds: self.link_rebuilds - earlier.link_rebuilds,
+            binary_inserts: self.binary_inserts - earlier.binary_inserts,
         }
     }
 }
@@ -88,6 +127,36 @@ impl AccessCounter {
         }
     }
 
+    /// Records one full data-graph rebuild.
+    pub fn record_graph_build(&self) {
+        self.graph_builds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one full per-table posting re-sort pass.
+    pub fn record_posting_resort(&self) {
+        self.posting_resorts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one junction link-posting rebuild pass.
+    pub fn record_link_rebuild(&self) {
+        self.link_rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one row absorbed by binary posting insertion.
+    pub fn record_binary_insert(&self) {
+        self.binary_inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current maintenance-work values.
+    pub fn maint(&self) -> MaintStats {
+        MaintStats {
+            graph_builds: self.graph_builds.load(Ordering::Relaxed),
+            posting_resorts: self.posting_resorts.load(Ordering::Relaxed),
+            link_rebuilds: self.link_rebuilds.load(Ordering::Relaxed),
+            binary_inserts: self.binary_inserts.load(Ordering::Relaxed),
+        }
+    }
+
     /// Current counter values.
     pub fn snapshot(&self) -> AccessStats {
         AccessStats {
@@ -102,6 +171,10 @@ impl AccessCounter {
         self.tuples.store(0, Ordering::Relaxed);
         self.fast_probes.store(0, Ordering::Relaxed);
         self.heap_probes.store(0, Ordering::Relaxed);
+        self.graph_builds.store(0, Ordering::Relaxed);
+        self.posting_resorts.store(0, Ordering::Relaxed);
+        self.link_rebuilds.store(0, Ordering::Relaxed);
+        self.binary_inserts.store(0, Ordering::Relaxed);
     }
 }
 
@@ -141,5 +214,26 @@ mod tests {
     fn counter_is_sync() {
         fn assert_sync<T: Sync + Send>() {}
         assert_sync::<AccessCounter>();
+    }
+
+    #[test]
+    fn maint_counters_record_and_diff() {
+        let c = AccessCounter::default();
+        c.record_graph_build();
+        let before = c.maint();
+        c.record_graph_build();
+        c.record_posting_resort();
+        c.record_link_rebuild();
+        c.record_binary_insert();
+        c.record_binary_insert();
+        let delta = c.maint().since(before);
+        assert_eq!(
+            delta,
+            MaintStats { graph_builds: 1, posting_resorts: 1, link_rebuilds: 1, binary_inserts: 2 }
+        );
+        // Maintenance work is not the paper's I/O cost unit.
+        assert_eq!(c.snapshot(), AccessStats::default());
+        c.reset();
+        assert_eq!(c.maint(), MaintStats::default());
     }
 }

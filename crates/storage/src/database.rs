@@ -44,6 +44,40 @@ impl TupleRef {
     }
 }
 
+/// A handle staging several scored inserts whose sorted-posting
+/// maintenance is settled in **one** pass
+/// ([`Database::finish_scored_batch`]): per affected table, either every
+/// staged row binary-inserts, or — above the churn threshold — one
+/// re-sort absorbs the whole batch, instead of potentially several
+/// mid-stream re-sorts when the same rows arrive one
+/// [`Database::insert_scored`] at a time. While the batch is open the
+/// affected tables' postings are suspended, so probes conservatively
+/// heap-fall-back rather than scan prefixes missing the staged rows.
+///
+/// The settled end state is byte-identical to folding
+/// [`Database::insert_scored`] over the same rows in the same order
+/// (property-tested at every churn threshold).
+#[derive(Debug)]
+#[must_use = "settle with Database::finish_scored_batch or staged rows never re-join the sorted postings"]
+pub struct ScoredBatch {
+    /// Rows that took the maintained path, in insertion order
+    /// (plain-insert fallbacks need no settlement).
+    staged: Vec<(TableId, RowId)>,
+    /// Tables whose postings were suspended at first touch.
+    touched: Vec<TableId>,
+    /// Epoch of the last staged (maintained) insert — the stamp the
+    /// settled [`FkOrderToken`] carries, exactly as the fold would leave
+    /// it.
+    last_scored_epoch: Option<Epoch>,
+}
+
+impl ScoredBatch {
+    /// Rows staged so far (maintained path only), in insertion order.
+    pub fn staged(&self) -> &[(TableId, RowId)] {
+        &self.staged
+    }
+}
+
 /// An in-memory relational database: a catalog of [`Table`]s plus an
 /// [`AccessCounter`] shared by all query paths.
 #[derive(Debug)]
@@ -58,6 +92,13 @@ pub struct Database {
     epoch: Epoch,
     /// Per-table churn bound before the epoch-batched posting re-sort.
     churn_threshold: usize,
+    /// Missing junction-link endpoints: `(target table, pk)` → the
+    /// junction tables whose link postings were dropped because a scored
+    /// insert referenced that not-yet-existing row. When the endpoint
+    /// later arrives through a scored insert, the waiting junctions'
+    /// postings are rebuilt (healed) instead of staying on the heap
+    /// fallback until the next full install.
+    dangling_watch: HashMap<(TableId, i64), Vec<TableId>>,
 }
 
 impl Default for Database {
@@ -69,6 +110,7 @@ impl Default for Database {
             fk_order: None,
             epoch: Epoch::default(),
             churn_threshold: DEFAULT_CHURN_THRESHOLD,
+            dangling_watch: HashMap::new(),
         }
     }
 }
@@ -155,56 +197,162 @@ impl Database {
     /// the new epoch. Holders of the superseded token heap-fall-back;
     /// contexts synchronized to the new token keep the prefix-scan fast
     /// path. Above the churn threshold the table's postings are re-sorted
-    /// in one epoch-batched pass instead (byte-identical either way).
+    /// in one epoch-batched pass instead (byte-identical either way). A
+    /// batch of one: see [`Database::begin_scored_batch`] for amortizing
+    /// the settlement across many inserts.
     ///
     /// Falls back to the plain [`Database::insert`] when no live
     /// importance order covers the table (nothing to maintain).
     pub fn insert_scored(&mut self, table: &str, values: Vec<Value>, score: f64) -> Result<RowId> {
+        let mut batch = self.begin_scored_batch();
+        let row = self.insert_scored_staged(&mut batch, table, values, score);
+        self.finish_scored_batch(batch);
+        row
+    }
+
+    /// Opens a scored-insert batch (see [`ScoredBatch`]). Stage rows with
+    /// [`Database::insert_scored_staged`], settle with
+    /// [`Database::finish_scored_batch`].
+    pub fn begin_scored_batch(&self) -> ScoredBatch {
+        ScoredBatch { staged: Vec::new(), touched: Vec::new(), last_scored_epoch: None }
+    }
+
+    /// Stages one scored insert into an open batch: the row (and its
+    /// score) lands in the table — visible to hash-index and PK reads,
+    /// epoch bumped — but sorted-posting maintenance is deferred to
+    /// [`Database::finish_scored_batch`]. The affected table's postings
+    /// are suspended for the batch's duration (probes heap-fall-back).
+    /// Falls back to the plain [`Database::insert`] exactly like
+    /// [`Database::insert_scored`] when no live order covers the table.
+    pub fn insert_scored_staged(
+        &mut self,
+        batch: &mut ScoredBatch,
+        table: &str,
+        values: Vec<Value>,
+        score: f64,
+    ) -> Result<RowId> {
         let tid = self.table_id(table)?;
         if self.fk_order.is_none() || !self.tables[tid.index()].has_installed_scores() {
             return self.insert(table, values);
         }
-        // Resolve junction link updates before the row lands: per
-        // orientation, the source key and the pre-joined target row. A
-        // dead target snapshot — or a *dangling* target FK, whose row
-        // could arrive later and would then be invisible to the postings
-        // while the heap path resolves it live — makes the orientation
-        // unmaintainable, so its link postings are dropped below (the
-        // heap fallback stays correct; the next install/re-sort rebuilds
-        // them if the references resolve by then). Wrong-arity rows skip
-        // resolution entirely and let the insert report the arity error.
-        let mut link_updates: Vec<(usize, i64, Option<RowId>, TableId)> = Vec::new();
-        let mut drop_links = false;
-        if values.len() == self.tables[tid.index()].schema.arity() {
-            if let Some(orientations) = self.junction_orientations(tid) {
-                for (s_col, t_col, t_table) in orientations {
-                    if !self.tables[t_table.index()].has_installed_scores() {
-                        drop_links = true;
-                        continue;
-                    }
-                    let Some(key) = values[s_col].as_int() else { continue };
-                    let target = match values[t_col].as_int() {
-                        None => None, // NULL target: counts in raw_len only
-                        Some(k) => match self.tables[t_table.index()].by_pk(k) {
-                            Some(row) => Some(row),
-                            None => {
-                                drop_links = true;
-                                continue;
-                            }
-                        },
-                    };
-                    link_updates.push((s_col, key, target, t_table));
-                }
+        if !batch.touched.contains(&tid) {
+            self.tables[tid.index()].suspend_postings();
+            batch.touched.push(tid);
+        }
+        let row = self.tables[tid.index()].insert_scored_staged(values, score)?;
+        self.epoch = self.epoch.next();
+        batch.staged.push((tid, row));
+        batch.last_scored_epoch = Some(self.epoch);
+        Ok(row)
+    }
+
+    /// Settles an open batch: resumes the suspended postings, then — per
+    /// affected table — either binary-inserts every staged row or, above
+    /// the churn threshold, runs **one** full re-sort for the whole batch
+    /// (where the fold pays one mid-stream re-sort per threshold
+    /// crossing). Junction rows join the sorted link postings with
+    /// dangling endpoints recorded for healing, endpoint arrivals heal
+    /// waiting junctions, and the [`FkOrderToken`] is re-stamped once.
+    /// Byte-identical to the fold of single [`Database::insert_scored`]
+    /// calls; only internal scheduling state (the churn counter) may
+    /// differ, which is content-neutral by the re-sort equivalence.
+    pub fn finish_scored_batch(&mut self, batch: ScoredBatch) {
+        let ScoredBatch { staged, touched, last_scored_epoch } = batch;
+        for &tid in &touched {
+            self.tables[tid.index()].resume_postings();
+        }
+        // Tables whose accumulated churn crosses the threshold settle by
+        // one re-sort; their staged rows skip binary insertion.
+        let resort: Vec<TableId> = touched
+            .iter()
+            .copied()
+            .filter(|&tid| {
+                let t = &self.tables[tid.index()];
+                t.has_installed_scores() && t.churn() > self.churn_threshold
+            })
+            .collect();
+        // Heals are *collected* during settlement and run after it: a
+        // heal's wholesale rebuild reads the full current state, which
+        // already contains rows staged later in this batch — firing it
+        // mid-loop would rebuild their pairs and then binary-insert them
+        // again when the loop reaches them (duplicate pairs; regression-
+        // tested). Deferred, the rebuild subsumes those rows exactly once
+        // and ends at the same full-state content as the fold's
+        // heal-then-insert sequence.
+        let mut heals: Vec<TableId> = Vec::new();
+        for &(tid, row) in &staged {
+            // A mid-batch un-scored insert may have killed the snapshot;
+            // its table's postings are already gone, nothing to settle.
+            if !self.tables[tid.index()].has_installed_scores() {
+                continue;
+            }
+            let resorting = resort.contains(&tid);
+            if !resorting {
+                self.tables[tid.index()].binary_insert_postings(row);
+                self.access.record_binary_insert();
+            }
+            self.settle_junction_links(tid, row, resorting);
+            self.collect_heals(tid, row, &mut heals);
+        }
+        for &tid in &resort {
+            if self.tables[tid.index()].has_installed_scores() {
+                self.tables[tid.index()].resort_from_snapshot();
+                self.access.record_posting_resort();
+                self.rebuild_links_for(tid);
             }
         }
-        let row = self.tables[tid.index()].insert_scored_indexed(values, score)?;
+        for jid in heals {
+            self.rebuild_links_for(jid);
+        }
+        if let Some(epoch) = last_scored_epoch {
+            // The stamp the fold would leave: the epoch of the last
+            // *maintained* insert. A trailing plain-insert fallback bumps
+            // the epoch further but never restamps in the fold either.
+            self.fk_order = self.fk_order.map(|t| t.restamped(epoch));
+        }
+    }
+
+    /// Joins one freshly inserted junction row into its table's sorted
+    /// link postings. A dead target snapshot drops the links; a *dangling*
+    /// target FK drops them **and** registers the missing `(table, pk)`
+    /// endpoint in the dangling watch, so the endpoint's later arrival
+    /// repairs the orientation ([`Database::heal_dangling_refs`]) instead
+    /// of leaving the table on the heap fallback until the next full
+    /// install. With `skip_pairs` (the table is about to re-sort), only
+    /// the drop/watch bookkeeping runs — the rebuild supplies the pairs.
+    fn settle_junction_links(&mut self, jid: TableId, row: RowId, skip_pairs: bool) {
+        let Some(orientations) = self.junction_orientations(jid) else { return };
+        let mut updates: Vec<(usize, i64, Option<RowId>, TableId)> = Vec::new();
+        let mut drop_links = false;
+        for (s_col, t_col, t_table) in orientations {
+            if !self.tables[t_table.index()].has_installed_scores() {
+                drop_links = true;
+                continue;
+            }
+            let Some(key) = self.tables[jid.index()].value(row, s_col).as_int() else { continue };
+            let target = match self.tables[jid.index()].value(row, t_col).as_int() {
+                None => None, // NULL target: counts in raw_len only
+                Some(k) => match self.tables[t_table.index()].by_pk(k) {
+                    Some(r) => Some(r),
+                    None => {
+                        drop_links = true;
+                        let waiters = self.dangling_watch.entry((t_table, k)).or_default();
+                        if !waiters.contains(&jid) {
+                            waiters.push(jid);
+                        }
+                        continue;
+                    }
+                },
+            };
+            updates.push((s_col, key, target, t_table));
+        }
         if drop_links {
-            self.tables[tid.index()].drop_sorted_links();
-        } else {
-            for (s_col, key, target, t_table) in link_updates {
+            self.tables[jid.index()].drop_sorted_links();
+        } else if !skip_pairs {
+            for (s_col, key, target, t_table) in updates {
                 // Take the index out so the target table's score snapshot
                 // can be borrowed alongside the junction table.
-                let Some(mut idx) = self.tables[tid.index()].take_sorted_link(s_col) else {
+                let Some(mut idx) = self.tables[jid.index()].take_sorted_link(s_col) else {
                     continue;
                 };
                 idx.insert_scored(
@@ -213,16 +361,31 @@ impl Database {
                     target,
                     self.tables[t_table.index()].installed_scores(),
                 );
-                self.tables[tid.index()].set_sorted_link(s_col, idx);
+                self.tables[jid.index()].set_sorted_link(s_col, idx);
             }
         }
-        if self.tables[tid.index()].churn() > self.churn_threshold {
-            self.tables[tid.index()].resort_from_snapshot();
-            self.rebuild_links_for(tid);
+    }
+
+    /// If the freshly inserted row is a watched missing endpoint, queues
+    /// the waiting junctions for a post-settlement link rebuild (see
+    /// [`Database::finish_scored_batch`]). The rebuild resolves every
+    /// reference from current state; a junction with *another* endpoint
+    /// still missing yields nothing and registers that endpoint, retrying
+    /// when its own watch entry fires. Endpoints that arrive through the
+    /// un-scored [`Database::insert`] cannot heal (the insert kills the
+    /// target table's score snapshot, so there is no order to repair
+    /// into).
+    fn collect_heals(&mut self, tid: TableId, row: RowId, heals: &mut Vec<TableId>) {
+        if self.dangling_watch.is_empty() {
+            return;
         }
-        self.epoch = self.epoch.next();
-        self.fk_order = self.fk_order.map(|t| t.restamped(self.epoch));
-        Ok(row)
+        let pk = self.tables[tid.index()].pk_of(row);
+        let Some(waiters) = self.dangling_watch.remove(&(tid, pk)) else { return };
+        for jid in waiters {
+            if !heals.contains(&jid) {
+                heals.push(jid);
+            }
+        }
     }
 
     /// The two (source column, target column, target table) orientations
@@ -240,11 +403,17 @@ impl Database {
 
     /// (Re)builds both orientations' sorted link postings of a junction
     /// table from the current score snapshots. An orientation whose
-    /// target snapshot is dead, or that contains a dangling target FK,
-    /// is left absent (heap fallback).
+    /// target snapshot is dead is left absent (heap fallback); one with a
+    /// dangling target FK is left absent **and** the missing endpoint is
+    /// registered in the dangling watch, so its later scored arrival
+    /// heals the orientation (a junction with several missing endpoints
+    /// heals progressively: each rebuild attempt registers the next one
+    /// it trips over).
     fn rebuild_links_for(&mut self, jid: TableId) {
         let Some(orientations) = self.junction_orientations(jid) else { return };
+        self.access.record_link_rebuild();
         let mut built: Vec<(usize, SortedLinkIndex)> = Vec::new();
+        let mut dangling: Vec<(TableId, i64)> = Vec::new();
         {
             let jt = self.table(jid);
             for (s_col, t_col, t_table) in orientations {
@@ -259,19 +428,26 @@ impl Database {
                         None => LinkTarget::Null,
                         Some(k) => match target.by_pk(k) {
                             Some(row) => LinkTarget::Row(row),
-                            None => LinkTarget::Dangling,
+                            None => LinkTarget::Dangling(k),
                         },
                     },
                     &|t| target.installed_score(t),
                 );
-                if let Some(idx) = idx {
-                    built.push((s_col, idx));
+                match idx {
+                    Ok(idx) => built.push((s_col, idx)),
+                    Err(pk) => dangling.push((t_table, pk)),
                 }
             }
         }
         self.tables[jid.index()].drop_sorted_links();
         for (col, idx) in built {
             self.tables[jid.index()].set_sorted_link(col, idx);
+        }
+        for key in dangling {
+            let waiters = self.dangling_watch.entry(key).or_default();
+            if !waiters.contains(&jid) {
+                waiters.push(jid);
+            }
         }
     }
 
@@ -345,6 +521,11 @@ impl Database {
             let tid = TableId(i as u16);
             t.build_sorted_fk(&|r| score(tid, r));
         }
+        // A full install re-derives everything, so stale watch entries
+        // (endpoints that since arrived un-scored, or re-registrations
+        // below) must not accumulate across installs: start fresh and let
+        // the rebuilds register exactly the currently-missing endpoints.
+        self.dangling_watch.clear();
         let junctions: Vec<TableId> =
             self.tables().filter(|(_, t)| t.schema.is_junction).map(|(id, _)| id).collect();
         for jid in junctions {
@@ -358,6 +539,13 @@ impl Database {
     /// The token of the currently installed importance order, if any.
     pub fn fk_order(&self) -> Option<FkOrderToken> {
         self.fk_order
+    }
+
+    /// Number of missing junction-link endpoints currently watched for
+    /// healing (a diagnostic: bounded by the currently-dangling
+    /// references — installs prune stale entries).
+    pub fn dangling_watch_len(&self) -> usize {
+        self.dangling_watch.len()
     }
 
     /// `SELECT * FROM Ri WHERE Ri.col = key` — Algorithm 4 line 12 /
@@ -721,13 +909,14 @@ mod tests {
     }
 
     #[test]
-    fn dangling_junction_target_drops_link_postings_conservatively() {
+    fn dangling_junction_target_drops_link_postings_then_heals() {
         // A junction row whose target pk does not (yet) exist must not be
         // silently absent from the sorted link postings while the heap
         // path resolves it live after the target arrives — the orientation
-        // is dropped instead (heap fallback until the next install finds
-        // every reference resolved). FK validation is a separate step, so
-        // the storage layer has to tolerate this on its own.
+        // is dropped instead, and the missing endpoint is *watched*: its
+        // later scored arrival repairs the postings without waiting for
+        // the next full install. FK validation is a separate step, so the
+        // storage layer has to tolerate this on its own.
         let mut db = Database::new();
         db.create_table(TableSchema::builder("P").pk("id").build().unwrap()).unwrap();
         db.create_table(TableSchema::builder("C").pk("id").build().unwrap()).unwrap();
@@ -755,14 +944,29 @@ mod tests {
                 && db.table(j).sorted_link_index(c_col).is_none(),
             "a dangling target must drop the link postings, not skip the pair"
         );
-        // The late-arriving target heals at the next install: the rebuild
-        // resolves every reference and the orientation returns.
+        // The late-arriving endpoint heals the orientation on the spot —
+        // no reinstall needed — and the token is re-stamped at the heal's
+        // epoch so synchronized contexts go straight back to prefix scans.
         db.insert_scored("C", vec![Value::Int(99)], 2.0).unwrap();
-        db.install_importance_order(&|_, _| 1.0);
-        let links = db.table(j).sorted_link_index(p_col).expect("rebuilt once resolvable");
+        let links = db.table(j).sorted_link_index(p_col).expect("healed once resolvable");
         assert_eq!(links.pairs(1).len(), 2, "both junction rows pre-joined after the heal");
+        assert_eq!(db.fk_order().unwrap().epoch(), db.epoch(), "heal re-stamps the token");
+        // The healed postings are exactly what a reinstall under the same
+        // (maintained) scores would build.
+        let healed: Vec<_> = links.pairs(1).to_vec();
+        let snap: Vec<Vec<f64>> = db
+            .tables()
+            .map(|(_, t)| t.iter().map(|(r, _)| t.installed_score(r)).collect())
+            .collect();
+        db.install_importance_order(&|t, r| snap[t.index()][r.index()]);
+        assert_eq!(db.table(j).sorted_link_index(p_col).unwrap().pairs(1), healed.as_slice());
+        // Install pruned the watch: nothing dangles after the heal.
+        assert_eq!(db.dangling_watch_len(), 0, "installs prune stale watch entries");
+
         // A junction loaded with a dangling row *before* install gets no
-        // postings either (build-time poisoning) — the symmetric case.
+        // postings either (build-time poisoning) — but the install
+        // registers the missing endpoint, so even this case heals when
+        // the endpoint arrives through a scored insert.
         let mut db2 = Database::new();
         db2.create_table(TableSchema::builder("P").pk("id").build().unwrap()).unwrap();
         db2.create_table(TableSchema::builder("C").pk("id").build().unwrap()).unwrap();
@@ -781,6 +985,13 @@ mod tests {
         db2.install_importance_order(&|_, _| 1.0);
         let j2 = db2.table_id("J").unwrap();
         assert!(db2.table(j2).sorted_link_index(p_col).is_none());
+        assert_eq!(db2.dangling_watch_len(), 1, "install watches the missing endpoint");
+        db2.insert_scored("C", vec![Value::Int(99)], 1.0).unwrap();
+        assert!(
+            db2.table(j2).sorted_link_index(p_col).is_some(),
+            "build-time poisoning heals too once the endpoint arrives scored"
+        );
+        assert_eq!(db2.dangling_watch_len(), 0);
     }
 
     #[test]
@@ -823,6 +1034,242 @@ mod tests {
         let paper = db.table_id("Paper").unwrap();
         assert_eq!(db.table(paper).pk_of(row), 12);
         assert!(db.fk_order().is_none());
+    }
+
+    /// Identical tiny databases with an all-ones importance order
+    /// installed — the batch-vs-fold comparisons below start from two of
+    /// these.
+    fn installed_pair() -> (Database, Database) {
+        let build = || {
+            let mut db = tiny_db();
+            let snapshot: Vec<Vec<f64>> =
+                db.tables().map(|(_, t)| t.iter().map(|_| 1.0).collect()).collect();
+            db.install_importance_order(&|t, r| snapshot[t.index()][r.index()]);
+            db
+        };
+        (build(), build())
+    }
+
+    #[test]
+    fn scored_batch_settles_exactly_like_the_fold() {
+        let (mut batched, mut folded) = installed_pair();
+        let rows: Vec<(i64, f64)> = vec![(20, 3.0), (21, 0.5), (22, 1.0), (23, 7.5)];
+        let mut b = batched.begin_scored_batch();
+        for &(pk, s) in &rows {
+            batched
+                .insert_scored_staged(
+                    &mut b,
+                    "Paper",
+                    vec![Value::Int(pk), "t".into(), Value::Int(1)],
+                    s,
+                )
+                .unwrap();
+        }
+        assert_eq!(b.staged().len(), rows.len());
+        batched.finish_scored_batch(b);
+        for &(pk, s) in &rows {
+            folded
+                .insert_scored("Paper", vec![Value::Int(pk), "t".into(), Value::Int(1)], s)
+                .unwrap();
+        }
+        assert_eq!(batched.epoch(), folded.epoch());
+        assert_eq!(batched.fk_order().unwrap().epoch(), folded.fk_order().unwrap().epoch());
+        let paper = batched.table_id("Paper").unwrap();
+        let fk_col = batched.table(paper).schema.column_index("year_id").unwrap();
+        assert_eq!(
+            batched.table(paper).sorted_fk_index(fk_col).unwrap().rows(1),
+            folded.table(paper).sorted_fk_index(fk_col).unwrap().rows(1),
+            "settled postings equal the fold's"
+        );
+    }
+
+    #[test]
+    fn mid_batch_heal_does_not_duplicate_later_staged_junction_pairs() {
+        // Regression: with a pre-existing watch on endpoint (C, 99), a
+        // batch staging [C(99), J(102 -> C 99)] used to fire the heal
+        // mid-settlement — the rebuild (reading full current state)
+        // already included J(102), whose pair the settle loop then
+        // binary-inserted *again*. Heals are now deferred past the settle
+        // loop; both paths must end identical to the fold and to a
+        // from-scratch install.
+        let build = || {
+            let mut db = Database::new();
+            db.create_table(TableSchema::builder("P").pk("id").build().unwrap()).unwrap();
+            db.create_table(TableSchema::builder("C").pk("id").build().unwrap()).unwrap();
+            db.create_table(
+                TableSchema::builder("J")
+                    .pk("id")
+                    .fk("p_id", "P")
+                    .fk("c_id", "C")
+                    .junction()
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+            db.insert("P", vec![Value::Int(1)]).unwrap();
+            db.insert("C", vec![Value::Int(10)]).unwrap();
+            db.insert("J", vec![Value::Int(100), Value::Int(1), Value::Int(10)]).unwrap();
+            db.install_importance_order(&|_, _| 1.0);
+            // The watch: a scored junction insert referencing missing C 99.
+            db.insert_scored("J", vec![Value::Int(101), Value::Int(1), Value::Int(99)], 0.5)
+                .unwrap();
+            assert_eq!(db.dangling_watch_len(), 1);
+            db
+        };
+        let (p_col, c_col) = (1usize, 2usize);
+
+        let mut batched = build();
+        let mut b = batched.begin_scored_batch();
+        batched.insert_scored_staged(&mut b, "C", vec![Value::Int(99)], 2.0).unwrap();
+        batched
+            .insert_scored_staged(
+                &mut b,
+                "J",
+                vec![Value::Int(102), Value::Int(1), Value::Int(99)],
+                0.25,
+            )
+            .unwrap();
+        batched.finish_scored_batch(b);
+
+        let mut folded = build();
+        folded.insert_scored("C", vec![Value::Int(99)], 2.0).unwrap();
+        folded
+            .insert_scored("J", vec![Value::Int(102), Value::Int(1), Value::Int(99)], 0.25)
+            .unwrap();
+
+        let j = batched.table_id("J").unwrap();
+        for col in [p_col, c_col] {
+            let a = batched.table(j).sorted_link_index(col).expect("healed");
+            let f = folded.table(j).sorted_link_index(col).expect("healed");
+            for key in [1i64, 10, 99] {
+                assert_eq!(a.pairs(key), f.pairs(key), "col {col} key {key}");
+                assert_eq!(a.raw_group_len(key), f.raw_group_len(key));
+            }
+        }
+        // Each junction row appears exactly once per orientation.
+        let pairs = batched.table(j).sorted_link_index(p_col).unwrap().pairs(1);
+        let mut seen: Vec<RowId> = pairs.iter().map(|&(jr, _)| jr).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), pairs.len(), "no duplicated pairs: {pairs:?}");
+        assert_eq!(pairs.len(), 3, "all three junction rows pre-joined");
+        assert_eq!(batched.dangling_watch_len(), 0);
+    }
+
+    #[test]
+    fn batch_token_stamp_matches_the_fold_under_plain_fallback_tails() {
+        // A batch whose *last* row falls back to the plain insert (its
+        // table's snapshot is dead) must stamp the token at the last
+        // maintained insert's epoch — exactly where the fold leaves it —
+        // not at the batch's final epoch.
+        let (mut batched, mut folded) = installed_pair();
+        // Kill Year's snapshot in both databases.
+        batched.insert("Year", vec![Value::Int(50), Value::Int(2001)]).unwrap();
+        folded.insert("Year", vec![Value::Int(50), Value::Int(2001)]).unwrap();
+
+        let mut b = batched.begin_scored_batch();
+        batched
+            .insert_scored_staged(
+                &mut b,
+                "Paper",
+                vec![Value::Int(20), "t".into(), Value::Int(1)],
+                2.0,
+            )
+            .unwrap();
+        batched
+            .insert_scored_staged(&mut b, "Year", vec![Value::Int(51), Value::Int(2002)], 1.0)
+            .unwrap();
+        batched.finish_scored_batch(b);
+
+        folded
+            .insert_scored("Paper", vec![Value::Int(20), "t".into(), Value::Int(1)], 2.0)
+            .unwrap();
+        folded.insert_scored("Year", vec![Value::Int(51), Value::Int(2002)], 1.0).unwrap();
+
+        assert_eq!(batched.epoch(), folded.epoch());
+        assert_eq!(
+            batched.fk_order().unwrap().epoch(),
+            folded.fk_order().unwrap().epoch(),
+            "the stamp sits at the last maintained insert, as in the fold"
+        );
+        assert!(
+            batched.fk_order().unwrap().epoch() < batched.epoch(),
+            "the trailing fallback bumped the epoch past the stamp"
+        );
+    }
+
+    #[test]
+    fn scored_batch_suspends_postings_while_open() {
+        let (mut db, _) = installed_pair();
+        let paper = db.table_id("Paper").unwrap();
+        let fk_col = db.table(paper).schema.column_index("year_id").unwrap();
+        let token = db.fk_order().unwrap();
+        let mut b = db.begin_scored_batch();
+        db.insert_scored_staged(
+            &mut b,
+            "Paper",
+            vec![Value::Int(20), "t".into(), Value::Int(1)],
+            9.0,
+        )
+        .unwrap();
+        // Mid-batch, the staged row is hash-visible but the sorted
+        // postings are unreachable: a probe heap-falls-back and still
+        // sees the new row.
+        assert!(db.table(paper).sorted_fk_index(fk_col).is_none(), "postings suspended");
+        let before = db.access().probes();
+        let li = |_: RowId| 1.0;
+        let rows = db.select_eq_top_l(paper, fk_col, 1, 10, 0.0, Some(token), &li);
+        assert_eq!(rows.len(), 3, "staged row visible through the heap path");
+        assert_eq!(db.access().probes().heap - before.heap, 1);
+        db.finish_scored_batch(b);
+        assert!(db.table(paper).sorted_fk_index(fk_col).is_some(), "postings settled");
+    }
+
+    #[test]
+    fn scored_batch_resorts_at_most_once_per_table() {
+        // Threshold 2 with 8 staged rows: the fold re-sorts repeatedly
+        // mid-stream; the batch settles with exactly one re-sort pass and
+        // zero binary inserts for that table.
+        let (mut batched, mut folded) = installed_pair();
+        batched.set_churn_threshold(2);
+        folded.set_churn_threshold(2);
+        let before = batched.access().maint();
+        let mut b = batched.begin_scored_batch();
+        for pk in 20..28 {
+            let s = (pk % 5) as f64;
+            batched
+                .insert_scored_staged(
+                    &mut b,
+                    "Paper",
+                    vec![Value::Int(pk), "t".into(), Value::Int(1)],
+                    s,
+                )
+                .unwrap();
+        }
+        batched.finish_scored_batch(b);
+        let batch_work = batched.access().maint().since(before);
+        assert_eq!(batch_work.posting_resorts, 1, "one settlement re-sort for the whole batch");
+        assert_eq!(batch_work.binary_inserts, 0, "re-sorting tables skip binary insertion");
+
+        let before = folded.access().maint();
+        for pk in 20..28 {
+            let s = (pk % 5) as f64;
+            folded
+                .insert_scored("Paper", vec![Value::Int(pk), "t".into(), Value::Int(1)], s)
+                .unwrap();
+        }
+        let fold_work = folded.access().maint().since(before);
+        assert!(
+            fold_work.posting_resorts > 1,
+            "the fold re-sorts mid-stream at this threshold: {fold_work:?}"
+        );
+        // Both end byte-identical regardless.
+        let paper = batched.table_id("Paper").unwrap();
+        let fk_col = batched.table(paper).schema.column_index("year_id").unwrap();
+        assert_eq!(
+            batched.table(paper).sorted_fk_index(fk_col).unwrap().rows(1),
+            folded.table(paper).sorted_fk_index(fk_col).unwrap().rows(1),
+        );
     }
 
     #[test]

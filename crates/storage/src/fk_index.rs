@@ -177,21 +177,22 @@ pub struct SortedLinkIndex {
 pub(crate) enum LinkTarget {
     /// NULL target FK: no pair, but the row counts toward the raw group.
     Null,
-    /// Non-NULL target FK with no matching row. The referenced row could
-    /// be inserted later — at which point the postings would silently
-    /// miss it while a live heap probe finds it — so a dangling target
-    /// poisons the whole orientation ([`SortedLinkIndex::build`] returns
-    /// `None`; the heap fallback serves it until a later install/re-sort
-    /// finds every reference resolved).
-    Dangling,
+    /// Non-NULL target FK (carrying the referenced pk) with no matching
+    /// row. The referenced row could be inserted later — at which point
+    /// the postings would silently miss it while a live heap probe finds
+    /// it — so a dangling target poisons the whole orientation
+    /// ([`SortedLinkIndex::build`] returns it as the error; the heap
+    /// fallback serves the orientation, and the caller watches the
+    /// missing endpoint so its arrival can heal).
+    Dangling(i64),
     /// Resolved target row.
     Row(RowId),
 }
 
 impl SortedLinkIndex {
-    /// Builds the index for one orientation of a junction table, or
-    /// `None` when any junction row's target FK dangles (see
-    /// [`LinkTarget::Dangling`]).
+    /// Builds the index for one orientation of a junction table, or the
+    /// first dangling target pk when any junction row's target FK dangles
+    /// (see [`LinkTarget::Dangling`]).
     ///
     /// `base` is the junction's hash FK index on the *source* column;
     /// `target_of` resolves a junction row's target; `target_score` gives
@@ -200,14 +201,14 @@ impl SortedLinkIndex {
         base: &HashMap<i64, Vec<RowId>>,
         target_of: &dyn Fn(RowId) -> LinkTarget,
         target_score: &dyn Fn(RowId) -> f64,
-    ) -> Option<SortedLinkIndex> {
+    ) -> Result<SortedLinkIndex, i64> {
         let mut postings = HashMap::with_capacity(base.len());
         for (&key, jrows) in base {
             let mut scored: Vec<(f64, RowId, RowId)> = Vec::with_capacity(jrows.len());
             for &j in jrows {
                 match target_of(j) {
                     LinkTarget::Null => {}
-                    LinkTarget::Dangling => return None,
+                    LinkTarget::Dangling(pk) => return Err(pk),
                     LinkTarget::Row(t) => scored.push((target_score(t), t, j)),
                 }
             }
@@ -215,7 +216,7 @@ impl SortedLinkIndex {
             let pairs = scored.into_iter().map(|(_, t, j)| (j, t)).collect();
             postings.insert(key, LinkPostings { pairs, raw_len: jrows.len() as u32 });
         }
-        Some(SortedLinkIndex { postings })
+        Ok(SortedLinkIndex { postings })
     }
 
     /// Binary-inserts a freshly appended junction row. `target` is `None`
@@ -359,12 +360,14 @@ mod tests {
         assert_eq!(idx.raw_group_len(7), rebuilt.raw_group_len(7));
 
         // A dangling (non-NULL, unresolvable) target poisons the build:
-        // the orientation is withheld and the heap path serves it.
+        // the orientation is withheld (the missing pk is reported so the
+        // caller can watch it) and the heap path serves it.
         let mut dangle: HashMap<i64, Vec<RowId>> = HashMap::new();
         dangle.insert(1, vec![RowId(0)]);
-        let poisoned = SortedLinkIndex::build(&dangle, &|_: RowId| LinkTarget::Dangling, &|t| {
-            tscores[t.index()]
-        });
-        assert!(poisoned.is_none());
+        let poisoned =
+            SortedLinkIndex::build(&dangle, &|_: RowId| LinkTarget::Dangling(42), &|t| {
+                tscores[t.index()]
+            });
+        assert_eq!(poisoned.err(), Some(42));
     }
 }

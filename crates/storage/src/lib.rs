@@ -34,8 +34,8 @@ pub mod text;
 pub mod topl;
 pub mod value;
 
-pub use access::{AccessCounter, AccessStats, ProbeStats};
-pub use database::{Database, TableId, TupleRef, DEFAULT_CHURN_THRESHOLD};
+pub use access::{AccessCounter, AccessStats, MaintStats, ProbeStats};
+pub use database::{Database, ScoredBatch, TableId, TupleRef, DEFAULT_CHURN_THRESHOLD};
 pub use epoch::Epoch;
 pub use error::StorageError;
 pub use fk_index::{FkOrderToken, SortedFkIndex, SortedLinkIndex};

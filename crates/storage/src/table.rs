@@ -52,6 +52,12 @@ pub struct Table {
     /// True while `installed_scores` mirrors `rows` (set by
     /// [`Table::build_sorted_fk`], cleared by the un-scored insert).
     scores_live: bool,
+    /// Postings parked by an open scored batch: staged rows are not yet
+    /// placed in them, so they must be unreachable (probes heap-fall-back
+    /// on the missing index) until `resume_postings` restores them for
+    /// settlement. A batch abandoned without settlement therefore degrades
+    /// to the conservative heap path instead of serving wrong prefixes.
+    suspended: Option<(HashMap<usize, SortedFkIndex>, HashMap<usize, SortedLinkIndex>)>,
     /// Mutation epoch of this table (bumped on every insert).
     epoch: Epoch,
     /// Scored inserts absorbed incrementally since the last full (re)sort
@@ -73,6 +79,7 @@ impl Table {
             sorted_links: HashMap::new(),
             installed_scores: Vec::new(),
             scores_live: false,
+            suspended: None,
             epoch: Epoch::default(),
             churn: 0,
         }
@@ -101,9 +108,11 @@ impl Table {
     pub fn insert(&mut self, values: Vec<Value>) -> Result<RowId> {
         let id = self.insert_validated(values)?;
         // The sorted postings were placed under a per-row score snapshot;
-        // a row without a score cannot join them, so both die together.
+        // a row without a score cannot join them, so both die together —
+        // including any copy parked by an open scored batch.
         self.sorted_fk.clear();
         self.sorted_links.clear();
+        self.suspended = None;
         self.installed_scores.clear();
         self.scores_live = false;
         self.epoch = self.epoch.next();
@@ -146,30 +155,34 @@ impl Table {
         Ok(id)
     }
 
-    /// Inserts a row whose installed importance is `score`, maintaining
-    /// the sorted FK postings incrementally: the new row is binary-
-    /// inserted into every affected posting list, so the prefix-scan fast
-    /// path stays live. Requires a live score snapshot
-    /// ([`Self::has_installed_scores`]); junction link postings are
-    /// maintained by the caller ([`crate::Database::insert_scored`]),
-    /// which owns the cross-table target lookups. Bumps the epoch and the
-    /// churn counter.
-    pub(crate) fn insert_scored_indexed(
-        &mut self,
-        values: Vec<Value>,
-        score: f64,
-    ) -> Result<RowId> {
+    /// Appends a row whose installed importance is `score` *without*
+    /// touching the sorted postings — the staged half of a scored insert.
+    /// The caller ([`crate::Database`]'s batch machinery) settles the
+    /// posting maintenance afterwards, either by per-row binary insertion
+    /// ([`Self::binary_insert_postings`]) or by one batched re-sort.
+    /// Requires a live score snapshot ([`Self::has_installed_scores`]).
+    /// Bumps the epoch and the churn counter.
+    pub(crate) fn insert_scored_staged(&mut self, values: Vec<Value>, score: f64) -> Result<RowId> {
         debug_assert!(self.has_installed_scores(), "caller checks the snapshot is live");
         let id = self.insert_validated(values)?;
         self.installed_scores.push(score);
+        self.epoch = self.epoch.next();
+        self.churn += 1;
+        Ok(id)
+    }
+
+    /// Binary-inserts a staged row into every affected sorted FK posting
+    /// list, keeping the prefix-scan fast path live. Junction link
+    /// postings are maintained by the caller
+    /// ([`crate::Database::finish_scored_batch`]), which owns the
+    /// cross-table target lookups.
+    pub(crate) fn binary_insert_postings(&mut self, id: RowId) {
+        let score = self.installed_scores[id.index()];
         for (&col, sorted) in self.sorted_fk.iter_mut() {
             if let Some(k) = self.rows[id.index()][col].as_int() {
                 sorted.insert_scored(k, id, score, &self.installed_scores);
             }
         }
-        self.epoch = self.epoch.next();
-        self.churn += 1;
-        Ok(id)
     }
 
     /// The row with the given id. Panics on out-of-range ids (they can only
@@ -255,6 +268,25 @@ impl Table {
     /// `col` (junction tables under a live installed order only).
     pub fn sorted_link_index(&self, col: usize) -> Option<&SortedLinkIndex> {
         self.sorted_links.get(&col)
+    }
+
+    /// Parks the sorted FK and link postings while a scored batch stages
+    /// rows (see the `suspended` field docs). Idempotent within a batch.
+    pub(crate) fn suspend_postings(&mut self) {
+        if self.suspended.is_none() {
+            self.suspended =
+                Some((std::mem::take(&mut self.sorted_fk), std::mem::take(&mut self.sorted_links)));
+        }
+    }
+
+    /// Restores postings parked by [`Self::suspend_postings`] for
+    /// settlement (a no-op when nothing is parked — e.g. an un-scored
+    /// insert killed the snapshot mid-batch).
+    pub(crate) fn resume_postings(&mut self) {
+        if let Some((fk, links)) = self.suspended.take() {
+            self.sorted_fk = fk;
+            self.sorted_links = links;
+        }
     }
 
     pub(crate) fn set_sorted_link(&mut self, col: usize, index: SortedLinkIndex) {

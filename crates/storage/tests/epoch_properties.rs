@@ -202,6 +202,95 @@ proptest! {
         prop_assert_eq!(token.epoch(), live.epoch());
     }
 
+    /// (b) Staged scored batches ([`Database::begin_scored_batch`])
+    /// settle byte-identically to the fold of single `insert_scored`
+    /// calls — same postings, link pairs, token stamp, and epoch — across
+    /// batch sizes and churn thresholds (including intra-batch junction
+    /// rows referencing children staged earlier in the same batch).
+    #[test]
+    fn scored_batches_settle_identically_to_the_fold(
+        ops in proptest::collection::vec(op_strategy(), 0..60),
+        batch_size in 1usize..9,
+        churn_threshold in (0u8..3).prop_map(|i| [1usize, 7, 1_000_000][i as usize]),
+    ) {
+        // Pre-resolve the accepted stream so both paths stage exactly the
+        // same rows in the same order.
+        let mut child_pks: std::collections::HashSet<i64> = [100, 101].into_iter().collect();
+        let mut rel_pks: std::collections::HashSet<i64> = [100].into_iter().collect();
+        let mut accepted: Vec<(&str, Vec<Value>, f64)> = Vec::new();
+        for op in &ops {
+            match *op {
+                Op::Child(pk, parent, s) => {
+                    if child_pks.insert(pk) {
+                        accepted.push((
+                            "Child",
+                            vec![Value::Int(pk), Value::Float(s), Value::Int(parent)],
+                            s,
+                        ));
+                    }
+                }
+                Op::Rel(pk, parent, child_pk, s) => {
+                    if child_pks.contains(&child_pk) && rel_pks.insert(pk) {
+                        accepted.push((
+                            "Rel",
+                            vec![Value::Int(pk), Value::Int(parent), Value::Int(child_pk)],
+                            s,
+                        ));
+                    }
+                }
+            }
+        }
+
+        let mut folded = fresh_db();
+        run_stream(&mut folded, &[], churn_threshold);
+        for (table, values, s) in &accepted {
+            folded.insert_scored(table, values.clone(), *s).unwrap();
+        }
+
+        let mut batched = fresh_db();
+        run_stream(&mut batched, &[], churn_threshold);
+        for chunk in accepted.chunks(batch_size) {
+            let mut b = batched.begin_scored_batch();
+            for (table, values, s) in chunk {
+                batched.insert_scored_staged(&mut b, table, values.clone(), *s).unwrap();
+            }
+            batched.finish_scored_batch(b);
+        }
+
+        prop_assert_eq!(batched.epoch(), folded.epoch());
+        prop_assert_eq!(
+            batched.fk_order().unwrap().epoch(),
+            folded.fk_order().unwrap().epoch(),
+            "token stamps diverge"
+        );
+        let child = folded.table_id("Child").unwrap();
+        let child_fk = folded.table(child).schema.column_index("parent_id").unwrap();
+        let rel = folded.table_id("Rel").unwrap();
+        let rel_parent = folded.table(rel).schema.column_index("parent_id").unwrap();
+        let rel_child = folded.table(rel).schema.column_index("child_id").unwrap();
+        for (tid, col) in [(child, child_fk), (rel, rel_parent), (rel, rel_child)] {
+            let a = batched.table(tid).sorted_fk_index(col).expect("settled");
+            let b = folded.table(tid).sorted_fk_index(col).expect("maintained");
+            for key in -1..128i64 {
+                prop_assert_eq!(
+                    a.rows(key), b.rows(key),
+                    "fk postings diverge: table {:?} col {} key {}", tid, col, key
+                );
+            }
+        }
+        for col in [rel_parent, rel_child] {
+            let a = batched.table(rel).sorted_link_index(col).expect("settled");
+            let b = folded.table(rel).sorted_link_index(col).expect("maintained");
+            for key in -1..128i64 {
+                prop_assert_eq!(
+                    a.pairs(key), b.pairs(key),
+                    "link pairs diverge: col {} key {}", col, key
+                );
+                prop_assert_eq!(a.raw_group_len(key), b.raw_group_len(key));
+            }
+        }
+    }
+
     /// (c) After any interleaving, the prefix-scan fast path and the heap
     /// fallback return identical rows with identical paper-cost
     /// accounting — and the fast path actually fires (probe mix).

@@ -25,6 +25,9 @@
 //! The workspace crates are re-exported here; see `DESIGN.md` for the
 //! paper-to-module map and `EXPERIMENTS.md` for the reproduction results.
 
+pub use sizel_cluster::{
+    ClusterConfig, ClusterError, ClusterRouter, ClusterStats, RefreshConfig, RefreshStats,
+};
 pub use sizel_core::algo::{
     AlgoKind, BottomUp, BruteForce, DpKnapsack, DpNaive, SizeLAlgorithm, SizeLResult, TopPath,
     TopPathOpt, WordBudgetDp,
@@ -47,7 +50,7 @@ pub use sizel_graph::{
     presets as gds_presets, AffinityModel, DataGraph, Gds, GdsConfig, SchemaGraph,
 };
 pub use sizel_serve::{
-    CacheStats, ServeConfig, ServerStats, SharedResult, SizeLServer, SummaryKey,
+    CacheStats, HotKey, ServeConfig, ServerStats, SharedResult, SizeLServer, SummaryKey,
 };
 
 pub use sizel_rank::{
