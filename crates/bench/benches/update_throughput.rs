@@ -1,9 +1,9 @@
-//! Update-workload throughput (ISSUE 4): a mixed insert/query stream
-//! against the epoch-versioned server, with the prefix-scan retention
-//! that motivates the incremental maintenance reported as a probe-mix
-//! ratio.
+//! Update-workload throughput (ISSUE 4, extended by ISSUE 6 to the full
+//! mutation model): a mixed mutation/query stream against the
+//! epoch-versioned server, with the prefix-scan retention that motivates
+//! the incremental maintenance reported as a probe-mix ratio.
 //!
-//! Three regimes over the same Database-source query workload (the one
+//! Five regimes over the same Database-source query workload (the one
 //! that actually drives TOP-l probes):
 //! * `query_only` — no mutations: the steady-state ceiling.
 //! * `mixed_incremental` — one incremental insert per batch: sorted
@@ -13,6 +13,13 @@
 //! * `mixed_exact` — one exact-refresh insert per batch: the escape
 //!   hatch's full re-derivation cost (power iteration + reinstall), as a
 //!   reference for what the incremental path avoids.
+//! * `churn_incremental` — inserts, a trailing rename, and a trailing
+//!   unlink-then-delete per batch (ISSUE 6): tombstone-then-compact
+//!   maintenance, keyword re-tokenization, and dangling-watch repair all
+//!   on the hot path; the probe mix must stay fast across the tombstones.
+//! * `churn_exact` — the same update/delete stream with the exact escape
+//!   hatch; the ≥3× gap against `churn_incremental` is the headline
+//!   number EXPERIMENTS.md §PR 6 records.
 //!
 //! `SIZEL_BENCH_FULL=1` uses more samples; the default keeps `cargo
 //! bench` fast.
@@ -67,19 +74,28 @@ fn workload() -> Vec<(String, QueryOptions)> {
 }
 
 /// Fresh-pk mutation source: each call yields one new author plus one
-/// junction row linking it to an existing paper.
+/// junction row linking it to an existing paper. Authors and junctions
+/// advance in lockstep, so author `first_author + k` owns junction
+/// `first_junction + k` — the invariant the churn stream's trailing
+/// unlink-then-delete relies on.
 struct MutationSource {
     next_author: AtomicI64,
     next_junction: AtomicI64,
+    first_author: i64,
+    first_junction: i64,
     paper_pk: i64,
 }
 
 impl MutationSource {
     fn new(engine: &SizeLEngine) -> Self {
         let db = engine.db();
+        let first_author = max_pk(db, "Author") + 1;
+        let first_junction = max_pk(db, "AuthorPaper") + 1;
         MutationSource {
-            next_author: AtomicI64::new(max_pk(db, "Author") + 1),
-            next_junction: AtomicI64::new(max_pk(db, "AuthorPaper") + 1),
+            next_author: AtomicI64::new(first_author),
+            next_junction: AtomicI64::new(first_junction),
+            first_author,
+            first_junction,
             paper_pk: max_pk(db, "Paper"),
         }
     }
@@ -94,6 +110,37 @@ impl MutationSource {
                 vec![Value::Int(j), Value::Int(a), Value::Int(self.paper_pk)],
             ),
         ]
+    }
+
+    /// The full-model churn batch (ISSUE 6): the insert pair, then —
+    /// once the stream is deep enough — a rename of the author two
+    /// batches back and the unlink-then-delete of the author four
+    /// batches back (junction first: the RESTRICT-legal order).
+    fn next_churn(&self) -> Vec<Mutation> {
+        let a = self.next_author.fetch_add(1, Ordering::Relaxed);
+        let j = self.next_junction.fetch_add(1, Ordering::Relaxed);
+        let mut ms = vec![
+            Mutation::insert("Author", vec![Value::Int(a), format!("Churn Author{a}").into()]),
+            Mutation::insert(
+                "AuthorPaper",
+                vec![Value::Int(j), Value::Int(a), Value::Int(self.paper_pk)],
+            ),
+        ];
+        let renamed = a - 2;
+        if renamed >= self.first_author {
+            ms.push(Mutation::update(
+                "Author",
+                renamed,
+                vec![Value::Int(renamed), format!("Churn Author{renamed} Revised").into()],
+            ));
+        }
+        let retired = a - 4;
+        if retired >= self.first_author {
+            let junction = self.first_junction + (retired - self.first_author);
+            ms.push(Mutation::delete("AuthorPaper", junction));
+            ms.push(Mutation::delete("Author", retired));
+        }
+        ms
     }
 }
 
@@ -176,6 +223,68 @@ fn bench_update_throughput(c: &mut Criterion) {
         b.iter(|| {
             for m in muts.next() {
                 server.apply(m.exact()).expect("exact apply");
+            }
+            criterion::black_box(server.batch_query(set));
+        });
+    });
+    drop(server);
+
+    // Full-model churn, incremental: inserts + renames + deletes per
+    // batch; tombstones accumulate and compact, and the probe mix must
+    // stay fast regardless.
+    let engine = build_engine();
+    let server = SizeLServer::from_shared(
+        Arc::clone(&engine),
+        ServeConfig {
+            workers: 2,
+            queue_capacity: set.len(),
+            cache_capacity: 0,
+            cache_shards: 4,
+            ..ServeConfig::default()
+        },
+    );
+    let muts = MutationSource::new(&server.engine());
+    engine.read().unwrap().db().access().reset();
+    group.bench_with_input(BenchmarkId::new("churn_incremental", 5), &set, |b, set| {
+        b.iter(|| {
+            for m in muts.next_churn() {
+                server.apply(m).expect("incremental churn apply");
+            }
+            criterion::black_box(server.batch_query(set));
+        });
+    });
+    let probes = {
+        let e = engine.read().unwrap();
+        e.db().access().probes()
+    };
+    eprintln!(
+        "update_throughput: churn stream probe mix fast={} heap={} (fast ratio {:.3} across \
+         update/delete tombstones)",
+        probes.fast,
+        probes.heap,
+        probes.fast_ratio()
+    );
+    drop(server);
+
+    // Full-model churn, exact escape hatch: the re-derivation cost the
+    // incremental delete/update path avoids (EXPERIMENTS.md §PR 6 pins
+    // the ≥3× gap).
+    let engine = build_engine();
+    let server = SizeLServer::from_shared(
+        Arc::clone(&engine),
+        ServeConfig {
+            workers: 2,
+            queue_capacity: set.len(),
+            cache_capacity: 0,
+            cache_shards: 4,
+            ..ServeConfig::default()
+        },
+    );
+    let muts = MutationSource::new(&server.engine());
+    group.bench_with_input(BenchmarkId::new("churn_exact", 5), &set, |b, set| {
+        b.iter(|| {
+            for m in muts.next_churn() {
+                server.apply(m.exact()).expect("exact churn apply");
             }
             criterion::black_box(server.batch_query(set));
         });

@@ -5,11 +5,11 @@
 //! One background thread per cluster watches the shards' mutation epochs.
 //! When an epoch moves (the router signals after every apply; a fallback
 //! interval sweep catches anything else), the worker asks each moved
-//! shard to [`rewarm`](sizel_serve::SizeLServer::rewarm_hottest) its
-//! hottest summary keys under a per-pass **budget** — so the cache
-//! entries a write just purged are recomputed *before* steady-state
-//! readers of those keys arrive, and the refresh cost is bounded per
-//! epoch bump rather than proportional to the cache.
+//! shard to [`rewarm`](sizel_serve::SizeLServer::rewarm_hottest_auto)
+//! its hottest summary keys under a skew-derived, capped **budget** — so
+//! the cache entries a write just purged are recomputed *before*
+//! steady-state readers of those keys arrive, and the refresh cost is
+//! bounded per epoch bump rather than proportional to the cache.
 //!
 //! Freshness-correctness is inherited, not re-proven: the re-warm runs
 //! under a shard read lock and keys every entry by the epoch read under
@@ -30,8 +30,11 @@ use sizel_storage::Epoch;
 /// Continual-refresh configuration.
 #[derive(Clone, Debug)]
 pub struct RefreshConfig {
-    /// Hottest keys recomputed per shard per epoch bump (the refresh
-    /// budget; what it does not cover is demand-filled as before).
+    /// Cap on hottest keys recomputed per shard per epoch bump. The
+    /// actual per-pass budget is derived from the observed hot-key skew
+    /// (`rewarm_hottest_auto`: the smallest sketch head covering 90% of
+    /// the counted lookup mass, clamped to this cap) — what it does not
+    /// cover is demand-filled as before.
     pub budget: usize,
     /// Fallback sweep interval: the worker re-checks shard epochs at
     /// least this often even without a router signal.
@@ -106,7 +109,7 @@ impl RefreshWorker {
                     for (i, shard) in shards.iter().enumerate() {
                         let epoch = shard.epoch();
                         if epoch != last[i] {
-                            let warmed = shard.rewarm_hottest(cfg.budget);
+                            let warmed = shard.rewarm_hottest_auto(cfg.budget);
                             shared.rewarmed_keys.fetch_add(warmed as u64, Ordering::Relaxed);
                             last[i] = epoch;
                         }

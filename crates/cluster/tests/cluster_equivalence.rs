@@ -31,7 +31,10 @@ fn test_cluster_config(refresh: bool) -> ClusterConfig {
 }
 
 /// Batches of mutations with intra-batch references (junction rows
-/// naming authors/papers created earlier in the same batch).
+/// naming authors/papers created earlier in the same batch), ending in a
+/// mixed batch (ISSUE 6): a retitle, a rename-then-delete chained behind
+/// the junction delete that frees the row, and a fresh insert — all in
+/// one settlement.
 fn mutation_batches(e: &SizeLEngine) -> Vec<Vec<Mutation>> {
     let (a, p, j) =
         (max_pk(e.db(), "Author"), max_pk(e.db(), "Paper"), max_pk(e.db(), "AuthorPaper"));
@@ -62,6 +65,17 @@ fn mutation_batches(e: &SizeLEngine) -> Vec<Vec<Mutation>> {
                 vec![Value::Int(j + 3), Value::Int(a + 2), Value::Int(p + 1)],
             ),
         ],
+        vec![
+            Mutation::update(
+                "Paper",
+                p + 1,
+                vec![Value::Int(p + 1), "veldt summaries reiterated".into(), Value::Int(year_pk)],
+            ),
+            Mutation::update("Author", a + 2, vec![Value::Int(a + 2), "Brann Quillfeather".into()]),
+            Mutation::delete("AuthorPaper", j + 3),
+            Mutation::delete("Author", a + 2),
+            Mutation::insert("Author", vec![Value::Int(a + 3), "Mirelle Stroud".into()]),
+        ],
     ]
 }
 
@@ -69,7 +83,7 @@ fn mutation_batches(e: &SizeLEngine) -> Vec<Vec<Mutation>> {
 /// rankings.
 fn query_set(existing: &str) -> Vec<(String, QueryOptions)> {
     let mut set = Vec::new();
-    for kw in [existing, "Quorra", "Veldt", "Brann", "veldt"] {
+    for kw in [existing, "Quorra", "Veldt", "Brann", "veldt", "Oxley", "reiterated", "Mirelle"] {
         for (prelim, source) in
             [(true, OsSource::DataGraph), (false, OsSource::DataGraph), (true, OsSource::Database)]
         {
@@ -225,7 +239,8 @@ fn multi_tenant_mode_isolates_tenants_and_groups_batches() {
     ));
     assert!(matches!(cluster.apply_batch(vec![]), Err(ClusterError::WrongMode(_))));
 
-    // A grouped batch routes each tenant's mutations to its own shard.
+    // A mixed grouped batch (inserts, an update, a delete) routes each
+    // tenant's mutations to its own shard, in order.
     let (a, p, j) = {
         let e = cluster.shard(0).engine();
         (max_pk(e.db(), "Author"), max_pk(e.db(), "Paper"), max_pk(e.db(), "AuthorPaper"))
@@ -247,17 +262,33 @@ fn multi_tenant_mode_isolates_tenants_and_groups_batches() {
                 "globex".into(),
                 Mutation::insert("Author", vec![Value::Int(a + 1), "Globex Author".into()]),
             ),
+            (
+                "globex".into(),
+                Mutation::insert("Author", vec![Value::Int(a + 2), "Globex Temp".into()]),
+            ),
+            (
+                "acme".into(),
+                Mutation::update(
+                    "Author",
+                    a + 1,
+                    vec![Value::Int(a + 1), "Acme Author Prime".into()],
+                ),
+            ),
+            ("globex".into(), Mutation::delete("Author", a + 2)),
         ])
         .expect("grouped batch applies");
     assert_eq!(epochs.len(), 2, "one epoch per touched tenant");
 
-    // Isolation: each tenant sees its own writes and nobody else's.
+    // Isolation: each tenant sees its own writes — updates and deletes
+    // included — and nobody else's.
     let opts = QueryOptions { l: 8, ..Default::default() };
     let acme = cluster.query_tenant("acme", "Acme", opts).unwrap();
     assert_eq!(acme.len(), 1);
+    assert_eq!(cluster.query_tenant("acme", "Prime", opts).unwrap().len(), 1, "update landed");
     assert!(cluster.query_tenant("acme", "Globex", opts).unwrap().is_empty());
     let globex = cluster.query_tenant("globex", "Globex", opts).unwrap();
     assert_eq!(globex.len(), 1);
+    assert!(cluster.query_tenant("globex", "Temp", opts).unwrap().is_empty(), "delete landed");
     assert!(cluster.query_tenant("globex", "Acme", opts).unwrap().is_empty());
 
     // Each tenant's answers equal a sequential engine given the same
@@ -270,6 +301,13 @@ fn multi_tenant_mode_isolates_tenants_and_groups_batches() {
         .apply(Mutation::insert(
             "AuthorPaper",
             vec![Value::Int(j + 1), Value::Int(a + 1), Value::Int(p)],
+        ))
+        .unwrap();
+    acme_baseline
+        .apply(Mutation::update(
+            "Author",
+            a + 1,
+            vec![Value::Int(a + 1), "Acme Author Prime".into()],
         ))
         .unwrap();
     assert_eq!(fingerprint(&acme), fingerprint(&acme_baseline.query_with("Acme", opts)));

@@ -111,11 +111,16 @@ pub struct QueryResult {
 /// mutation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum RefreshPolicy {
-    /// Splice an estimated global importance for the appended row
-    /// (`sizel_rank::estimate_appended_score`, with its documented
-    /// approximation bound), binary-maintain the sorted postings, and
-    /// re-stamp the FK-order token — no power iteration, no posting
-    /// re-sort, no GDS/keyword rebuild.
+    /// Maintain everything in place: estimated global importance for the
+    /// mutated row (`sizel_rank::estimate_appended_score` for inserts,
+    /// `sizel_rank::estimate_updated_score_with` for updates, each with
+    /// its documented approximation bound), sorted postings
+    /// binary-maintained (inserts/updates) or tombstoned-then-compacted
+    /// (deletes), keyword postings retokenized, and the FK-order token
+    /// re-stamped — no power iteration, no GDS/keyword rebuild. After
+    /// update/delete churn, [`SizeLEngine::reiterate`] recovers
+    /// near-exact scores with a few bounded power sweeps instead of the
+    /// exact escape hatch.
     #[default]
     Incremental,
     /// The exact escape hatch: re-derive everything (power iteration,
@@ -124,24 +129,76 @@ pub enum RefreshPolicy {
     Exact,
 }
 
-/// One write operation against a live engine. Constructed via
-/// [`Mutation::insert`]; the policy defaults to incremental and can be
-/// switched with [`Mutation::exact`].
+/// One write operation against a live engine — an insert, an in-place
+/// update, or a delete. Constructed via [`Mutation::insert`],
+/// [`Mutation::update`], or [`Mutation::delete`]; the policy defaults to
+/// incremental and can be switched with [`Mutation::exact`].
 #[derive(Clone, Debug)]
 pub struct Mutation {
     /// Target table name.
     pub table: String,
-    /// The new row's values (validated like [`Database::insert`], plus
-    /// FK existence against the catalog before anything is mutated).
-    pub values: Vec<Value>,
+    /// The operation.
+    pub op: MutationOp,
     /// Refresh strategy for the derived state.
     pub policy: RefreshPolicy,
+}
+
+/// The three mutation kinds flowing through [`SizeLEngine::apply`].
+#[derive(Clone, Debug)]
+pub enum MutationOp {
+    /// Append a new row (validated like [`Database::insert`], plus FK
+    /// existence against the catalog before anything is mutated).
+    Insert {
+        /// The new row's values.
+        values: Vec<Value>,
+    },
+    /// Replace the values of the live row with primary key `pk`; its
+    /// sorted-posting entries reposition to the updated score. The
+    /// primary key itself is immutable
+    /// ([`StorageError::ImmutablePrimaryKey`]).
+    Update {
+        /// Primary key of the row to update.
+        pk: i64,
+        /// The full replacement values (same arity as the schema).
+        values: Vec<Value>,
+    },
+    /// Tombstone the live row with primary key `pk` (storage reclaims the
+    /// posting entries at the compaction threshold). The model is
+    /// RESTRICT, not CASCADE: a row still referenced by live rows is
+    /// rejected with [`StorageError::RestrictedDelete`] — a dangling
+    /// reference would poison the data graph.
+    Delete {
+        /// Primary key of the row to delete.
+        pk: i64,
+    },
 }
 
 impl Mutation {
     /// An insert refreshed incrementally.
     pub fn insert(table: impl Into<String>, values: Vec<Value>) -> Self {
-        Mutation { table: table.into(), values, policy: RefreshPolicy::Incremental }
+        Mutation {
+            table: table.into(),
+            op: MutationOp::Insert { values },
+            policy: RefreshPolicy::Incremental,
+        }
+    }
+
+    /// An in-place update refreshed incrementally.
+    pub fn update(table: impl Into<String>, pk: i64, values: Vec<Value>) -> Self {
+        Mutation {
+            table: table.into(),
+            op: MutationOp::Update { pk, values },
+            policy: RefreshPolicy::Incremental,
+        }
+    }
+
+    /// A delete refreshed incrementally.
+    pub fn delete(table: impl Into<String>, pk: i64) -> Self {
+        Mutation {
+            table: table.into(),
+            op: MutationOp::Delete { pk },
+            policy: RefreshPolicy::Incremental,
+        }
     }
 
     /// Switches this mutation to the exact-recompute escape hatch.
@@ -250,8 +307,26 @@ impl SizeLEngine {
         match m.policy {
             RefreshPolicy::Exact => {
                 let tid = self.db.table_id(&m.table)?;
-                self.validate_new_row_fks(tid, &m.values)?;
-                self.db.insert(&m.table, m.values)?;
+                match m.op {
+                    MutationOp::Insert { values } => {
+                        self.validate_new_row_fks(tid, &values)?;
+                        self.db.insert(&m.table, values)?;
+                    }
+                    MutationOp::Update { pk, values } => {
+                        self.validate_new_row_fks(tid, &values)?;
+                        self.db.update(&m.table, pk, values)?;
+                    }
+                    MutationOp::Delete { pk } => {
+                        if let Some(rt) = self.db.find_referencer(tid, pk).map(str::to_owned) {
+                            return Err(StorageError::RestrictedDelete {
+                                table: m.table,
+                                key: pk,
+                                referencing_table: rt,
+                            });
+                        }
+                        self.db.delete(&m.table, pk)?;
+                    }
+                }
                 let derived = Self::derive(&mut self.db, &self.sg, self.ga.as_ref(), &self.cfg)?;
                 let Derived { dg, authority, scores, gds_by_table, links_by_table, kw } = derived;
                 self.dg = dg;
@@ -304,24 +379,39 @@ impl SizeLEngine {
         Ok(self.db.epoch())
     }
 
-    /// The shared incremental engine path: stages a run of inserts with
-    /// estimated scores, then refreshes every derived structure once (see
-    /// [`SizeLEngine::apply_batch`]). A run of one is exactly the classic
-    /// incremental apply.
+    /// The shared incremental engine path: stages a run of mixed-kind
+    /// mutations with estimated scores, then refreshes every derived
+    /// structure once (see [`SizeLEngine::apply_batch`]). A run of one is
+    /// exactly the classic incremental apply.
+    ///
+    /// Fold equivalence for the mixed kinds rests on three pieces of
+    /// bookkeeping. The score resolver serves exactly the vector the fold
+    /// would have built up at each step: pre-run tuples from the current
+    /// scores, rows appended by this run from `appended`, and rows
+    /// *updated* by this run from `overrides` (which wins over both — a
+    /// row inserted then updated in one run must gather at its re-estimate,
+    /// not its insert estimate). Keyword retokenization removes a row's
+    /// old tokens at mutation time (captured before the staged update
+    /// replaces the slot) and adds final tokens once at settlement;
+    /// removal of never-indexed tokens is a no-op, which collapses any
+    /// intra-run token history to the same final postings as the fold.
+    /// And deletes drop the row from the pending keyword adds, so a row
+    /// born and killed in one run is never indexed.
     fn apply_incremental_run(&mut self, run: Vec<Mutation>) -> Result<(), StorageError> {
         if run.is_empty() {
             return Ok(());
         }
         let old_len: Vec<usize> = self.db.tables().map(|(_, t)| t.len()).collect();
-        // Estimated scores of the rows this run appended, per table — the
-        // resolver below serves intra-run references from it, mirroring
-        // the fold's spliced vector.
         let mut appended: Vec<Vec<f64>> = vec![Vec::new(); old_len.len()];
+        let mut overrides: std::collections::HashMap<TupleRef, f64> =
+            std::collections::HashMap::new();
         let mut spliced: Vec<(TupleRef, f64)> = Vec::with_capacity(run.len());
+        let mut kw_add: Vec<TupleRef> = Vec::new();
+        let mut landed = false;
         let mut batch = self.db.begin_scored_batch();
         let mut failure: Option<StorageError> = None;
         for m in run {
-            let Mutation { table, values, .. } = m;
+            let Mutation { table, op, .. } = m;
             let tid = match self.db.table_id(&table) {
                 Ok(t) => t,
                 Err(e) => {
@@ -329,56 +419,161 @@ impl SizeLEngine {
                     break;
                 }
             };
-            if let Err(e) = self.validate_new_row_fks(tid, &values) {
-                failure = Some(e);
-                break;
-            }
-            let est = sizel_rank::estimate_appended_score_with(
-                &self.db,
-                &self.sg,
-                &self.authority,
-                &self.cfg.rank,
-                &|t: TupleRef| {
-                    let old = old_len[t.table.index()];
-                    if t.row.index() < old {
-                        self.scores.global(self.dg.node_id(t))
-                    } else {
-                        appended[t.table.index()][t.row.index() - old]
+            match op {
+                MutationOp::Insert { values } => {
+                    if let Err(e) = self.validate_new_row_fks(tid, &values) {
+                        failure = Some(e);
+                        break;
                     }
-                },
-                tid,
-                &values,
-            );
-            match self.db.insert_scored_staged(&mut batch, &table, values, est) {
-                Ok(row) => {
-                    appended[tid.index()].push(est);
-                    spliced.push((TupleRef::new(tid, row), est));
+                    let est = sizel_rank::estimate_appended_score_with(
+                        &self.db,
+                        &self.sg,
+                        &self.authority,
+                        &self.cfg.rank,
+                        &|t: TupleRef| {
+                            if let Some(&s) = overrides.get(&t) {
+                                return s;
+                            }
+                            let old = old_len[t.table.index()];
+                            if t.row.index() < old {
+                                self.scores.global(self.dg.node_id(t))
+                            } else {
+                                appended[t.table.index()][t.row.index() - old]
+                            }
+                        },
+                        tid,
+                        &values,
+                    );
+                    match self.db.insert_scored_staged(&mut batch, &table, values, est) {
+                        Ok(row) => {
+                            let tref = TupleRef::new(tid, row);
+                            appended[tid.index()].push(est);
+                            spliced.push((tref, est));
+                            kw_add.push(tref);
+                            landed = true;
+                        }
+                        Err(e) => {
+                            failure = Some(e);
+                            break;
+                        }
+                    }
                 }
-                Err(e) => {
-                    failure = Some(e);
-                    break;
+                MutationOp::Update { pk, values } => {
+                    if let Err(e) = self.validate_new_row_fks(tid, &values) {
+                        failure = Some(e);
+                        break;
+                    }
+                    let Some(row) = self.db.table(tid).by_pk(pk) else {
+                        failure = Some(StorageError::MissingRow { table, key: pk });
+                        break;
+                    };
+                    let tref = TupleRef::new(tid, row);
+                    let old_values: Vec<Value> = {
+                        let t = self.db.table(tid);
+                        (0..t.schema.arity()).map(|c| t.value(row, c).clone()).collect()
+                    };
+                    let est = sizel_rank::estimate_updated_score_with(
+                        &self.db,
+                        &self.sg,
+                        &self.authority,
+                        &self.cfg.rank,
+                        &|t: TupleRef| {
+                            if let Some(&s) = overrides.get(&t) {
+                                return s;
+                            }
+                            let old = old_len[t.table.index()];
+                            if t.row.index() < old {
+                                self.scores.global(self.dg.node_id(t))
+                            } else {
+                                appended[t.table.index()][t.row.index() - old]
+                            }
+                        },
+                        tid,
+                        &old_values,
+                        &values,
+                    );
+                    match self.db.update_scored_staged(&mut batch, &table, pk, values, est) {
+                        Ok(_) => {
+                            self.kw.remove_row(tid, row, &self.db.table(tid).schema, &old_values);
+                            overrides.insert(tref, est);
+                            if !kw_add.contains(&tref) {
+                                kw_add.push(tref);
+                            }
+                            landed = true;
+                        }
+                        Err(e) => {
+                            failure = Some(e);
+                            break;
+                        }
+                    }
+                }
+                MutationOp::Delete { pk } => {
+                    if let Some(rt) = self.db.find_referencer(tid, pk).map(str::to_owned) {
+                        failure = Some(StorageError::RestrictedDelete {
+                            table,
+                            key: pk,
+                            referencing_table: rt,
+                        });
+                        break;
+                    }
+                    let Some(row) = self.db.table(tid).by_pk(pk) else {
+                        failure = Some(StorageError::MissingRow { table, key: pk });
+                        break;
+                    };
+                    let tref = TupleRef::new(tid, row);
+                    let old_values: Vec<Value> = {
+                        let t = self.db.table(tid);
+                        (0..t.schema.arity()).map(|c| t.value(row, c).clone()).collect()
+                    };
+                    match self.db.delete_scored_staged(&mut batch, &table, pk) {
+                        Ok(_) => {
+                            self.kw.remove_row(tid, row, &self.db.table(tid).schema, &old_values);
+                            kw_add.retain(|&t| t != tref);
+                            landed = true;
+                        }
+                        Err(e) => {
+                            failure = Some(e);
+                            break;
+                        }
+                    }
                 }
             }
         }
         self.db.finish_scored_batch(batch);
-        if !spliced.is_empty() {
-            // Dense node ids shift behind the insertion points; rebuild
-            // the adjacency index once for the whole run and splice every
-            // score at its final slot. This is the O(|E|) linear part of
-            // an incremental apply — amortized here, where the fold pays
-            // it per insert (and what both avoid is the power iteration:
-            // hundreds of O(|E|) sweeps).
+        if landed {
+            // Any landed mutation invalidates the adjacency index: inserts
+            // shift dense node ids, updates re-home FK edges, deletes
+            // detach them. One rebuild covers the whole run — the O(|E|)
+            // linear part of an incremental apply, amortized here where
+            // the fold pays it per mutation (and what both avoid is the
+            // power iteration: hundreds of O(|E|) sweeps).
             self.dg = DataGraph::build(&self.db, &self.sg);
-            sizel_rank::splice_appended_scores(
-                &mut self.scores,
-                &self.dg,
-                &spliced,
-                self.db.fk_order(),
-            );
+            if spliced.is_empty() {
+                // Updates and deletes keep every node id; only adopt the
+                // re-stamped order token.
+                self.scores.fk_order = self.db.fk_order();
+            } else {
+                sizel_rank::splice_appended_scores(
+                    &mut self.scores,
+                    &self.dg,
+                    &spliced,
+                    self.db.fk_order(),
+                );
+            }
+            // Updated rows adopt their re-estimates at (unchanged) node
+            // ids, overriding the insert estimate for rows appended by
+            // this same run — the vector the fold leaves. Deleted rows
+            // keep a stale entry no reader resolves: the keyword index no
+            // longer returns them and `by_pk` no longer finds them.
+            for (&t, &est) in &overrides {
+                self.scores.scores[self.dg.node_id(t).index()] = est;
+                let mx = &mut self.scores.per_table_max[t.table.index()];
+                *mx = mx.max(est);
+            }
             for gds in self.gds_by_table.iter_mut().flatten() {
                 gds.set_stats(&self.scores.per_table_max);
             }
-            for &(t, _) in &spliced {
+            for &t in &kw_add {
                 self.kw.add_row(&self.db, t.table, t.row);
             }
             for (i, links) in self.links_by_table.iter_mut().enumerate() {
@@ -394,12 +589,58 @@ impl SizeLEngine {
         }
     }
 
+    /// Runs the bounded rank re-iteration ([`sizel_rank::reiterate`]) and
+    /// re-installs the importance order under the refreshed scores: a few
+    /// power sweeps over the current database, seeded from the
+    /// incrementally-maintained (stale) score vector. This is the
+    /// replacement for the exact-rebuild escape hatch after update/delete
+    /// churn — the sweeps recover near-exact global importance (≤ 1%
+    /// relative L1 after three sweeps on the reference fixture, pinned by
+    /// the rank suite) at a constant number of `O(|E|)` passes instead of
+    /// the full power iteration, and without the GDS/keyword rebuilds of
+    /// [`RefreshPolicy::Exact`]. The epoch advances so serving layers
+    /// drop cache entries computed under the superseded scores.
+    pub fn reiterate(&mut self, sweeps: u32) -> Epoch {
+        let mut scores = sizel_rank::reiterate(
+            &self.db,
+            &self.sg,
+            &self.dg,
+            &self.authority,
+            &self.cfg.rank,
+            &self.scores,
+            sweeps,
+        );
+        self.db.bump_epoch();
+        sizel_rank::install_importance_order(&mut self.db, &self.dg, &mut scores);
+        self.scores = scores;
+        for gds in self.gds_by_table.iter_mut().flatten() {
+            gds.set_stats(&self.scores.per_table_max);
+        }
+        self.db.epoch()
+    }
+
+    /// Whether a tuple is live (not tombstoned by a delete) — serving
+    /// layers consult this before re-warming cached summaries whose TDS
+    /// may have died.
+    pub fn is_live(&self, t: TupleRef) -> bool {
+        self.db.table(t.table).is_live(t.row)
+    }
+
     /// Passes the per-table churn bound through to the owned database
     /// (see [`Database::set_churn_threshold`]): above it, a scored batch
     /// settles by one full posting re-sort instead of per-row binary
     /// insertion.
     pub fn set_churn_threshold(&mut self, threshold: usize) {
         self.db.set_churn_threshold(threshold);
+    }
+
+    /// Passes the tombstone-compaction bound through to the owned
+    /// database (see [`Database::set_compaction_threshold`]): a scored
+    /// batch whose settled deletes leave more than this many dead
+    /// posting entries in a table triggers one compaction re-sort of
+    /// that table's postings.
+    pub fn set_compaction_threshold(&mut self, threshold: usize) {
+        self.db.set_compaction_threshold(threshold);
     }
 
     /// Checks that a prospective row has the right arity and that every

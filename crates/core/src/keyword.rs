@@ -70,6 +70,43 @@ impl KeywordIndex {
         }
     }
 
+    /// Un-indexes one row of a covered table given the values it held (a
+    /// no-op for uncovered tables). Callers pass the values explicitly
+    /// because an update replaces the slot before the settlement point
+    /// where the index catches up — the engine captures them first. Tokens
+    /// whose posting was never added (e.g. a row inserted and updated
+    /// within one batch, whose intermediate values never reached the
+    /// index) are skipped harmlessly, which is exactly what makes the
+    /// batched remove/add schedule land on the same final postings as the
+    /// per-mutation fold. Emptied postings are dropped so vocabulary size
+    /// tracks live tokens.
+    pub fn remove_row(
+        &mut self,
+        table: TableId,
+        row: sizel_storage::RowId,
+        schema: &sizel_storage::TableSchema,
+        values: &[sizel_storage::Value],
+    ) {
+        if !self.indexed_tables.contains(&table) {
+            return;
+        }
+        let tref = TupleRef::new(table, row);
+        for c in schema.searchable_columns() {
+            if let Some(s) = values[c].as_str() {
+                for tok in text::tokenize(s) {
+                    if let Some(list) = self.postings.get_mut(&tok) {
+                        if let Ok(pos) = list.binary_search(&tref) {
+                            list.remove(pos);
+                        }
+                        if list.is_empty() {
+                            self.postings.remove(&tok);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Tables covered by this index.
     pub fn indexed_tables(&self) -> &[TableId] {
         &self.indexed_tables
@@ -161,6 +198,24 @@ mod tests {
         assert_eq!(idx.indexed_tables(), &[d.author]);
         let hits = idx.search("declustering");
         assert!(hits.iter().all(|t| t.table == d.author));
+    }
+
+    #[test]
+    fn remove_row_retokenizes_and_tolerates_absent_tokens() {
+        let (d, mut idx) = index();
+        let hit = idx.search("Christos Faloutsos")[0];
+        let schema = &d.db.table(d.author).schema;
+        let values: Vec<sizel_storage::Value> =
+            (0..schema.arity()).map(|c| d.db.table(d.author).value(hit.row, c).clone()).collect();
+        idx.remove_row(d.author, hit.row, schema, &values);
+        assert!(idx.search("Christos Faloutsos").is_empty(), "removed row no longer hits");
+        assert_eq!(idx.search("Faloutsos").len(), 2, "the brothers keep their postings");
+        // Removing values that were never indexed is a harmless no-op,
+        // and emptied postings drop out of the vocabulary.
+        let vocab = idx.vocabulary_size();
+        idx.remove_row(d.author, hit.row, schema, &values);
+        assert_eq!(idx.vocabulary_size(), vocab);
+        assert!(idx.search("Christos").is_empty(), "token with no remaining rows is gone");
     }
 
     #[test]

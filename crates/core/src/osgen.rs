@@ -14,7 +14,7 @@ use sizel_graph::{DataGraph, Direction, Gds, GdsNode, GdsNodeId, JoinSpec, MnLin
 use sizel_rank::RankScores;
 use sizel_storage::{Database, FkOrderToken, TupleRef};
 
-use crate::os::{Os, OsArenaPool};
+use crate::os::{FetchScratch, Os, OsArenaPool};
 
 /// Where OS generation reads tuples from.
 /// `Hash` because the serving layer's cache key includes the source.
@@ -175,7 +175,8 @@ impl<'a> OsContext<'a> {
     /// pushed into the probe (the `SELECT * TOP l ... AND Ri.li >
     /// largest-l` form), so the access counter sees one probe and only the
     /// returned rows; in data-graph mode the same filter runs against the
-    /// in-memory index.
+    /// in-memory index. All working memory comes from `scratch` (pooled by
+    /// the generation loops), so warm probes are allocation-free.
     #[allow(clippy::too_many_arguments)]
     pub fn children_of_top_l(
         &self,
@@ -185,6 +186,7 @@ impl<'a> OsContext<'a> {
         source: OsSource,
         l: usize,
         largest_l: f64,
+        scratch: &mut FetchScratch,
         out: &mut Vec<TupleRef>,
     ) {
         let node = self.gds.node(child);
@@ -195,9 +197,19 @@ impl<'a> OsContext<'a> {
                 let li = |r: sizel_storage::RowId| {
                     self.local_importance(child, TupleRef::new(e.from, r))
                 };
-                for r in
-                    self.db.select_eq_top_l(e.from, e.fk_col, pk, l, largest_l, self.fk_order, &li)
-                {
+                scratch.rows.clear();
+                self.db.select_eq_top_l_into(
+                    e.from,
+                    e.fk_col,
+                    pk,
+                    l,
+                    largest_l,
+                    self.fk_order,
+                    &li,
+                    &mut scratch.row_topl,
+                    &mut scratch.rows,
+                );
+                for &r in &scratch.rows {
                     out.push(TupleRef::new(e.from, r));
                 }
             }
@@ -237,7 +249,8 @@ impl<'a> OsContext<'a> {
                 if l > 0 && self.fk_order.is_some() && self.fk_order == self.db.fk_order() {
                     if let Some(link) = jt.sorted_link_index(e1.fk_col) {
                         self.db.access().record_join(link.raw_group_len(pk));
-                        let mut kept: Vec<(f64, TupleRef)> = Vec::with_capacity(l);
+                        let kept = &mut scratch.tuple_topl.staged;
+                        kept.clear();
                         for &(_, t) in link.pairs(pk) {
                             let tuple = TupleRef::new(e2.to, t);
                             let w = self.local_importance(child, tuple);
@@ -252,10 +265,10 @@ impl<'a> OsContext<'a> {
                             }
                             kept.push((w, tuple));
                         }
-                        let scored = sizel_storage::top_l(kept, l);
-                        self.db.access().record_join(scored.len());
+                        let before = out.len();
+                        scratch.tuple_topl.rank_staged_into(l, out);
+                        self.db.access().record_join(out.len() - before);
                         self.db.access().record_fast_probe();
-                        out.extend(scored.into_iter().map(|(_, t)| t));
                         return;
                     }
                 }
@@ -266,7 +279,8 @@ impl<'a> OsContext<'a> {
                 self.db.access().record_join(jrows.len());
                 self.db.access().record_heap_probe();
                 let target = self.db.table(e2.to);
-                let scored = sizel_storage::top_l(
+                let before = out.len();
+                scratch.tuple_topl.select_into(
                     jrows.iter().filter_map(|&j| {
                         let k = jt.value(j, e2.fk_col).as_int()?;
                         let r = target.by_pk(k)?;
@@ -278,23 +292,24 @@ impl<'a> OsContext<'a> {
                         (w > largest_l).then_some((w, tuple))
                     }),
                     l,
+                    out,
                 );
-                self.db.access().record_join(scored.len());
-                out.extend(scored.into_iter().map(|(_, t)| t));
+                self.db.access().record_join(out.len() - before);
             }
             _ => {
                 // Data-graph mode, and the Forward (N:1) database step
                 // whose result is at most one row: fetch then filter.
-                let mut all = Vec::new();
-                self.children_of(child, parent_tuple, grandparent, source, &mut all);
-                let scored = sizel_storage::top_l(
-                    all.into_iter().filter_map(|t| {
+                let FetchScratch { all, tuple_topl, .. } = scratch;
+                all.clear();
+                self.children_of(child, parent_tuple, grandparent, source, all);
+                tuple_topl.select_into(
+                    all.drain(..).filter_map(|t| {
                         let w = self.local_importance(child, t);
                         (w > largest_l).then_some((w, t))
                     }),
                     l,
+                    out,
                 );
-                out.extend(scored.into_iter().map(|(_, t)| t));
             }
         }
     }

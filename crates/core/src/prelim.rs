@@ -71,7 +71,7 @@ pub fn generate_prelim_pooled(
     // high-water mark, so a cold one-shot arena skips the doubling ladder
     // (warm pooled arenas keep their own capacity; ROADMAP nit from PR 3).
     let mut os = pool.acquire_with_capacity(4 * l);
-    let OsArenaPool { queue, buf, .. } = pool;
+    let OsArenaPool { queue, buf, fetch, .. } = pool;
     queue.clear();
     buf.clear();
     let root_w = ctx.local_importance(ctx.gds.root(), tds);
@@ -109,7 +109,7 @@ pub fn generate_prelim_pooled(
                 // Avoidance Condition 2: fruitful-l relation — extract at
                 // most l tuples with li > largest-l.
                 stats.cond2_probes += 1;
-                fetch_top_l(ctx, g_child, u_tuple, grandparent, l, largest_l, source, buf);
+                fetch_top_l(ctx, g_child, u_tuple, grandparent, l, largest_l, source, fetch, buf);
             } else {
                 stats.full_joins += 1;
                 ctx.children_of(g_child, u_tuple, grandparent, source, buf);
@@ -144,9 +144,10 @@ fn fetch_top_l(
     l: usize,
     largest_l: f64,
     source: OsSource,
+    scratch: &mut crate::os::FetchScratch,
     out: &mut Vec<TupleRef>,
 ) {
-    ctx.children_of_top_l(g_child, parent, grandparent, source, l, largest_l, out);
+    ctx.children_of_top_l(g_child, parent, grandparent, source, l, largest_l, scratch, out);
 }
 
 #[cfg(test)]

@@ -142,17 +142,17 @@ fn generate_os_steady_state_does_zero_allocations() {
         "summarize allocation count must be steady, got {per_call:?}"
     );
     eprintln!("alloc_guard: warm summarize allocates {} times per call", per_call[0]);
-    // Measured 57/call on this fixture after ISSUE 5's scratch-reuse pass
+    // Measured 10/call on this fixture after ISSUE 6's fetch-buffer pass
     // (was 125 when the size-l algorithms allocated their DP/greedy
-    // working sets per call; the thread-local `AlgoScratch` removed
-    // those). What remains is the returned QueryResult's own buffers plus
-    // the prelim probes' bounded top-l collection vectors (ROADMAP
-    // follow-up). The cap guards against per-call scratch — or a
-    // per-query derived-state rebuild — creeping back into the serving
-    // path.
+    // working sets per call, 57 after ISSUE 5's thread-local
+    // `AlgoScratch`; pooling the TOP-l probe buffers — `FetchScratch`
+    // through `select_eq_top_l_into` and the junction scans — removed the
+    // rest). What remains is the returned QueryResult's own buffers. The
+    // cap guards against per-call scratch — or a per-query derived-state
+    // rebuild — creeping back into the serving path.
     assert!(
-        per_call[0] <= 80,
-        "summarize allocated {} times per call (measured baseline 57) — per-call scratch \
+        per_call[0] <= 16,
+        "summarize allocated {} times per call (measured baseline 10) — per-call scratch \
          crept back into the serving path",
         per_call[0]
     );

@@ -20,7 +20,8 @@ pub mod presets;
 
 pub use authority::{AuthorityGraph, ValueFunction};
 pub use power::{
-    compute, estimate_appended_score, estimate_appended_score_with, install_importance_order,
-    splice_appended_score, splice_appended_scores, RankConfig, RankScores,
+    compute, estimate_appended_score, estimate_appended_score_with, estimate_updated_score_with,
+    install_importance_order, reiterate, splice_appended_score, splice_appended_scores, RankConfig,
+    RankScores,
 };
 pub use presets::{dblp_ga, tpch_ga, GaPreset, D1, D2, D3};

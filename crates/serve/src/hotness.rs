@@ -103,6 +103,44 @@ impl<K: Hash + Eq + Clone> HotSketch<K> {
         entries.into_iter().map(|(k, _)| k).collect()
     }
 
+    /// The smallest ranked head of the sketch covering at least
+    /// `fraction` of its total counted mass — a pure read (unlike
+    /// [`HotSketch::hottest`], it does not age the counts).
+    ///
+    /// This is how the refresh worker derives its re-warm budget from the
+    /// *observed* skew instead of a fixed constant: a zipf-shaped
+    /// workload concentrates its mass in a short head (the famous-subject
+    /// regime the sketch is built for), so the budget tracks the size of
+    /// the actual hot set — a handful of keys under heavy skew, most of
+    /// the sketch under a flat workload — rather than over- or
+    /// under-warming by a constant. Returns 0 for an empty sketch.
+    pub fn mass_cover(&self, fraction: f64) -> usize {
+        let s = self.inner.lock().expect("sketch poisoned");
+        let total: u64 = s.counts.values().sum();
+        if total == 0 {
+            return 0;
+        }
+        let mut counts: Vec<u64> = s.counts.values().copied().collect();
+        counts.sort_unstable_by_key(|&c| std::cmp::Reverse(c));
+        let target = (fraction.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return i + 1;
+            }
+        }
+        counts.len()
+    }
+
+    /// Drops a key from the sketch. Hot keys deliberately survive epoch
+    /// bumps, but a key whose subject row was *deleted* can never be
+    /// served again at any epoch — the refresh worker forgets it instead
+    /// of re-warming a dead summary forever.
+    pub fn forget(&self, key: &K) {
+        self.inner.lock().expect("sketch poisoned").counts.remove(key);
+    }
+
     /// Number of tracked keys.
     pub fn len(&self) -> usize {
         self.inner.lock().expect("sketch poisoned").counts.len()
@@ -178,6 +216,49 @@ mod tests {
             }
         }
         assert!(overtaken, "a shifted workload must displace the stale head");
+    }
+
+    #[test]
+    fn mass_cover_tracks_zipf_skew_without_aging() {
+        // A zipf(2)-shaped stream over 32 keys: key k recorded
+        // max(⌊256/k²⌋, 1) times (the floor keeps every key tracked). The
+        // head is heavily concentrated, so covering 90% of the mass needs
+        // far fewer keys than the sketch tracks — and a flat stream needs
+        // nearly all of them.
+        let s: HotSketch<u32> = HotSketch::new(64);
+        for k in 1..=32u32 {
+            for _ in 0..(256 / (k * k)).max(1) {
+                s.record(k);
+            }
+        }
+        let head = s.mass_cover(0.9);
+        assert!((1..16).contains(&head), "zipf mass concentrates in a short head, got {head}");
+        // Pure read: no aging, so the ranking and the cover are stable.
+        assert_eq!(s.mass_cover(0.9), head);
+        assert_eq!(s.mass_cover(1.0), 32, "full cover needs every tracked key");
+        assert_eq!(s.mass_cover(0.0), 1, "any positive target needs at least the top key");
+
+        let flat: HotSketch<u32> = HotSketch::new(64);
+        for k in 0..20u32 {
+            for _ in 0..10 {
+                flat.record(k);
+            }
+        }
+        assert_eq!(flat.mass_cover(0.9), 18, "a flat workload has no head to exploit");
+        assert_eq!(HotSketch::<u32>::new(8).mass_cover(0.9), 0, "empty sketch covers nothing");
+    }
+
+    #[test]
+    fn forget_drops_a_key_for_good() {
+        let s: HotSketch<u32> = HotSketch::new(8);
+        for _ in 0..9 {
+            s.record(7);
+        }
+        s.record(8);
+        s.forget(&7);
+        assert_eq!(s.hottest(8), vec![8]);
+        s.forget(&99); // unknown keys are a no-op
+        assert_eq!(s.len(), 1);
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub mod queue;
 pub use cache::{CacheStats, ShardedCache};
 pub use hotness::HotSketch;
 pub use queue::BoundedQueue;
-pub use sizel_core::engine::{Mutation, RefreshPolicy};
+pub use sizel_core::engine::{Mutation, MutationOp, RefreshPolicy};
 
 /// The cache key: the engine's mutation epoch plus everything
 /// [`SizeLEngine::summarize`] depends on. `ranking` is deliberately
@@ -365,9 +365,17 @@ impl SizeLServer {
     pub fn rewarm_hottest(&self, budget: usize) -> usize {
         let keys = self.hot.hottest(budget);
         let mut warmed = 0usize;
-        for (tds, l, algo, prelim, source) in keys {
+        for hk in keys {
+            let (tds, l, algo, prelim, source) = hk;
             let opts = QueryOptions { l, algo, prelim, source, ranking: ResultRanking::default() };
             let engine = self.engine.read().expect("a mutation panicked mid-apply");
+            // Hot keys deliberately survive epoch bumps — but a key whose
+            // subject row was deleted can never be served again at any
+            // epoch. Forget it instead of re-warming a dead summary.
+            if !engine.is_live(tds) {
+                self.hot.forget(&hk);
+                continue;
+            }
             let key = summary_key(engine.epoch(), tds, opts);
             if self.cache.get(&key).is_none() {
                 let computed: SharedResult = Arc::new(engine.summarize(tds, opts));
@@ -377,6 +385,17 @@ impl SizeLServer {
         }
         self.rewarmed.fetch_add(warmed as u64, Ordering::Relaxed);
         warmed
+    }
+
+    /// [`SizeLServer::rewarm_hottest`] with the budget derived from the
+    /// sketch's observed count skew instead of a fixed constant: the
+    /// smallest ranked head covering 90% of lookup mass
+    /// ([`HotSketch::mass_cover`]), clamped to `[1, cap]`. A zipf-shaped
+    /// workload re-warms just its short hot head; a flat one spends the
+    /// whole cap.
+    pub fn rewarm_hottest_auto(&self, cap: usize) -> usize {
+        let budget = self.hot.mass_cover(0.9).clamp(1, cap.max(1));
+        self.rewarm_hottest(budget)
     }
 
     /// The up-to-`n` hottest summary keys observed by the sketch.

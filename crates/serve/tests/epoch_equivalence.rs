@@ -1,8 +1,10 @@
-//! The update-workload equivalence oracle (ISSUE 4, satellite b): an
-//! interleaved insert/query stream against [`SizeLServer`] must produce
+//! The mutation-workload equivalence oracle (ISSUE 4, satellite b;
+//! extended by ISSUE 6 to the full insert/update/delete model): an
+//! interleaved mutation/query stream against [`SizeLServer`] must produce
 //! summaries **byte-identical to a freshly rebuilt sequential engine at
 //! each epoch** — the cache, keyed by the mutation epoch, must never
-//! serve a summary computed against superseded data.
+//! serve a summary computed against superseded data, including summaries
+//! whose rows were renamed or deleted mid-stream.
 //!
 //! Three angles:
 //! * `exact_stream_*` — exact-policy applies, compared per epoch against
@@ -21,16 +23,20 @@ use std::sync::{Arc, Barrier};
 
 use sizel_core::engine::{QueryOptions, SizeLEngine};
 use sizel_datagen::dblp::DblpConfig;
-use sizel_serve::{Mutation, ServeConfig, SizeLServer};
+use sizel_serve::{Mutation, MutationOp, ServeConfig, SizeLServer};
 use sizel_storage::Value;
 
 mod common;
 use common::{build_engine, engine_config, fingerprint, generate_dblp, seq_fingerprint};
 use sizel_core::test_fixtures::max_pk;
 
-/// The mutation script: two new authors, linked into existing papers,
-/// plus a fresh paper for one of them. Pure function of the base engine.
-fn mutation_script(engine: &SizeLEngine) -> Vec<(String, Vec<Value>)> {
+/// The mutation script: two new authors linked into existing papers and a
+/// fresh paper (the ISSUE 4 insert prefix), then the ISSUE 6 suffix — a
+/// paper retitle, an author rename, two junction deletes, and finally the
+/// delete of the renamed author once nothing references it. Quorra Veldt
+/// keeps one junction throughout, so a live summary survives the churn.
+/// Pure function of the base engine.
+fn mutation_script(engine: &SizeLEngine) -> Vec<Mutation> {
     let db = engine.db();
     let (author, paper, junction) =
         (max_pk(db, "Author"), max_pk(db, "Paper"), max_pk(db, "AuthorPaper"));
@@ -40,29 +46,45 @@ fn mutation_script(engine: &SizeLEngine) -> Vec<(String, Vec<Value>)> {
         t.pk_of(sizel_storage::RowId(0))
     };
     vec![
-        ("Author".into(), vec![Value::Int(author + 1), "Quorra Veldt".into()]),
-        (
-            "AuthorPaper".into(),
+        Mutation::insert("Author", vec![Value::Int(author + 1), "Quorra Veldt".into()]),
+        Mutation::insert(
+            "AuthorPaper",
             vec![Value::Int(junction + 1), Value::Int(author + 1), Value::Int(paper)],
         ),
-        ("Author".into(), vec![Value::Int(author + 2), "Brann Oxley".into()]),
-        (
-            "Paper".into(),
+        Mutation::insert("Author", vec![Value::Int(author + 2), "Brann Oxley".into()]),
+        Mutation::insert(
+            "Paper",
             vec![Value::Int(paper + 1), "veldt summaries revisited".into(), Value::Int(year_pk)],
         ),
-        (
-            "AuthorPaper".into(),
+        Mutation::insert(
+            "AuthorPaper",
             vec![Value::Int(junction + 2), Value::Int(author + 2), Value::Int(paper + 1)],
         ),
-        (
-            "AuthorPaper".into(),
+        Mutation::insert(
+            "AuthorPaper",
             vec![Value::Int(junction + 3), Value::Int(author + 1), Value::Int(paper + 1)],
         ),
+        // -- ISSUE 6: updates re-tokenize, deletes retire rows -----------
+        Mutation::update(
+            "Paper",
+            paper + 1,
+            vec![Value::Int(paper + 1), "veldt summaries reiterated".into(), Value::Int(year_pk)],
+        ),
+        Mutation::update(
+            "Author",
+            author + 2,
+            vec![Value::Int(author + 2), "Brann Quillfeather".into()],
+        ),
+        Mutation::delete("AuthorPaper", junction + 3),
+        Mutation::delete("AuthorPaper", junction + 2),
+        Mutation::delete("Author", author + 2),
     ]
 }
 
-/// Queries covering pre-existing and freshly inserted DSs, both tuple
-/// sources, prelim and complete inputs.
+/// Queries covering pre-existing, freshly inserted, renamed, and deleted
+/// DSs, both tuple sources, prelim and complete inputs. Keywords whose
+/// rows die mid-stream ("Oxley", then "Quillfeather") must go dark at the
+/// right epoch — an empty answer is a fingerprinted answer too.
 fn query_set(engine: &SizeLEngine) -> Vec<(String, QueryOptions)> {
     let existing = {
         let tid = engine.db().table_id("Author").unwrap();
@@ -71,7 +93,16 @@ fn query_set(engine: &SizeLEngine) -> Vec<(String, QueryOptions)> {
         name.split(' ').next().unwrap().to_owned()
     };
     let mut set = Vec::new();
-    for kw in [existing.as_str(), "Quorra", "Veldt", "Brann", "veldt"] {
+    for kw in [
+        existing.as_str(),
+        "Quorra",
+        "Veldt",
+        "Brann",
+        "veldt",
+        "Oxley",
+        "Quillfeather",
+        "reiterated",
+    ] {
         for (prelim, source) in [
             (true, sizel_core::osgen::OsSource::DataGraph),
             (false, sizel_core::osgen::OsSource::DataGraph),
@@ -81,6 +112,24 @@ fn query_set(engine: &SizeLEngine) -> Vec<(String, QueryOptions)> {
         }
     }
     set
+}
+
+/// Replays an applied prefix through the plain storage API (the oracle's
+/// database takes the same mutations by kind, minus scoring).
+fn replay(d: &mut sizel_datagen::dblp::Dblp, applied: &[Mutation]) {
+    for m in applied {
+        match &m.op {
+            MutationOp::Insert { values } => {
+                d.db.insert(&m.table, values.clone()).unwrap();
+            }
+            MutationOp::Update { pk, values } => {
+                d.db.update(&m.table, *pk, values.clone()).unwrap();
+            }
+            MutationOp::Delete { pk } => {
+                d.db.delete(&m.table, *pk).unwrap();
+            }
+        }
+    }
 }
 
 #[test]
@@ -101,14 +150,12 @@ fn exact_stream_is_byte_identical_to_fresh_rebuild_at_each_epoch() {
         (mutation_script(&e), query_set(&e))
     };
 
-    let mut applied: Vec<(String, Vec<Value>)> = Vec::new();
+    let mut applied: Vec<Mutation> = Vec::new();
     for step in 0..=script.len() {
         // Oracle: a sequential engine rebuilt from scratch over an
         // identically-mutated database.
         let mut d = generate_dblp(&cfg);
-        for (table, values) in &applied {
-            d.db.insert(table, values.clone()).unwrap();
-        }
+        replay(&mut d, &applied);
         let oracle = SizeLEngine::build(
             d.db,
             |db, sg, dg| sizel_rank::dblp_ga(sizel_rank::GaPreset::Ga1, db, sg, dg),
@@ -130,12 +177,11 @@ fn exact_stream_is_byte_identical_to_fresh_rebuild_at_each_epoch() {
             }
         }
 
-        if let Some((table, values)) = script.get(step) {
+        if let Some(m) = script.get(step) {
             let before = server.epoch();
-            let after =
-                server.apply(Mutation::insert(table.clone(), values.clone()).exact()).unwrap();
+            let after = server.apply(m.clone().exact()).unwrap();
             assert!(after > before, "apply must advance the epoch");
-            applied.push((table.clone(), values.clone()));
+            applied.push(m.clone());
         }
     }
     let stats = server.stats();
@@ -170,11 +216,11 @@ fn incremental_stream_matches_its_engine_and_never_serves_stale_entries() {
                 assert_eq!(fingerprint(&got), want, "step {step}: {kw:?} {opts:?}");
             }
         }
-        if let Some((table, values)) = script.get(step) {
+        if let Some(m) = script.get(step) {
             let computed_before = server.stats().summaries_computed;
             let hit_kw = &set[0];
             let _ = server.query(&hit_kw.0, hit_kw.1); // cached at the old epoch
-            server.apply(Mutation::insert(table.clone(), values.clone())).unwrap();
+            server.apply(m.clone()).unwrap();
             let _ = server.query(&hit_kw.0, hit_kw.1);
             let computed_after = server.stats().summaries_computed;
             assert!(
@@ -184,10 +230,15 @@ fn incremental_stream_matches_its_engine_and_never_serves_stale_entries() {
         }
     }
 
-    // The inserted authors are served with real summaries.
+    // The surviving inserted author is served with a real summary; the
+    // deleted one (and its pre-rename token) went dark.
     let quorra = server.query("Quorra", QueryOptions { l: 8, ..Default::default() });
     assert_eq!(quorra.len(), 1);
     assert!(quorra[0].summary.len() > 1, "the junction rows joined the summary");
+    for gone in ["Oxley", "Quillfeather"] {
+        let hits = server.query(gone, QueryOptions { l: 8, ..Default::default() });
+        assert!(hits.is_empty(), "{gone:?} must stop matching once the row is renamed/deleted");
+    }
 }
 
 #[test]
@@ -227,8 +278,8 @@ fn concurrent_queries_during_mutations_always_observe_a_consistent_epoch() {
 
     barrier.wait();
     let mut legal = vec![seq_fingerprint(&server.engine(), &probe.0, probe.1)];
-    for (table, values) in &script {
-        server.apply(Mutation::insert(table.clone(), values.clone())).unwrap();
+    for m in &script {
+        server.apply(m.clone()).unwrap();
         legal.push(seq_fingerprint(&server.engine(), &probe.0, probe.1));
     }
     for client in clients {

@@ -27,6 +27,7 @@ pub struct AccessCounter {
     posting_resorts: AtomicU64,
     link_rebuilds: AtomicU64,
     binary_inserts: AtomicU64,
+    compactions: AtomicU64,
 }
 
 /// A snapshot of the TOP-l probe mix.
@@ -72,6 +73,11 @@ pub struct MaintStats {
     /// Rows absorbed by per-posting binary insertion (the incremental
     /// maintenance path below the churn threshold).
     pub binary_inserts: u64,
+    /// Tombstone-compaction passes: full per-table posting rebuilds
+    /// triggered by the dead-entry debt crossing the compaction
+    /// threshold (deletes/updates only; at most one per table per
+    /// settled batch).
+    pub compactions: u64,
 }
 
 impl MaintStats {
@@ -82,6 +88,7 @@ impl MaintStats {
             posting_resorts: self.posting_resorts - earlier.posting_resorts,
             link_rebuilds: self.link_rebuilds - earlier.link_rebuilds,
             binary_inserts: self.binary_inserts - earlier.binary_inserts,
+            compactions: self.compactions - earlier.compactions,
         }
     }
 }
@@ -147,6 +154,11 @@ impl AccessCounter {
         self.binary_inserts.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one tombstone-compaction pass.
+    pub fn record_compaction(&self) {
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Current maintenance-work values.
     pub fn maint(&self) -> MaintStats {
         MaintStats {
@@ -154,6 +166,7 @@ impl AccessCounter {
             posting_resorts: self.posting_resorts.load(Ordering::Relaxed),
             link_rebuilds: self.link_rebuilds.load(Ordering::Relaxed),
             binary_inserts: self.binary_inserts.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
         }
     }
 
@@ -175,6 +188,7 @@ impl AccessCounter {
         self.posting_resorts.store(0, Ordering::Relaxed);
         self.link_rebuilds.store(0, Ordering::Relaxed);
         self.binary_inserts.store(0, Ordering::Relaxed);
+        self.compactions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -226,10 +240,17 @@ mod tests {
         c.record_link_rebuild();
         c.record_binary_insert();
         c.record_binary_insert();
+        c.record_compaction();
         let delta = c.maint().since(before);
         assert_eq!(
             delta,
-            MaintStats { graph_builds: 1, posting_resorts: 1, link_rebuilds: 1, binary_inserts: 2 }
+            MaintStats {
+                graph_builds: 1,
+                posting_resorts: 1,
+                link_rebuilds: 1,
+                binary_inserts: 2,
+                compactions: 1
+            }
         );
         // Maintenance work is not the paper's I/O cost unit.
         assert_eq!(c.snapshot(), AccessStats::default());

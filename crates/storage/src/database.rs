@@ -17,6 +17,11 @@ use crate::Result;
 /// [`Database::set_churn_threshold`]).
 pub const DEFAULT_CHURN_THRESHOLD: usize = 4096;
 
+/// Dead posting entries a table's sorted FK postings carry before a
+/// settlement triggers a compaction pass (see
+/// [`Database::set_compaction_threshold`]).
+pub const DEFAULT_COMPACTION_THRESHOLD: usize = 1024;
+
 /// A table identifier (dense index into the catalog).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TableId(pub u16);
@@ -44,36 +49,87 @@ impl TupleRef {
     }
 }
 
-/// A handle staging several scored inserts whose sorted-posting
-/// maintenance is settled in **one** pass
-/// ([`Database::finish_scored_batch`]): per affected table, either every
-/// staged row binary-inserts, or — above the churn threshold — one
-/// re-sort absorbs the whole batch, instead of potentially several
-/// mid-stream re-sorts when the same rows arrive one
-/// [`Database::insert_scored`] at a time. While the batch is open the
-/// affected tables' postings are suspended, so probes conservatively
-/// heap-fall-back rather than scan prefixes missing the staged rows.
-///
-/// The settled end state is byte-identical to folding
-/// [`Database::insert_scored`] over the same rows in the same order
-/// (property-tested at every churn threshold).
+/// One mutation staged in a [`ScoredBatch`], with the posting keys it
+/// touches captured *at staging time* — settlement replays the ops in
+/// order, and a row mutated more than once per batch has a different key
+/// set at each step than its final values suggest.
 #[derive(Debug)]
-#[must_use = "settle with Database::finish_scored_batch or staged rows never re-join the sorted postings"]
+pub enum StagedOp {
+    /// A scored insert awaiting binary posting insertion.
+    Insert {
+        /// The inserted row.
+        target: (TableId, RowId),
+        /// `(fk column, key)` posting entries the row held *at insert
+        /// time* (a later in-batch update may have moved it since).
+        keys: Vec<(usize, i64)>,
+    },
+    /// A scored update awaiting a reposition (remove under the old keys,
+    /// re-insert at the new score under the new keys).
+    Update {
+        /// The rewritten row.
+        target: (TableId, RowId),
+        /// `(fk column, key)` posting entries the row held before this op.
+        old_keys: Vec<(usize, i64)>,
+        /// `(fk column, key)` posting entries the row holds after this op.
+        new_keys: Vec<(usize, i64)>,
+        /// The row's new installed importance.
+        score: f64,
+    },
+    /// A scored delete: the row's posting entries stay behind as
+    /// tombstones (counted toward the compaction debt).
+    Delete {
+        /// The tombstoned row.
+        target: (TableId, RowId),
+        /// `(fk column, key)` posting entries the row leaves behind.
+        keys: Vec<(usize, i64)>,
+    },
+}
+
+impl StagedOp {
+    /// The `(table, row)` this op targets.
+    pub fn target(&self) -> (TableId, RowId) {
+        match *self {
+            StagedOp::Insert { target, .. }
+            | StagedOp::Update { target, .. }
+            | StagedOp::Delete { target, .. } => target,
+        }
+    }
+}
+
+/// A handle staging several scored mutations (inserts, updates, deletes)
+/// whose sorted-posting maintenance is settled in **one** pass
+/// ([`Database::finish_scored_batch`]): per affected table, either every
+/// staged op replays incrementally (binary insert / reposition /
+/// tombstone), or — above the churn threshold — one re-sort absorbs the
+/// whole batch, instead of potentially several mid-stream re-sorts when
+/// the same ops arrive one [`Database::insert_scored`] /
+/// [`Database::update_scored`] / [`Database::delete_scored`] at a time.
+/// Junction link postings touched by any update/delete are rebuilt once
+/// per batch, and at most one tombstone compaction per table runs at the
+/// end. While the batch is open the affected tables' postings are
+/// suspended, so probes conservatively heap-fall-back rather than scan
+/// prefixes missing the staged ops.
+///
+/// The settled end state serves queries byte-identically to folding the
+/// single-op calls in the same order (property-tested at every churn and
+/// compaction threshold); only compaction *timing* may differ, which is
+/// invisible to probes (tombstones are skipped) and to accounting.
+#[derive(Debug)]
+#[must_use = "settle with Database::finish_scored_batch or staged ops never re-join the sorted postings"]
 pub struct ScoredBatch {
-    /// Rows that took the maintained path, in insertion order
-    /// (plain-insert fallbacks need no settlement).
-    staged: Vec<(TableId, RowId)>,
+    /// Ops that took the maintained path, in arrival order (plain
+    /// fallbacks need no settlement).
+    staged: Vec<StagedOp>,
     /// Tables whose postings were suspended at first touch.
     touched: Vec<TableId>,
-    /// Epoch of the last staged (maintained) insert — the stamp the
-    /// settled [`FkOrderToken`] carries, exactly as the fold would leave
-    /// it.
+    /// Epoch of the last staged (maintained) op — the stamp the settled
+    /// [`FkOrderToken`] carries, exactly as the fold would leave it.
     last_scored_epoch: Option<Epoch>,
 }
 
 impl ScoredBatch {
-    /// Rows staged so far (maintained path only), in insertion order.
-    pub fn staged(&self) -> &[(TableId, RowId)] {
+    /// Ops staged so far (maintained path only), in arrival order.
+    pub fn staged(&self) -> &[StagedOp] {
         &self.staged
     }
 }
@@ -88,10 +144,13 @@ pub struct Database {
     /// The currently installed importance order, if any (see
     /// [`crate::fk_index`]).
     fk_order: Option<FkOrderToken>,
-    /// Global mutation epoch: bumped on every insert into any table.
+    /// Global mutation epoch: bumped on every mutation of any table.
     epoch: Epoch,
     /// Per-table churn bound before the epoch-batched posting re-sort.
     churn_threshold: usize,
+    /// Per-table dead-entry bound before a settlement compacts the
+    /// sorted FK postings.
+    compaction_threshold: usize,
     /// Missing junction-link endpoints: `(target table, pk)` → the
     /// junction tables whose link postings were dropped because a scored
     /// insert referenced that not-yet-existing row. When the endpoint
@@ -110,6 +169,7 @@ impl Default for Database {
             fk_order: None,
             epoch: Epoch::default(),
             churn_threshold: DEFAULT_CHURN_THRESHOLD,
+            compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
             dangling_watch: HashMap::new(),
         }
     }
@@ -121,9 +181,19 @@ impl Database {
         Database::default()
     }
 
-    /// The global mutation epoch (bumped on every insert; see
+    /// The global mutation epoch (bumped on every mutation; see
     /// [`crate::epoch`]).
     pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Advances the global epoch without touching any row. For derived
+    /// state that downstream caches key on but that can change out of band
+    /// of a row mutation — e.g. a re-ranked importance vector after a
+    /// bounded rank re-iteration: entries computed under the superseded
+    /// scores must stop being served even though no tuple moved.
+    pub fn bump_epoch(&mut self) -> Epoch {
+        self.epoch = self.epoch.next();
         self.epoch
     }
 
@@ -140,6 +210,23 @@ impl Database {
     /// The current churn bound.
     pub fn churn_threshold(&self) -> usize {
         self.churn_threshold
+    }
+
+    /// Sets the per-table tombstone bound: once a settlement leaves more
+    /// than this many dead entries in a table's sorted FK postings, the
+    /// settlement ends with one compaction pass (a full rebuild from the
+    /// live-only hash indexes) for that table. Probes are oblivious —
+    /// tombstones are skipped during prefix scans and invisible to
+    /// accounting — so the threshold only trades scan overhead
+    /// (`O(dead)` skipped entries worst case) against periodic
+    /// `O(Σ g log g)` rebuilds. `0` compacts on every settling delete.
+    pub fn set_compaction_threshold(&mut self, threshold: usize) {
+        self.compaction_threshold = threshold;
+    }
+
+    /// The current tombstone bound.
+    pub fn compaction_threshold(&self) -> usize {
+        self.compaction_threshold
     }
 
     /// Registers a table; names must be unique.
@@ -189,6 +276,50 @@ impl Database {
         Ok(row)
     }
 
+    /// Rewrites the live row with primary key `pk` in place (the legacy
+    /// *un-scored* path — drops the table's sorted postings like
+    /// [`Database::insert`]; see [`Database::update_scored`] for the
+    /// maintained path). The pk itself is immutable. Bumps the table's
+    /// and the global epoch.
+    pub fn update(&mut self, table: &str, pk: i64, values: Vec<Value>) -> Result<RowId> {
+        let id = self.table_id(table)?;
+        let row = self.tables[id.index()].update(pk, values)?;
+        self.epoch = self.epoch.next();
+        Ok(row)
+    }
+
+    /// Tombstones the live row with primary key `pk` (the legacy
+    /// *un-scored* path — see [`Database::delete_scored`] for the
+    /// maintained path). The row slot and its `RowId` survive; the row
+    /// becomes invisible to iteration, hash indexes, and `by_pk`.
+    /// Referential integrity is *not* checked here (mirroring
+    /// [`Database::insert`], which defers FK existence to
+    /// [`Database::validate_foreign_keys`]); the engine layer rejects
+    /// deletes that would strand live referencers. Bumps the table's and
+    /// the global epoch.
+    pub fn delete(&mut self, table: &str, pk: i64) -> Result<RowId> {
+        let id = self.table_id(table)?;
+        let row = self.tables[id.index()].delete(pk)?;
+        self.epoch = self.epoch.next();
+        Ok(row)
+    }
+
+    /// Finds a live row still referencing `(target, pk)` through any FK,
+    /// returning the referencing table's name — the engine's RESTRICT
+    /// check before a delete (a tombstoned row with live referencers
+    /// would dangle their FKs).
+    pub fn find_referencer(&self, target: TableId, pk: i64) -> Option<&str> {
+        let target_name = &self.table(target).schema.name;
+        for (_, t) in self.tables() {
+            for fk in &t.schema.fks {
+                if fk.ref_table == *target_name && !t.rows_where_eq(fk.column, pk).is_empty() {
+                    return Some(&t.schema.name);
+                }
+            }
+        }
+        None
+    }
+
     /// Inserts a row whose installed global importance is `score`,
     /// *maintaining* the importance order instead of invalidating it: the
     /// row is binary-inserted into every affected sorted FK posting list
@@ -206,6 +337,45 @@ impl Database {
     pub fn insert_scored(&mut self, table: &str, values: Vec<Value>, score: f64) -> Result<RowId> {
         let mut batch = self.begin_scored_batch();
         let row = self.insert_scored_staged(&mut batch, table, values, score);
+        self.finish_scored_batch(batch);
+        row
+    }
+
+    /// Rewrites a live row while *maintaining* the importance order: the
+    /// row's posting entries are removed under its old keys and
+    /// re-inserted at `score` under its new keys, at the exact positions
+    /// a from-scratch install would use; junction link postings whose
+    /// target importance the update staled are rebuilt. A batch of one —
+    /// see [`Database::update_scored_staged`].
+    ///
+    /// Falls back to the plain [`Database::update`] when no live
+    /// importance order covers the table.
+    pub fn update_scored(
+        &mut self,
+        table: &str,
+        pk: i64,
+        values: Vec<Value>,
+        score: f64,
+    ) -> Result<RowId> {
+        let mut batch = self.begin_scored_batch();
+        let row = self.update_scored_staged(&mut batch, table, pk, values, score);
+        self.finish_scored_batch(batch);
+        row
+    }
+
+    /// Tombstones a live row while *maintaining* the importance order:
+    /// the row's sorted-posting entries stay behind as skipped-over
+    /// tombstones until the compaction threshold purges them; junction
+    /// link postings that referenced the row as a target are rebuilt
+    /// (dropping to the heap fallback and watching the endpoint when the
+    /// reference now dangles — the PR 5 dangling watch run in reverse).
+    /// A batch of one — see [`Database::delete_scored_staged`].
+    ///
+    /// Falls back to the plain [`Database::delete`] when no live
+    /// importance order covers the table.
+    pub fn delete_scored(&mut self, table: &str, pk: i64) -> Result<RowId> {
+        let mut batch = self.begin_scored_batch();
+        let row = self.delete_scored_staged(&mut batch, table, pk);
         self.finish_scored_batch(batch);
         row
     }
@@ -235,34 +405,112 @@ impl Database {
         if self.fk_order.is_none() || !self.tables[tid.index()].has_installed_scores() {
             return self.insert(table, values);
         }
-        if !batch.touched.contains(&tid) {
-            self.tables[tid.index()].suspend_postings();
-            batch.touched.push(tid);
-        }
-        let row = self.tables[tid.index()].insert_scored_staged(values, score)?;
+        self.touch(batch, tid);
+        let t = &mut self.tables[tid.index()];
+        let row = t.insert_scored_staged(values, score)?;
+        let keys = t.fk_keys_of(row);
         self.epoch = self.epoch.next();
-        batch.staged.push((tid, row));
+        batch.staged.push(StagedOp::Insert { target: (tid, row), keys });
         batch.last_scored_epoch = Some(self.epoch);
         Ok(row)
     }
 
-    /// Settles an open batch: resumes the suspended postings, then — per
-    /// affected table — either binary-inserts every staged row or, above
-    /// the churn threshold, runs **one** full re-sort for the whole batch
-    /// (where the fold pays one mid-stream re-sort per threshold
-    /// crossing). Junction rows join the sorted link postings with
-    /// dangling endpoints recorded for healing, endpoint arrivals heal
-    /// waiting junctions, and the [`FkOrderToken`] is re-stamped once.
-    /// Byte-identical to the fold of single [`Database::insert_scored`]
-    /// calls; only internal scheduling state (the churn counter) may
-    /// differ, which is content-neutral by the re-sort equivalence.
+    /// Stages one scored update into an open batch: the row is rewritten
+    /// in place — hash-visible, epoch bumped — and its pre-/post-update
+    /// posting keys are captured so [`Database::finish_scored_batch`] can
+    /// replay the reposition. Falls back to the plain
+    /// [`Database::update`] when no live order covers the table.
+    pub fn update_scored_staged(
+        &mut self,
+        batch: &mut ScoredBatch,
+        table: &str,
+        pk: i64,
+        values: Vec<Value>,
+        score: f64,
+    ) -> Result<RowId> {
+        let tid = self.table_id(table)?;
+        if self.fk_order.is_none() || !self.tables[tid.index()].has_installed_scores() {
+            return self.update(table, pk, values);
+        }
+        self.touch(batch, tid);
+        let t = &mut self.tables[tid.index()];
+        let old_keys = match t.by_pk(pk) {
+            Some(row) => t.fk_keys_of(row),
+            // Let the validated path produce the canonical error.
+            None => Vec::new(),
+        };
+        let row = t.update_scored_staged(pk, values)?;
+        let new_keys = t.fk_keys_of(row);
+        self.epoch = self.epoch.next();
+        batch.staged.push(StagedOp::Update { target: (tid, row), old_keys, new_keys, score });
+        batch.last_scored_epoch = Some(self.epoch);
+        Ok(row)
+    }
+
+    /// Stages one scored delete into an open batch: the row is
+    /// tombstoned — invisible to hash reads, epoch bumped — and the
+    /// posting keys it leaves behind are captured so settlement can count
+    /// the compaction debt. Falls back to the plain [`Database::delete`]
+    /// when no live order covers the table.
+    pub fn delete_scored_staged(
+        &mut self,
+        batch: &mut ScoredBatch,
+        table: &str,
+        pk: i64,
+    ) -> Result<RowId> {
+        let tid = self.table_id(table)?;
+        if self.fk_order.is_none() || !self.tables[tid.index()].has_installed_scores() {
+            return self.delete(table, pk);
+        }
+        self.touch(batch, tid);
+        let t = &mut self.tables[tid.index()];
+        let keys = match t.by_pk(pk) {
+            Some(row) => t.fk_keys_of(row),
+            None => Vec::new(),
+        };
+        let row = t.delete_scored_staged(pk)?;
+        self.epoch = self.epoch.next();
+        batch.staged.push(StagedOp::Delete { target: (tid, row), keys });
+        batch.last_scored_epoch = Some(self.epoch);
+        Ok(row)
+    }
+
+    /// Suspends a table's postings at its first touch by an open batch.
+    fn touch(&mut self, batch: &mut ScoredBatch, tid: TableId) {
+        if !batch.touched.contains(&tid) {
+            self.tables[tid.index()].suspend_postings();
+            batch.touched.push(tid);
+        }
+    }
+
+    /// Settles an open batch by *replaying* the staged ops in arrival
+    /// order: per op, a binary posting insert, a reposition (remove under
+    /// the old keys, re-insert at the new score), or a tombstone count —
+    /// or, for tables whose accumulated churn crosses the threshold,
+    /// **one** full re-sort for the whole batch (where the fold pays one
+    /// mid-stream re-sort per threshold crossing). Junction link postings
+    /// made stale by any update/delete — of the junction's own rows *or*
+    /// of rows its pairs target — are rebuilt once per batch (a rebuild
+    /// that trips over a now-dead target drops the orientation and
+    /// watches the endpoint, so a re-inserted pk heals it: the dangling
+    /// watch run in reverse). Endpoint arrivals heal waiting junctions,
+    /// tables whose tombstone debt crossed the compaction threshold
+    /// compact (at most once each), and the [`FkOrderToken`] is
+    /// re-stamped once.
+    ///
+    /// Serves queries byte-identically to the fold of single
+    /// [`Database::insert_scored`] / [`Database::update_scored`] /
+    /// [`Database::delete_scored`] calls; internal scheduling state (the
+    /// churn counter, compaction timing) may differ, which is
+    /// content-neutral: re-sorts are order-equivalent and tombstones are
+    /// invisible to probes.
     pub fn finish_scored_batch(&mut self, batch: ScoredBatch) {
         let ScoredBatch { staged, touched, last_scored_epoch } = batch;
         for &tid in &touched {
             self.tables[tid.index()].resume_postings();
         }
         // Tables whose accumulated churn crosses the threshold settle by
-        // one re-sort; their staged rows skip binary insertion.
+        // one re-sort; their staged ops skip incremental replay.
         let resort: Vec<TableId> = touched
             .iter()
             .copied()
@@ -271,6 +519,28 @@ impl Database {
                 t.has_installed_scores() && t.churn() > self.churn_threshold
             })
             .collect();
+        // Junctions whose link postings any update/delete staled — by
+        // mutating the junction's own rows (pair membership) or rows of a
+        // table its pairs *target* (pair order) — rebuild wholesale after
+        // the replay instead of maintaining pairs incrementally.
+        let mutated: Vec<TableId> = staged
+            .iter()
+            .filter(|op| !matches!(op, StagedOp::Insert { .. }))
+            .map(|op| op.target().0)
+            .collect();
+        let link_dirty: Vec<TableId> = if mutated.is_empty() {
+            Vec::new()
+        } else {
+            self.tables()
+                .filter(|&(jid, _)| {
+                    self.junction_orientations(jid).is_some_and(|orients| {
+                        mutated.contains(&jid)
+                            || orients.iter().any(|&(_, _, t_table)| mutated.contains(&t_table))
+                    })
+                })
+                .map(|(jid, _)| jid)
+                .collect()
+        };
         // Heals are *collected* during settlement and run after it: a
         // heal's wholesale rebuild reads the full current state, which
         // already contains rows staged later in this batch — firing it
@@ -280,33 +550,84 @@ impl Database {
         // and ends at the same full-state content as the fold's
         // heal-then-insert sequence.
         let mut heals: Vec<TableId> = Vec::new();
-        for &(tid, row) in &staged {
-            // A mid-batch un-scored insert may have killed the snapshot;
+        for op in &staged {
+            let (tid, row) = op.target();
+            // A mid-batch un-scored mutation may have killed the snapshot;
             // its table's postings are already gone, nothing to settle.
             if !self.tables[tid.index()].has_installed_scores() {
                 continue;
             }
             let resorting = resort.contains(&tid);
-            if !resorting {
-                self.tables[tid.index()].binary_insert_postings(row);
-                self.access.record_binary_insert();
+            match op {
+                StagedOp::Insert { keys, .. } => {
+                    if !resorting {
+                        self.tables[tid.index()].insert_into_postings(row, keys);
+                        self.access.record_binary_insert();
+                    }
+                    // A junction headed for a wholesale link rebuild skips
+                    // incremental pair maintenance — the rebuild reads the
+                    // final state and subsumes this row's pairs.
+                    if !link_dirty.contains(&tid) {
+                        self.settle_junction_links(tid, row, resorting);
+                    }
+                    self.collect_heals(tid, row, &mut heals);
+                }
+                StagedOp::Update { old_keys, new_keys, score, .. } => {
+                    if !resorting {
+                        self.tables[tid.index()].remove_from_postings(row, old_keys);
+                    }
+                    // The snapshot takes the new score *between* removal
+                    // and re-insertion, so the postings' sort keys never
+                    // disagree with it — binary searches stay valid.
+                    self.tables[tid.index()].set_installed_score(row, *score);
+                    if !resorting {
+                        self.tables[tid.index()].insert_into_postings(row, new_keys);
+                        self.access.record_binary_insert();
+                    }
+                }
+                StagedOp::Delete { keys, .. } => {
+                    if !resorting {
+                        // The entries stay behind as tombstones; probes
+                        // skip them, the debt below triggers compaction.
+                        self.tables[tid.index()].add_posting_tombstones(keys.len());
+                    }
+                }
             }
-            self.settle_junction_links(tid, row, resorting);
-            self.collect_heals(tid, row, &mut heals);
         }
+        let mut rebuilt: Vec<TableId> = Vec::new();
         for &tid in &resort {
             if self.tables[tid.index()].has_installed_scores() {
                 self.tables[tid.index()].resort_from_snapshot();
                 self.access.record_posting_resort();
                 self.rebuild_links_for(tid);
+                rebuilt.push(tid);
+            }
+        }
+        for &jid in &link_dirty {
+            if !rebuilt.contains(&jid) && self.tables[jid.index()].has_installed_scores() {
+                self.rebuild_links_for(jid);
+                rebuilt.push(jid);
             }
         }
         for jid in heals {
-            self.rebuild_links_for(jid);
+            if !rebuilt.contains(&jid) {
+                self.rebuild_links_for(jid);
+            }
+        }
+        // Compaction: at most one pass per table per batch, once the
+        // tombstone debt its deletes left behind crosses the threshold.
+        // (A churn re-sort above already paid the debt off — it rebuilds
+        // from the live-only hash indexes — so it cannot re-trigger here.)
+        for &tid in &touched {
+            let t = &self.tables[tid.index()];
+            if t.has_installed_scores() && t.fk_tombstones() > self.compaction_threshold {
+                self.tables[tid.index()].resort_from_snapshot();
+                self.access.record_compaction();
+            }
         }
         if let Some(epoch) = last_scored_epoch {
             // The stamp the fold would leave: the epoch of the last
-            // *maintained* insert. A trailing plain-insert fallback bumps
+            // *maintained* op. A trailing plain-fallback mutation bumps
             // the epoch further but never restamps in the fold either.
             self.fk_order = self.fk_order.map(|t| t.restamped(epoch));
         }
@@ -589,12 +910,46 @@ impl Database {
         order: Option<FkOrderToken>,
         li: &dyn Fn(RowId) -> f64,
     ) -> Vec<RowId> {
+        let mut scratch = crate::topl::TopLScratch::new();
+        let mut out = Vec::new();
+        self.select_eq_top_l_into(table, col, key, l, largest_l, order, li, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`Self::select_eq_top_l`] appending to `out` and drawing every
+    /// working buffer — the fast path's boundary-tie staging run, the
+    /// heap path's bounded min-heap — from `scratch`, so a warm serving
+    /// loop probes without touching the allocator (the core crate's
+    /// `tests/alloc_guard.rs` pins this end to end). Results and access
+    /// accounting are byte-identical to the allocating form, which
+    /// delegates here.
+    #[allow(clippy::too_many_arguments)] // mirrors the SQL probe's clause list
+    pub fn select_eq_top_l_into(
+        &self,
+        table: TableId,
+        col: usize,
+        key: i64,
+        l: usize,
+        largest_l: f64,
+        order: Option<FkOrderToken>,
+        li: &dyn Fn(RowId) -> f64,
+        scratch: &mut crate::topl::TopLScratch<RowId>,
+        out: &mut Vec<RowId>,
+    ) {
         let t = self.table(table);
+        let start = out.len();
         if l > 0 && order.is_some() && order == self.fk_order && col != t.schema.pk {
             if let Some(sorted) = t.sorted_fk_index(col) {
-                let postings = sorted.rows(key);
-                let mut kept: Vec<(f64, RowId)> = Vec::with_capacity(l.min(postings.len()));
-                for &r in postings {
+                scratch.staged.clear();
+                for &r in sorted.rows(key) {
+                    // Tombstones (deleted rows awaiting compaction) are
+                    // skipped: the scan sees exactly the live rows a
+                    // fresh install would serve, and the join accounting
+                    // below counts only returned rows — so compaction
+                    // state is invisible to results and cost alike.
+                    if !t.is_live(r) {
+                        continue;
+                    }
                     let s = li(r);
                     // li is non-increasing along the scan, so the first
                     // value at or below the threshold ends the probe...
@@ -604,39 +959,43 @@ impl Database {
                     // ...and once l rows are kept, the scan only continues
                     // through rows tying the current l-th li (they may
                     // displace it on the RowId tie-break).
-                    if kept.len() >= l && s < kept[l - 1].0 {
+                    if scratch.staged.len() >= l && s < scratch.staged[l - 1].0 {
                         break;
                     }
-                    kept.push((s, r));
+                    scratch.staged.push((s, r));
                 }
-                // Rank the collected prefix through the same `top_l` the
-                // heap path uses, so the two paths share one comparator by
+                // Rank the collected prefix through the same comparator
+                // the heap path uses, so the two paths agree by
                 // construction.
-                let rows: Vec<RowId> =
-                    crate::topl::top_l(kept, l).into_iter().map(|(_, r)| r).collect();
-                self.access.record_join(rows.len());
+                scratch.rank_staged_into(l, out);
+                self.access.record_join(out.len() - start);
                 self.access.record_fast_probe();
-                return rows;
+                return;
             }
         }
         self.access.record_heap_probe();
-        let candidates: Vec<RowId> = if col == t.schema.pk {
-            t.by_pk(key).into_iter().collect()
-        } else {
-            t.rows_where_eq(col, key).to_vec()
-        };
         // Bounded top-l selection — O(g log l) over a group of g rows
         // instead of sorting the whole group (ROADMAP hot path).
-        let scored = crate::topl::top_l(
-            candidates.into_iter().filter_map(|r| {
-                let s = li(r);
-                (s > largest_l).then_some((s, r))
-            }),
-            l,
-        );
-        let rows: Vec<RowId> = scored.into_iter().map(|(_, r)| r).collect();
-        self.access.record_join(rows.len());
-        rows
+        if col == t.schema.pk {
+            scratch.select_into(
+                t.by_pk(key).into_iter().filter_map(|r| {
+                    let s = li(r);
+                    (s > largest_l).then_some((s, r))
+                }),
+                l,
+                out,
+            );
+        } else {
+            scratch.select_into(
+                t.rows_where_eq(col, key).iter().filter_map(|&r| {
+                    let s = li(r);
+                    (s > largest_l).then_some((s, r))
+                }),
+                l,
+                out,
+            );
+        }
+        self.access.record_join(out.len() - start);
     }
 }
 
@@ -1270,6 +1629,221 @@ mod tests {
             batched.table(paper).sorted_fk_index(fk_col).unwrap().rows(1),
             folded.table(paper).sorted_fk_index(fk_col).unwrap().rows(1),
         );
+    }
+
+    #[test]
+    fn scored_update_repositions_postings_at_the_fresh_install_position() {
+        let (mut db, _) = installed_pair();
+        let paper = db.table_id("Paper").unwrap();
+        let fk_col = db.table(paper).schema.column_index("year_id").unwrap();
+        // Both rows score 1.0, so the install order is [row0, row1].
+        assert_eq!(db.table(paper).sorted_fk_index(fk_col).unwrap().rows(1), &[RowId(0), RowId(1)]);
+        let old = db.fk_order().unwrap();
+        db.update_scored("Paper", 11, vec![Value::Int(11), "p2'".into(), Value::Int(1)], 5.0)
+            .unwrap();
+        // Row 1 moved to the front — exactly where a fresh sort puts it.
+        assert_eq!(db.table(paper).sorted_fk_index(fk_col).unwrap().rows(1), &[RowId(1), RowId(0)]);
+        assert_eq!(db.table(paper).value(RowId(1), 1).as_str(), Some("p2'"));
+        let token = db.fk_order().unwrap();
+        assert!(token.same_order(old) && token != old, "update re-stamps the token");
+        assert_eq!(token.epoch(), db.epoch());
+        // Fast path and heap path agree, including accounting.
+        let li = |r: RowId| db.table(paper).installed_score(r);
+        let before = db.access().snapshot();
+        let fast = db.select_eq_top_l(paper, fk_col, 1, 2, 0.0, Some(token), &li);
+        let mid = db.access().snapshot();
+        let slow = db.select_eq_top_l(paper, fk_col, 1, 2, 0.0, None, &li);
+        let after = db.access().snapshot();
+        assert_eq!(fast, slow);
+        assert_eq!(mid.since(before), after.since(mid));
+        // An update that ties an existing score must respect the RowId
+        // tie-break: row 1 back at 1.0 ties row 0 and lands *after* it.
+        db.update_scored("Paper", 11, vec![Value::Int(11), "p2".into(), Value::Int(1)], 1.0)
+            .unwrap();
+        assert_eq!(db.table(paper).sorted_fk_index(fk_col).unwrap().rows(1), &[RowId(0), RowId(1)]);
+    }
+
+    #[test]
+    fn scored_delete_tombstones_then_compacts_at_the_threshold() {
+        let (mut db, _) = installed_pair();
+        db.set_compaction_threshold(1);
+        let paper = db.table_id("Paper").unwrap();
+        let fk_col = db.table(paper).schema.column_index("year_id").unwrap();
+        for (pk, s) in [(20i64, 3.0), (21, 0.5)] {
+            db.insert_scored("Paper", vec![Value::Int(pk), "t".into(), Value::Int(1)], s).unwrap();
+        }
+        // First delete: one tombstone, below the threshold — the dead
+        // entry lingers in the postings but is invisible to probes.
+        db.delete_scored("Paper", 10).unwrap();
+        assert_eq!(db.table(paper).fk_tombstones(), 1);
+        assert_eq!(db.table(paper).sorted_fk_index(fk_col).unwrap().rows(1).len(), 4);
+        let token = db.fk_order().unwrap();
+        let li = |r: RowId| db.table(paper).installed_score(r);
+        let before = db.access().snapshot();
+        let fast = db.select_eq_top_l(paper, fk_col, 1, 10, 0.0, Some(token), &li);
+        let mid = db.access().snapshot();
+        let slow = db.select_eq_top_l(paper, fk_col, 1, 10, 0.0, None, &li);
+        let after = db.access().snapshot();
+        assert_eq!(fast.len(), 3, "tombstone skipped");
+        assert_eq!(fast, slow);
+        assert_eq!(mid.since(before), after.since(mid), "tombstones invisible to accounting");
+        // Second delete crosses the threshold: the settlement ends with
+        // one compaction pass purging the dead entries.
+        let maint = db.access().maint();
+        db.delete_scored("Paper", 20).unwrap();
+        let work = db.access().maint().since(maint);
+        assert_eq!(work.compactions, 1, "one compaction pass");
+        assert_eq!(db.table(paper).fk_tombstones(), 0, "debt paid off");
+        assert_eq!(db.table(paper).sorted_fk_index(fk_col).unwrap().rows(1), &[RowId(1), RowId(3)]);
+        // MissingRow on dead/absent pks.
+        assert!(matches!(
+            db.delete_scored("Paper", 10),
+            Err(StorageError::MissingRow { key: 10, .. })
+        ));
+    }
+
+    #[test]
+    fn mixed_batch_settles_exactly_like_the_fold() {
+        let (mut batched, mut folded) = installed_pair();
+        let script = |db: &mut Database, b: Option<&mut ScoredBatch>| {
+            // A mixed run: two inserts, an update repositioning a row that
+            // one of the inserts just tied, a delete, and an update of a
+            // row inserted earlier in the same run.
+            match b {
+                Some(b) => {
+                    db.insert_scored_staged(
+                        b,
+                        "Paper",
+                        vec![Value::Int(20), "a".into(), Value::Int(1)],
+                        2.0,
+                    )
+                    .unwrap();
+                    db.update_scored_staged(
+                        b,
+                        "Paper",
+                        10,
+                        vec![Value::Int(10), "p1'".into(), Value::Int(1)],
+                        2.0,
+                    )
+                    .unwrap();
+                    db.delete_scored_staged(b, "Paper", 11).unwrap();
+                    db.update_scored_staged(
+                        b,
+                        "Paper",
+                        20,
+                        vec![Value::Int(20), "a'".into(), Value::Int(1)],
+                        0.25,
+                    )
+                    .unwrap();
+                    db.insert_scored_staged(
+                        b,
+                        "Paper",
+                        vec![Value::Int(21), "b".into(), Value::Int(1)],
+                        2.0,
+                    )
+                    .unwrap();
+                }
+                None => {
+                    db.insert_scored("Paper", vec![Value::Int(20), "a".into(), Value::Int(1)], 2.0)
+                        .unwrap();
+                    db.update_scored(
+                        "Paper",
+                        10,
+                        vec![Value::Int(10), "p1'".into(), Value::Int(1)],
+                        2.0,
+                    )
+                    .unwrap();
+                    db.delete_scored("Paper", 11).unwrap();
+                    db.update_scored(
+                        "Paper",
+                        20,
+                        vec![Value::Int(20), "a'".into(), Value::Int(1)],
+                        0.25,
+                    )
+                    .unwrap();
+                    db.insert_scored("Paper", vec![Value::Int(21), "b".into(), Value::Int(1)], 2.0)
+                        .unwrap();
+                }
+            }
+        };
+        let mut b = batched.begin_scored_batch();
+        script(&mut batched, Some(&mut b));
+        batched.finish_scored_batch(b);
+        script(&mut folded, None);
+        assert_eq!(batched.epoch(), folded.epoch());
+        assert_eq!(batched.fk_order().unwrap().epoch(), folded.fk_order().unwrap().epoch());
+        let paper = batched.table_id("Paper").unwrap();
+        let fk_col = batched.table(paper).schema.column_index("year_id").unwrap();
+        assert_eq!(
+            batched.table(paper).sorted_fk_index(fk_col).unwrap().rows(1),
+            folded.table(paper).sorted_fk_index(fk_col).unwrap().rows(1),
+            "settled postings equal the fold's, tombstones included"
+        );
+        assert_eq!(batched.table(paper).fk_tombstones(), folded.table(paper).fk_tombstones());
+        // And both equal a fresh install over the surviving rows, after
+        // filtering tombstones.
+        let live: Vec<RowId> = batched
+            .table(paper)
+            .sorted_fk_index(fk_col)
+            .unwrap()
+            .rows(1)
+            .iter()
+            .copied()
+            .filter(|&r| batched.table(paper).is_live(r))
+            .collect();
+        let snap: Vec<Vec<f64>> = batched
+            .tables()
+            .map(|(_, t)| (0..t.len()).map(|i| t.installed_score(RowId(i as u32))).collect())
+            .collect();
+        let mut reinstalled = std::mem::replace(&mut batched, Database::new());
+        reinstalled.install_importance_order(&|t, r| snap[t.index()][r.index()]);
+        assert_eq!(reinstalled.table(paper).sorted_fk_index(fk_col).unwrap().rows(1), live);
+    }
+
+    #[test]
+    fn deleting_a_link_target_drops_the_orientation_then_heals_on_reinsert() {
+        // The dangling watch run in reverse: a *delete* creates the
+        // missing endpoint instead of a not-yet-inserted reference.
+        let mut db = Database::new();
+        db.create_table(TableSchema::builder("P").pk("id").build().unwrap()).unwrap();
+        db.create_table(TableSchema::builder("C").pk("id").build().unwrap()).unwrap();
+        db.create_table(
+            TableSchema::builder("J")
+                .pk("id")
+                .fk("p_id", "P")
+                .fk("c_id", "C")
+                .junction()
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.insert("P", vec![Value::Int(1)]).unwrap();
+        db.insert("C", vec![Value::Int(10)]).unwrap();
+        db.insert("C", vec![Value::Int(11)]).unwrap();
+        db.insert("J", vec![Value::Int(100), Value::Int(1), Value::Int(10)]).unwrap();
+        db.insert("J", vec![Value::Int(101), Value::Int(1), Value::Int(11)]).unwrap();
+        db.install_importance_order(&|_, _| 1.0);
+        let j = db.table_id("J").unwrap();
+        let p_col = 1usize;
+        assert_eq!(db.table(j).sorted_link_index(p_col).unwrap().pairs(1).len(), 2);
+        // Deleting C 10 leaves J 100 dangling: the rebuild trips over the
+        // dead target, drops the orientation, and watches the endpoint.
+        db.delete_scored("C", 10).unwrap();
+        assert!(db.table(j).sorted_link_index(p_col).is_none(), "stale orientation dropped");
+        assert_eq!(db.dangling_watch_len(), 1, "dead endpoint watched");
+        // The heap fallback still serves correct (live-target) results in
+        // the meantime; re-inserting the pk heals the fast path.
+        db.insert_scored("C", vec![Value::Int(10)], 2.0).unwrap();
+        let links = db.table(j).sorted_link_index(p_col).expect("healed");
+        assert_eq!(links.pairs(1).len(), 2, "both pairs re-joined to the new row");
+        assert_eq!(db.dangling_watch_len(), 0);
+        // The healed pair targets the *new* RowId of pk 10.
+        let new_row = db.table(db.table_id("C").unwrap()).by_pk(10).unwrap();
+        assert!(links.pairs(1).iter().any(|&(_, t)| t == new_row));
+        // An update of a link target re-sorts the pairs by the new score.
+        db.update_scored("C", 11, vec![Value::Int(11)], 9.0).unwrap();
+        let links = db.table(j).sorted_link_index(p_col).expect("rebuilt, not dropped");
+        assert_eq!(links.pairs(1)[0].0, RowId(1), "J 101's target now outranks");
     }
 
     #[test]

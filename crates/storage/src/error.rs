@@ -21,6 +21,13 @@ pub enum StorageError {
     DanglingForeignKey { table: String, column: String, key: i64 },
     /// Schema construction error (e.g. FK declared on a non-Int column).
     BadSchema(String),
+    /// An update/delete targeted a primary key with no live row.
+    MissingRow { table: String, key: i64 },
+    /// A delete would strand live rows still referencing the target
+    /// (the mutation model is RESTRICT, not CASCADE).
+    RestrictedDelete { table: String, key: i64, referencing_table: String },
+    /// An update attempted to change a row's primary key.
+    ImmutablePrimaryKey { table: String, key: i64 },
 }
 
 impl fmt::Display for StorageError {
@@ -46,6 +53,18 @@ impl fmt::Display for StorageError {
                 write!(f, "`{table}.{column}` = {key} references a missing row")
             }
             StorageError::BadSchema(msg) => write!(f, "bad schema: {msg}"),
+            StorageError::MissingRow { table, key } => {
+                write!(f, "no live row with primary key {key} in `{table}`")
+            }
+            StorageError::RestrictedDelete { table, key, referencing_table } => {
+                write!(
+                    f,
+                    "cannot delete `{table}` pk {key}: still referenced by `{referencing_table}`"
+                )
+            }
+            StorageError::ImmutablePrimaryKey { table, key } => {
+                write!(f, "primary key {key} of `{table}` is immutable under update")
+            }
         }
     }
 }

@@ -125,15 +125,37 @@ impl SortedFkIndex {
         SortedFkIndex { postings }
     }
 
-    /// Binary-inserts a freshly appended row into `key`'s posting list,
-    /// keeping the `(score desc, RowId asc)` order. `scores[r]` must give
-    /// the installed score of every already-posted row; `row` is the
-    /// largest RowId of its table by construction, so it lands *after*
-    /// every equal-scored row — exactly where a full re-sort would put it.
+    /// Binary-inserts a row into `key`'s posting list at its exact
+    /// `(score desc, RowId asc)` position — where a full re-sort would put
+    /// it. `scores[r]` must give the installed score of every
+    /// already-posted row (tombstoned entries keep their stale score, so
+    /// the comparisons stay consistent). Serves both freshly appended rows
+    /// (always the largest RowId) and *re*-insertions of updated mid-table
+    /// rows, where the RowId tie-break is load-bearing.
     pub(crate) fn insert_scored(&mut self, key: i64, row: RowId, score: f64, scores: &[f64]) {
         let list = self.postings.entry(key).or_default();
-        let pos = list.partition_point(|&r| scores[r.index()].total_cmp(&score).is_ge());
+        let pos = list.partition_point(|&r| match scores[r.index()].total_cmp(&score) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Equal => r < row,
+            std::cmp::Ordering::Less => false,
+        });
         list.insert(pos, row);
+    }
+
+    /// Removes a row from `key`'s posting list by identity scan (the
+    /// settlement removal phase for updated rows, whose installed score is
+    /// about to change — a binary search by the *new* score would look in
+    /// the wrong place). Drops the key when the list empties, matching a
+    /// fresh build. No-op if the row is not posted.
+    pub(crate) fn remove(&mut self, key: i64, row: RowId) {
+        if let Some(list) = self.postings.get_mut(&key) {
+            if let Some(pos) = list.iter().position(|&r| r == row) {
+                list.remove(pos);
+            }
+            if list.is_empty() {
+                self.postings.remove(&key);
+            }
+        }
     }
 
     /// The rows whose FK equals `key`, best-importance first.
@@ -314,6 +336,30 @@ mod tests {
             &[RowId(3), RowId(1), RowId(5), RowId(4), RowId(2), RowId(0)],
             "ties resolved by ascending RowId"
         );
+    }
+
+    #[test]
+    fn remove_then_reinsert_matches_rebuild_for_mid_table_rows() {
+        let mut base: HashMap<i64, Vec<RowId>> = HashMap::new();
+        base.insert(7, vec![RowId(0), RowId(1), RowId(2), RowId(3)]);
+        let mut scores = vec![1.0, 3.0, 3.0, 2.0];
+        let mut idx = SortedFkIndex::build(&base, &|r: RowId| scores[r.index()]);
+        // Reposition row 0 (a mid-table RowId) to score 3.0: it ties rows
+        // 1 and 2 and must land *before* both, as a fresh sort would.
+        idx.remove(7, RowId(0));
+        scores[0] = 3.0;
+        idx.insert_scored(7, RowId(0), 3.0, &scores);
+        let rebuilt = SortedFkIndex::build(&base, &|r: RowId| scores[r.index()]);
+        assert_eq!(idx.rows(7), rebuilt.rows(7));
+        assert_eq!(idx.rows(7), &[RowId(0), RowId(1), RowId(2), RowId(3)]);
+        // Removing the last row of a key drops the key entirely.
+        let mut solo: HashMap<i64, Vec<RowId>> = HashMap::new();
+        solo.insert(9, vec![RowId(5)]);
+        let mut idx2 = SortedFkIndex::build(&solo, &|_| 1.0);
+        idx2.remove(9, RowId(5));
+        assert_eq!(idx2.key_count(), 0);
+        // Removing an unposted row is a no-op.
+        idx2.remove(9, RowId(6));
     }
 
     #[test]

@@ -17,8 +17,9 @@
 //!   when it returns no results"),
 //! * importance-sorted FK and junction-link postings ([`fk_index`])
 //!   installed as a finalization step and *maintained* under scored
-//!   inserts, which turn the `TOP l` probe into a bounded prefix scan
-//!   that survives update workloads,
+//!   inserts, updates, and deletes (tombstone-then-compact), which turn
+//!   the `TOP l` probe into a bounded prefix scan that survives full
+//!   mutation workloads,
 //! * mutation epochs ([`epoch`]) versioning the catalog (global and per
 //!   table) so derived structures — sorted postings, rank scores, serve
 //!   caches — can detect and synchronize to data changes.
@@ -35,13 +36,16 @@ pub mod topl;
 pub mod value;
 
 pub use access::{AccessCounter, AccessStats, MaintStats, ProbeStats};
-pub use database::{Database, ScoredBatch, TableId, TupleRef, DEFAULT_CHURN_THRESHOLD};
+pub use database::{
+    Database, ScoredBatch, StagedOp, TableId, TupleRef, DEFAULT_CHURN_THRESHOLD,
+    DEFAULT_COMPACTION_THRESHOLD,
+};
 pub use epoch::Epoch;
 pub use error::StorageError;
 pub use fk_index::{FkOrderToken, SortedFkIndex, SortedLinkIndex};
 pub use schema::{Column, ForeignKey, SchemaBuilder, TableSchema};
 pub use table::{RowId, Table};
-pub use topl::top_l;
+pub use topl::{top_l, TopLScratch};
 pub use value::{Value, ValueType};
 
 /// Crate-wide result type.

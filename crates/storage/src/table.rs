@@ -34,6 +34,18 @@ pub struct Table {
     /// The table's schema.
     pub schema: TableSchema,
     rows: Vec<Row>,
+    /// Liveness bitmap parallel to `rows`. Deletes are *logical*: the row
+    /// slot (and its `RowId`) survives so every derived structure keyed by
+    /// dense row ids — installed scores, data-graph node ids — stays
+    /// valid. Dead rows are invisible to `iter`, the hash indexes, and
+    /// `by_pk`; they linger only as tombstones in the sorted FK postings
+    /// until compaction.
+    dead: Vec<bool>,
+    /// Number of `true` bits in `dead`.
+    n_dead: usize,
+    /// Dead rows still present in the sorted FK postings (the compaction
+    /// debt). Reset by every full posting (re)build.
+    posting_tombstones: usize,
     pk_index: HashMap<i64, RowId>,
     /// column index -> (key -> row ids)
     fk_indexes: HashMap<usize, HashMap<i64, Vec<RowId>>>,
@@ -73,6 +85,9 @@ impl Table {
         Table {
             schema,
             rows: Vec::new(),
+            dead: Vec::new(),
+            n_dead: 0,
+            posting_tombstones: 0,
             pk_index: HashMap::new(),
             fk_indexes,
             sorted_fk: HashMap::new(),
@@ -85,12 +100,29 @@ impl Table {
         }
     }
 
-    /// Number of rows.
+    /// Number of row *slots*, dead ones included. Derived structures
+    /// indexed by dense `RowId` (installed scores, data-graph node ids)
+    /// are sized by this.
     pub fn len(&self) -> usize {
         self.rows.len()
     }
 
-    /// True when the table has no rows.
+    /// Number of live rows.
+    pub fn live_len(&self) -> usize {
+        self.rows.len() - self.n_dead
+    }
+
+    /// Number of tombstoned (logically deleted) row slots.
+    pub fn n_dead(&self) -> usize {
+        self.n_dead
+    }
+
+    /// True when the row slot has not been deleted.
+    pub fn is_live(&self, id: RowId) -> bool {
+        !self.dead[id.index()]
+    }
+
+    /// True when the table has no row slots.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
@@ -110,11 +142,7 @@ impl Table {
         // The sorted postings were placed under a per-row score snapshot;
         // a row without a score cannot join them, so both die together —
         // including any copy parked by an open scored batch.
-        self.sorted_fk.clear();
-        self.sorted_links.clear();
-        self.suspended = None;
-        self.installed_scores.clear();
-        self.scores_live = false;
+        self.drop_derived_state();
         self.epoch = self.epoch.next();
         Ok(id)
     }
@@ -148,11 +176,110 @@ impl Table {
         }
         for (&col, index) in self.fk_indexes.iter_mut() {
             if let Some(k) = values[col].as_int() {
-                index.entry(k).or_default().push(id);
+                hash_index_insert(index.entry(k).or_default(), id);
             }
         }
         self.rows.push(values.into_boxed_slice());
+        self.dead.push(false);
         Ok(id)
+    }
+
+    /// The shared tombstone core of both delete paths: resolves the pk to
+    /// a live row, removes it from the pk and FK hash indexes, and marks
+    /// the slot dead. Does not touch sorted postings or the epoch — the
+    /// dead row lingers in them as a tombstone until compaction.
+    fn delete_validated(&mut self, pk: i64) -> Result<RowId> {
+        let id = self
+            .pk_index
+            .remove(&pk)
+            .ok_or_else(|| StorageError::MissingRow { table: self.schema.name.clone(), key: pk })?;
+        for (&col, index) in self.fk_indexes.iter_mut() {
+            if let Some(k) = self.rows[id.index()][col].as_int() {
+                hash_index_remove(index, k, id);
+            }
+        }
+        self.dead[id.index()] = true;
+        self.n_dead += 1;
+        Ok(id)
+    }
+
+    /// The shared in-place-rewrite core of both update paths: validates
+    /// arity/types, requires the pk to stay put, and re-homes the row in
+    /// any FK hash index whose key changed. Does not touch sorted postings
+    /// or the epoch.
+    fn update_validated(&mut self, pk: i64, values: Vec<Value>) -> Result<RowId> {
+        if values.len() != self.schema.arity() {
+            return Err(StorageError::Arity {
+                table: self.schema.name.clone(),
+                expected: self.schema.arity(),
+                got: values.len(),
+            });
+        }
+        for (i, v) in values.iter().enumerate() {
+            if !v.matches(self.schema.columns[i].ty) {
+                return Err(StorageError::TypeMismatch {
+                    table: self.schema.name.clone(),
+                    column: self.schema.columns[i].name.clone(),
+                });
+            }
+        }
+        let id = *self
+            .pk_index
+            .get(&pk)
+            .ok_or_else(|| StorageError::MissingRow { table: self.schema.name.clone(), key: pk })?;
+        if values[self.schema.pk].as_int() != Some(pk) {
+            return Err(StorageError::ImmutablePrimaryKey {
+                table: self.schema.name.clone(),
+                key: pk,
+            });
+        }
+        for (&col, index) in self.fk_indexes.iter_mut() {
+            let old = self.rows[id.index()][col].as_int();
+            let new = values[col].as_int();
+            if old != new {
+                if let Some(k) = old {
+                    hash_index_remove(index, k, id);
+                }
+                if let Some(k) = new {
+                    hash_index_insert(index.entry(k).or_default(), id);
+                }
+            }
+        }
+        self.rows[id.index()] = values.into_boxed_slice();
+        Ok(id)
+    }
+
+    /// Deletes the live row with primary key `pk`.
+    ///
+    /// Like [`Table::insert`], this is the *un-scored* path: sorted
+    /// postings and the score snapshot are dropped and the heap path takes
+    /// over. Use [`crate::Database::delete_scored`] to keep the fast path
+    /// live (tombstone-then-compact).
+    pub fn delete(&mut self, pk: i64) -> Result<RowId> {
+        let id = self.delete_validated(pk)?;
+        self.drop_derived_state();
+        self.epoch = self.epoch.next();
+        Ok(id)
+    }
+
+    /// Rewrites the live row with primary key `pk` in place (the pk itself
+    /// is immutable). Un-scored path — see [`Table::delete`].
+    pub fn update(&mut self, pk: i64, values: Vec<Value>) -> Result<RowId> {
+        let id = self.update_validated(pk, values)?;
+        self.drop_derived_state();
+        self.epoch = self.epoch.next();
+        Ok(id)
+    }
+
+    /// Drops everything derived from the importance order (the un-scored
+    /// mutation paths' common tail).
+    fn drop_derived_state(&mut self) {
+        self.sorted_fk.clear();
+        self.sorted_links.clear();
+        self.suspended = None;
+        self.installed_scores.clear();
+        self.scores_live = false;
+        self.posting_tombstones = 0;
     }
 
     /// Appends a row whose installed importance is `score` *without*
@@ -171,16 +298,86 @@ impl Table {
         Ok(id)
     }
 
-    /// Binary-inserts a staged row into every affected sorted FK posting
-    /// list, keeping the prefix-scan fast path live. Junction link
+    /// The staged half of a scored update: rewrites the row but leaves the
+    /// (suspended) sorted postings and the score snapshot untouched — the
+    /// batch settlement repositions the row once, at its *net* score, after
+    /// all in-batch removals. Bumps the epoch and the churn counter.
+    pub(crate) fn update_scored_staged(&mut self, pk: i64, values: Vec<Value>) -> Result<RowId> {
+        debug_assert!(self.has_installed_scores(), "caller checks the snapshot is live");
+        let id = self.update_validated(pk, values)?;
+        self.epoch = self.epoch.next();
+        self.churn += 1;
+        Ok(id)
+    }
+
+    /// The staged half of a scored delete: tombstones the row. Its stale
+    /// installed score is deliberately *kept* so the sorted postings —
+    /// where the dead entry lingers until compaction — remain consistent
+    /// with the snapshot that binary insertion searches by. Bumps the
+    /// epoch and the churn counter.
+    pub(crate) fn delete_scored_staged(&mut self, pk: i64) -> Result<RowId> {
+        debug_assert!(self.has_installed_scores(), "caller checks the snapshot is live");
+        let id = self.delete_validated(pk)?;
+        self.epoch = self.epoch.next();
+        self.churn += 1;
+        Ok(id)
+    }
+
+    /// Overwrites one slot of the installed-score snapshot (settlement of
+    /// a scored update: called *after* the row's old posting entries were
+    /// removed, *before* it is re-inserted at the new score, so the
+    /// postings' sort keys never disagree with the snapshot).
+    pub(crate) fn set_installed_score(&mut self, id: RowId, score: f64) {
+        self.installed_scores[id.index()] = score;
+    }
+
+    /// The FK-column keys of a row that carry hash/posting entries —
+    /// captured by the batch machinery *before* a staged update rewrites
+    /// the row, so settlement can find the old sorted-posting entries.
+    pub(crate) fn fk_keys_of(&self, id: RowId) -> Vec<(usize, i64)> {
+        let mut keys: Vec<(usize, i64)> = self
+            .fk_indexes
+            .keys()
+            .filter_map(|&col| self.rows[id.index()][col].as_int().map(|k| (col, k)))
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Removes a row's entries from the sorted FK postings under its *old*
+    /// keys (settlement removal phase for net-updated rows).
+    pub(crate) fn remove_from_postings(&mut self, id: RowId, old_keys: &[(usize, i64)]) {
+        for &(col, key) in old_keys {
+            if let Some(sorted) = self.sorted_fk.get_mut(&col) {
+                sorted.remove(key, id);
+            }
+        }
+    }
+
+    /// Records dead rows left behind in the sorted FK postings (the
+    /// settlement of net deletes). The database compacts once the debt
+    /// crosses its threshold.
+    pub(crate) fn add_posting_tombstones(&mut self, n: usize) {
+        self.posting_tombstones += n;
+    }
+
+    /// Dead rows currently lingering in the sorted FK postings.
+    pub fn fk_tombstones(&self) -> usize {
+        self.posting_tombstones
+    }
+
+    /// Binary-inserts a staged row into the sorted FK postings under the
+    /// given `(fk column, key)` entries — captured at staging time, since
+    /// a later in-batch update may have moved the row's current values —
+    /// at its exact `(score desc, RowId asc)` position. Junction link
     /// postings are maintained by the caller
     /// ([`crate::Database::finish_scored_batch`]), which owns the
     /// cross-table target lookups.
-    pub(crate) fn binary_insert_postings(&mut self, id: RowId) {
+    pub(crate) fn insert_into_postings(&mut self, id: RowId, keys: &[(usize, i64)]) {
         let score = self.installed_scores[id.index()];
-        for (&col, sorted) in self.sorted_fk.iter_mut() {
-            if let Some(k) = self.rows[id.index()][col].as_int() {
-                sorted.insert_scored(k, id, score, &self.installed_scores);
+        for &(col, key) in keys {
+            if let Some(sorted) = self.sorted_fk.get_mut(&col) {
+                sorted.insert_scored(key, id, score, &self.installed_scores);
             }
         }
     }
@@ -246,6 +443,9 @@ impl Table {
             .map(|(&col, base)| (col, SortedFkIndex::build(base, score)))
             .collect();
         self.churn = 0;
+        // A full build sources from the (live-only) hash indexes, so any
+        // tombstone debt is paid off wholesale.
+        self.posting_tombstones = 0;
     }
 
     /// Re-sorts the postings from the retained score snapshot (the
@@ -326,9 +526,14 @@ impl Table {
         self.churn
     }
 
-    /// Iterates over `(RowId, &Row)` in insertion order.
+    /// Iterates over live `(RowId, &Row)` in insertion order (tombstoned
+    /// slots are skipped).
     pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
-        self.rows.iter().enumerate().map(|(i, r)| (RowId(i as u32), r))
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !self.dead[i])
+            .map(|(i, r)| (RowId(i as u32), r))
     }
 
     /// Average fan-out of the FK index on `col`: rows / distinct keys.
@@ -340,6 +545,34 @@ impl Table {
                 referencing as f64 / idx.len() as f64
             }
             _ => 0.0,
+        }
+    }
+}
+
+/// Inserts `id` into a hash-index posting vec at its `RowId`-ascending
+/// position. The vecs are kept sorted so that, for any live row set, the
+/// maintained index is byte-identical to one built by inserting the live
+/// rows in insertion order — appends (the common case: `id` is the
+/// largest) cost O(1) amortized.
+fn hash_index_insert(vec: &mut Vec<RowId>, id: RowId) {
+    if vec.last().is_none_or(|&last| last < id) {
+        vec.push(id);
+    } else {
+        let pos = vec.partition_point(|&r| r < id);
+        vec.insert(pos, id);
+    }
+}
+
+/// Removes `id` from a hash index's posting vec for `key`, dropping the
+/// entry entirely when it empties (so key counts and fan-out statistics
+/// match a fresh build over the live rows).
+fn hash_index_remove(index: &mut HashMap<i64, Vec<RowId>>, key: i64, id: RowId) {
+    if let Some(vec) = index.get_mut(&key) {
+        if let Some(pos) = vec.iter().position(|&r| r == id) {
+            vec.remove(pos);
+        }
+        if vec.is_empty() {
+            index.remove(&key);
         }
     }
 }
@@ -427,5 +660,59 @@ mod tests {
             t.insert(vec![Value::Int(pk), "t".into(), Value::Int(y)]).unwrap();
         }
         assert!((t.avg_fanout(2) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delete_tombstones_and_cleans_indexes() {
+        let mut t = make_table();
+        for (pk, y) in [(1, 5), (2, 5), (3, 6)] {
+            t.insert(vec![Value::Int(pk), "t".into(), Value::Int(y)]).unwrap();
+        }
+        let id = t.delete(2).unwrap();
+        assert_eq!(id, RowId(1));
+        // The slot survives; the row is invisible everywhere else.
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.live_len(), 2);
+        assert_eq!(t.n_dead(), 1);
+        assert!(!t.is_live(id));
+        assert_eq!(t.by_pk(2), None);
+        assert_eq!(t.rows_where_eq(2, 5), &[RowId(0)]);
+        assert_eq!(t.iter().count(), 2);
+        // Fan-out reflects live rows only.
+        assert!((t.avg_fanout(2) - 1.0).abs() < 1e-12);
+        // Deleting a missing or already-dead pk fails cleanly.
+        assert!(matches!(t.delete(2), Err(StorageError::MissingRow { key: 2, .. })));
+        assert!(matches!(t.delete(99), Err(StorageError::MissingRow { key: 99, .. })));
+        // The pk can be reused after the delete.
+        let id2 = t.insert(vec![Value::Int(2), "again".into(), Value::Int(5)]).unwrap();
+        assert_eq!(t.by_pk(2), Some(id2));
+        assert_eq!(t.rows_where_eq(2, 5), &[RowId(0), id2]);
+    }
+
+    #[test]
+    fn update_rehomes_fk_index_in_row_id_order() {
+        let mut t = make_table();
+        for (pk, y) in [(1, 5), (2, 6), (3, 5)] {
+            t.insert(vec![Value::Int(pk), "t".into(), Value::Int(y)]).unwrap();
+        }
+        // Move pk 2 from year 6 to year 5: it must land *between* rows 0
+        // and 2 in the posting vec, exactly as a fresh build would place it.
+        t.update(2, vec![Value::Int(2), "moved".into(), Value::Int(5)]).unwrap();
+        assert_eq!(t.rows_where_eq(2, 5), &[RowId(0), RowId(1), RowId(2)]);
+        assert_eq!(t.rows_where_eq(2, 6).len(), 0);
+        assert_eq!(t.value(RowId(1), 1).as_str(), Some("moved"));
+        // Pk is immutable under update.
+        assert!(matches!(
+            t.update(2, vec![Value::Int(9), "x".into(), Value::Int(5)]),
+            Err(StorageError::ImmutablePrimaryKey { key: 2, .. })
+        ));
+        // Updating a missing row fails cleanly.
+        assert!(matches!(
+            t.update(42, vec![Value::Int(42), "x".into(), Value::Int(5)]),
+            Err(StorageError::MissingRow { key: 42, .. })
+        ));
+        // Validation errors leave the row untouched.
+        assert!(t.update(2, vec![Value::Int(2)]).is_err());
+        assert_eq!(t.value(RowId(1), 1).as_str(), Some("moved"));
     }
 }

@@ -20,6 +20,7 @@ use std::collections::BinaryHeap;
 /// A scored candidate ordered by "goodness": higher score first, then
 /// smaller payload. Wrapped in [`Reverse`] inside the heap so the *worst
 /// kept* candidate sits at the top, ready to be displaced.
+#[derive(Debug)]
 struct Entry<T>(f64, T);
 
 impl<T: Ord> PartialEq for Entry<T> {
@@ -68,6 +69,76 @@ pub fn top_l<T: Ord>(scored: impl IntoIterator<Item = (f64, T)>, l: usize) -> Ve
     kept.into_iter().map(|Entry(s, t)| (s, t)).collect()
 }
 
+/// Reusable working memory for [`top_l`]-shaped selection on hot serving
+/// paths. [`top_l`] allocates its heap (and the caller a result `Vec`) on
+/// every probe; a warm scratch makes the whole selection allocation-free
+/// — the buffers grow to the workload's high-water mark once and are
+/// reused across probes (`tests/alloc_guard.rs` in the core crate pins
+/// this for the end-to-end query path).
+#[derive(Debug)]
+pub struct TopLScratch<T> {
+    /// The bounded min-heap's backing storage, recycled between probes.
+    heap: Vec<Reverse<Entry<T>>>,
+    /// Staging buffer for prefix-scan fast paths that collect a bounded
+    /// candidate run before ranking it ([`TopLScratch::rank_staged_into`]).
+    pub staged: Vec<(f64, T)>,
+}
+
+impl<T> Default for TopLScratch<T> {
+    fn default() -> Self {
+        TopLScratch { heap: Vec::new(), staged: Vec::new() }
+    }
+}
+
+impl<T: Ord> TopLScratch<T> {
+    /// An empty scratch; buffers warm up on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// [`top_l`] appending only the selected items (scores dropped, order
+    /// preserved: descending score, ascending item on ties) to `out`,
+    /// drawing all working memory from the scratch.
+    pub fn select_into(
+        &mut self,
+        scored: impl IntoIterator<Item = (f64, T)>,
+        l: usize,
+        out: &mut Vec<T>,
+    ) {
+        if l == 0 {
+            return;
+        }
+        self.heap.clear();
+        let mut heap = BinaryHeap::from(std::mem::take(&mut self.heap));
+        for (score, item) in scored {
+            if heap.len() < l {
+                heap.push(Reverse(Entry(score, item)));
+            } else {
+                let candidate = Entry(score, item);
+                if candidate > heap.peek().expect("heap is at capacity").0 {
+                    heap.pop();
+                    heap.push(Reverse(candidate));
+                }
+            }
+        }
+        let mut kept = heap.into_vec();
+        // Ascending `Reverse<Entry>` = best entry first — the exact order
+        // [`top_l`] returns. Items are distinct (database rows are), so
+        // the unstable sort has no equal keys to reorder.
+        kept.sort_unstable();
+        out.extend(kept.drain(..).map(|Reverse(Entry(_, t))| t));
+        self.heap = kept;
+    }
+
+    /// Ranks the candidates accumulated in [`TopLScratch::staged`]
+    /// (drained, capacity kept) and appends the selected items to `out`.
+    pub fn rank_staged_into(&mut self, l: usize, out: &mut Vec<T>) {
+        let mut staged = std::mem::take(&mut self.staged);
+        self.select_into(staged.drain(..), l, out);
+        self.staged = staged;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +167,26 @@ mod tests {
     fn short_input_returns_everything_sorted() {
         let scored = vec![(1.0, 2u32), (4.0, 1)];
         assert_eq!(top_l(scored, 10), vec![(4.0, 1), (1.0, 2)]);
+    }
+
+    #[test]
+    fn scratch_select_matches_top_l_and_recycles_capacity() {
+        let scored = vec![(3.0, 1u32), (5.0, 2), (1.0, 3), (5.0, 4), (2.0, 5), (5.0, 0)];
+        let mut scratch = TopLScratch::new();
+        for l in 0..=7 {
+            let mut out = vec![99u32]; // appends, never clears
+            scratch.select_into(scored.clone(), l, &mut out);
+            let expect: Vec<u32> = std::iter::once(99)
+                .chain(top_l(scored.clone(), l).into_iter().map(|(_, t)| t))
+                .collect();
+            assert_eq!(out, expect, "l={l}");
+        }
+        // Staged ranking goes through the same comparator.
+        scratch.staged.extend(scored.iter().copied());
+        let mut out = Vec::new();
+        scratch.rank_staged_into(3, &mut out);
+        assert_eq!(out, vec![0, 2, 4]);
+        assert!(scratch.staged.is_empty(), "staging buffer drains on rank");
     }
 
     #[test]
