@@ -1,0 +1,128 @@
+//! Network front-end throughput (ISSUE 7): the wire path vs the
+//! in-process router on the same workload, pipelining depth, and the
+//! framing codec alone.
+//!
+//! Groups:
+//! * `net_roundtrip` — `in_process` calls `ClusterRouter::batch_query_at`
+//!   directly; `loopback/D` pushes the same batch through a real TCP
+//!   loopback with D requests pipelined per iteration. The spread is
+//!   the full cost of framing + codec + the nonblocking I/O loop's
+//!   ~300µs idle latency floor. NOTE: on the 1-CPU reference container
+//!   the I/O thread, dispatch workers, and the bench thread share one
+//!   core — loopback numbers are upper bounds on protocol overhead.
+//! * `net_codec` — encode/decode of a realistic `Results` payload, no
+//!   sockets: the codec's own cost.
+//!
+//! `SIZEL_BENCH_FULL=1` uses more samples; the default keeps `cargo
+//! bench` fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sizel_cluster::{ClusterConfig, ClusterRouter};
+use sizel_core::engine::{EngineConfig, QueryOptions, SizeLEngine};
+use sizel_datagen::dblp::{generate, DblpConfig};
+use sizel_graph::presets;
+use sizel_net::frame::Opcode;
+use sizel_net::wire::{decode_reply, encode_query_payload, encode_results_payload};
+use sizel_net::{NetClient, NetConfig, NetServer};
+use sizel_rank::{dblp_ga, GaPreset};
+use sizel_serve::ServeConfig;
+
+fn build_engine() -> SizeLEngine {
+    let d = generate(&DblpConfig::small());
+    SizeLEngine::build(
+        d.db,
+        |db, sg, dg| dblp_ga(GaPreset::Ga1, db, sg, dg),
+        EngineConfig::new(vec![
+            ("Author".into(), presets::dblp_author_gds_config()),
+            ("Paper".into(), presets::dblp_paper_gds_config()),
+        ]),
+    )
+    .expect("small DBLP engine builds")
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        queue_capacity: 64,
+        cache_capacity: 4096,
+        cache_shards: 16,
+        hot_capacity: 64,
+    }
+}
+
+/// The fig10 famous-author workload (small-DBLP subset).
+fn workload() -> Vec<(String, QueryOptions)> {
+    ["Christos Faloutsos", "Michalis Faloutsos", "Petros Faloutsos", "Faloutsos"]
+        .into_iter()
+        .flat_map(|kw| {
+            [10usize, 30]
+                .into_iter()
+                .map(move |l| (kw.to_owned(), QueryOptions { l, ..QueryOptions::default() }))
+        })
+        .collect()
+}
+
+fn bench_net_throughput(c: &mut Criterion) {
+    let full = std::env::var("SIZEL_BENCH_FULL").is_ok_and(|v| v == "1");
+    let set = workload();
+
+    let router = Arc::new(
+        ClusterRouter::partitioned(
+            vec![build_engine(), build_engine()],
+            ClusterConfig { serve: serve_config(), refresh: None },
+        )
+        .expect("cluster builds"),
+    );
+
+    let mut group = c.benchmark_group("net_roundtrip");
+    group.sample_size(if full { 20 } else { 10 });
+    group.measurement_time(Duration::from_secs(if full { 5 } else { 2 }));
+
+    // Baseline: the same calls with no wire in between.
+    group.bench_with_input(BenchmarkId::new("in_process", 0), &set, |b, set| {
+        b.iter(|| criterion::black_box(router.batch_query_at(set).expect("query")));
+    });
+
+    // The wire path at pipeline depths 1 and 8: one iteration sends D
+    // copies of the batch before reading any reply.
+    let server = NetServer::bind(Arc::clone(&router), "127.0.0.1:0", NetConfig::default())
+        .expect("bind loopback");
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    client.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
+    let payload = encode_query_payload(&set);
+    for depth in [1usize, 8] {
+        group.bench_with_input(BenchmarkId::new("loopback", depth), &payload, |b, payload| {
+            b.iter(|| {
+                let ids: Vec<u64> = (0..depth)
+                    .map(|_| client.send(Opcode::Query, payload).expect("send"))
+                    .collect();
+                for id in ids {
+                    let (op, reply) = client.recv_for(id).expect("reply");
+                    assert_eq!(op, Opcode::Results);
+                    criterion::black_box(reply);
+                }
+            });
+        });
+    }
+    group.finish();
+
+    // The codec alone: a realistic Results payload, no sockets.
+    let (epoch, results) = router.batch_query_at(&set).expect("oracle");
+    let encoded = encode_results_payload(epoch, &results);
+    let mut group = c.benchmark_group("net_codec");
+    group.sample_size(if full { 60 } else { 20 });
+    group.measurement_time(Duration::from_secs(if full { 5 } else { 2 }));
+    group.bench_function("encode_results", |b| {
+        b.iter(|| criterion::black_box(encode_results_payload(epoch, &results)));
+    });
+    group.bench_function("decode_results", |b| {
+        b.iter(|| criterion::black_box(decode_reply(Opcode::Results, &encoded).expect("decodes")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_net_throughput);
+criterion_main!(benches);

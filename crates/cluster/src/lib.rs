@@ -27,7 +27,7 @@
 //! of hot keys don't eat cold recomputes after writes.
 
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use sizel_core::engine::{QueryOptions, QueryResult, ResultRanking, SizeLEngine};
 use sizel_serve::{Mutation, ServeConfig, ServerStats, SharedResult, SizeLServer};
@@ -194,9 +194,51 @@ impl ClusterRouter {
         ClusterRouter { shards, mode, gate: RwLock::new(()), refresh }
     }
 
+    /// Takes the cluster gate shared, recovering from poisoning: the
+    /// gate guards no data (it is a `RwLock<()>` ordering fence), so a
+    /// panic under the exclusive side carries no torn state — before
+    /// this recovery, one panicking apply turned every subsequent query
+    /// on every shard into a panic.
+    fn read_gate(&self) -> RwLockReadGuard<'_, ()> {
+        match self.gate.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.gate.clear_poison();
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    /// Takes the cluster gate exclusively (see [`ClusterRouter::read_gate`]
+    /// for the poison-recovery rationale).
+    fn write_gate(&self) -> RwLockWriteGuard<'_, ()> {
+        match self.gate.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.gate.clear_poison();
+                poisoned.into_inner()
+            }
+        }
+    }
+
     /// Number of shards.
     pub fn shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Tenant names with their shard indexes, in shard order (empty for
+    /// a partitioned cluster) — the metrics endpoint labels per-shard
+    /// series with these.
+    pub fn tenant_names(&self) -> Vec<(String, usize)> {
+        match &self.mode {
+            Mode::MultiTenant(by_name) => {
+                let mut names: Vec<(String, usize)> =
+                    by_name.iter().map(|(n, &s)| (n.clone(), s)).collect();
+                names.sort_by_key(|(_, s)| *s);
+                names
+            }
+            Mode::Partitioned => Vec::new(),
+        }
     }
 
     /// Direct access to one shard's server (stats, diagnostics).
@@ -240,12 +282,27 @@ impl ClusterRouter {
         &self,
         requests: &[(String, QueryOptions)],
     ) -> Result<Vec<Vec<SharedResult>>> {
+        self.batch_query_at(requests).map(|(_, results)| results)
+    }
+
+    /// [`ClusterRouter::batch_query`] plus the consistent cluster epoch
+    /// the batch was served at — read under the *same* gate hold as the
+    /// fan-out, so a network front-end can stamp every reply with the
+    /// exact version of the data it was computed from (the wire-level
+    /// analogue of the serve cache's epoch-keyed staleness proof).
+    pub fn batch_query_at(
+        &self,
+        requests: &[(String, QueryOptions)],
+    ) -> Result<(Epoch, Vec<Vec<SharedResult>>)> {
         if !matches!(self.mode, Mode::Partitioned) {
             return Err(ClusterError::WrongMode(
                 "tenant-less queries need a partitioned cluster (see query_tenant)",
             ));
         }
-        let _epoch_gate = self.gate.read().expect("cluster gate poisoned");
+        let _epoch_gate = self.read_gate();
+        // Writes hold the gate exclusively, so every shard sits at this
+        // epoch for the whole fan-out.
+        let epoch = self.shards[0].epoch();
         // Resolve every request's DS hits on one replica.
         let hits_per_request: Vec<Vec<TupleRef>> = {
             let engine = self.shards[0].engine();
@@ -289,7 +346,7 @@ impl ClusterRouter {
         // Merge: per request, hits order (the paper's global-importance
         // rank) or the summary-importance reorder — the exact comparator
         // the sequential engine uses.
-        Ok(slots
+        let merged = slots
             .into_iter()
             .zip(requests)
             .map(|(row, (_, opts))| {
@@ -302,7 +359,23 @@ impl ClusterRouter {
                 }
                 results
             })
-            .collect())
+            .collect();
+        Ok((epoch, merged))
+    }
+
+    /// Computes one `(t_DS, options)` summary on its owner shard
+    /// (partitioned mode), returning it with the cluster epoch it was
+    /// served at — the per-DS unit the wire protocol's `Summarize` frame
+    /// maps to.
+    pub fn summarize_at(&self, tds: TupleRef, opts: QueryOptions) -> Result<(Epoch, SharedResult)> {
+        if !matches!(self.mode, Mode::Partitioned) {
+            return Err(ClusterError::WrongMode(
+                "tenant-less summaries need a partitioned cluster",
+            ));
+        }
+        let _epoch_gate = self.read_gate();
+        let epoch = self.shards[0].epoch();
+        Ok((epoch, self.shards[self.shard_of(tds)].summarize(tds, opts)))
     }
 
     /// Runs one keyword query against a tenant's shard.
@@ -312,9 +385,22 @@ impl ClusterRouter {
         keywords: &str,
         opts: QueryOptions,
     ) -> Result<Vec<SharedResult>> {
+        self.query_tenant_at(tenant, keywords, opts).map(|(_, results)| results)
+    }
+
+    /// [`ClusterRouter::query_tenant`] plus the tenant shard's epoch,
+    /// read under the same gate hold as the query (see
+    /// [`ClusterRouter::batch_query_at`]).
+    pub fn query_tenant_at(
+        &self,
+        tenant: &str,
+        keywords: &str,
+        opts: QueryOptions,
+    ) -> Result<(Epoch, Vec<SharedResult>)> {
         let shard = self.tenant_shard(tenant)?;
-        let _epoch_gate = self.gate.read().expect("cluster gate poisoned");
-        Ok(self.shards[shard].query(keywords, opts))
+        let _epoch_gate = self.read_gate();
+        let epoch = self.shards[shard].epoch();
+        Ok((epoch, self.shards[shard].query(keywords, opts)))
     }
 
     /// Applies one mutation cluster-wide (partitioned mode: every
@@ -337,7 +423,7 @@ impl ClusterRouter {
                 "tenant-less writes need a partitioned cluster (see apply_batch_grouped)",
             ));
         }
-        let _epoch_gate = self.gate.write().expect("cluster gate poisoned");
+        let _epoch_gate = self.write_gate();
         let mut epochs = Vec::with_capacity(self.shards.len());
         let mut failure: Option<StorageError> = None;
         for shard in &self.shards {
@@ -375,7 +461,7 @@ impl ClusterRouter {
                 None => groups.push((tenant, shard, vec![m])),
             }
         }
-        let _epoch_gate = self.gate.write().expect("cluster gate poisoned");
+        let _epoch_gate = self.write_gate();
         let mut epochs = Vec::with_capacity(groups.len());
         for (tenant, shard, batch) in groups {
             let e = self.shards[shard].apply_batch(batch).map_err(|e| {

@@ -19,8 +19,37 @@
 //! computed. The worker can therefore never serve (or cause to be
 //! served) anything the sequential engine would not.
 
+//! ## Shutdown/notify race audit (ISSUE 7)
+//!
+//! The worker's condvar protocol was audited for the two races a
+//! notify/drop pair can hit:
+//!
+//! * **A notify landing between the `wait_timeout` wake and re-lock.**
+//!   Cannot be lost: `pending` is only written under the signal mutex,
+//!   and `Condvar::wait_timeout` re-acquires that mutex *before*
+//!   returning — a notify that fires while the worker is waking either
+//!   finds it still waiting (wakeup delivered) or blocks on the mutex
+//!   until the worker has re-checked `pending` under the lock. A notify
+//!   landing between the worker's `*pending = false` and the sweep sets
+//!   `pending` for the *next* iteration, which re-sweeps — at worst one
+//!   redundant sweep, never a missed one.
+//! * **`Drop` racing a sweep in flight.** `stop` is now re-checked
+//!   between shards inside the sweep (not just once per wakeup), so a
+//!   drop no longer waits out a full pass over every shard's re-warm
+//!   budget; the worker owns its own `Arc`s to the shards, so the
+//!   router's fields dropping first cannot free a shard under it.
+//!
+//! Two real defects were fixed: the signal mutex was locked with
+//! `expect("refresh signal poisoned")` on **both** sides, so a panic in
+//! the worker poisoned the lock and made the router's next
+//! `notify` — including the one issued by `Drop` itself — panic too
+//! (a double panic during unwind aborts the process). Both sides now
+//! recover the flag. And the worker's last-seen epochs were thread-local,
+//! so the serving stack could not export refresh *lag*; they now live in
+//! shared per-shard atomics, surfaced via [`RefreshStats::last_epochs`].
+
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -48,12 +77,18 @@ impl Default for RefreshConfig {
 }
 
 /// Counters of the refresh worker's activity.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RefreshStats {
     /// Sweeps that checked every shard's epoch.
     pub passes: u64,
     /// Summary keys recomputed across all shards.
     pub rewarmed_keys: u64,
+    /// Per shard: the epoch the worker last finished re-warming at (in
+    /// shard order; empty when the worker is disabled). A shard's
+    /// current epoch minus this value is its **refresh lag** — the
+    /// metrics endpoint exposes it per shard, and a persistently
+    /// non-zero lag means writes outpace the re-warm budget.
+    pub last_epochs: Vec<u64>,
 }
 
 struct Shared {
@@ -64,6 +99,22 @@ struct Shared {
     stop: AtomicBool,
     passes: AtomicU64,
     rewarmed_keys: AtomicU64,
+    /// Per shard: the epoch of the last completed re-warm (mirrors the
+    /// worker's sweep state so stats/metrics can compute lag).
+    last_epochs: Vec<AtomicU64>,
+}
+
+/// Locks the signal flag, recovering from poisoning: the flag is a plain
+/// bool (never torn), and panicking here would cascade into the router's
+/// drop-time notify — a double panic that aborts the process.
+fn lock_pending(shared: &Shared) -> MutexGuard<'_, bool> {
+    match shared.pending.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            shared.pending.clear_poison();
+            poisoned.into_inner()
+        }
+    }
 }
 
 /// The background refresh thread; dropping it (via the router) stops and
@@ -75,27 +126,33 @@ pub(crate) struct RefreshWorker {
 
 impl RefreshWorker {
     pub(crate) fn spawn(shards: Vec<Arc<SizeLServer>>, cfg: RefreshConfig) -> Self {
+        let initial: Vec<Epoch> = shards.iter().map(|s| s.epoch()).collect();
         let shared = Arc::new(Shared {
             pending: Mutex::new(false),
             cv: Condvar::new(),
             stop: AtomicBool::new(false),
             passes: AtomicU64::new(0),
             rewarmed_keys: AtomicU64::new(0),
+            last_epochs: initial.iter().map(|e| AtomicU64::new(e.get())).collect(),
         });
         let worker_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
             .name("sizel-cluster-refresh".into())
             .spawn(move || {
                 let shared = worker_shared;
-                let mut last: Vec<Epoch> = shards.iter().map(|s| s.epoch()).collect();
+                let mut last: Vec<Epoch> = initial;
                 loop {
                     {
-                        let mut pending = shared.pending.lock().expect("refresh signal poisoned");
+                        let mut pending = lock_pending(&shared);
                         while !*pending && !shared.stop.load(Ordering::Acquire) {
-                            let (guard, timeout) = shared
-                                .cv
-                                .wait_timeout(pending, cfg.interval)
-                                .expect("refresh signal poisoned");
+                            let (guard, timeout) =
+                                match shared.cv.wait_timeout(pending, cfg.interval) {
+                                    Ok(woken) => woken,
+                                    Err(poisoned) => {
+                                        shared.pending.clear_poison();
+                                        poisoned.into_inner()
+                                    }
+                                };
                             pending = guard;
                             if timeout.timed_out() {
                                 break; // fallback sweep
@@ -107,11 +164,17 @@ impl RefreshWorker {
                         return;
                     }
                     for (i, shard) in shards.iter().enumerate() {
+                        // Re-check between shards: a drop mid-sweep must
+                        // not wait out the remaining shards' budgets.
+                        if shared.stop.load(Ordering::Acquire) {
+                            return;
+                        }
                         let epoch = shard.epoch();
                         if epoch != last[i] {
                             let warmed = shard.rewarm_hottest_auto(cfg.budget);
                             shared.rewarmed_keys.fetch_add(warmed as u64, Ordering::Relaxed);
                             last[i] = epoch;
+                            shared.last_epochs[i].store(epoch.get(), Ordering::Relaxed);
                         }
                     }
                     shared.passes.fetch_add(1, Ordering::Relaxed);
@@ -124,7 +187,7 @@ impl RefreshWorker {
     /// Signals the worker that an epoch moved (called by the router after
     /// every apply).
     pub(crate) fn notify(&self) {
-        let mut pending = self.shared.pending.lock().expect("refresh signal poisoned");
+        let mut pending = lock_pending(&self.shared);
         *pending = true;
         self.shared.cv.notify_one();
     }
@@ -133,6 +196,12 @@ impl RefreshWorker {
         RefreshStats {
             passes: self.shared.passes.load(Ordering::Relaxed),
             rewarmed_keys: self.shared.rewarmed_keys.load(Ordering::Relaxed),
+            last_epochs: self
+                .shared
+                .last_epochs
+                .iter()
+                .map(|e| e.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 }

@@ -2,7 +2,7 @@
 //! (Author + Paper DS relations, GA1) — the same stack the serve-layer
 //! suites compare against, built N times for replica shards.
 
-#![allow(dead_code)] // each test binary uses the subset it needs
+#![allow(dead_code, unused_imports)] // each test binary uses the subset it needs
 
 use sizel_core::engine::{EngineConfig, SizeLEngine};
 use sizel_datagen::dblp::{generate, DblpConfig};

@@ -1,0 +1,94 @@
+//! `sizel-netcat` — a command-line client for a running sizel-net
+//! server.
+//!
+//! ```text
+//! sizel-netcat <addr> ping
+//! sizel-netcat <addr> stats
+//! sizel-netcat <addr> query <keywords> [l]
+//! ```
+//!
+//! Exit status 0 on a successful reply, 1 on usage errors, 2 on a
+//! transport/protocol failure, 3 on an in-band `Error`/`Busy` reply.
+
+use std::process::ExitCode;
+
+use sizel_core::engine::QueryOptions;
+use sizel_net::{NetClient, Reply};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: sizel-netcat <addr> ping|stats|query <keywords> [l]");
+    ExitCode::from(1)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, cmd) = match (args.first(), args.get(1)) {
+        (Some(a), Some(c)) => (a.clone(), c.clone()),
+        _ => return usage(),
+    };
+    let mut client = match NetClient::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("connect {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match cmd.as_str() {
+        "ping" => client.ping().map(|()| {
+            println!("pong");
+        }),
+        "stats" => client.stats().map(|text| {
+            print!("{text}");
+        }),
+        "query" => {
+            let Some(keywords) = args.get(2).cloned() else {
+                return usage();
+            };
+            let mut opts = QueryOptions::default();
+            if let Some(l) = args.get(3) {
+                match l.parse() {
+                    Ok(l) => opts.l = l,
+                    Err(_) => return usage(),
+                }
+            }
+            match client.query(&[(keywords, opts)]) {
+                Ok(Reply::Results { epoch, results }) => {
+                    println!("epoch {epoch}");
+                    for (i, per_request) in results.iter().enumerate() {
+                        for r in per_request {
+                            println!(
+                                "[{i}] {} Im={:.6} |S|={} (from OS of {})",
+                                r.ds_label,
+                                r.importance,
+                                r.summary.len(),
+                                r.input_os_size
+                            );
+                        }
+                    }
+                    Ok(())
+                }
+                Ok(Reply::Busy { reason }) => {
+                    eprintln!("server busy: {reason:?}");
+                    return ExitCode::from(3);
+                }
+                Ok(Reply::Error { code, message }) => {
+                    eprintln!("server error {code:?}: {message}");
+                    return ExitCode::from(3);
+                }
+                Ok(other) => {
+                    eprintln!("unexpected reply: {other:?}");
+                    return ExitCode::from(2);
+                }
+                Err(e) => Err(e),
+            }
+        }
+        _ => return usage(),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! `sizel-proto-doc` — prints the wire-protocol reference table
+//! (markdown) generated from the `Opcode` enum, so DESIGN.md §9.1 can
+//! be regenerated instead of hand-maintained:
+//!
+//! ```text
+//! cargo run -p sizel-net --bin sizel-proto-doc
+//! ```
+//!
+//! A test pins DESIGN.md against this exact output.
+
+fn main() {
+    print!("{}", sizel_net::protocol_reference_table());
+}

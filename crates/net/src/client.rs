@@ -1,0 +1,160 @@
+//! A blocking pipelining client over the sizel-net protocol — the
+//! library behind the `sizel-netcat` binary and the loopback e2e suite.
+//!
+//! The client separates *send* from *receive*: [`NetClient::send`]
+//! queues a request and returns its id immediately, so a caller can put
+//! many requests on the wire before reading any reply (the server
+//! answers in completion order, not submission order).
+//! [`NetClient::recv_for`] parks out-of-order replies until asked for,
+//! so interleaved waiters never lose frames.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use sizel_core::engine::{Mutation, QueryOptions};
+use sizel_storage::TupleRef;
+
+use crate::frame::{encode_frame, read_frame, FrameError, Opcode};
+use crate::wire::{
+    decode_reply, encode_apply_payload, encode_query_payload, encode_summarize_payload, Reply,
+    WireError,
+};
+
+/// Everything a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The stream failed or the peer broke framing.
+    Frame(FrameError),
+    /// The reply payload did not decode.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "{e}"),
+            ClientError::Wire(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Frame(FrameError::Io(e))
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A blocking connection to a sizel-net server.
+pub struct NetClient {
+    stream: TcpStream,
+    next_id: u64,
+    /// Replies read while waiting for a different id, keyed by theirs.
+    parked: HashMap<u64, (Opcode, Vec<u8>)>,
+}
+
+impl NetClient {
+    /// Connects to `addr`.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(NetClient { stream, next_id: 1, parked: HashMap::new() })
+    }
+
+    /// Bounds every receive; `None` blocks indefinitely.
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(t)
+    }
+
+    /// Sends one request frame, returning its id without waiting for the
+    /// reply — the pipelining primitive.
+    pub fn send(&mut self, opcode: Opcode, payload: &[u8]) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.stream.write_all(&encode_frame(opcode, id, payload))?;
+        Ok(id)
+    }
+
+    /// Sends raw bytes as-is — the malformed-frame suite's hook.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Receives the next reply frame, whatever request it answers.
+    pub fn recv_any(&mut self) -> Result<(u64, Opcode, Vec<u8>), FrameError> {
+        if let Some(&id) = self.parked.keys().next() {
+            let (op, payload) = self.parked.remove(&id).expect("just found");
+            return Ok((id, op, payload));
+        }
+        let (h, payload) = read_frame(&mut self.stream)?;
+        Ok((h.req_id, h.opcode, payload))
+    }
+
+    /// Receives the reply to `id`, parking any other replies that arrive
+    /// first.
+    pub fn recv_for(&mut self, id: u64) -> Result<(Opcode, Vec<u8>), FrameError> {
+        if let Some(found) = self.parked.remove(&id) {
+            return Ok(found);
+        }
+        loop {
+            let (h, payload) = read_frame(&mut self.stream)?;
+            if h.req_id == id {
+                return Ok((h.opcode, payload));
+            }
+            self.parked.insert(h.req_id, (h.opcode, payload));
+        }
+    }
+
+    /// Send + receive + decode in one round trip.
+    pub fn call(&mut self, opcode: Opcode, payload: &[u8]) -> Result<Reply, ClientError> {
+        let id = self.send(opcode, payload)?;
+        let (op, reply_payload) = self.recv_for(id)?;
+        Ok(decode_reply(op, &reply_payload)?)
+    }
+
+    /// Liveness round trip.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(Opcode::Ping, &[])? {
+            Reply::Pong => Ok(()),
+            other => Err(WireError(format!("expected Pong, got {other:?}")).into()),
+        }
+    }
+
+    /// One keyword-query batch.
+    pub fn query(&mut self, requests: &[(String, QueryOptions)]) -> Result<Reply, ClientError> {
+        self.call(Opcode::Query, &encode_query_payload(requests))
+    }
+
+    /// One per-DS summary.
+    pub fn summarize(&mut self, tds: TupleRef, opts: QueryOptions) -> Result<Reply, ClientError> {
+        self.call(Opcode::Summarize, &encode_summarize_payload(tds, opts))
+    }
+
+    /// One cluster-wide mutation batch.
+    pub fn apply(&mut self, mutations: &[Mutation]) -> Result<Reply, ClientError> {
+        self.call(Opcode::ApplyBatch, &encode_apply_payload(mutations))
+    }
+
+    /// The metrics page.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        match self.call(Opcode::Stats, &[])? {
+            Reply::StatsText { text } => Ok(text),
+            other => Err(WireError(format!("expected StatsText, got {other:?}")).into()),
+        }
+    }
+}

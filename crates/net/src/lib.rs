@@ -1,0 +1,38 @@
+//! # sizel-net — the TCP front-end
+//!
+//! A network face for the sharded serving stack: a length-prefixed
+//! binary protocol over plain TCP carrying keyword queries, per-DS
+//! summaries, mutation batches, and metrics scrapes into a
+//! [`ClusterRouter`](sizel_cluster::ClusterRouter), with
+//! per-connection **pipelining**, a bounded **in-flight budget**,
+//! explicit **load shedding** (`Busy` frames — never a silent drop),
+//! and a text-exposition **metrics** page served both in-band and to
+//! plain-HTTP scrapers.
+//!
+//! The stack, bottom to top:
+//!
+//! * [`frame`] — the 16-byte versioned envelope and opcode registry
+//!   (the protocol reference table in DESIGN.md §9 is generated from
+//!   it);
+//! * [`wire`] — the canonical little-endian payload codec, whose
+//!   deterministic encoding is what the loopback suite uses to prove
+//!   the server **byte-identical** to in-process router calls at every
+//!   epoch;
+//! * [`server`] — a nonblocking I/O thread plus a dispatch-worker pool
+//!   over the serve layer's bounded MPMC queue, with two-gate admission
+//!   and `catch_unwind` panic containment;
+//! * [`client`] — the blocking pipelining client (also behind the
+//!   `sizel-netcat` binary);
+//! * [`metrics`] — lock-free counters and the exposition renderer.
+
+pub mod client;
+pub mod frame;
+pub mod metrics;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientError, NetClient};
+pub use frame::{protocol_reference_table, BusyReason, ErrorCode, FrameError, Opcode};
+pub use metrics::{render_metrics, NetCounters};
+pub use server::{NetConfig, NetServer};
+pub use wire::{Reply, Request, WireError, WireOsNode, WireResult};

@@ -1,0 +1,206 @@
+//! Front-end observability: lock-free counters incremented on the hot
+//! paths, rendered on demand into a text-exposition page (DESIGN.md
+//! §9.4 lists every series).
+//!
+//! The page is served two ways from the same renderer: as a `StatsText`
+//! reply to a `Stats` frame, and as a plain-HTTP `GET` response for
+//! scrapers that speak no sizel-net (the server recognizes an ASCII
+//! `GET ` where the frame magic would be — the magic bytes `"LS"` make
+//! the two unambiguous on the first two octets).
+//!
+//! All `*_total` series are monotonic counters — *rates* (e.g. QPS per
+//! tenant) are the scraper's division, which is why the page exposes
+//! raw `queries_served_total` per shard rather than a decaying gauge.
+//! Gauges (`connections_live`, `queue_depth`, `refresh_lag`) are
+//! instantaneous reads at render time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sizel_cluster::ClusterRouter;
+
+/// The front-end's own counters (cluster/serve counters are read from
+/// the router at render time, not duplicated here).
+#[derive(Debug, Default)]
+pub struct NetCounters {
+    /// Connections ever accepted.
+    pub connections_opened: AtomicU64,
+    /// Connections currently open.
+    pub connections_live: AtomicU64,
+    /// Request frames fully received and admitted to decode.
+    pub frames_in: AtomicU64,
+    /// Reply frames enqueued for write (every admitted request produces
+    /// exactly one, as does every shed and every error).
+    pub frames_out: AtomicU64,
+    /// Requests shed because the connection's in-flight budget was full.
+    pub shed_inflight: AtomicU64,
+    /// Requests shed because the dispatch queue was full.
+    pub shed_queue: AtomicU64,
+    /// `Error` replies sent, by coarse class.
+    pub errors_malformed: AtomicU64,
+    /// `Error(Protocol)` replies: broken envelopes (connection closed after).
+    pub errors_protocol: AtomicU64,
+    /// `Error(Internal)` replies: a handler panicked.
+    pub errors_internal: AtomicU64,
+    /// `Error(BadRequest)` replies: well-formed but rejected by the cluster.
+    pub errors_bad_request: AtomicU64,
+    /// Plain-HTTP `/metrics` scrapes served.
+    pub http_scrapes: AtomicU64,
+}
+
+impl NetCounters {
+    /// Relaxed increment — every call site is a statistic, never a
+    /// synchronization point.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed read.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+fn line(out: &mut String, name: &str, labels: &str, value: impl std::fmt::Display) {
+    if labels.is_empty() {
+        out.push_str(&format!("{name} {value}\n"));
+    } else {
+        out.push_str(&format!("{name}{{{labels}}} {value}\n"));
+    }
+}
+
+/// Renders the whole metrics page: front-end counters, per-shard serve
+/// counters (labelled with the tenant name in multi-tenant mode), cache
+/// hit ratios, and the refresh worker's per-shard epoch lag.
+pub fn render_metrics(counters: &NetCounters, router: &ClusterRouter) -> String {
+    let mut out = String::with_capacity(2048);
+
+    // Front-end.
+    line(&mut out, "sizel_net_connections_live", "", NetCounters::get(&counters.connections_live));
+    line(
+        &mut out,
+        "sizel_net_connections_opened_total",
+        "",
+        NetCounters::get(&counters.connections_opened),
+    );
+    line(&mut out, "sizel_net_frames_in_total", "", NetCounters::get(&counters.frames_in));
+    line(&mut out, "sizel_net_frames_out_total", "", NetCounters::get(&counters.frames_out));
+    line(
+        &mut out,
+        "sizel_net_shed_total",
+        "reason=\"inflight_budget\"",
+        NetCounters::get(&counters.shed_inflight),
+    );
+    line(
+        &mut out,
+        "sizel_net_shed_total",
+        "reason=\"queue_full\"",
+        NetCounters::get(&counters.shed_queue),
+    );
+    line(
+        &mut out,
+        "sizel_net_errors_total",
+        "code=\"malformed\"",
+        NetCounters::get(&counters.errors_malformed),
+    );
+    line(
+        &mut out,
+        "sizel_net_errors_total",
+        "code=\"protocol\"",
+        NetCounters::get(&counters.errors_protocol),
+    );
+    line(
+        &mut out,
+        "sizel_net_errors_total",
+        "code=\"internal\"",
+        NetCounters::get(&counters.errors_internal),
+    );
+    line(
+        &mut out,
+        "sizel_net_errors_total",
+        "code=\"bad_request\"",
+        NetCounters::get(&counters.errors_bad_request),
+    );
+    line(&mut out, "sizel_net_http_scrapes_total", "", NetCounters::get(&counters.http_scrapes));
+
+    // Per-shard serve and cluster state. In multi-tenant mode each shard
+    // IS a tenant, so the tenant name labels its series — this is the
+    // per-tenant QPS/cache view; in partitioned mode the shard index
+    // alone identifies the replica.
+    let tenants = router.tenant_names();
+    let tenant_of = |shard: usize| -> Option<&str> {
+        tenants.iter().find(|(_, s)| *s == shard).map(|(n, _)| n.as_str())
+    };
+    let stats = router.stats();
+    for (i, per_shard) in stats.per_shard.iter().enumerate() {
+        let labels = match tenant_of(i) {
+            Some(t) => format!("shard=\"{i}\",tenant=\"{t}\""),
+            None => format!("shard=\"{i}\""),
+        };
+        line(&mut out, "sizel_serve_queries_served_total", &labels, per_shard.queries_served);
+        line(
+            &mut out,
+            "sizel_serve_summaries_computed_total",
+            &labels,
+            per_shard.summaries_computed,
+        );
+        line(&mut out, "sizel_serve_mutations_applied_total", &labels, per_shard.mutations_applied);
+        line(&mut out, "sizel_serve_rewarmed_total", &labels, per_shard.rewarmed);
+        line(&mut out, "sizel_serve_cache_hits_total", &labels, per_shard.cache.hits);
+        line(&mut out, "sizel_serve_cache_misses_total", &labels, per_shard.cache.misses);
+        line(&mut out, "sizel_serve_cache_evictions_total", &labels, per_shard.cache.evictions);
+        line(
+            &mut out,
+            "sizel_serve_cache_invalidations_total",
+            &labels,
+            per_shard.cache.invalidations,
+        );
+        line(
+            &mut out,
+            "sizel_serve_cache_poison_resets_total",
+            &labels,
+            per_shard.cache.poison_resets,
+        );
+        let lookups = per_shard.cache.hits + per_shard.cache.misses;
+        let ratio = if lookups == 0 { 0.0 } else { per_shard.cache.hits as f64 / lookups as f64 };
+        line(&mut out, "sizel_serve_cache_hit_ratio", &labels, format!("{ratio:.6}"));
+        line(&mut out, "sizel_net_queue_depth", &labels, router.shard(i).queue_depth());
+
+        // Refresh lag: shard epoch minus the worker's last completed
+        // re-warm epoch (0 when the worker is disabled or caught up).
+        let epoch = stats.epochs[i].get();
+        line(&mut out, "sizel_cluster_epoch", &labels, epoch);
+        let last = stats.refresh.last_epochs.get(i).copied().unwrap_or(epoch);
+        line(&mut out, "sizel_refresh_last_epoch", &labels, last);
+        line(&mut out, "sizel_refresh_lag", &labels, epoch.saturating_sub(last));
+    }
+    line(&mut out, "sizel_refresh_passes_total", "", stats.refresh.passes);
+    line(&mut out, "sizel_refresh_rewarmed_keys_total", "", stats.refresh.rewarmed_keys);
+    out
+}
+
+/// Wraps the metrics page in a minimal HTTP/1.1 response (the scraper
+/// path; the server closes the connection after writing it).
+pub fn render_http_metrics(counters: &NetCounters, router: &ClusterRouter) -> Vec<u8> {
+    let body = render_metrics(counters, router);
+    let mut resp = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    resp.extend_from_slice(body.as_bytes());
+    resp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_helpers_are_relaxed_increments() {
+        let c = NetCounters::default();
+        NetCounters::bump(&c.frames_in);
+        NetCounters::bump(&c.frames_in);
+        assert_eq!(NetCounters::get(&c.frames_in), 2);
+        assert_eq!(NetCounters::get(&c.frames_out), 0);
+    }
+}

@@ -1,0 +1,561 @@
+//! The TCP front-end itself (DESIGN.md §9.3).
+//!
+//! One nonblocking I/O thread owns the listener and every connection:
+//! it accepts, reads bytes into per-connection buffers, cuts complete
+//! frames, runs **admission control**, and drains per-connection
+//! outboxes back to the sockets. Decoding and execution happen on a
+//! pool of dispatch workers fed through the serve layer's
+//! [`BoundedQueue`] — the same MPMC primitive the shards' own worker
+//! pools use.
+//!
+//! ## Backpressure and shedding
+//!
+//! Two gates bound the work a client can park in the server, and both
+//! reject with an explicit [`Opcode::Busy`] reply — a shed request is
+//! *never* silently dropped, and it is rejected **before** execution,
+//! so it has no partial effects:
+//!
+//! 1. **Per-connection in-flight budget** (`NetConfig::inflight_budget`):
+//!    admitted-but-unanswered requests per connection. One greedy
+//!    pipeliner saturates its own budget, not the server.
+//! 2. **Dispatch queue capacity** (`NetConfig::queue_capacity`): the
+//!    server-wide bound, enforced by [`BoundedQueue::try_push`] — the
+//!    I/O thread never blocks on a full queue.
+//!
+//! ## Panic containment
+//!
+//! Every request executes under `catch_unwind`: a handler panic becomes
+//! an `Error(Internal)` reply on that request and the worker moves on.
+//! Combined with the poison-recovering locks underneath (serve queue,
+//! cache shards, hot sketch, cluster gate), one bad request degrades
+//! one reply — it cannot take down the connection, the worker pool, or
+//! the shared serving state.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use sizel_cluster::ClusterRouter;
+use sizel_serve::{BoundedQueue, TryPushError};
+
+use crate::frame::{
+    decode_header, encode_frame, BusyReason, ErrorCode, FrameError, Opcode, HEADER_LEN,
+    MAX_FRAME_LEN,
+};
+use crate::metrics::{render_http_metrics, render_metrics, NetCounters};
+use crate::wire::{
+    decode_request, encode_applied_payload, encode_busy_payload, encode_error_payload,
+    encode_results_payload, encode_stats_payload, encode_summary_payload, Request,
+};
+
+/// Front-end construction parameters.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Dispatch worker threads (decode + execute + encode).
+    pub dispatch_workers: usize,
+    /// Server-wide dispatch queue bound; overflow sheds with
+    /// `Busy(QueueFull)`.
+    pub queue_capacity: usize,
+    /// Per-connection cap on admitted-but-unanswered requests; overflow
+    /// sheds with `Busy(InflightBudget)`.
+    pub inflight_budget: usize,
+    /// Test/bench hook: every dispatch worker sleeps this long before
+    /// executing a request, making queue/budget saturation deterministic
+    /// on any machine. `None` (the default) in production.
+    pub handler_delay: Option<Duration>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            dispatch_workers: 2,
+            queue_capacity: 64,
+            inflight_budget: 32,
+            handler_delay: None,
+        }
+    }
+}
+
+/// State shared between the I/O thread and dispatch workers for one
+/// connection.
+struct ConnShared {
+    /// Encoded reply frames awaiting the I/O thread's next write pass.
+    outbox: Mutex<VecDeque<Vec<u8>>>,
+    /// Admitted-but-unanswered requests (the budget gate's counter).
+    in_flight: AtomicUsize,
+}
+
+impl ConnShared {
+    /// Queues one encoded reply frame (any thread).
+    fn enqueue_reply(&self, counters: &NetCounters, frame: Vec<u8>) {
+        self.outbox.lock().unwrap_or_else(|p| p.into_inner()).push_back(frame);
+        NetCounters::bump(&counters.frames_out);
+    }
+}
+
+/// One admitted request travelling to the dispatch pool.
+struct NetJob {
+    conn: Arc<ConnShared>,
+    opcode: Opcode,
+    req_id: u64,
+    payload: Vec<u8>,
+}
+
+/// Per-connection state owned by the I/O thread.
+struct Conn {
+    stream: TcpStream,
+    shared: Arc<ConnShared>,
+    /// Received-but-unparsed bytes.
+    inbuf: Vec<u8>,
+    /// Bytes being written; `write_pos` marks progress through them.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Peer hung up or the stream failed.
+    dead: bool,
+    /// Stop reading/parsing; flush the outbox and close. Set by
+    /// protocol errors and by the HTTP scrape path.
+    close_after_flush: bool,
+    /// The connection turned out to be a plain-HTTP scraper.
+    http: bool,
+}
+
+/// The running front-end. Dropping it stops the I/O thread, closes the
+/// dispatch queue, and joins every worker.
+pub struct NetServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    queue: Arc<BoundedQueue<NetJob>>,
+    counters: Arc<NetCounters>,
+    router: Arc<ClusterRouter>,
+    io_handle: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `router` over it.
+    pub fn bind(router: Arc<ClusterRouter>, addr: &str, cfg: NetConfig) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity.max(1)));
+        let counters = Arc::new(NetCounters::default());
+
+        let workers = (0..cfg.dispatch_workers.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let router = Arc::clone(&router);
+                let counters = Arc::clone(&counters);
+                let delay = cfg.handler_delay;
+                std::thread::Builder::new()
+                    .name(format!("sizel-net-worker-{i}"))
+                    .spawn(move || worker_loop(&queue, &router, &counters, delay))
+                    .expect("spawn net worker")
+            })
+            .collect();
+
+        let io_handle = {
+            let shutdown = Arc::clone(&shutdown);
+            let queue = Arc::clone(&queue);
+            let router = Arc::clone(&router);
+            let counters = Arc::clone(&counters);
+            let budget = cfg.inflight_budget.max(1);
+            std::thread::Builder::new()
+                .name("sizel-net-io".into())
+                .spawn(move || io_loop(listener, &shutdown, &queue, &router, &counters, budget))
+                .expect("spawn net io thread")
+        };
+
+        Ok(NetServer {
+            addr: local,
+            shutdown,
+            queue,
+            counters,
+            router,
+            io_handle: Some(io_handle),
+            workers,
+        })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The front-end's live counters.
+    pub fn counters(&self) -> &NetCounters {
+        &self.counters
+    }
+
+    /// The served cluster (for in-process oracles in tests/benches).
+    pub fn router(&self) -> &Arc<ClusterRouter> {
+        &self.router
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.queue.close();
+        if let Some(h) = self.io_handle.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatch workers
+// ---------------------------------------------------------------------
+
+fn worker_loop(
+    queue: &BoundedQueue<NetJob>,
+    router: &ClusterRouter,
+    counters: &NetCounters,
+    delay: Option<Duration>,
+) {
+    while let Some(job) = queue.pop() {
+        if let Some(d) = delay {
+            std::thread::sleep(d);
+        }
+        // A panicking handler must cost exactly one reply: catch it,
+        // answer Error(Internal), move to the next job. The state the
+        // panic touched recovers via the poison-safe locks underneath.
+        let reply = catch_unwind(AssertUnwindSafe(|| {
+            handle_request(router, counters, job.opcode, &job.payload)
+        }))
+        .unwrap_or_else(|panic| {
+            NetCounters::bump(&counters.errors_internal);
+            let msg = panic_message(&panic);
+            (Opcode::Error, encode_error_payload(ErrorCode::Internal, &msg))
+        });
+        job.conn.enqueue_reply(counters, encode_frame(reply.0, job.req_id, &reply.1));
+        // Budget release strictly after the reply is visible to the
+        // flusher, so close-after-flush never races a missing reply.
+        job.conn.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("handler panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("handler panicked: {s}")
+    } else {
+        "handler panicked".to_owned()
+    }
+}
+
+fn handle_request(
+    router: &ClusterRouter,
+    counters: &NetCounters,
+    opcode: Opcode,
+    payload: &[u8],
+) -> (Opcode, Vec<u8>) {
+    let request = match decode_request(opcode, payload) {
+        Ok(r) => r,
+        Err(e) => {
+            NetCounters::bump(&counters.errors_malformed);
+            return (
+                Opcode::Error,
+                encode_error_payload(ErrorCode::MalformedPayload, &e.to_string()),
+            );
+        }
+    };
+    let bad_request = |counters: &NetCounters, e: String| {
+        NetCounters::bump(&counters.errors_bad_request);
+        (Opcode::Error, encode_error_payload(ErrorCode::BadRequest, &e))
+    };
+    match request {
+        Request::Ping => (Opcode::Pong, Vec::new()),
+        Request::Stats => {
+            (Opcode::StatsText, encode_stats_payload(&render_metrics(counters, router)))
+        }
+        Request::Query { requests } => match router.batch_query_at(&requests) {
+            Ok((epoch, results)) => (Opcode::Results, encode_results_payload(epoch, &results)),
+            Err(e) => bad_request(counters, e.to_string()),
+        },
+        Request::Summarize { tds, opts } => match router.summarize_at(tds, opts) {
+            Ok((epoch, result)) => (Opcode::Summary, encode_summary_payload(epoch, &result)),
+            Err(e) => bad_request(counters, e.to_string()),
+        },
+        Request::ApplyBatch { mutations } => match router.apply_batch(mutations) {
+            Ok(epoch) => (Opcode::Applied, encode_applied_payload(epoch)),
+            Err(e) => bad_request(counters, e.to_string()),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// The I/O thread
+// ---------------------------------------------------------------------
+
+/// Idle sleep when a poll pass moved no bytes — the latency floor of
+/// the hand-rolled loop (no epoll/kqueue dependency).
+const IDLE_SLEEP: Duration = Duration::from_micros(300);
+
+fn io_loop(
+    listener: TcpListener,
+    shutdown: &AtomicBool,
+    queue: &Arc<BoundedQueue<NetJob>>,
+    router: &Arc<ClusterRouter>,
+    counters: &NetCounters,
+    budget: usize,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    while !shutdown.load(Ordering::Acquire) {
+        let mut progressed = false;
+
+        // Accept everything pending.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    NetCounters::bump(&counters.connections_opened);
+                    NetCounters::bump(&counters.connections_live);
+                    conns.push(Conn {
+                        stream,
+                        shared: Arc::new(ConnShared {
+                            outbox: Mutex::new(VecDeque::new()),
+                            in_flight: AtomicUsize::new(0),
+                        }),
+                        inbuf: Vec::new(),
+                        write_buf: Vec::new(),
+                        write_pos: 0,
+                        dead: false,
+                        close_after_flush: false,
+                        http: false,
+                    });
+                    progressed = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+
+        for conn in conns.iter_mut() {
+            progressed |= poll_conn(conn, queue, router, counters, budget);
+        }
+
+        // Reap: dead streams, and clean closes once every admitted
+        // request has been answered and flushed.
+        conns.retain(|c| {
+            let done_flushing = c.write_pos >= c.write_buf.len()
+                && c.shared.outbox.lock().unwrap_or_else(|p| p.into_inner()).is_empty()
+                && c.shared.in_flight.load(Ordering::Acquire) == 0;
+            let drop_it = c.dead || (c.close_after_flush && done_flushing);
+            if drop_it {
+                counters.connections_live.fetch_sub(1, Ordering::Relaxed);
+            }
+            !drop_it
+        });
+
+        if !progressed {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+    // Shutdown: connections drop here, closing their sockets.
+}
+
+/// One poll pass over a connection: read, parse/admit, flush. Returns
+/// whether any bytes moved.
+fn poll_conn(
+    conn: &mut Conn,
+    queue: &Arc<BoundedQueue<NetJob>>,
+    router: &Arc<ClusterRouter>,
+    counters: &NetCounters,
+    budget: usize,
+) -> bool {
+    let mut progressed = false;
+
+    // Read whatever the socket has.
+    if !conn.dead && !conn.close_after_flush {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.inbuf.extend_from_slice(&chunk[..n]);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    // A plain-HTTP scraper? The frame magic is "LS"; an ASCII "GET "
+    // can't be a frame, so the first four octets decide once.
+    if !conn.http && !conn.close_after_flush && conn.inbuf.len() >= 4 && &conn.inbuf[..4] == b"GET "
+    {
+        conn.http = true;
+        conn.close_after_flush = true;
+        NetCounters::bump(&counters.http_scrapes);
+        let resp = render_http_metrics(counters, router);
+        conn.shared.outbox.lock().unwrap_or_else(|p| p.into_inner()).push_back(resp);
+        conn.inbuf.clear();
+    }
+
+    // Cut complete frames and run admission.
+    while !conn.http && !conn.close_after_flush && conn.inbuf.len() >= HEADER_LEN {
+        let head: [u8; HEADER_LEN] = conn.inbuf[..HEADER_LEN].try_into().expect("16 bytes");
+        // The id is at a fixed offset; even a rejected header echoes it
+        // so the client can correlate the failure.
+        let raw_req_id = u64::from_le_bytes(head[4..12].try_into().expect("8 bytes"));
+        match decode_header(&head) {
+            Ok(h) => {
+                let total = HEADER_LEN + h.len as usize;
+                if conn.inbuf.len() < total {
+                    break; // wait for the rest of the payload
+                }
+                let payload = conn.inbuf[HEADER_LEN..total].to_vec();
+                conn.inbuf.drain(..total);
+                NetCounters::bump(&counters.frames_in);
+                progressed = true;
+                admit(conn, queue, counters, budget, h.opcode, h.req_id, payload);
+            }
+            Err(FrameError::UnknownOpcode(b)) => {
+                // Magic, version, and length all validated — the frame
+                // boundary is trustworthy, so skip exactly this frame
+                // and keep the connection.
+                let len = u32::from_le_bytes(head[12..16].try_into().expect("4 bytes"));
+                if len > MAX_FRAME_LEN {
+                    protocol_error(
+                        conn,
+                        counters,
+                        raw_req_id,
+                        &FrameError::Oversized(len).to_string(),
+                    );
+                    break;
+                }
+                let total = HEADER_LEN + len as usize;
+                if conn.inbuf.len() < total {
+                    break;
+                }
+                conn.inbuf.drain(..total);
+                NetCounters::bump(&counters.frames_in);
+                progressed = true;
+                NetCounters::bump(&counters.errors_malformed);
+                conn.shared.enqueue_reply(
+                    counters,
+                    encode_frame(
+                        Opcode::Error,
+                        raw_req_id,
+                        &encode_error_payload(
+                            ErrorCode::UnknownOpcode,
+                            &format!("unknown opcode 0x{b:02x}"),
+                        ),
+                    ),
+                );
+            }
+            Err(e) => {
+                // Bad magic/version/length: the framing itself is no
+                // longer trustworthy. Answer once, then close.
+                protocol_error(conn, counters, raw_req_id, &e.to_string());
+                break;
+            }
+        }
+    }
+
+    // Move finished replies into the write buffer and flush.
+    if conn.write_pos >= conn.write_buf.len() {
+        conn.write_buf.clear();
+        conn.write_pos = 0;
+        let mut outbox = conn.shared.outbox.lock().unwrap_or_else(|p| p.into_inner());
+        while let Some(frame) = outbox.pop_front() {
+            conn.write_buf.extend_from_slice(&frame);
+        }
+    }
+    while !conn.dead && conn.write_pos < conn.write_buf.len() {
+        match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+            Ok(0) => {
+                conn.dead = true;
+            }
+            Ok(n) => {
+                conn.write_pos += n;
+                progressed = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => conn.dead = true,
+        }
+    }
+
+    progressed
+}
+
+/// The two-gate admission decision for one complete request frame.
+fn admit(
+    conn: &mut Conn,
+    queue: &Arc<BoundedQueue<NetJob>>,
+    counters: &NetCounters,
+    budget: usize,
+    opcode: Opcode,
+    req_id: u64,
+    payload: Vec<u8>,
+) {
+    // Gate 1: the connection's own budget.
+    if conn.shared.in_flight.load(Ordering::Acquire) >= budget {
+        NetCounters::bump(&counters.shed_inflight);
+        conn.shared.enqueue_reply(
+            counters,
+            encode_frame(Opcode::Busy, req_id, &encode_busy_payload(BusyReason::InflightBudget)),
+        );
+        return;
+    }
+    conn.shared.in_flight.fetch_add(1, Ordering::AcqRel);
+    // Gate 2: the server-wide dispatch queue.
+    let job = NetJob { conn: Arc::clone(&conn.shared), opcode, req_id, payload };
+    match queue.try_push(job) {
+        Ok(()) => {}
+        Err(TryPushError::Full(job)) => {
+            job.conn.in_flight.fetch_sub(1, Ordering::AcqRel);
+            NetCounters::bump(&counters.shed_queue);
+            conn.shared.enqueue_reply(
+                counters,
+                encode_frame(Opcode::Busy, req_id, &encode_busy_payload(BusyReason::QueueFull)),
+            );
+        }
+        Err(TryPushError::Closed(job)) => {
+            job.conn.in_flight.fetch_sub(1, Ordering::AcqRel);
+            NetCounters::bump(&counters.errors_internal);
+            conn.shared.enqueue_reply(
+                counters,
+                encode_frame(
+                    Opcode::Error,
+                    req_id,
+                    &encode_error_payload(ErrorCode::Internal, "server shutting down"),
+                ),
+            );
+        }
+    }
+}
+
+/// Answers a broken envelope with `Error(Protocol)` and schedules the
+/// connection for close-after-flush (the framing is untrustworthy, so
+/// no further bytes are parsed).
+fn protocol_error(conn: &mut Conn, counters: &NetCounters, req_id: u64, msg: &str) {
+    NetCounters::bump(&counters.errors_protocol);
+    conn.shared.enqueue_reply(
+        counters,
+        encode_frame(Opcode::Error, req_id, &encode_error_payload(ErrorCode::Protocol, msg)),
+    );
+    conn.inbuf.clear();
+    conn.close_after_flush = true;
+}

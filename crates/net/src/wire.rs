@@ -1,0 +1,722 @@
+//! The canonical payload codec (DESIGN.md §9.2).
+//!
+//! Every multi-byte scalar is little-endian; floats travel as their IEEE
+//! 754 bit patterns (`f64::to_bits`), so encoding is **deterministic and
+//! total**: the same in-process value always produces the same bytes.
+//! That determinism is load-bearing — the loopback end-to-end suite
+//! proves the server correct by encoding in-process
+//! [`ClusterRouter`](sizel_cluster::ClusterRouter) answers with this
+//! very codec and comparing *raw payload bytes* against what arrived
+//! over the socket.
+//!
+//! Variable-length fields are `u32` counts followed by that many
+//! elements; strings are `u32` byte lengths followed by UTF-8. Decoding
+//! is defensive: every read is bounds-checked, string lengths are
+//! validated against the remaining buffer *before* allocation, and a
+//! frame that decodes must also be fully consumed (trailing garbage is a
+//! malformed payload, not ignorable padding).
+
+use sizel_core::algo::AlgoKind;
+use sizel_core::engine::{
+    Mutation, MutationOp, QueryOptions, QueryResult, RefreshPolicy, ResultRanking,
+};
+use sizel_core::osgen::OsSource;
+use sizel_storage::{Epoch, RowId, TableId, TupleRef, Value};
+
+use crate::frame::BusyReason;
+use crate::frame::ErrorCode;
+
+/// A payload that failed to decode (maps to
+/// [`ErrorCode::MalformedPayload`] on the wire).
+#[derive(Debug)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed payload: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+type Result<T> = std::result::Result<T, WireError>;
+
+// ---------------------------------------------------------------------
+// Primitive writer/reader
+// ---------------------------------------------------------------------
+
+pub(crate) fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+pub(crate) fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked cursor over a received payload.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| WireError(format!("need {n} bytes at offset {}", self.pos)))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        // Validate against the remaining bytes before allocating: a
+        // 4-byte length field must not size a buffer unchecked.
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| WireError(format!("invalid utf-8: {e}")))
+    }
+
+    /// Reads a `u32` element count, sanity-capped by what the remaining
+    /// bytes could possibly hold (each element is at least
+    /// `min_elem_size` bytes).
+    pub(crate) fn count(&mut self, min_elem_size: usize) -> Result<usize> {
+        let n = self.u32()? as usize;
+        let room = (self.buf.len() - self.pos) / min_elem_size.max(1);
+        if n > room {
+            return Err(WireError(format!(
+                "count {n} cannot fit in {} remaining bytes",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Decoding must consume the whole payload.
+    pub(crate) fn finish(self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(WireError(format!(
+                "{} trailing bytes after a complete value",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Domain scalars
+// ---------------------------------------------------------------------
+
+fn put_tuple(buf: &mut Vec<u8>, t: TupleRef) {
+    put_u16(buf, t.table.0);
+    put_u32(buf, t.row.0);
+}
+
+fn get_tuple(r: &mut Reader) -> Result<TupleRef> {
+    Ok(TupleRef::new(TableId(r.u16()?), RowId(r.u32()?)))
+}
+
+fn algo_to_u8(a: AlgoKind) -> u8 {
+    match a {
+        AlgoKind::Optimal => 0,
+        AlgoKind::OptimalNaive => 1,
+        AlgoKind::BottomUp => 2,
+        AlgoKind::TopPath => 3,
+        AlgoKind::TopPathOpt => 4,
+    }
+}
+
+fn algo_from_u8(b: u8) -> Result<AlgoKind> {
+    Ok(match b {
+        0 => AlgoKind::Optimal,
+        1 => AlgoKind::OptimalNaive,
+        2 => AlgoKind::BottomUp,
+        3 => AlgoKind::TopPath,
+        4 => AlgoKind::TopPathOpt,
+        other => return Err(WireError(format!("unknown algo {other}"))),
+    })
+}
+
+fn put_opts(buf: &mut Vec<u8>, o: QueryOptions) {
+    put_u32(buf, o.l as u32);
+    put_u8(buf, algo_to_u8(o.algo));
+    put_u8(
+        buf,
+        match o.source {
+            OsSource::DataGraph => 0,
+            OsSource::Database => 1,
+        },
+    );
+    put_u8(buf, o.prelim as u8);
+    put_u8(
+        buf,
+        match o.ranking {
+            ResultRanking::DsGlobalImportance => 0,
+            ResultRanking::SummaryImportance => 1,
+        },
+    );
+}
+
+fn get_opts(r: &mut Reader) -> Result<QueryOptions> {
+    let l = r.u32()? as usize;
+    let algo = algo_from_u8(r.u8()?)?;
+    let source = match r.u8()? {
+        0 => OsSource::DataGraph,
+        1 => OsSource::Database,
+        other => return Err(WireError(format!("unknown os source {other}"))),
+    };
+    let prelim = match r.u8()? {
+        0 => false,
+        1 => true,
+        other => return Err(WireError(format!("bad bool {other}"))),
+    };
+    let ranking = match r.u8()? {
+        0 => ResultRanking::DsGlobalImportance,
+        1 => ResultRanking::SummaryImportance,
+        other => return Err(WireError(format!("unknown ranking {other}"))),
+    };
+    Ok(QueryOptions { l, algo, source, prelim, ranking })
+}
+
+fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => put_u8(buf, 0),
+        Value::Int(i) => {
+            put_u8(buf, 1);
+            put_i64(buf, *i);
+        }
+        Value::Float(f) => {
+            put_u8(buf, 2);
+            put_f64(buf, *f);
+        }
+        Value::Text(s) => {
+            put_u8(buf, 3);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn get_value(r: &mut Reader) -> Result<Value> {
+    Ok(match r.u8()? {
+        0 => Value::Null,
+        1 => Value::Int(r.i64()?),
+        2 => Value::Float(r.f64()?),
+        3 => Value::Text(r.str()?),
+        other => return Err(WireError(format!("unknown value tag {other}"))),
+    })
+}
+
+fn put_mutation(buf: &mut Vec<u8>, m: &Mutation) {
+    put_str(buf, &m.table);
+    put_u8(
+        buf,
+        match m.policy {
+            RefreshPolicy::Incremental => 0,
+            RefreshPolicy::Exact => 1,
+        },
+    );
+    match &m.op {
+        MutationOp::Insert { values } => {
+            put_u8(buf, 0);
+            put_u32(buf, values.len() as u32);
+            for v in values {
+                put_value(buf, v);
+            }
+        }
+        MutationOp::Update { pk, values } => {
+            put_u8(buf, 1);
+            put_i64(buf, *pk);
+            put_u32(buf, values.len() as u32);
+            for v in values {
+                put_value(buf, v);
+            }
+        }
+        MutationOp::Delete { pk } => {
+            put_u8(buf, 2);
+            put_i64(buf, *pk);
+        }
+    }
+}
+
+fn get_mutation(r: &mut Reader) -> Result<Mutation> {
+    let table = r.str()?;
+    let policy = match r.u8()? {
+        0 => RefreshPolicy::Incremental,
+        1 => RefreshPolicy::Exact,
+        other => return Err(WireError(format!("unknown refresh policy {other}"))),
+    };
+    let op = match r.u8()? {
+        0 => {
+            let n = r.count(1)?;
+            let values = (0..n).map(|_| get_value(r)).collect::<Result<Vec<_>>>()?;
+            MutationOp::Insert { values }
+        }
+        1 => {
+            let pk = r.i64()?;
+            let n = r.count(1)?;
+            let values = (0..n).map(|_| get_value(r)).collect::<Result<Vec<_>>>()?;
+            MutationOp::Update { pk, values }
+        }
+        2 => MutationOp::Delete { pk: r.i64()? },
+        other => return Err(WireError(format!("unknown mutation op {other}"))),
+    };
+    Ok(Mutation { table, op, policy })
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+/// A decoded request payload (the server's dispatch unit).
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// `Opcode::Ping`.
+    Ping,
+    /// `Opcode::Query`: a batch of keyword queries.
+    Query {
+        /// `(keywords, options)` per request, answered in order.
+        requests: Vec<(String, QueryOptions)>,
+    },
+    /// `Opcode::Summarize`: one per-DS summary.
+    Summarize {
+        /// The data subject tuple.
+        tds: TupleRef,
+        /// Summary options.
+        opts: QueryOptions,
+    },
+    /// `Opcode::ApplyBatch`: mutations applied cluster-wide as one batch.
+    ApplyBatch {
+        /// The mutation batch, in application order.
+        mutations: Vec<Mutation>,
+    },
+    /// `Opcode::Stats`.
+    Stats,
+}
+
+/// Encodes a `Query` request payload.
+pub fn encode_query_payload(requests: &[(String, QueryOptions)]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u32(&mut buf, requests.len() as u32);
+    for (kw, opts) in requests {
+        put_str(&mut buf, kw);
+        put_opts(&mut buf, *opts);
+    }
+    buf
+}
+
+/// Encodes a `Summarize` request payload.
+pub fn encode_summarize_payload(tds: TupleRef, opts: QueryOptions) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_tuple(&mut buf, tds);
+    put_opts(&mut buf, opts);
+    buf
+}
+
+/// Encodes an `ApplyBatch` request payload.
+pub fn encode_apply_payload(mutations: &[Mutation]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u32(&mut buf, mutations.len() as u32);
+    for m in mutations {
+        put_mutation(&mut buf, m);
+    }
+    buf
+}
+
+/// Decodes a request payload against its opcode's schema.
+pub fn decode_request(opcode: crate::frame::Opcode, payload: &[u8]) -> Result<Request> {
+    use crate::frame::Opcode;
+    let mut r = Reader::new(payload);
+    let req = match opcode {
+        Opcode::Ping => Request::Ping,
+        Opcode::Stats => Request::Stats,
+        Opcode::Query => {
+            let n = r.count(1)?;
+            let requests =
+                (0..n).map(|_| Ok((r.str()?, get_opts(&mut r)?))).collect::<Result<Vec<_>>>()?;
+            Request::Query { requests }
+        }
+        Opcode::Summarize => {
+            let tds = get_tuple(&mut r)?;
+            let opts = get_opts(&mut r)?;
+            Request::Summarize { tds, opts }
+        }
+        Opcode::ApplyBatch => {
+            let n = r.count(1)?;
+            let mutations = (0..n).map(|_| get_mutation(&mut r)).collect::<Result<Vec<_>>>()?;
+            Request::ApplyBatch { mutations }
+        }
+        reply => return Err(WireError(format!("{reply:?} is a reply, not a request"))),
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+// ---------------------------------------------------------------------
+// Replies
+// ---------------------------------------------------------------------
+
+/// One OS node as decoded from the wire (a faithful mirror of
+/// `sizel_core::os::OsNode` without requiring the arena).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireOsNode {
+    /// The database tuple.
+    pub tuple: TupleRef,
+    /// The GDS node id (raw).
+    pub gds_node: u32,
+    /// Parent node index (`None` for the root).
+    pub parent: Option<u32>,
+    /// Depth (root = 0).
+    pub depth: u32,
+    /// Local importance.
+    pub weight: f64,
+}
+
+/// One ranked result as decoded from the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireResult {
+    /// The data subject tuple.
+    pub tds: TupleRef,
+    /// Display label of the DS tuple.
+    pub ds_label: String,
+    /// Global importance of `t_DS`.
+    pub global_score: f64,
+    /// Size of the OS the summary was computed from.
+    pub input_os_size: usize,
+    /// Selected node ids, ascending.
+    pub selected: Vec<u32>,
+    /// `Im(S)` of the selection.
+    pub importance: f64,
+    /// The materialized size-l OS, nodes in id order.
+    pub summary: Vec<WireOsNode>,
+}
+
+/// A decoded reply payload (the client's receive unit).
+#[derive(Clone, Debug)]
+pub enum Reply {
+    /// `Opcode::Pong`.
+    Pong,
+    /// `Opcode::Results`: the serving epoch plus per-request result lists.
+    Results {
+        /// The consistent cluster epoch the batch was served at.
+        epoch: u64,
+        /// One ranked result list per submitted request, in order.
+        results: Vec<Vec<WireResult>>,
+    },
+    /// `Opcode::Summary`: the serving epoch plus one summary.
+    Summary {
+        /// The cluster epoch the summary was served at.
+        epoch: u64,
+        /// The summary.
+        result: WireResult,
+    },
+    /// `Opcode::Applied`: the cluster's new epoch.
+    Applied {
+        /// The common post-apply epoch.
+        epoch: u64,
+    },
+    /// `Opcode::StatsText`: the metrics page.
+    StatsText {
+        /// Text-exposition metrics, one `name{labels} value` per line.
+        text: String,
+    },
+    /// `Opcode::Busy`: the request was shed before execution.
+    Busy {
+        /// Which admission gate rejected it.
+        reason: BusyReason,
+    },
+    /// `Opcode::Error`: the request failed.
+    Error {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+fn put_result(buf: &mut Vec<u8>, qr: &QueryResult) {
+    put_tuple(buf, qr.tds);
+    put_str(buf, &qr.ds_label);
+    put_f64(buf, qr.global_score);
+    put_u32(buf, qr.input_os_size as u32);
+    put_u32(buf, qr.result.selected.len() as u32);
+    for id in &qr.result.selected {
+        put_u32(buf, id.0);
+    }
+    put_f64(buf, qr.result.importance);
+    put_u32(buf, qr.summary.len() as u32);
+    for (_, node) in qr.summary.iter() {
+        put_tuple(buf, node.tuple);
+        put_u32(buf, node.gds_node.0);
+        match node.parent {
+            None => put_u8(buf, 0),
+            Some(p) => {
+                put_u8(buf, 1);
+                put_u32(buf, p.0);
+            }
+        }
+        put_u32(buf, node.depth);
+        put_f64(buf, node.weight);
+    }
+}
+
+fn get_result(r: &mut Reader) -> Result<WireResult> {
+    let tds = get_tuple(r)?;
+    let ds_label = r.str()?;
+    let global_score = r.f64()?;
+    let input_os_size = r.u32()? as usize;
+    let n_sel = r.count(4)?;
+    let selected = (0..n_sel).map(|_| r.u32()).collect::<Result<Vec<_>>>()?;
+    let importance = r.f64()?;
+    let n_nodes = r.count(6)?;
+    let mut summary = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        let tuple = get_tuple(r)?;
+        let gds_node = r.u32()?;
+        let parent = match r.u8()? {
+            0 => None,
+            1 => Some(r.u32()?),
+            other => return Err(WireError(format!("bad option tag {other}"))),
+        };
+        let depth = r.u32()?;
+        let weight = r.f64()?;
+        summary.push(WireOsNode { tuple, gds_node, parent, depth, weight });
+    }
+    Ok(WireResult { tds, ds_label, global_score, input_os_size, selected, importance, summary })
+}
+
+/// Encodes a `Results` reply payload from in-process router output —
+/// the function the loopback suite also runs on its side of the
+/// byte-identity check.
+pub fn encode_results_payload(
+    epoch: Epoch,
+    results: &[Vec<std::sync::Arc<QueryResult>>],
+) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, epoch.get());
+    put_u32(&mut buf, results.len() as u32);
+    for per_request in results {
+        put_u32(&mut buf, per_request.len() as u32);
+        for qr in per_request {
+            put_result(&mut buf, qr);
+        }
+    }
+    buf
+}
+
+/// Encodes a `Summary` reply payload.
+pub fn encode_summary_payload(epoch: Epoch, result: &QueryResult) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, epoch.get());
+    put_result(&mut buf, result);
+    buf
+}
+
+/// Encodes an `Applied` reply payload.
+pub fn encode_applied_payload(epoch: Epoch) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, epoch.get());
+    buf
+}
+
+/// Encodes a `StatsText` reply payload.
+pub fn encode_stats_payload(text: &str) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_str(&mut buf, text);
+    buf
+}
+
+/// Encodes a `Busy` reply payload.
+pub fn encode_busy_payload(reason: BusyReason) -> Vec<u8> {
+    vec![reason as u8]
+}
+
+/// Encodes an `Error` reply payload.
+pub fn encode_error_payload(code: ErrorCode, message: &str) -> Vec<u8> {
+    let mut buf = vec![code as u8];
+    put_str(&mut buf, message);
+    buf
+}
+
+/// Decodes a reply payload against its opcode's schema.
+pub fn decode_reply(opcode: crate::frame::Opcode, payload: &[u8]) -> Result<Reply> {
+    use crate::frame::Opcode;
+    let mut r = Reader::new(payload);
+    let reply = match opcode {
+        Opcode::Pong => Reply::Pong,
+        Opcode::Results => {
+            let epoch = r.u64()?;
+            let n = r.count(4)?;
+            let mut results = Vec::with_capacity(n);
+            for _ in 0..n {
+                let m = r.count(1)?;
+                results.push((0..m).map(|_| get_result(&mut r)).collect::<Result<Vec<_>>>()?);
+            }
+            Reply::Results { epoch, results }
+        }
+        Opcode::Summary => {
+            let epoch = r.u64()?;
+            let result = get_result(&mut r)?;
+            Reply::Summary { epoch, result }
+        }
+        Opcode::Applied => Reply::Applied { epoch: r.u64()? },
+        Opcode::StatsText => Reply::StatsText { text: r.str()? },
+        Opcode::Busy => {
+            let b = r.u8()?;
+            let reason = BusyReason::from_u8(b)
+                .ok_or_else(|| WireError(format!("unknown busy reason {b}")))?;
+            Reply::Busy { reason }
+        }
+        Opcode::Error => {
+            let b = r.u8()?;
+            let code = ErrorCode::from_u8(b)
+                .ok_or_else(|| WireError(format!("unknown error code {b}")))?;
+            Reply::Error { code, message: r.str()? }
+        }
+        request => return Err(WireError(format!("{request:?} is a request, not a reply"))),
+    };
+    r.finish()?;
+    Ok(reply)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Opcode;
+
+    #[test]
+    fn query_request_roundtrips() {
+        let requests = vec![
+            ("smith".to_owned(), QueryOptions::default()),
+            (
+                "jones keyword".to_owned(),
+                QueryOptions {
+                    l: 7,
+                    algo: AlgoKind::BottomUp,
+                    source: OsSource::Database,
+                    prelim: false,
+                    ranking: ResultRanking::SummaryImportance,
+                },
+            ),
+        ];
+        let payload = encode_query_payload(&requests);
+        match decode_request(Opcode::Query, &payload).expect("decodes") {
+            Request::Query { requests: decoded } => assert_eq!(decoded, requests),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn apply_request_roundtrips_every_mutation_kind() {
+        let muts = vec![
+            Mutation::insert("Author", vec![Value::Int(7), "Ada".into(), Value::Null]),
+            Mutation::update("Paper", 3, vec![Value::Int(3), Value::Float(0.5)]),
+            Mutation::delete("AuthorPaper", 9),
+        ];
+        let payload = encode_apply_payload(&muts);
+        match decode_request(Opcode::ApplyBatch, &payload).expect("decodes") {
+            Request::ApplyBatch { mutations } => {
+                assert_eq!(mutations.len(), 3);
+                assert_eq!(mutations[0].table, "Author");
+                assert!(matches!(&mutations[1].op, MutationOp::Update { pk: 3, .. }));
+                assert!(matches!(&mutations[2].op, MutationOp::Delete { pk: 9 }));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_and_busy_replies_roundtrip() {
+        let e = encode_error_payload(ErrorCode::BadRequest, "unknown tenant `acme`");
+        match decode_reply(Opcode::Error, &e).expect("decodes") {
+            Reply::Error { code, message } => {
+                assert_eq!(code, ErrorCode::BadRequest);
+                assert!(message.contains("acme"));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let b = encode_busy_payload(BusyReason::QueueFull);
+        assert!(matches!(
+            decode_reply(Opcode::Busy, &b).expect("decodes"),
+            Reply::Busy { reason: BusyReason::QueueFull }
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_is_malformed() {
+        let mut payload = encode_applied_payload(Epoch(4));
+        payload.push(0xAB);
+        assert!(decode_reply(Opcode::Applied, &payload).is_err());
+    }
+
+    #[test]
+    fn truncated_and_lying_lengths_are_malformed_not_panics() {
+        let requests = vec![("smith".to_owned(), QueryOptions::default())];
+        let good = encode_query_payload(&requests);
+        // Every strict prefix must fail cleanly.
+        for cut in 0..good.len() {
+            assert!(decode_request(Opcode::Query, &good[..cut]).is_err(), "prefix {cut}");
+        }
+        // A string length pointing past the buffer must not allocate or
+        // panic. Offset 4 is the first string's length field.
+        let mut lying = good.clone();
+        lying[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_request(Opcode::Query, &lying).is_err());
+        // An element count far beyond the remaining bytes is rejected
+        // before any per-element work.
+        let mut big_count = good;
+        big_count[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_request(Opcode::Query, &big_count).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Shared fixture for the net integration tests: a small partitioned
+//! DBLP cluster behind a loopback [`NetServer`] (the same engines the
+//! cluster suites build).
+
+#![allow(dead_code, unused_imports)] // each test binary uses the subset it needs
+
+use std::sync::Arc;
+
+use sizel_cluster::{ClusterConfig, ClusterRouter, RefreshConfig};
+use sizel_core::engine::{EngineConfig, SizeLEngine};
+use sizel_datagen::dblp::{generate, DblpConfig};
+use sizel_graph::presets;
+use sizel_net::{NetConfig, NetServer};
+use sizel_rank::{dblp_ga, GaPreset};
+use sizel_serve::ServeConfig;
+
+/// A fresh engine over `cfg`.
+pub fn build_engine(cfg: &DblpConfig) -> SizeLEngine {
+    SizeLEngine::build(
+        generate(cfg).db,
+        |db, sg, dg| dblp_ga(GaPreset::Ga1, db, sg, dg),
+        engine_config(),
+    )
+    .expect("engine builds")
+}
+
+/// N identically-built replica engines.
+pub fn replicas(cfg: &DblpConfig, n: usize) -> Vec<SizeLEngine> {
+    (0..n).map(|_| build_engine(cfg)).collect()
+}
+
+/// The engine configuration every fixture shares.
+pub fn engine_config() -> EngineConfig {
+    EngineConfig::new(vec![
+        ("Author".into(), presets::dblp_author_gds_config()),
+        ("Paper".into(), presets::dblp_paper_gds_config()),
+    ])
+}
+
+/// A keyword resolving to pre-existing DS tuples of the fixture.
+pub fn existing_keyword(engine: &SizeLEngine) -> String {
+    let tid = engine.db().table_id("Author").unwrap();
+    let name =
+        engine.db().table(tid).value(sizel_storage::RowId(0), 1).as_str().unwrap().to_owned();
+    name.split(' ').next().unwrap().to_owned()
+}
+
+/// Small per-shard serving configuration.
+pub fn small_serve() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 128,
+        cache_shards: 4,
+        hot_capacity: 16,
+    }
+}
+
+/// A 2-shard partitioned cluster over the tiny DBLP fixture, refresh
+/// worker ON (fast interval, so epochs see live re-warm traffic during
+/// the suites).
+pub fn tiny_cluster() -> Arc<ClusterRouter> {
+    let cfg = DblpConfig::tiny();
+    Arc::new(
+        ClusterRouter::partitioned(
+            replicas(&cfg, 2),
+            ClusterConfig {
+                serve: small_serve(),
+                refresh: Some(RefreshConfig {
+                    budget: 8,
+                    interval: std::time::Duration::from_millis(5),
+                }),
+            },
+        )
+        .expect("cluster builds"),
+    )
+}
+
+/// Binds a loopback server over `router` with `cfg`.
+pub fn serve(router: Arc<ClusterRouter>, cfg: NetConfig) -> NetServer {
+    NetServer::bind(router, "127.0.0.1:0", cfg).expect("bind loopback")
+}

@@ -1,0 +1,19 @@
+//! Pins DESIGN.md §9.1 against the generated protocol reference: the
+//! table in the docs must be the `sizel-proto-doc` output, byte for
+//! byte, so the documented wire registry cannot drift from the
+//! `Opcode` enum.
+
+use sizel_net::protocol_reference_table;
+
+#[test]
+fn design_md_embeds_the_generated_opcode_table_verbatim() {
+    let design_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md");
+    let design = std::fs::read_to_string(design_path).expect("DESIGN.md at the workspace root");
+    let table = protocol_reference_table();
+    assert!(
+        design.contains(&table),
+        "DESIGN.md §9.1 has drifted from the Opcode enum — regenerate it with\n\
+         `cargo run -p sizel-net --bin sizel-proto-doc` and paste the table verbatim.\n\
+         Expected table:\n{table}"
+    );
+}

@@ -15,7 +15,7 @@ use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, RandomState};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 /// Aggregate counters, shared by every shard of one cache.
 #[derive(Debug, Default)]
@@ -23,7 +23,9 @@ pub struct CacheCounters {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    invalidations: AtomicU64,
     insertions: AtomicU64,
+    poison_resets: AtomicU64,
 }
 
 /// A point-in-time view of a cache's counters and occupancy.
@@ -33,10 +35,22 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that found nothing.
     pub misses: u64,
-    /// Entries displaced to make room at capacity.
+    /// Entries displaced to make room at capacity — *capacity pressure*
+    /// only. Entries purged by [`ShardedCache::retain`] (epoch
+    /// invalidation) count as [`CacheStats::invalidations`] instead:
+    /// conflating the two made eviction counters look like thrashing
+    /// after every write, which is exactly the signal a capacity-sizing
+    /// decision must not be polluted by.
     pub evictions: u64,
+    /// Entries dropped by [`ShardedCache::retain`] (write-through epoch
+    /// invalidation) plus entries lost to a poison reset.
+    pub invalidations: u64,
     /// Entries written (first writes and overwrites alike).
     pub insertions: u64,
+    /// Shards reset after a panic poisoned their lock (see
+    /// [`ShardedCache::get`]'s recovery path); each reset drops that
+    /// shard's entries, counted under `invalidations`.
+    pub poison_resets: u64,
     /// Live entries across all shards.
     pub len: usize,
     /// Maximum live entries across all shards.
@@ -92,6 +106,21 @@ impl<K: Hash + Eq + Clone, V: Clone> LruShard<K, V> {
             tail: NIL,
             capacity,
         }
+    }
+
+    /// Drops every entry and restores the empty-shard invariants.
+    /// Returns how many live entries were lost. This is the poison
+    /// recovery path: a panic mid-operation can leave the recency list
+    /// half-relinked, and a cache is the one structure where "throw the
+    /// contents away" is always a correct repair.
+    fn reset(&mut self) -> usize {
+        let dropped = self.map.len();
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        dropped
     }
 
     /// Unlinks `slot` from the recency list.
@@ -207,13 +236,39 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         &self.shards[(h as usize) % self.shards.len()]
     }
 
+    /// Locks one shard, recovering from a poisoned lock by resetting the
+    /// shard instead of cascading the panic.
+    ///
+    /// A panic while a shard lock is held (a worker dying mid-`get`, a
+    /// value whose `Clone`/`Drop` panics) used to poison the lock and
+    /// turn every subsequent cache call into a panic — one bad request
+    /// taking the whole serving stack down. The intrusive recency list
+    /// *can* be torn mid-relink, so unlike the queue the state is not
+    /// trustworthy: recovery drops the shard's entries (this is a cache;
+    /// losing entries is always correct) and restores the empty-shard
+    /// invariants. Lost entries count as invalidations, the reset itself
+    /// under [`CacheStats::poison_resets`].
+    fn lock_shard<'a>(&self, shard: &'a Mutex<LruShard<K, V>>) -> MutexGuard<'a, LruShard<K, V>> {
+        match shard.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                shard.clear_poison();
+                let mut guard = poisoned.into_inner();
+                let dropped = guard.reset();
+                self.counters.poison_resets.fetch_add(1, Ordering::Relaxed);
+                self.counters.invalidations.fetch_add(dropped as u64, Ordering::Relaxed);
+                guard
+            }
+        }
+    }
+
     /// Looks `key` up, refreshing its recency on a hit.
     pub fn get(&self, key: &K) -> Option<V> {
         if self.capacity == 0 {
             self.counters.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let found = self.shard_of(key).lock().expect("cache poisoned").get(key);
+        let found = self.lock_shard(self.shard_of(key)).get(key);
         match found {
             Some(v) => {
                 self.counters.hits.fetch_add(1, Ordering::Relaxed);
@@ -232,7 +287,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         if self.capacity == 0 {
             return;
         }
-        let evicted = self.shard_of(&key).lock().expect("cache poisoned").insert(key, value);
+        let evicted = self.lock_shard(self.shard_of(&key)).insert(key, value);
         self.counters.insertions.fetch_add(1, Ordering::Relaxed);
         if evicted {
             self.counters.evictions.fetch_add(1, Ordering::Relaxed);
@@ -243,17 +298,20 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
     /// invalidation hook: after a mutation bumps the epoch, the server
     /// retains only current-epoch entries, so superseded summaries free
     /// their memory immediately instead of aging out of the LRU. Dropped
-    /// entries count as evictions.
+    /// entries count as **invalidations**, not evictions: they were
+    /// purged because their epoch is dead, not because the cache ran out
+    /// of room, and folding them into the eviction counter made every
+    /// write look like capacity thrashing.
     pub fn retain(&self, keep: impl Fn(&K) -> bool) {
         for shard in &self.shards {
-            let mut s = shard.lock().expect("cache poisoned");
+            let mut s = self.lock_shard(shard);
             let doomed: Vec<K> = s.map.keys().filter(|k| !keep(k)).cloned().collect();
             for key in doomed {
                 let slot = s.map.remove(&key).expect("key listed from this shard");
                 s.unlink(slot);
                 s.slots[slot].value = None; // release the summary now
                 s.free.push(slot);
-                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                self.counters.invalidations.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -265,7 +323,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
 
     /// Live entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("cache poisoned").map.len()).sum()
+        self.shards.iter().map(|s| self.lock_shard(s).map.len()).sum()
     }
 
     /// True when no entry is cached.
@@ -279,7 +337,9 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
             hits: self.counters.hits.load(Ordering::Relaxed),
             misses: self.counters.misses.load(Ordering::Relaxed),
             evictions: self.counters.evictions.load(Ordering::Relaxed),
+            invalidations: self.counters.invalidations.load(Ordering::Relaxed),
             insertions: self.counters.insertions.load(Ordering::Relaxed),
+            poison_resets: self.counters.poison_resets.load(Ordering::Relaxed),
             len: self.len(),
             capacity: self.capacity,
         }
@@ -357,7 +417,7 @@ mod tests {
     fn retain_drops_only_failing_keys() {
         // Capacity 64 over 4 shards = 16 per shard: 10 keys cannot
         // overflow any shard whatever the (randomized) key hashing does,
-        // so the only evictions observable below come from `retain`.
+        // so the only purges observable below come from `retain`.
         let c: ShardedCache<u32, u32> = ShardedCache::new(64, 4);
         for i in 0..10u32 {
             c.insert(i, i * 10);
@@ -368,12 +428,75 @@ mod tests {
             assert_eq!(c.get(&i), want, "key {i}");
         }
         assert_eq!(c.len(), 5);
-        assert_eq!(c.stats().evictions, 5);
+        let s = c.stats();
+        assert_eq!(s.invalidations, 5, "retain purges are invalidations");
+        assert_eq!(s.evictions, 0, "an epoch purge is not capacity pressure");
         // The freed slots are reusable and the LRU stays coherent.
         for i in 10..30u32 {
             c.insert(i, i);
         }
         assert!(c.len() <= c.capacity());
+    }
+
+    #[test]
+    fn retain_purges_never_masquerade_as_evictions_under_capacity_churn() {
+        // Mixed regime: real capacity evictions AND a retain purge. The
+        // two counters must stay independent — a monitoring/cache-sizing
+        // decision reads `evictions` as "make it bigger" and
+        // `invalidations` as "writes happened", and the old conflated
+        // counter pointed the wrong way after every mutation.
+        let c: ShardedCache<u32, u32> = ShardedCache::new(4, 1);
+        for i in 0..8u32 {
+            c.insert(i, i);
+        }
+        let evicted_by_capacity = c.stats().evictions;
+        assert_eq!(evicted_by_capacity, 4, "8 inserts into 4 slots evict 4");
+        assert_eq!(c.stats().invalidations, 0);
+        c.retain(|_| false); // epoch purge: everything is stale
+        let s = c.stats();
+        assert_eq!(s.evictions, evicted_by_capacity, "the purge left evictions untouched");
+        assert_eq!(s.invalidations, 4, "the 4 live entries were invalidated");
+        assert_eq!(c.len(), 0);
+    }
+
+    /// A value whose clone panics on demand: the realistic poison vector
+    /// for the cache, whose shard lock is held across `V::clone` in
+    /// `get` and across value drops in `insert`/`retain`.
+    #[derive(Debug)]
+    struct Grenade(std::sync::Arc<std::sync::atomic::AtomicBool>);
+
+    impl Clone for Grenade {
+        fn clone(&self) -> Self {
+            if self.0.load(Ordering::Relaxed) {
+                panic!("deliberate clone panic while the shard lock is held");
+            }
+            Grenade(std::sync::Arc::clone(&self.0))
+        }
+    }
+
+    #[test]
+    fn poisoned_shard_resets_instead_of_cascading() {
+        let armed = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let c: std::sync::Arc<ShardedCache<u32, Grenade>> =
+            std::sync::Arc::new(ShardedCache::new(8, 1));
+        c.insert(1, Grenade(std::sync::Arc::clone(&armed)));
+        c.insert(2, Grenade(std::sync::Arc::clone(&armed)));
+        // One bad request: a get whose value clone panics mid-lock.
+        armed.store(true, Ordering::Relaxed);
+        let c2 = std::sync::Arc::clone(&c);
+        let crash = std::thread::spawn(move || c2.get(&1));
+        assert!(crash.join().is_err(), "the bad request itself still panics");
+        armed.store(false, Ordering::Relaxed);
+        // Every other client keeps working: the shard reset, its entries
+        // were invalidated, and fresh traffic flows through it.
+        assert_eq!(c.get(&2).map(|_| ()), None, "reset dropped the shard's entries");
+        c.insert(3, Grenade(std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false))));
+        assert!(c.get(&3).is_some(), "the shard serves again after recovery");
+        let s = c.stats();
+        assert_eq!(s.poison_resets, 1);
+        assert!(s.invalidations >= 2, "the lost entries are accounted, got {}", s.invalidations);
+        c.retain(|_| true); // the repaired recency list survives a sweep
+        assert_eq!(c.len(), 1);
     }
 
     #[test]

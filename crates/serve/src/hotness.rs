@@ -27,7 +27,7 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 /// A concurrency-safe space-saving top-k frequency sketch.
 ///
@@ -53,6 +53,25 @@ impl<K: Hash + Eq + Clone> HotSketch<K> {
         }
     }
 
+    /// Locks the sketch, recovering from a poisoned lock by clearing the
+    /// counts. A panic while the sketch lock is held (a key clone dying
+    /// mid-`record`) used to poison it — and the next `hottest` call
+    /// would then panic *inside the refresh worker*, killing the
+    /// background thread and (via its drop-time join) the router. The
+    /// sketch is an approximation by design, so "forget everything and
+    /// re-learn from live traffic" is always a correct repair.
+    fn lock_counts(&self) -> MutexGuard<'_, SpaceSaving<K>> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.inner.clear_poison();
+                let mut guard = poisoned.into_inner();
+                guard.counts.clear();
+                guard
+            }
+        }
+    }
+
     /// Records one occurrence of `key`. Lossy under lock contention (see
     /// module docs): the serving fast path must never queue on the
     /// sketch.
@@ -60,6 +79,9 @@ impl<K: Hash + Eq + Clone> HotSketch<K> {
         if self.capacity == 0 {
             return;
         }
+        // `try_lock` keeps the fast path non-blocking; a poisoned lock is
+        // indistinguishable from a contended one here (the sample is
+        // dropped either way) — the slow paths below repair the poison.
         let Ok(mut s) = self.inner.try_lock() else { return };
         if let Some(c) = s.counts.get_mut(&key) {
             *c += 1;
@@ -93,7 +115,7 @@ impl<K: Hash + Eq + Clone> HotSketch<K> {
     /// the decay rate to the consumer's own cadence (the refresh worker
     /// reads once per epoch bump).
     pub fn hottest(&self, n: usize) -> Vec<K> {
-        let mut s = self.inner.lock().expect("sketch poisoned");
+        let mut s = self.lock_counts();
         let mut entries: Vec<(K, u64)> = s.counts.iter().map(|(k, &c)| (k.clone(), c)).collect();
         entries.sort_unstable_by_key(|e| std::cmp::Reverse(e.1));
         entries.truncate(n);
@@ -113,12 +135,27 @@ impl<K: Hash + Eq + Clone> HotSketch<K> {
     /// regime the sketch is built for), so the budget tracks the size of
     /// the actual hot set — a handful of keys under heavy skew, most of
     /// the sketch under a flat workload — rather than over- or
-    /// under-warming by a constant. Returns 0 for an empty sketch.
+    /// under-warming by a constant.
+    ///
+    /// Edge cases are clamped to a sane floor rather than returning a
+    /// degenerate budget of 0: a sketch that *tracks keys* always
+    /// returns at least 1, even when every count has been aged to zero
+    /// by [`HotSketch::hottest`]'s halving (counts of 1 halve to 0, so a
+    /// lightly-hit sketch reaches all-zero within one refresh pass — the
+    /// exact state that used to zero the rewarm budget and stall the
+    /// continual refresh until new traffic arrived). Only a sketch with
+    /// **nothing tracked** returns 0: there is genuinely nothing to
+    /// re-warm.
     pub fn mass_cover(&self, fraction: f64) -> usize {
-        let s = self.inner.lock().expect("sketch poisoned");
+        let s = self.lock_counts();
+        if s.counts.is_empty() {
+            return 0;
+        }
         let total: u64 = s.counts.values().sum();
         if total == 0 {
-            return 0;
+            // All counts aged to zero: no mass to rank by, but the keys
+            // are still the most recent hot set — floor at one re-warm.
+            return 1;
         }
         let mut counts: Vec<u64> = s.counts.values().copied().collect();
         counts.sort_unstable_by_key(|&c| std::cmp::Reverse(c));
@@ -138,12 +175,12 @@ impl<K: Hash + Eq + Clone> HotSketch<K> {
     /// served again at any epoch — the refresh worker forgets it instead
     /// of re-warming a dead summary forever.
     pub fn forget(&self, key: &K) {
-        self.inner.lock().expect("sketch poisoned").counts.remove(key);
+        self.lock_counts().counts.remove(key);
     }
 
     /// Number of tracked keys.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("sketch poisoned").counts.len()
+        self.lock_counts().counts.len()
     }
 
     /// True when nothing has been recorded (or the sketch is disabled).
@@ -246,6 +283,67 @@ mod tests {
         }
         assert_eq!(flat.mass_cover(0.9), 18, "a flat workload has no head to exploit");
         assert_eq!(HotSketch::<u32>::new(8).mass_cover(0.9), 0, "empty sketch covers nothing");
+    }
+
+    #[test]
+    fn mass_cover_edge_cases_keep_a_sane_floor() {
+        // Empty: genuinely nothing to re-warm.
+        assert_eq!(HotSketch::<u32>::new(8).mass_cover(0.9), 0);
+        assert_eq!(HotSketch::<u32>::new(8).mass_cover(0.0), 0);
+        assert_eq!(HotSketch::<u32>::new(8).mass_cover(1.0), 0);
+
+        // All-equal counts: the cover is proportional, never zero, and
+        // the fraction extremes behave.
+        let flat: HotSketch<u32> = HotSketch::new(16);
+        for k in 0..8u32 {
+            flat.record(k);
+        }
+        assert_eq!(flat.mass_cover(0.0), 1, "fraction 0.0 still warms the top key");
+        assert_eq!(flat.mass_cover(1.0), 8, "fraction 1.0 covers every tracked key");
+
+        // Counts aged to zero by `hottest`'s halving: the old code saw
+        // total == 0 and returned a degenerate budget of 0 even though
+        // keys were tracked. Now floored at 1.
+        let aged: HotSketch<u32> = HotSketch::new(8);
+        aged.record(1);
+        aged.record(2);
+        let _ = aged.hottest(8); // counts 1 halve to 0
+        assert_eq!(aged.len(), 2, "keys survive aging");
+        assert_eq!(aged.mass_cover(0.9), 1, "aged-to-zero sketch floors at 1, not 0");
+        assert_eq!(aged.mass_cover(0.0), 1);
+        assert_eq!(aged.mass_cover(1.0), 1);
+    }
+
+    #[test]
+    fn poisoned_sketch_recovers_by_relearning() {
+        /// A key whose clone panics on demand — clones happen inside
+        /// `record`'s eviction and `hottest`'s ranking, both under the
+        /// sketch lock.
+        #[derive(Debug, PartialEq, Eq, Hash)]
+        struct Volatile(u32, bool);
+        impl Clone for Volatile {
+            fn clone(&self) -> Self {
+                if self.1 {
+                    panic!("deliberate clone panic under the sketch lock");
+                }
+                Volatile(self.0, self.1)
+            }
+        }
+
+        let s = std::sync::Arc::new(HotSketch::<Volatile>::new(8));
+        s.record(Volatile(1, false));
+        s.record(Volatile(2, true)); // armed: cloning this key panics
+        let s2 = std::sync::Arc::clone(&s);
+        let crash = std::thread::spawn(move || s2.hottest(8));
+        assert!(crash.join().is_err(), "the ranking read panics on the armed key");
+        // The refresh worker's next read recovers instead of dying: the
+        // sketch resets and re-learns from live traffic. (`record`'s
+        // try_lock treats the poison as contention and drops the sample,
+        // so the first slow-path call performs the repair.)
+        assert_eq!(s.len(), 0, "recovery clears the torn counts");
+        s.record(Volatile(3, false));
+        assert_eq!(s.hottest(8), vec![Volatile(3, false)]);
+        assert_eq!(s.len(), 1);
     }
 
     #[test]

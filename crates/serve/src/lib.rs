@@ -51,7 +51,7 @@ pub mod queue;
 
 pub use cache::{CacheStats, ShardedCache};
 pub use hotness::HotSketch;
-pub use queue::BoundedQueue;
+pub use queue::{BoundedQueue, TryPushError};
 pub use sizel_core::engine::{Mutation, MutationOp, RefreshPolicy};
 
 /// The cache key: the engine's mutation epoch plus everything
@@ -470,6 +470,12 @@ impl SizeLServer {
     /// Worker pool size.
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Jobs currently sitting in the submission queue (a live
+    /// backpressure signal for front-ends and metrics exposition).
+    pub fn queue_depth(&self) -> usize {
+        self.jobs.len()
     }
 }
 

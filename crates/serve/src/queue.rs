@@ -8,7 +8,7 @@
 //! classic two-condvar bounded buffer is implemented here directly.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// A closable bounded FIFO shared by producers and consumers.
 #[derive(Debug)]
@@ -32,6 +32,17 @@ struct Inner<T> {
 #[derive(Debug)]
 pub struct Closed<T>(pub T);
 
+/// Error returned by [`BoundedQueue::try_push`]; carries the rejected item
+/// back to the caller so it can be retried or answered with a shed reply.
+#[derive(Debug)]
+pub enum TryPushError<T> {
+    /// The queue is at capacity right now — the caller should shed load
+    /// (reply `Busy`) rather than block a non-blocking front-end.
+    Full(T),
+    /// The queue has been closed; no further items will ever be accepted.
+    Closed(T),
+}
+
 impl<T> BoundedQueue<T> {
     /// A queue holding at most `capacity` items (minimum 1).
     pub fn new(capacity: usize) -> Self {
@@ -43,10 +54,29 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Locks the queue state, recovering from a poisoned mutex.
+    ///
+    /// A thread that panics while holding the lock poisons it; before
+    /// this recovery, every subsequent producer and consumer call would
+    /// itself panic — one bad request cascading into a dead server. The
+    /// queue's critical sections are single `VecDeque` operations and
+    /// flag writes, none of which can leave the state torn mid-way, so
+    /// the inner value is always coherent and the poison flag carries no
+    /// information: clear it and hand the guard out.
+    fn lock_inner(&self) -> MutexGuard<'_, Inner<T>> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.inner.clear_poison();
+                poisoned.into_inner()
+            }
+        }
+    }
+
     /// Enqueues `item`, blocking while the queue is full. Fails only when
     /// the queue has been closed.
     pub fn push(&self, item: T) -> Result<(), Closed<T>> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.lock_inner();
         loop {
             if inner.closed {
                 return Err(Closed(item));
@@ -56,7 +86,31 @@ impl<T> BoundedQueue<T> {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            inner = self.not_full.wait(inner).expect("queue poisoned");
+            inner = match self.not_full.wait(inner) {
+                Ok(guard) => guard,
+                Err(poisoned) => {
+                    self.inner.clear_poison();
+                    poisoned.into_inner()
+                }
+            };
+        }
+    }
+
+    /// Enqueues `item` only if there is room right now — the non-blocking
+    /// admission hook for a network front-end: a full queue is answered
+    /// with [`TryPushError::Full`] (reply `Busy` to the client, never
+    /// block the event loop or silently drop the request).
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut inner = self.lock_inner();
+        if inner.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if inner.items.len() < self.capacity {
+            inner.items.push_back(item);
+            self.not_empty.notify_one();
+            Ok(())
+        } else {
+            Err(TryPushError::Full(item))
         }
     }
 
@@ -64,7 +118,7 @@ impl<T> BoundedQueue<T> {
     /// Returns `None` once the queue is closed *and* drained — consumers
     /// use this as their shutdown signal after processing the backlog.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.lock_inner();
         loop {
             if let Some(item) = inner.items.pop_front() {
                 self.not_full.notify_one();
@@ -73,14 +127,20 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).expect("queue poisoned");
+            inner = match self.not_empty.wait(inner) {
+                Ok(guard) => guard,
+                Err(poisoned) => {
+                    self.inner.clear_poison();
+                    poisoned.into_inner()
+                }
+            };
         }
     }
 
     /// Closes the queue: pending `pop`s drain the backlog then return
     /// `None`; subsequent `push`es fail. Idempotent.
     pub fn close(&self) {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.lock_inner();
         inner.closed = true;
         drop(inner);
         self.not_empty.notify_all();
@@ -89,7 +149,7 @@ impl<T> BoundedQueue<T> {
 
     /// Number of items currently queued.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").items.len()
+        self.lock_inner().items.len()
     }
 
     /// True when nothing is queued.
@@ -143,6 +203,48 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.close();
         assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn try_push_sheds_when_full_and_fails_when_closed() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        match q.try_push(3) {
+            Err(TryPushError::Full(item)) => assert_eq!(item, 3, "the item comes back"),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok(), "room reopens after a pop");
+        q.close();
+        match q.try_push(4) {
+            Err(TryPushError::Closed(item)) => assert_eq!(item, 4),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_cascading() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.push(1).unwrap();
+        // Poison the mutex: a thread panics while holding the lock — the
+        // moral equivalent of a worker dying mid-queue-operation.
+        let q2 = Arc::clone(&q);
+        let _ = std::thread::spawn(move || {
+            let _guard = q2.inner.lock().unwrap();
+            panic!("deliberate poison");
+        })
+        .join();
+        assert!(q.inner.is_poisoned() || q.len() == 1, "setup: lock was held through a panic");
+        // Every path recovers: the backlog survives and new traffic flows.
+        assert_eq!(q.pop(), Some(1), "pop recovers from the poison");
+        q.push(2).unwrap();
+        assert!(q.try_push(3).is_ok());
+        assert_eq!(q.len(), 2);
+        q.close();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

@@ -49,6 +49,10 @@ pub use sizel_datagen::tpch::{Tpch, TpchConfig};
 pub use sizel_graph::{
     presets as gds_presets, AffinityModel, DataGraph, Gds, GdsConfig, SchemaGraph,
 };
+pub use sizel_net::{
+    protocol_reference_table, BusyReason, NetClient, NetConfig, NetCounters, NetServer, Opcode,
+    Reply, WireResult,
+};
 pub use sizel_serve::{
     CacheStats, HotKey, ServeConfig, ServerStats, SharedResult, SizeLServer, SummaryKey,
 };
