@@ -4,12 +4,14 @@
 //!
 //! Groups:
 //! * `net_roundtrip` — `in_process` calls `ClusterRouter::batch_query_at`
-//!   directly; `loopback/D` pushes the same batch through a real TCP
-//!   loopback with D requests pipelined per iteration. The spread is
-//!   the full cost of framing + codec + the nonblocking I/O loop's
-//!   ~300µs idle latency floor. NOTE: on the 1-CPU reference container
-//!   the I/O thread, dispatch workers, and the bench thread share one
-//!   core — loopback numbers are upper bounds on protocol overhead.
+//!   directly; `loopback_<backend>/D` pushes the same batch through a
+//!   real TCP loopback with D requests pipelined per iteration, once
+//!   per reactor backend (`poll` and, on Linux, `epoll`). The
+//!   poll-vs-epoll spread at depth 1 is exactly the idle-sleep latency
+//!   floor the readiness reactor deletes (ISSUE 8). NOTE: on the 1-CPU
+//!   reference container the I/O thread, dispatch workers, and the
+//!   bench thread share one core — loopback numbers are upper bounds
+//!   on protocol overhead.
 //! * `net_codec` — encode/decode of a realistic `Results` payload, no
 //!   sockets: the codec's own cost.
 //!
@@ -26,7 +28,7 @@ use sizel_datagen::dblp::{generate, DblpConfig};
 use sizel_graph::presets;
 use sizel_net::frame::Opcode;
 use sizel_net::wire::{decode_reply, encode_query_payload, encode_results_payload};
-use sizel_net::{NetClient, NetConfig, NetServer};
+use sizel_net::{NetClient, NetConfig, NetServer, ReactorChoice};
 use sizel_rank::{dblp_ga, GaPreset};
 use sizel_serve::ServeConfig;
 
@@ -86,26 +88,37 @@ fn bench_net_throughput(c: &mut Criterion) {
         b.iter(|| criterion::black_box(router.batch_query_at(set).expect("query")));
     });
 
-    // The wire path at pipeline depths 1 and 8: one iteration sends D
-    // copies of the batch before reading any reply.
-    let server = NetServer::bind(Arc::clone(&router), "127.0.0.1:0", NetConfig::default())
-        .expect("bind loopback");
-    let mut client = NetClient::connect(server.local_addr()).expect("connect");
-    client.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
+    // The wire path at pipeline depths 1 and 8, once per reactor
+    // backend: one iteration sends D copies of the batch before reading
+    // any reply. Depth 1 is where the poll loop's idle-sleep floor
+    // dominates and the epoll reactor's doorbell wakeups pay off.
     let payload = encode_query_payload(&set);
-    for depth in [1usize, 8] {
-        group.bench_with_input(BenchmarkId::new("loopback", depth), &payload, |b, payload| {
-            b.iter(|| {
-                let ids: Vec<u64> = (0..depth)
-                    .map(|_| client.send(Opcode::Query, payload).expect("send"))
-                    .collect();
-                for id in ids {
-                    let (op, reply) = client.recv_for(id).expect("reply");
-                    assert_eq!(op, Opcode::Results);
-                    criterion::black_box(reply);
-                }
+    let backends: &[ReactorChoice] = if cfg!(target_os = "linux") {
+        &[ReactorChoice::Poll, ReactorChoice::Epoll]
+    } else {
+        &[ReactorChoice::Poll]
+    };
+    for &reactor in backends {
+        let cfg = NetConfig { reactor, ..Default::default() };
+        let server =
+            NetServer::bind(Arc::clone(&router), "127.0.0.1:0", cfg).expect("bind loopback");
+        let name = format!("loopback_{}", server.reactor_kind().name());
+        let mut client = NetClient::connect(server.local_addr()).expect("connect");
+        client.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
+        for depth in [1usize, 8] {
+            group.bench_with_input(BenchmarkId::new(&name, depth), &payload, |b, payload| {
+                b.iter(|| {
+                    let ids: Vec<u64> = (0..depth)
+                        .map(|_| client.send(Opcode::Query, payload).expect("send"))
+                        .collect();
+                    for id in ids {
+                        let (op, reply) = client.recv_for(id).expect("reply");
+                        assert_eq!(op, Opcode::Results);
+                        criterion::black_box(reply);
+                    }
+                });
             });
-        });
+        }
     }
     group.finish();
 

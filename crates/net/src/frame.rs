@@ -184,12 +184,17 @@ pub enum BusyReason {
     InflightBudget = 0,
     /// The dispatch queue was full (server-wide pressure).
     QueueFull = 1,
+    /// The connection's outbox byte cap was hit (the peer has stopped
+    /// reading its replies).
+    OutboxFull = 2,
 }
 
 impl BusyReason {
     /// Decodes a wire byte.
     pub fn from_u8(b: u8) -> Option<BusyReason> {
-        [BusyReason::InflightBudget, BusyReason::QueueFull].into_iter().find(|r| *r as u8 == b)
+        [BusyReason::InflightBudget, BusyReason::QueueFull, BusyReason::OutboxFull]
+            .into_iter()
+            .find(|r| *r as u8 == b)
     }
 }
 

@@ -18,9 +18,16 @@
 //!   deterministic encoding is what the loopback suite uses to prove
 //!   the server **byte-identical** to in-process router calls at every
 //!   epoch;
-//! * [`server`] — a nonblocking I/O thread plus a dispatch-worker pool
-//!   over the serve layer's bounded MPMC queue, with two-gate admission
-//!   and `catch_unwind` panic containment;
+//! * [`reactor`] — the readiness backends: a raw-syscall
+//!   epoll + eventfd reactor on Linux (doorbell wakeups from the
+//!   dispatch workers delete the idle-sleep latency floor) with the
+//!   portable sleep-poll sweep retained behind the same trait as a
+//!   fallback and differential oracle;
+//! * [`server`] — the readiness-driven I/O thread plus a
+//!   dispatch-worker pool over the serve layer's bounded MPMC queue,
+//!   with three-gate admission (in-flight budget, outbox byte cap,
+//!   queue capacity), idle-connection reaping, and `catch_unwind`
+//!   panic containment;
 //! * [`client`] — the blocking pipelining client (also behind the
 //!   `sizel-netcat` binary);
 //! * [`metrics`] — lock-free counters and the exposition renderer.
@@ -28,11 +35,15 @@
 pub mod client;
 pub mod frame;
 pub mod metrics;
+pub mod reactor;
 pub mod server;
+#[cfg(target_os = "linux")]
+mod sys;
 pub mod wire;
 
 pub use client::{ClientError, NetClient};
 pub use frame::{protocol_reference_table, BusyReason, ErrorCode, FrameError, Opcode};
 pub use metrics::{render_metrics, NetCounters};
+pub use reactor::{ReactorChoice, ReactorKind};
 pub use server::{NetConfig, NetServer};
 pub use wire::{Reply, Request, WireError, WireOsNode, WireResult};

@@ -1,6 +1,6 @@
 //! Front-end observability: lock-free counters incremented on the hot
 //! paths, rendered on demand into a text-exposition page (DESIGN.md
-//! §9.4 lists every series).
+//! §9.5 lists every series).
 //!
 //! The page is served two ways from the same renderer: as a `StatsText`
 //! reply to a `Stats` frame, and as a plain-HTTP `GET` response for
@@ -14,9 +14,11 @@
 //! Gauges (`connections_live`, `queue_depth`, `refresh_lag`) are
 //! instantaneous reads at render time.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 use sizel_cluster::ClusterRouter;
+
+use crate::reactor::ReactorKind;
 
 /// The front-end's own counters (cluster/serve counters are read from
 /// the router at render time, not duplicated here).
@@ -35,6 +37,26 @@ pub struct NetCounters {
     pub shed_inflight: AtomicU64,
     /// Requests shed because the dispatch queue was full.
     pub shed_queue: AtomicU64,
+    /// Requests shed because the connection's outbox byte cap was hit
+    /// (the slow-reader gate).
+    pub shed_outbox: AtomicU64,
+    /// Connections closed by the idle reaper.
+    pub idle_reaped: AtomicU64,
+    /// Reactor wakeups (readiness or doorbell) that moved bytes.
+    pub reactor_wakeups: AtomicU64,
+    /// Reactor wakeups that moved nothing (e.g. a doorbell already
+    /// serviced in the previous pass).
+    pub reactor_spurious: AtomicU64,
+    /// Physical doorbell writes (eventfd write / condvar notify).
+    pub doorbell_rings: AtomicU64,
+    /// Doorbell notifies coalesced into an already-pending ring (the
+    /// I/O thread was awake or a ring was already in flight).
+    pub doorbell_coalesced: AtomicU64,
+    /// Write-interest (EPOLLOUT) registration toggles.
+    pub epollout_toggles: AtomicU64,
+    /// Which reactor backend serves this instance (a `ReactorKind` as
+    /// `u8`; 0 until `bind` resolves it).
+    pub reactor_backend: AtomicU8,
     /// `Error` replies sent, by coarse class.
     pub errors_malformed: AtomicU64,
     /// `Error(Protocol)` replies: broken envelopes (connection closed after).
@@ -95,6 +117,46 @@ pub fn render_metrics(counters: &NetCounters, router: &ClusterRouter) -> String 
         "sizel_net_shed_total",
         "reason=\"queue_full\"",
         NetCounters::get(&counters.shed_queue),
+    );
+    line(
+        &mut out,
+        "sizel_net_shed_total",
+        "reason=\"outbox_full\"",
+        NetCounters::get(&counters.shed_outbox),
+    );
+    line(&mut out, "sizel_net_idle_reaped_total", "", NetCounters::get(&counters.idle_reaped));
+    let backend = ReactorKind::from_u8(counters.reactor_backend.load(Ordering::Relaxed))
+        .map_or("unknown", ReactorKind::name);
+    line(&mut out, "sizel_net_reactor", &format!("backend=\"{backend}\""), 1);
+    line(
+        &mut out,
+        "sizel_net_reactor_wakeups_total",
+        "",
+        NetCounters::get(&counters.reactor_wakeups),
+    );
+    line(
+        &mut out,
+        "sizel_net_reactor_spurious_wakeups_total",
+        "",
+        NetCounters::get(&counters.reactor_spurious),
+    );
+    line(
+        &mut out,
+        "sizel_net_doorbell_rings_total",
+        "",
+        NetCounters::get(&counters.doorbell_rings),
+    );
+    line(
+        &mut out,
+        "sizel_net_doorbell_coalesced_total",
+        "",
+        NetCounters::get(&counters.doorbell_coalesced),
+    );
+    line(
+        &mut out,
+        "sizel_net_epollout_toggles_total",
+        "",
+        NetCounters::get(&counters.epollout_toggles),
     );
     line(
         &mut out,

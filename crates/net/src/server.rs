@@ -1,26 +1,50 @@
-//! The TCP front-end itself (DESIGN.md §9.3).
+//! The TCP front-end itself (DESIGN.md §9.3–§9.4).
 //!
-//! One nonblocking I/O thread owns the listener and every connection:
-//! it accepts, reads bytes into per-connection buffers, cuts complete
-//! frames, runs **admission control**, and drains per-connection
-//! outboxes back to the sockets. Decoding and execution happen on a
-//! pool of dispatch workers fed through the serve layer's
-//! [`BoundedQueue`] — the same MPMC primitive the shards' own worker
-//! pools use.
+//! One I/O thread owns the listener and every connection: it accepts,
+//! reads bytes into per-connection buffers, cuts complete frames, runs
+//! **admission control**, and drains per-connection outboxes back to
+//! the sockets. Decoding and execution happen on a pool of dispatch
+//! workers fed through the serve layer's [`BoundedQueue`] — the same
+//! MPMC primitive the shards' own worker pools use.
+//!
+//! ## Readiness
+//!
+//! *When* the I/O thread runs is the [`Reactor`]'s business
+//! (DESIGN.md §9.4): on Linux an epoll instance reports exactly which
+//! sockets have bytes (or, while an outbox has unflushed replies,
+//! room), and an eventfd **doorbell** rung by the dispatch workers
+//! wakes the thread the moment a reply lands — round-trip latency is
+//! bounded by work, not by a sleep constant. The portable fallback
+//! (`ReactorChoice::Poll`) is PR 7's sweep loop behind the same trait,
+//! retained as a differential oracle; every net suite runs against
+//! both.
+//!
+//! Connections live in a **slab** indexed by their reactor token, so
+//! an event maps to its connection without hashing, and tokens recycle
+//! through a free list as peers come and go.
 //!
 //! ## Backpressure and shedding
 //!
-//! Two gates bound the work a client can park in the server, and both
-//! reject with an explicit [`Opcode::Busy`] reply — a shed request is
-//! *never* silently dropped, and it is rejected **before** execution,
-//! so it has no partial effects:
+//! Three gates bound the work (and memory) a client can park in the
+//! server, and all reject with an explicit [`Opcode::Busy`] reply — a
+//! shed request is *never* silently dropped, and it is rejected
+//! **before** execution, so it has no partial effects:
 //!
 //! 1. **Per-connection in-flight budget** (`NetConfig::inflight_budget`):
 //!    admitted-but-unanswered requests per connection. One greedy
 //!    pipeliner saturates its own budget, not the server.
-//! 2. **Dispatch queue capacity** (`NetConfig::queue_capacity`): the
+//! 2. **Per-connection outbox byte cap** (`NetConfig::outbox_cap_bytes`):
+//!    encoded-but-unflushed reply bytes. A peer that stops *reading*
+//!    (while its kernel buffers are full) cannot grow server memory
+//!    without bound — once the cap is hit, further requests shed with
+//!    `Busy(OutboxFull)` until the outbox drains.
+//! 3. **Dispatch queue capacity** (`NetConfig::queue_capacity`): the
 //!    server-wide bound, enforced by [`BoundedQueue::try_push`] — the
 //!    I/O thread never blocks on a full queue.
+//!
+//! Idle peers are bounded too: with `NetConfig::idle_timeout` set, a
+//! connection that completes no frame for the window — and has nothing
+//! in flight or unflushed — is closed on the reactor's sweep tick.
 //!
 //! ## Panic containment
 //!
@@ -38,7 +62,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use sizel_cluster::ClusterRouter;
 use sizel_serve::{BoundedQueue, TryPushError};
@@ -48,10 +72,16 @@ use crate::frame::{
     MAX_FRAME_LEN,
 };
 use crate::metrics::{render_http_metrics, render_metrics, NetCounters};
+use crate::reactor::{
+    build_reactor, Event, Reactor, ReactorChoice, ReactorKind, WakeHub, TOKEN_BASE, TOKEN_LISTENER,
+};
 use crate::wire::{
     decode_request, encode_applied_payload, encode_busy_payload, encode_error_payload,
     encode_results_payload, encode_stats_payload, encode_summary_payload, Request,
 };
+
+#[cfg(unix)]
+use std::os::fd::AsRawFd;
 
 /// Front-end construction parameters.
 #[derive(Clone, Debug)]
@@ -64,6 +94,16 @@ pub struct NetConfig {
     /// Per-connection cap on admitted-but-unanswered requests; overflow
     /// sheds with `Busy(InflightBudget)`.
     pub inflight_budget: usize,
+    /// Per-connection cap on encoded-but-unflushed reply bytes; while
+    /// exceeded, new requests shed with `Busy(OutboxFull)` (the
+    /// slow-reader gate).
+    pub outbox_cap_bytes: usize,
+    /// Close a connection that completes no frame for this window (and
+    /// has nothing in flight or unflushed). `None` disables reaping.
+    pub idle_timeout: Option<Duration>,
+    /// Readiness backend; `Auto` resolves `SIZEL_NET_REACTOR` then the
+    /// platform default (epoll on Linux, the sweep loop elsewhere).
+    pub reactor: ReactorChoice,
     /// Test/bench hook: every dispatch worker sleeps this long before
     /// executing a request, making queue/budget saturation deterministic
     /// on any machine. `None` (the default) in production.
@@ -76,6 +116,9 @@ impl Default for NetConfig {
             dispatch_workers: 2,
             queue_capacity: 64,
             inflight_budget: 32,
+            outbox_cap_bytes: 16 * 1024 * 1024,
+            idle_timeout: None,
+            reactor: ReactorChoice::Auto,
             handler_delay: None,
         }
     }
@@ -86,15 +129,39 @@ impl Default for NetConfig {
 struct ConnShared {
     /// Encoded reply frames awaiting the I/O thread's next write pass.
     outbox: Mutex<VecDeque<Vec<u8>>>,
+    /// Bytes currently queued in `outbox` (the outbox gate reads this
+    /// without taking the lock).
+    outbox_bytes: AtomicUsize,
     /// Admitted-but-unanswered requests (the budget gate's counter).
     in_flight: AtomicUsize,
+    /// This connection's reactor token (names it in doorbell
+    /// completions).
+    token: usize,
+    /// The doorbell back to the I/O thread.
+    hub: Arc<WakeHub>,
 }
 
 impl ConnShared {
-    /// Queues one encoded reply frame (any thread).
-    fn enqueue_reply(&self, counters: &NetCounters, frame: Vec<u8>) {
+    /// Appends one encoded frame to the outbox (bytes accounted, no
+    /// doorbell — the I/O thread's own paths flush in the same pass).
+    fn push_frame(&self, frame: Vec<u8>) {
+        self.outbox_bytes.fetch_add(frame.len(), Ordering::Relaxed);
         self.outbox.lock().unwrap_or_else(|p| p.into_inner()).push_back(frame);
+    }
+
+    /// Queues one encoded reply frame from the I/O thread itself.
+    fn enqueue_reply_local(&self, counters: &NetCounters, frame: Vec<u8>) {
+        self.push_frame(frame);
         NetCounters::bump(&counters.frames_out);
+    }
+
+    /// Queues one encoded reply frame from a dispatch worker and rings
+    /// the doorbell so the I/O thread flushes it now, not on its next
+    /// sweep.
+    fn enqueue_reply(&self, counters: &NetCounters, frame: Vec<u8>) {
+        self.push_frame(frame);
+        NetCounters::bump(&counters.frames_out);
+        self.hub.notify(self.token);
     }
 }
 
@@ -122,6 +189,28 @@ struct Conn {
     close_after_flush: bool,
     /// The connection turned out to be a plain-HTTP scraper.
     http: bool,
+    /// Write-readiness interest currently registered with the reactor
+    /// (on only while reply bytes are unflushed).
+    want_write: bool,
+    /// When the last complete frame was cut (idle reaping's clock;
+    /// starts at accept).
+    last_frame: Instant,
+}
+
+impl Conn {
+    /// Reply bytes not yet handed to the kernel: queued outbox frames
+    /// plus the unwritten tail of the write buffer — what the outbox
+    /// gate compares against the cap.
+    fn unflushed_bytes(&self) -> usize {
+        self.shared.outbox_bytes.load(Ordering::Relaxed) + (self.write_buf.len() - self.write_pos)
+    }
+}
+
+/// Immutable per-server knobs the I/O thread reads each pass.
+struct IoOpts {
+    budget: usize,
+    outbox_cap: usize,
+    idle_timeout: Option<Duration>,
 }
 
 /// The running front-end. Dropping it stops the I/O thread, closes the
@@ -132,6 +221,8 @@ pub struct NetServer {
     queue: Arc<BoundedQueue<NetJob>>,
     counters: Arc<NetCounters>,
     router: Arc<ClusterRouter>,
+    hub: Arc<WakeHub>,
+    kind: ReactorKind,
     io_handle: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -146,6 +237,10 @@ impl NetServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity.max(1)));
         let counters = Arc::new(NetCounters::default());
+        let reactor = build_reactor(cfg.reactor, &counters)?;
+        let kind = reactor.kind();
+        counters.reactor_backend.store(kind as u8, Ordering::Relaxed);
+        let hub = Arc::clone(reactor.hub());
 
         let workers = (0..cfg.dispatch_workers.max(1))
             .map(|i| {
@@ -165,10 +260,16 @@ impl NetServer {
             let queue = Arc::clone(&queue);
             let router = Arc::clone(&router);
             let counters = Arc::clone(&counters);
-            let budget = cfg.inflight_budget.max(1);
+            let opts = IoOpts {
+                budget: cfg.inflight_budget.max(1),
+                outbox_cap: cfg.outbox_cap_bytes.max(1),
+                idle_timeout: cfg.idle_timeout,
+            };
             std::thread::Builder::new()
                 .name("sizel-net-io".into())
-                .spawn(move || io_loop(listener, &shutdown, &queue, &router, &counters, budget))
+                .spawn(move || {
+                    io_loop(listener, &shutdown, &queue, &router, &counters, &opts, reactor)
+                })
                 .expect("spawn net io thread")
         };
 
@@ -178,6 +279,8 @@ impl NetServer {
             queue,
             counters,
             router,
+            hub,
+            kind,
             io_handle: Some(io_handle),
             workers,
         })
@@ -197,11 +300,18 @@ impl NetServer {
     pub fn router(&self) -> &Arc<ClusterRouter> {
         &self.router
     }
+
+    /// Which readiness backend the I/O thread is running on.
+    pub fn reactor_kind(&self) -> ReactorKind {
+        self.kind
+    }
 }
 
 impl Drop for NetServer {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::Release);
+        // The I/O thread may be parked in the reactor: ring it out.
+        self.hub.ring();
         self.queue.close();
         if let Some(h) = self.io_handle.take() {
             let _ = h.join();
@@ -298,9 +408,10 @@ fn handle_request(
 // The I/O thread
 // ---------------------------------------------------------------------
 
-/// Idle sleep when a poll pass moved no bytes — the latency floor of
-/// the hand-rolled loop (no epoll/kqueue dependency).
-const IDLE_SLEEP: Duration = Duration::from_micros(300);
+/// Reactor wait bound when no idle timeout asks for a finer sweep tick:
+/// a liveness backstop (shutdown and doorbells wake the thread early;
+/// this only bounds how stale a missed tick can get).
+const SWEEP_TICK: Duration = Duration::from_millis(100);
 
 fn io_loop(
     listener: TcpListener,
@@ -308,77 +419,214 @@ fn io_loop(
     queue: &Arc<BoundedQueue<NetJob>>,
     router: &Arc<ClusterRouter>,
     counters: &NetCounters,
-    budget: usize,
+    opts: &IoOpts,
+    mut reactor: Box<dyn Reactor>,
 ) {
-    let mut conns: Vec<Conn> = Vec::new();
-    while !shutdown.load(Ordering::Acquire) {
-        let mut progressed = false;
+    let hub = Arc::clone(reactor.hub());
+    #[cfg(unix)]
+    let listener_fd = listener.as_raw_fd();
+    #[cfg(not(unix))]
+    let listener_fd = -1;
+    if reactor.register(listener_fd, TOKEN_LISTENER).is_err() {
+        return; // cannot watch the listener: nothing to serve
+    }
 
-        // Accept everything pending.
-        loop {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    let _ = stream.set_nonblocking(true);
-                    let _ = stream.set_nodelay(true);
-                    NetCounters::bump(&counters.connections_opened);
-                    NetCounters::bump(&counters.connections_live);
-                    conns.push(Conn {
-                        stream,
-                        shared: Arc::new(ConnShared {
-                            outbox: Mutex::new(VecDeque::new()),
-                            in_flight: AtomicUsize::new(0),
-                        }),
-                        inbuf: Vec::new(),
-                        write_buf: Vec::new(),
-                        write_pos: 0,
-                        dead: false,
-                        close_after_flush: false,
-                        http: false,
-                    });
-                    progressed = true;
+    // The connection slab: token == index + TOKEN_BASE, holes recycled
+    // through the free list.
+    let mut slab: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut completions: Vec<usize> = Vec::new();
+    // The sweep tick: reap cadence under epoll (the poll backend sweeps
+    // every pass anyway); quartered so an idle peer overstays its
+    // window by at most ~25%.
+    let tick = match opts.idle_timeout {
+        Some(w) => (w / 4).clamp(Duration::from_millis(1), SWEEP_TICK),
+        None => SWEEP_TICK,
+    };
+    let mut progressed = true; // first pass sweeps unconditionally
+
+    loop {
+        // Arm-then-recheck handshake (reactor module docs): a worker
+        // completion can never slip between the pending check and the
+        // wait.
+        hub.arm();
+        let woke = if shutdown.load(Ordering::Acquire) {
+            hub.disarm();
+            break;
+        } else if hub.has_pending() {
+            events.clear();
+            true
+        } else {
+            reactor.wait(&mut events, tick, progressed)
+        };
+        hub.disarm();
+        if shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        progressed = false;
+
+        // Readiness events: the listener accepts, connections move bytes.
+        for &ev in &events {
+            match ev.token {
+                TOKEN_LISTENER => {
+                    progressed |= accept_all(
+                        &listener,
+                        &mut slab,
+                        &mut free,
+                        reactor.as_mut(),
+                        &hub,
+                        counters,
+                    );
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                Err(_) => break,
+                token => {
+                    let idx = token - TOKEN_BASE;
+                    if let Some(Some(conn)) = slab.get_mut(idx) {
+                        progressed |=
+                            poll_conn(conn, ev, reactor.as_mut(), queue, router, counters, opts);
+                    }
+                }
             }
         }
 
-        for conn in conns.iter_mut() {
-            progressed |= poll_conn(conn, queue, router, counters, budget);
-        }
-
-        // Reap: dead streams, and clean closes once every admitted
-        // request has been answered and flushed.
-        conns.retain(|c| {
-            let done_flushing = c.write_pos >= c.write_buf.len()
-                && c.shared.outbox.lock().unwrap_or_else(|p| p.into_inner()).is_empty()
-                && c.shared.in_flight.load(Ordering::Acquire) == 0;
-            let drop_it = c.dead || (c.close_after_flush && done_flushing);
-            if drop_it {
-                counters.connections_live.fetch_sub(1, Ordering::Relaxed);
+        // Doorbell completions: flush exactly the connections whose
+        // outboxes just gained replies (tokens may be stale after a
+        // close — flushing an empty outbox is a no-op).
+        hub.drain_pending(&mut completions);
+        for token in completions.drain(..) {
+            let idx = token.wrapping_sub(TOKEN_BASE);
+            if let Some(Some(conn)) = slab.get_mut(idx) {
+                progressed |= flush_conn(conn, reactor.as_mut(), counters);
             }
-            !drop_it
-        });
-
-        if !progressed {
-            std::thread::sleep(IDLE_SLEEP);
         }
+
+        if woke {
+            NetCounters::bump(if progressed {
+                &counters.reactor_wakeups
+            } else {
+                &counters.reactor_spurious
+            });
+        }
+
+        reap(&mut slab, &mut free, reactor.as_mut(), counters, opts.idle_timeout);
     }
     // Shutdown: connections drop here, closing their sockets.
 }
 
-/// One poll pass over a connection: read, parse/admit, flush. Returns
-/// whether any bytes moved.
+/// Accepts everything pending on the listener, registering each new
+/// connection with the reactor. Returns whether anything was accepted.
+fn accept_all(
+    listener: &TcpListener,
+    slab: &mut Vec<Option<Conn>>,
+    free: &mut Vec<usize>,
+    reactor: &mut dyn Reactor,
+    hub: &Arc<WakeHub>,
+    counters: &NetCounters,
+) -> bool {
+    let mut progressed = false;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(true);
+                let _ = stream.set_nodelay(true);
+                let idx = free.pop().unwrap_or_else(|| {
+                    slab.push(None);
+                    slab.len() - 1
+                });
+                let token = idx + TOKEN_BASE;
+                #[cfg(unix)]
+                let fd = stream.as_raw_fd();
+                #[cfg(not(unix))]
+                let fd = -1;
+                if reactor.register(fd, token).is_err() {
+                    free.push(idx);
+                    continue; // stream drops: connection refused late
+                }
+                NetCounters::bump(&counters.connections_opened);
+                NetCounters::bump(&counters.connections_live);
+                slab[idx] = Some(Conn {
+                    stream,
+                    shared: Arc::new(ConnShared {
+                        outbox: Mutex::new(VecDeque::new()),
+                        outbox_bytes: AtomicUsize::new(0),
+                        in_flight: AtomicUsize::new(0),
+                        token,
+                        hub: Arc::clone(hub),
+                    }),
+                    inbuf: Vec::new(),
+                    write_buf: Vec::new(),
+                    write_pos: 0,
+                    dead: false,
+                    close_after_flush: false,
+                    http: false,
+                    want_write: false,
+                    last_frame: Instant::now(),
+                });
+                progressed = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(_) => break,
+        }
+    }
+    progressed
+}
+
+/// Drops every connection that is dead, done with a scheduled close, or
+/// idle past the reaping window.
+fn reap(
+    slab: &mut [Option<Conn>],
+    free: &mut Vec<usize>,
+    reactor: &mut dyn Reactor,
+    counters: &NetCounters,
+    idle_timeout: Option<Duration>,
+) {
+    let now = Instant::now();
+    for (idx, slot) in slab.iter_mut().enumerate() {
+        let Some(conn) = slot else { continue };
+        let done_flushing = conn.write_pos >= conn.write_buf.len()
+            && conn.shared.outbox.lock().unwrap_or_else(|p| p.into_inner()).is_empty()
+            && conn.shared.in_flight.load(Ordering::Acquire) == 0;
+        let mut drop_it = conn.dead || (conn.close_after_flush && done_flushing);
+        // Idle reaping: no complete frame for the window AND nothing of
+        // ours still owed to the peer — a connection waiting on its own
+        // pipelined replies is busy, not idle.
+        if !drop_it {
+            if let Some(window) = idle_timeout {
+                if done_flushing && now.duration_since(conn.last_frame) >= window {
+                    NetCounters::bump(&counters.idle_reaped);
+                    drop_it = true;
+                }
+            }
+        }
+        if drop_it {
+            #[cfg(unix)]
+            let fd = conn.stream.as_raw_fd();
+            #[cfg(not(unix))]
+            let fd = -1;
+            reactor.deregister(fd, idx + TOKEN_BASE);
+            counters.connections_live.fetch_sub(1, Ordering::Relaxed);
+            *slot = None;
+            free.push(idx);
+        }
+    }
+}
+
+/// One readiness-driven pass over a connection: read to `WouldBlock`,
+/// parse/admit every complete frame, flush. Returns whether any bytes
+/// moved.
 fn poll_conn(
     conn: &mut Conn,
+    ev: Event,
+    reactor: &mut dyn Reactor,
     queue: &Arc<BoundedQueue<NetJob>>,
     router: &Arc<ClusterRouter>,
     counters: &NetCounters,
-    budget: usize,
+    opts: &IoOpts,
 ) -> bool {
     let mut progressed = false;
 
     // Read whatever the socket has.
-    if !conn.dead && !conn.close_after_flush {
+    if ev.readable && !conn.dead && !conn.close_after_flush {
         let mut chunk = [0u8; 4096];
         loop {
             match conn.stream.read(&mut chunk) {
@@ -407,8 +655,7 @@ fn poll_conn(
         conn.http = true;
         conn.close_after_flush = true;
         NetCounters::bump(&counters.http_scrapes);
-        let resp = render_http_metrics(counters, router);
-        conn.shared.outbox.lock().unwrap_or_else(|p| p.into_inner()).push_back(resp);
+        conn.shared.push_frame(render_http_metrics(counters, router));
         conn.inbuf.clear();
     }
 
@@ -428,7 +675,8 @@ fn poll_conn(
                 conn.inbuf.drain(..total);
                 NetCounters::bump(&counters.frames_in);
                 progressed = true;
-                admit(conn, queue, counters, budget, h.opcode, h.req_id, payload);
+                conn.last_frame = Instant::now();
+                admit(conn, queue, counters, opts, h.opcode, h.req_id, payload);
             }
             Err(FrameError::UnknownOpcode(b)) => {
                 // Magic, version, and length all validated — the frame
@@ -451,8 +699,9 @@ fn poll_conn(
                 conn.inbuf.drain(..total);
                 NetCounters::bump(&counters.frames_in);
                 progressed = true;
+                conn.last_frame = Instant::now();
                 NetCounters::bump(&counters.errors_malformed);
-                conn.shared.enqueue_reply(
+                conn.shared.enqueue_reply_local(
                     counters,
                     encode_frame(
                         Opcode::Error,
@@ -473,61 +722,114 @@ fn poll_conn(
         }
     }
 
-    // Move finished replies into the write buffer and flush.
-    if conn.write_pos >= conn.write_buf.len() {
-        conn.write_buf.clear();
-        conn.write_pos = 0;
-        let mut outbox = conn.shared.outbox.lock().unwrap_or_else(|p| p.into_inner());
-        while let Some(frame) = outbox.pop_front() {
-            conn.write_buf.extend_from_slice(&frame);
-        }
+    // Flush when this pass produced replies (sheds, errors, the HTTP
+    // page) or the reactor reported room for a blocked write; a pure
+    // read event with nothing parsed has nothing to write.
+    if progressed || ev.writable {
+        progressed |= flush_conn(conn, reactor, counters);
     }
-    while !conn.dead && conn.write_pos < conn.write_buf.len() {
-        match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
-            Ok(0) => {
-                conn.dead = true;
-            }
-            Ok(n) => {
-                conn.write_pos += n;
-                progressed = true;
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(_) => conn.dead = true,
-        }
-    }
-
     progressed
 }
 
-/// The two-gate admission decision for one complete request frame.
+/// Moves finished replies into the write buffer, writes to
+/// `WouldBlock`, and keeps EPOLLOUT interest registered exactly while
+/// bytes remain unflushed (so a partial write resumes on writability,
+/// not on the next sweep). Returns whether any bytes moved.
+fn flush_conn(conn: &mut Conn, reactor: &mut dyn Reactor, counters: &NetCounters) -> bool {
+    let mut progressed = false;
+    loop {
+        if conn.write_pos >= conn.write_buf.len() {
+            conn.write_buf.clear();
+            conn.write_pos = 0;
+            let mut outbox = conn.shared.outbox.lock().unwrap_or_else(|p| p.into_inner());
+            let mut moved = 0usize;
+            while let Some(frame) = outbox.pop_front() {
+                moved += frame.len();
+                conn.write_buf.extend_from_slice(&frame);
+            }
+            drop(outbox);
+            conn.shared.outbox_bytes.fetch_sub(moved, Ordering::Relaxed);
+            if conn.write_buf.is_empty() {
+                break; // fully drained
+            }
+        }
+        let mut blocked = false;
+        while !conn.dead && conn.write_pos < conn.write_buf.len() {
+            match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                Ok(0) => conn.dead = true,
+                Ok(n) => {
+                    conn.write_pos += n;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    blocked = true;
+                    break;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => conn.dead = true,
+            }
+        }
+        if blocked || conn.dead {
+            break;
+        }
+    }
+
+    // EPOLLOUT toggling: interest on iff the kernel couldn't take
+    // everything (no-op on the poll backend, which always sweeps).
+    let want = !conn.dead && conn.write_pos < conn.write_buf.len();
+    if want != conn.want_write {
+        #[cfg(unix)]
+        let fd = conn.stream.as_raw_fd();
+        #[cfg(not(unix))]
+        let fd = -1;
+        if reactor.set_writable(fd, conn.shared.token, want).is_ok() {
+            conn.want_write = want;
+        }
+        NetCounters::bump(&counters.epollout_toggles);
+    }
+    progressed
+}
+
+/// The three-gate admission decision for one complete request frame.
 fn admit(
     conn: &mut Conn,
     queue: &Arc<BoundedQueue<NetJob>>,
     counters: &NetCounters,
-    budget: usize,
+    opts: &IoOpts,
     opcode: Opcode,
     req_id: u64,
     payload: Vec<u8>,
 ) {
-    // Gate 1: the connection's own budget.
-    if conn.shared.in_flight.load(Ordering::Acquire) >= budget {
+    // Gate 1: the connection's own in-flight budget.
+    if conn.shared.in_flight.load(Ordering::Acquire) >= opts.budget {
         NetCounters::bump(&counters.shed_inflight);
-        conn.shared.enqueue_reply(
+        conn.shared.enqueue_reply_local(
             counters,
             encode_frame(Opcode::Busy, req_id, &encode_busy_payload(BusyReason::InflightBudget)),
         );
         return;
     }
+    // Gate 2: the connection's unflushed reply bytes — a peer that has
+    // stopped reading must not grow server memory without bound. The
+    // `Busy` reply itself is queued (small, and bounded by the peer's
+    // own send rate), so the shed is still never silent.
+    if conn.unflushed_bytes() >= opts.outbox_cap {
+        NetCounters::bump(&counters.shed_outbox);
+        conn.shared.enqueue_reply_local(
+            counters,
+            encode_frame(Opcode::Busy, req_id, &encode_busy_payload(BusyReason::OutboxFull)),
+        );
+        return;
+    }
     conn.shared.in_flight.fetch_add(1, Ordering::AcqRel);
-    // Gate 2: the server-wide dispatch queue.
+    // Gate 3: the server-wide dispatch queue.
     let job = NetJob { conn: Arc::clone(&conn.shared), opcode, req_id, payload };
     match queue.try_push(job) {
         Ok(()) => {}
         Err(TryPushError::Full(job)) => {
             job.conn.in_flight.fetch_sub(1, Ordering::AcqRel);
             NetCounters::bump(&counters.shed_queue);
-            conn.shared.enqueue_reply(
+            conn.shared.enqueue_reply_local(
                 counters,
                 encode_frame(Opcode::Busy, req_id, &encode_busy_payload(BusyReason::QueueFull)),
             );
@@ -535,7 +837,7 @@ fn admit(
         Err(TryPushError::Closed(job)) => {
             job.conn.in_flight.fetch_sub(1, Ordering::AcqRel);
             NetCounters::bump(&counters.errors_internal);
-            conn.shared.enqueue_reply(
+            conn.shared.enqueue_reply_local(
                 counters,
                 encode_frame(
                     Opcode::Error,
@@ -552,7 +854,7 @@ fn admit(
 /// no further bytes are parsed).
 fn protocol_error(conn: &mut Conn, counters: &NetCounters, req_id: u64, msg: &str) {
     NetCounters::bump(&counters.errors_protocol);
-    conn.shared.enqueue_reply(
+    conn.shared.enqueue_reply_local(
         counters,
         encode_frame(Opcode::Error, req_id, &encode_error_payload(ErrorCode::Protocol, msg)),
     );

@@ -686,11 +686,13 @@ mod tests {
             }
             other => panic!("wrong variant: {other:?}"),
         }
-        let b = encode_busy_payload(BusyReason::QueueFull);
-        assert!(matches!(
-            decode_reply(Opcode::Busy, &b).expect("decodes"),
-            Reply::Busy { reason: BusyReason::QueueFull }
-        ));
+        for reason in [BusyReason::InflightBudget, BusyReason::QueueFull, BusyReason::OutboxFull] {
+            let b = encode_busy_payload(reason);
+            match decode_reply(Opcode::Busy, &b).expect("decodes") {
+                Reply::Busy { reason: got } => assert_eq!(got, reason),
+                other => panic!("wrong variant: {other:?}"),
+            }
+        }
     }
 
     #[test]

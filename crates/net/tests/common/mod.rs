@@ -10,7 +10,7 @@ use sizel_cluster::{ClusterConfig, ClusterRouter, RefreshConfig};
 use sizel_core::engine::{EngineConfig, SizeLEngine};
 use sizel_datagen::dblp::{generate, DblpConfig};
 use sizel_graph::presets;
-use sizel_net::{NetConfig, NetServer};
+use sizel_net::{NetConfig, NetServer, ReactorChoice};
 use sizel_rank::{dblp_ga, GaPreset};
 use sizel_serve::ServeConfig;
 
@@ -79,4 +79,39 @@ pub fn tiny_cluster() -> Arc<ClusterRouter> {
 /// Binds a loopback server over `router` with `cfg`.
 pub fn serve(router: Arc<ClusterRouter>, cfg: NetConfig) -> NetServer {
     NetServer::bind(router, "127.0.0.1:0", cfg).expect("bind loopback")
+}
+
+/// The reactor backends this test run exercises: both on Linux, the
+/// portable poll loop alone elsewhere. When `SIZEL_NET_REACTOR` is set
+/// (the CI matrix), only that backend runs — each matrix job proves one
+/// backend in isolation instead of re-proving both twice.
+pub fn reactor_choices() -> Vec<ReactorChoice> {
+    let all = if cfg!(target_os = "linux") {
+        vec![ReactorChoice::Poll, ReactorChoice::Epoll]
+    } else {
+        vec![ReactorChoice::Poll]
+    };
+    match std::env::var("SIZEL_NET_REACTOR") {
+        Ok(v) => {
+            let want = match v.as_str() {
+                "poll" => ReactorChoice::Poll,
+                "epoll" => ReactorChoice::Epoll,
+                other => panic!("unknown SIZEL_NET_REACTOR backend `{other}`"),
+            };
+            let picked: Vec<_> = all.into_iter().filter(|c| *c == want).collect();
+            assert!(!picked.is_empty(), "SIZEL_NET_REACTOR={v} unavailable on this platform");
+            picked
+        }
+        Err(_) => all,
+    }
+}
+
+/// Runs `body` once per reactor backend under test — the differential
+/// harness: every suite that goes through this helper proves the epoll
+/// reactor and the poll oracle behaviorally identical.
+pub fn for_each_reactor(body: impl Fn(ReactorChoice)) {
+    for choice in reactor_choices() {
+        eprintln!("--- reactor backend: {choice:?} ---");
+        body(choice);
+    }
 }

@@ -1,7 +1,9 @@
 //! Loopback end-to-end: a real [`NetServer`] over TCP, driven by the
 //! pipelining [`NetClient`], proven **byte-identical** to in-process
 //! [`ClusterRouter`] calls at every epoch — with the continual-refresh
-//! worker running the whole time.
+//! worker running the whole time, and every scenario repeated on every
+//! reactor backend (`for_each_reactor`), so the epoll reactor and the
+//! portable poll oracle are held to the same observable behavior.
 //!
 //! The identity check works because the wire codec is deterministic:
 //! the server's `Results` payload is `encode_results_payload(epoch,
@@ -21,83 +23,92 @@ use sizel_net::{NetClient, NetConfig, Reply};
 use sizel_storage::Value;
 
 mod common;
-use common::{existing_keyword, serve, tiny_cluster};
+use common::{existing_keyword, for_each_reactor, serve, tiny_cluster};
 
 /// ≥8 pipelined queries per epoch, across several epochs advanced over
-/// the wire, each reply byte-compared against the in-process oracle.
+/// the wire, each reply byte-compared against the in-process oracle —
+/// on every reactor backend.
 #[test]
 fn pipelined_replies_are_byte_identical_to_in_process_calls_at_every_epoch() {
-    let router = tiny_cluster();
-    let server = serve(router.clone(), NetConfig::default());
-    let mut client = NetClient::connect(server.local_addr()).expect("connect");
-    client.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
+    for_each_reactor(|reactor| {
+        let router = tiny_cluster();
+        let server = serve(router.clone(), NetConfig { reactor, ..Default::default() });
+        let mut client = NetClient::connect(server.local_addr()).expect("connect");
+        client.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
 
-    let kw = existing_keyword(&router.shard(0).engine());
-    // Eight distinct request shapes per round: sizes, rankings, and
-    // batch shapes all vary so the codec carries real diversity.
-    let shapes: Vec<Vec<(String, QueryOptions)>> = vec![
-        vec![(kw.clone(), QueryOptions::default())],
-        vec![(kw.clone(), QueryOptions { l: 6, ..Default::default() })],
-        vec![(kw.clone(), QueryOptions { l: 9, ..Default::default() })],
-        vec![(
-            kw.clone(),
-            QueryOptions { ranking: ResultRanking::SummaryImportance, l: 8, ..Default::default() },
-        )],
-        vec![(kw.clone(), QueryOptions { prelim: false, l: 7, ..Default::default() })],
-        vec![
-            (kw.clone(), QueryOptions { l: 5, ..Default::default() }),
-            (kw.clone(), QueryOptions { l: 11, ..Default::default() }),
-        ],
-        vec![("no-such-keyword-anywhere".to_owned(), QueryOptions::default())],
-        vec![(kw.clone(), QueryOptions { l: 4, ..Default::default() })],
-    ];
-
-    let (a, p, j) = {
-        let engine = router.shard(0).engine();
-        (
-            max_pk(engine.db(), "Author"),
-            max_pk(engine.db(), "Paper"),
-            max_pk(engine.db(), "AuthorPaper"),
-        )
-    };
-
-    for round in 0..4i64 {
-        // Pipeline: all 8 requests hit the wire before any reply is read.
-        let ids: Vec<u64> = shapes
-            .iter()
-            .map(|reqs| client.send(Opcode::Query, &encode_query_payload(reqs)).expect("send"))
-            .collect();
-        for (id, reqs) in ids.into_iter().zip(&shapes) {
-            let (op, wire_payload) = client.recv_for(id).expect("reply");
-            assert_eq!(op, Opcode::Results, "round {round}");
-            // No epoch can move under this oracle call: the test thread
-            // is the only writer and it is right here, reading.
-            let (epoch, results) = router.batch_query_at(reqs).expect("oracle");
-            let oracle = encode_results_payload(epoch, &results);
-            assert_eq!(
-                wire_payload, oracle,
-                "round {round}: wire bytes diverge from the in-process encoding"
-            );
-        }
-
-        // Advance the epoch over the wire and verify the stamp.
-        let muts = vec![
-            Mutation::insert(
-                "Author",
-                vec![Value::Int(a + 1 + round), format!("Wire Author{round}").into()],
-            ),
-            Mutation::insert(
-                "AuthorPaper",
-                vec![Value::Int(j + 1 + round), Value::Int(a + 1 + round), Value::Int(p)],
-            ),
+        let kw = existing_keyword(&router.shard(0).engine());
+        // Eight distinct request shapes per round: sizes, rankings, and
+        // batch shapes all vary so the codec carries real diversity.
+        let shapes: Vec<Vec<(String, QueryOptions)>> = vec![
+            vec![(kw.clone(), QueryOptions::default())],
+            vec![(kw.clone(), QueryOptions { l: 6, ..Default::default() })],
+            vec![(kw.clone(), QueryOptions { l: 9, ..Default::default() })],
+            vec![(
+                kw.clone(),
+                QueryOptions {
+                    ranking: ResultRanking::SummaryImportance,
+                    l: 8,
+                    ..Default::default()
+                },
+            )],
+            vec![(kw.clone(), QueryOptions { prelim: false, l: 7, ..Default::default() })],
+            vec![
+                (kw.clone(), QueryOptions { l: 5, ..Default::default() }),
+                (kw.clone(), QueryOptions { l: 11, ..Default::default() }),
+            ],
+            vec![("no-such-keyword-anywhere".to_owned(), QueryOptions::default())],
+            vec![(kw.clone(), QueryOptions { l: 4, ..Default::default() })],
         ];
-        match client.apply(&muts).expect("apply") {
-            Reply::Applied { epoch } => {
-                assert_eq!(epoch, router.stats().epochs[0].get(), "round {round}");
+
+        let (a, p, j) = {
+            let engine = router.shard(0).engine();
+            (
+                max_pk(engine.db(), "Author"),
+                max_pk(engine.db(), "Paper"),
+                max_pk(engine.db(), "AuthorPaper"),
+            )
+        };
+
+        for round in 0..4i64 {
+            // Pipeline: all 8 requests hit the wire before any reply is
+            // read.
+            let ids: Vec<u64> = shapes
+                .iter()
+                .map(|reqs| client.send(Opcode::Query, &encode_query_payload(reqs)).expect("send"))
+                .collect();
+            for (id, reqs) in ids.into_iter().zip(&shapes) {
+                let (op, wire_payload) = client.recv_for(id).expect("reply");
+                assert_eq!(op, Opcode::Results, "round {round}");
+                // No epoch can move under this oracle call: the test
+                // thread is the only writer and it is right here,
+                // reading.
+                let (epoch, results) = router.batch_query_at(reqs).expect("oracle");
+                let oracle = encode_results_payload(epoch, &results);
+                assert_eq!(
+                    wire_payload, oracle,
+                    "round {round}: wire bytes diverge from the in-process encoding"
+                );
             }
-            other => panic!("expected Applied, got {other:?}"),
+
+            // Advance the epoch over the wire and verify the stamp.
+            let muts = vec![
+                Mutation::insert(
+                    "Author",
+                    vec![Value::Int(a + 1 + round), format!("Wire Author{round}").into()],
+                ),
+                Mutation::insert(
+                    "AuthorPaper",
+                    vec![Value::Int(j + 1 + round), Value::Int(a + 1 + round), Value::Int(p)],
+                ),
+            ];
+            match client.apply(&muts).expect("apply") {
+                Reply::Applied { epoch } => {
+                    assert_eq!(epoch, router.stats().epochs[0].get(), "round {round}");
+                }
+                other => panic!("expected Applied, got {other:?}"),
+            }
         }
-    }
+    });
 }
 
 /// Saturating a tiny budget with a 64-deep pipeline: every request is
@@ -105,84 +116,93 @@ fn pipelined_replies_are_byte_identical_to_in_process_calls_at_every_epoch() {
 /// silently dropped — and the counters' accounting identity holds.
 #[test]
 fn saturation_sheds_with_busy_and_loses_nothing() {
-    let router = tiny_cluster();
-    // 1 slow worker, tiny queue and budget: with a 64-frame burst the
-    // shed outcome is structural, not a timing accident.
-    let server = serve(
-        router,
-        NetConfig {
-            dispatch_workers: 1,
-            queue_capacity: 2,
-            inflight_budget: 4,
-            handler_delay: Some(Duration::from_millis(30)),
-        },
-    );
-    let mut client = NetClient::connect(server.local_addr()).expect("connect");
-    client.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
+    for_each_reactor(|reactor| {
+        let router = tiny_cluster();
+        // 1 slow worker, tiny queue and budget: with a 64-frame burst
+        // the shed outcome is structural, not a timing accident.
+        let server = serve(
+            router,
+            NetConfig {
+                dispatch_workers: 1,
+                queue_capacity: 2,
+                inflight_budget: 4,
+                handler_delay: Some(Duration::from_millis(30)),
+                reactor,
+                ..Default::default()
+            },
+        );
+        let mut client = NetClient::connect(server.local_addr()).expect("connect");
+        client.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
 
-    const BURST: usize = 64;
-    let mut expected: Vec<u64> = Vec::with_capacity(BURST);
-    for _ in 0..BURST {
-        expected.push(client.send(Opcode::Ping, &[]).expect("send"));
-    }
-    let mut pongs = 0usize;
-    let mut busy = 0usize;
-    let mut seen: Vec<u64> = Vec::with_capacity(BURST);
-    for _ in 0..BURST {
-        let (id, op, _) = client.recv_any().expect("every request gets a reply");
-        seen.push(id);
-        match op {
-            Opcode::Pong => pongs += 1,
-            Opcode::Busy => busy += 1,
-            other => panic!("unexpected reply {other:?}"),
+        const BURST: usize = 64;
+        let mut expected: Vec<u64> = Vec::with_capacity(BURST);
+        for _ in 0..BURST {
+            expected.push(client.send(Opcode::Ping, &[]).expect("send"));
         }
-    }
-    // Exactly one reply per request — none lost, none duplicated.
-    seen.sort_unstable();
-    expected.sort_unstable();
-    assert_eq!(seen, expected);
-    assert_eq!(pongs + busy, BURST);
-    // The burst lands in ~1ms while each pop takes 30ms: at most
-    // budget + queue + a small completion margin can be admitted.
-    assert!(busy >= BURST - 16, "only {busy} sheds out of {BURST}");
-    assert!(pongs >= 1, "the server must still make progress under overload");
-    // Counter accounting: sheds match the Busy replies on the wire, and
-    // every frame in produced a frame out.
-    let c = server.counters();
-    let shed = c.shed_inflight.load(Ordering::Relaxed) + c.shed_queue.load(Ordering::Relaxed);
-    assert_eq!(shed as usize, busy);
-    assert_eq!(c.frames_in.load(Ordering::Relaxed) as usize, BURST);
-    assert_eq!(c.frames_out.load(Ordering::Relaxed) as usize, BURST);
+        let mut pongs = 0usize;
+        let mut busy = 0usize;
+        let mut seen: Vec<u64> = Vec::with_capacity(BURST);
+        for _ in 0..BURST {
+            let (id, op, _) = client.recv_any().expect("every request gets a reply");
+            seen.push(id);
+            match op {
+                Opcode::Pong => pongs += 1,
+                Opcode::Busy => busy += 1,
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        // Exactly one reply per request — none lost, none duplicated.
+        seen.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+        assert_eq!(pongs + busy, BURST);
+        // The burst lands in ~1ms while each pop takes 30ms: at most
+        // budget + queue + a small completion margin can be admitted.
+        assert!(busy >= BURST - 16, "only {busy} sheds out of {BURST}");
+        assert!(pongs >= 1, "the server must still make progress under overload");
+        // Counter accounting: sheds match the Busy replies on the wire,
+        // and every frame in produced a frame out.
+        let c = server.counters();
+        let shed = c.shed_inflight.load(Ordering::Relaxed) + c.shed_queue.load(Ordering::Relaxed);
+        assert_eq!(shed as usize, busy);
+        assert_eq!(c.frames_in.load(Ordering::Relaxed) as usize, BURST);
+        assert_eq!(c.frames_out.load(Ordering::Relaxed) as usize, BURST);
+    });
 }
 
 /// The in-flight budget gate specifically: a queue big enough to never
 /// fill makes every shed a `Busy(InflightBudget)`.
 #[test]
 fn inflight_budget_gate_sheds_when_queue_has_room() {
-    let router = tiny_cluster();
-    let server = serve(
-        router,
-        NetConfig {
-            dispatch_workers: 1,
-            queue_capacity: 64,
-            inflight_budget: 2,
-            handler_delay: Some(Duration::from_millis(20)),
-        },
-    );
-    let mut client = NetClient::connect(server.local_addr()).expect("connect");
-    client.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
-    let ids: Vec<u64> = (0..32).map(|_| client.send(Opcode::Ping, &[]).expect("send")).collect();
-    let mut busy = 0;
-    for _ in &ids {
-        let (_, op, _) = client.recv_any().expect("reply");
-        if op == Opcode::Busy {
-            busy += 1;
+    for_each_reactor(|reactor| {
+        let router = tiny_cluster();
+        let server = serve(
+            router,
+            NetConfig {
+                dispatch_workers: 1,
+                queue_capacity: 64,
+                inflight_budget: 2,
+                handler_delay: Some(Duration::from_millis(20)),
+                reactor,
+                ..Default::default()
+            },
+        );
+        let mut client = NetClient::connect(server.local_addr()).expect("connect");
+        client.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
+        let ids: Vec<u64> =
+            (0..32).map(|_| client.send(Opcode::Ping, &[]).expect("send")).collect();
+        let mut busy = 0;
+        for _ in &ids {
+            let (_, op, _) = client.recv_any().expect("reply");
+            if op == Opcode::Busy {
+                busy += 1;
+            }
         }
-    }
-    assert!(busy > 0, "a 32-deep pipeline must overflow a budget of 2");
-    let c = server.counters();
-    assert_eq!(c.shed_queue.load(Ordering::Relaxed), 0, "the queue never filled");
-    assert_eq!(c.shed_inflight.load(Ordering::Relaxed), busy);
+        assert!(busy > 0, "a 32-deep pipeline must overflow a budget of 2");
+        let c = server.counters();
+        assert_eq!(c.shed_queue.load(Ordering::Relaxed), 0, "the queue never filled");
+        assert_eq!(c.shed_inflight.load(Ordering::Relaxed), busy);
+    });
 }
 
 /// A request that panics its handler costs exactly one `Error(Internal)`
@@ -190,60 +210,79 @@ fn inflight_budget_gate_sheds_when_queue_has_room() {
 /// keep working — the end-to-end face of the panic-safety sweep.
 #[test]
 fn a_panicking_request_degrades_one_reply_not_the_server() {
-    let router = tiny_cluster();
-    let server = serve(router.clone(), NetConfig::default());
-    let mut client = NetClient::connect(server.local_addr()).expect("connect");
-    client.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
-    let kw = existing_keyword(&router.shard(0).engine());
+    for_each_reactor(|reactor| {
+        let router = tiny_cluster();
+        let server = serve(router.clone(), NetConfig { reactor, ..Default::default() });
+        let mut client = NetClient::connect(server.local_addr()).expect("connect");
+        client.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
+        let kw = existing_keyword(&router.shard(0).engine());
 
-    // A TupleRef naming a table far out of range panics the serve
-    // worker mid-summary; the dispatch worker's catch_unwind must turn
-    // that into an in-band Internal error.
-    let bogus = sizel_storage::TupleRef::new(sizel_storage::TableId(999), sizel_storage::RowId(0));
-    match client.summarize(bogus, QueryOptions::default()).expect("a reply, not a hangup") {
-        Reply::Error { code, .. } => assert_eq!(code, sizel_net::ErrorCode::Internal),
-        other => panic!("expected Error(Internal), got {other:?}"),
-    }
+        // A TupleRef naming a table far out of range panics the serve
+        // worker mid-summary; the dispatch worker's catch_unwind must
+        // turn that into an in-band Internal error.
+        let bogus =
+            sizel_storage::TupleRef::new(sizel_storage::TableId(999), sizel_storage::RowId(0));
+        match client.summarize(bogus, QueryOptions::default()).expect("a reply, not a hangup") {
+            Reply::Error { code, .. } => assert_eq!(code, sizel_net::ErrorCode::Internal),
+            other => panic!("expected Error(Internal), got {other:?}"),
+        }
 
-    // Same connection still serves.
-    client.ping().expect("ping after panic");
-    match client.query(&[(kw.clone(), QueryOptions::default())]).expect("query after panic") {
-        Reply::Results { results, .. } => assert!(!results[0].is_empty()),
-        other => panic!("expected Results, got {other:?}"),
-    }
-    // Fresh connections too.
-    let mut second = NetClient::connect(server.local_addr()).expect("connect");
-    second.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
-    second.ping().expect("fresh connection after panic");
-    assert!(server.counters().errors_internal.load(Ordering::Relaxed) >= 1);
+        // Same connection still serves.
+        client.ping().expect("ping after panic");
+        match client.query(&[(kw.clone(), QueryOptions::default())]).expect("query after panic") {
+            Reply::Results { results, .. } => assert!(!results[0].is_empty()),
+            other => panic!("expected Results, got {other:?}"),
+        }
+        // Fresh connections too.
+        let mut second = NetClient::connect(server.local_addr()).expect("connect");
+        second.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
+        second.ping().expect("fresh connection after panic");
+        assert!(server.counters().errors_internal.load(Ordering::Relaxed) >= 1);
+    });
 }
 
 /// The in-band metrics page carries the series the ISSUE promises:
-/// shed counts, connection gauges, per-shard cache ratios, refresh lag.
+/// shed counts (all three gates), connection gauges, reactor and
+/// doorbell counters, per-shard cache ratios, refresh lag — and names
+/// the backend actually serving.
 #[test]
 fn stats_frame_returns_the_metrics_page() {
-    let router = tiny_cluster();
-    let server = serve(router.clone(), NetConfig::default());
-    let mut client = NetClient::connect(server.local_addr()).expect("connect");
-    client.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
-    let kw = existing_keyword(&router.shard(0).engine());
-    client.query(&[(kw, QueryOptions::default())]).expect("one query");
+    for_each_reactor(|reactor| {
+        let router = tiny_cluster();
+        let server = serve(router.clone(), NetConfig { reactor, ..Default::default() });
+        let mut client = NetClient::connect(server.local_addr()).expect("connect");
+        client.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
+        let kw = existing_keyword(&router.shard(0).engine());
+        client.query(&[(kw, QueryOptions::default())]).expect("one query");
 
-    let page = client.stats().expect("stats");
-    for series in [
-        "sizel_net_connections_live",
-        "sizel_net_shed_total{reason=\"inflight_budget\"}",
-        "sizel_net_shed_total{reason=\"queue_full\"}",
-        "sizel_serve_cache_hit_ratio{shard=\"0\"}",
-        "sizel_serve_queries_served_total{shard=\"1\"}",
-        "sizel_refresh_lag{shard=\"0\"}",
-        "sizel_cluster_epoch{shard=\"1\"}",
-    ] {
-        assert!(page.contains(series), "metrics page missing `{series}`:\n{page}");
-    }
+        let page = client.stats().expect("stats");
+        let backend =
+            format!("sizel_net_reactor{{backend=\"{}\"}} 1", server.reactor_kind().name());
+        for series in [
+            "sizel_net_connections_live",
+            "sizel_net_shed_total{reason=\"inflight_budget\"}",
+            "sizel_net_shed_total{reason=\"queue_full\"}",
+            "sizel_net_shed_total{reason=\"outbox_full\"}",
+            "sizel_net_idle_reaped_total",
+            backend.as_str(),
+            "sizel_net_reactor_wakeups_total",
+            "sizel_net_reactor_spurious_wakeups_total",
+            "sizel_net_doorbell_rings_total",
+            "sizel_net_doorbell_coalesced_total",
+            "sizel_net_epollout_toggles_total",
+            "sizel_serve_cache_hit_ratio{shard=\"0\"}",
+            "sizel_serve_queries_served_total{shard=\"1\"}",
+            "sizel_refresh_lag{shard=\"0\"}",
+            "sizel_cluster_epoch{shard=\"1\"}",
+        ] {
+            assert!(page.contains(series), "metrics page missing `{series}`:\n{page}");
+        }
+    });
 }
 
-/// The CLI client binary drives a live server end to end.
+/// The CLI client binary drives a live server end to end (the server
+/// runs the platform-default reactor — on CI the `SIZEL_NET_REACTOR`
+/// matrix variable steers it through `ReactorChoice::Auto`).
 #[test]
 fn netcat_binary_pings_queries_and_scrapes() {
     let router = tiny_cluster();
