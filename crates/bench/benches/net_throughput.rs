@@ -122,6 +122,50 @@ fn bench_net_throughput(c: &mut Criterion) {
     }
     group.finish();
 
+    // Per-request latency percentiles (PR 9): criterion reports means;
+    // tail behavior is where the fast path and the doorbell show up.
+    // Each timed iteration pipelines D requests and attributes
+    // duration/D to every request; p50/p99 come from the sorted
+    // per-request samples. Printed to stderr next to the criterion
+    // output (there is no hidden cap: every iteration is a sample).
+    let rounds = if full { 400 } else { 150 };
+    for &reactor in backends {
+        let cfg = NetConfig { reactor, ..Default::default() };
+        let server =
+            NetServer::bind(Arc::clone(&router), "127.0.0.1:0", cfg).expect("bind loopback");
+        let name = server.reactor_kind().name();
+        let mut client = NetClient::connect(server.local_addr()).expect("connect");
+        client.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
+        for depth in [1usize, 8] {
+            let mut samples_us: Vec<f64> = Vec::with_capacity(rounds);
+            for round in 0..rounds + 20 {
+                let start = std::time::Instant::now();
+                let ids: Vec<u64> = (0..depth)
+                    .map(|_| client.send(Opcode::Query, &payload).expect("send"))
+                    .collect();
+                for id in ids {
+                    let (op, reply) = client.recv_for(id).expect("reply");
+                    assert_eq!(op, Opcode::Results);
+                    criterion::black_box(reply);
+                }
+                // The first 20 rounds warm caches and buffers.
+                if round >= 20 {
+                    samples_us.push(start.elapsed().as_secs_f64() * 1e6 / depth as f64);
+                }
+            }
+            samples_us.sort_by(|a, b| a.total_cmp(b));
+            let pct = |p: f64| samples_us[((samples_us.len() - 1) as f64 * p) as usize];
+            eprintln!(
+                "net_latency/{name}/depth{depth}: p50={:.1}us p99={:.1}us (n={})",
+                pct(0.50),
+                pct(0.99),
+                samples_us.len()
+            );
+        }
+        let hits = server.counters().fastpath_hits.load(std::sync::atomic::Ordering::Relaxed);
+        eprintln!("net_latency/{name}: fastpath hits {hits}");
+    }
+
     // The codec alone: a realistic Results payload, no sockets.
     let (epoch, results) = router.batch_query_at(&set).expect("oracle");
     let encoded = encode_results_payload(epoch, &results);

@@ -363,6 +363,66 @@ impl ClusterRouter {
         Ok((epoch, merged))
     }
 
+    /// Cache-only, never-blocking form of [`ClusterRouter::batch_query_at`]
+    /// for the network layer's inline fast path: succeeds only when the
+    /// *entire* batch — gate, keyword lookups, and every hit's summary —
+    /// can be served without waiting on any lock or computing anything.
+    /// Any contention or any cache miss returns `None` and the caller
+    /// dispatches the request through the worker queue instead.
+    ///
+    /// Consistency is the same argument as the blocking path: the gate is
+    /// held (shared) across the whole probe, so every shard sits at one
+    /// epoch, and each per-shard probe reads that epoch under the same
+    /// try-acquired engine guard as its cache lookup. Every `try_*` here
+    /// is non-blocking by construction — a queued writer on any lock
+    /// makes the probe fail, never wait.
+    pub fn try_batch_query_cached(
+        &self,
+        requests: &[(String, QueryOptions)],
+    ) -> Option<(Epoch, Vec<Vec<SharedResult>>)> {
+        if !matches!(self.mode, Mode::Partitioned) {
+            return None;
+        }
+        let _epoch_gate = self.gate.try_read().ok()?;
+        let engine0 = self.shards[0].try_engine()?;
+        let epoch = engine0.epoch();
+        let mut merged = Vec::with_capacity(requests.len());
+        for (kw, opts) in requests {
+            let hits = engine0.ds_hits(kw);
+            let mut results = Vec::with_capacity(hits.len());
+            for tds in hits {
+                // Owner-shard probe. For shard 0 this re-try-reads a lock
+                // this thread already holds shared — which cannot block
+                // and at worst fails (pending writer), falling back.
+                let (e, hit) = self.shards[self.shard_of(tds)].try_summarize_cached(tds, *opts)?;
+                debug_assert_eq!(e, epoch, "gate held: every shard serves one epoch");
+                results.push(hit);
+            }
+            if opts.ranking == ResultRanking::SummaryImportance {
+                results.sort_by(|a, b| {
+                    b.result.importance.total_cmp(&a.result.importance).then(a.tds.cmp(&b.tds))
+                });
+            }
+            merged.push(results);
+        }
+        Some((epoch, merged))
+    }
+
+    /// Cache-only, never-blocking form of [`ClusterRouter::summarize_at`]
+    /// (see [`ClusterRouter::try_batch_query_cached`] for the contract).
+    pub fn try_summarize_cached_at(
+        &self,
+        tds: TupleRef,
+        opts: QueryOptions,
+    ) -> Option<(Epoch, SharedResult)> {
+        if !matches!(self.mode, Mode::Partitioned) {
+            return None;
+        }
+        let _epoch_gate = self.gate.try_read().ok()?;
+        // The owner's epoch IS the cluster epoch while the gate is held.
+        self.shards[self.shard_of(tds)].try_summarize_cached(tds, opts)
+    }
+
     /// Computes one `(t_DS, options)` summary on its owner shard
     /// (partitioned mode), returning it with the cluster epoch it was
     /// served at — the per-DS unit the wire protocol's `Summarize` frame

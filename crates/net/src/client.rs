@@ -16,10 +16,9 @@ use std::time::Duration;
 use sizel_core::engine::{Mutation, QueryOptions};
 use sizel_storage::TupleRef;
 
-use crate::frame::{encode_frame, read_frame, FrameError, Opcode};
+use crate::frame::{begin_frame, finish_frame, read_frame, FrameError, Opcode};
 use crate::wire::{
-    decode_reply, encode_apply_payload, encode_query_payload, encode_summarize_payload, Reply,
-    WireError,
+    decode_reply, encode_apply_into, encode_query_into, encode_summarize_into, Reply, WireError,
 };
 
 /// Everything a client call can fail with.
@@ -66,6 +65,9 @@ pub struct NetClient {
     next_id: u64,
     /// Replies read while waiting for a different id, keyed by theirs.
     parked: HashMap<u64, (Opcode, Vec<u8>)>,
+    /// Reused frame-encoding scratch: a send allocates nothing once the
+    /// buffer has grown to the workload's frame size.
+    sendbuf: Vec<u8>,
 }
 
 impl NetClient {
@@ -73,7 +75,12 @@ impl NetClient {
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<NetClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(NetClient { stream, next_id: 1, parked: HashMap::new() })
+        Ok(NetClient {
+            stream,
+            next_id: 1,
+            parked: HashMap::new(),
+            sendbuf: Vec::with_capacity(256),
+        })
     }
 
     /// Bounds every receive; `None` blocks indefinitely.
@@ -84,10 +91,26 @@ impl NetClient {
     /// Sends one request frame, returning its id without waiting for the
     /// reply — the pipelining primitive.
     pub fn send(&mut self, opcode: Opcode, payload: &[u8]) -> io::Result<u64> {
+        self.send_with(opcode, |buf| buf.extend_from_slice(payload))
+    }
+
+    /// Sends one request frame whose payload `write` encodes directly
+    /// into the client's reused scratch buffer — header and payload are
+    /// written once, with no intermediate payload vector.
+    pub fn send_with(
+        &mut self,
+        opcode: Opcode,
+        write: impl FnOnce(&mut Vec<u8>),
+    ) -> io::Result<u64> {
         let id = self.next_id;
         self.next_id += 1;
-        self.stream.write_all(&encode_frame(opcode, id, payload))?;
-        Ok(id)
+        let mut buf = std::mem::take(&mut self.sendbuf);
+        begin_frame(&mut buf, opcode, id);
+        write(&mut buf);
+        finish_frame(&mut buf, opcode);
+        let res = self.stream.write_all(&buf);
+        self.sendbuf = buf;
+        res.map(|()| id)
     }
 
     /// Sends raw bytes as-is — the malformed-frame suite's hook.
@@ -122,7 +145,17 @@ impl NetClient {
 
     /// Send + receive + decode in one round trip.
     pub fn call(&mut self, opcode: Opcode, payload: &[u8]) -> Result<Reply, ClientError> {
-        let id = self.send(opcode, payload)?;
+        self.call_with(opcode, |buf| buf.extend_from_slice(payload))
+    }
+
+    /// [`send_with`](Self::send_with) + receive + decode in one round
+    /// trip.
+    pub fn call_with(
+        &mut self,
+        opcode: Opcode,
+        write: impl FnOnce(&mut Vec<u8>),
+    ) -> Result<Reply, ClientError> {
+        let id = self.send_with(opcode, write)?;
         let (op, reply_payload) = self.recv_for(id)?;
         Ok(decode_reply(op, &reply_payload)?)
     }
@@ -137,17 +170,17 @@ impl NetClient {
 
     /// One keyword-query batch.
     pub fn query(&mut self, requests: &[(String, QueryOptions)]) -> Result<Reply, ClientError> {
-        self.call(Opcode::Query, &encode_query_payload(requests))
+        self.call_with(Opcode::Query, |buf| encode_query_into(buf, requests))
     }
 
     /// One per-DS summary.
     pub fn summarize(&mut self, tds: TupleRef, opts: QueryOptions) -> Result<Reply, ClientError> {
-        self.call(Opcode::Summarize, &encode_summarize_payload(tds, opts))
+        self.call_with(Opcode::Summarize, |buf| encode_summarize_into(buf, tds, opts))
     }
 
     /// One cluster-wide mutation batch.
     pub fn apply(&mut self, mutations: &[Mutation]) -> Result<Reply, ClientError> {
-        self.call(Opcode::ApplyBatch, &encode_apply_payload(mutations))
+        self.call_with(Opcode::ApplyBatch, |buf| encode_apply_into(buf, mutations))
     }
 
     /// The metrics page.

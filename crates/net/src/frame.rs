@@ -278,14 +278,40 @@ pub fn decode_header(buf: &[u8; HEADER_LEN]) -> Result<Header, FrameError> {
     Ok(Header { opcode, req_id, len })
 }
 
+/// Opens a frame in `buf` (clearing it): writes the full 16-byte header
+/// with a zero length, leaving the cursor where payload bytes go. The
+/// caller appends the payload with the `wire::encode_*_into` family and
+/// seals the frame with [`finish_frame`]. Paired, the two write header
+/// and payload exactly once into one (typically pooled) buffer — the
+/// zero-copy replacement for build-payload-then-[`encode_frame`].
+pub fn begin_frame(buf: &mut Vec<u8>, opcode: Opcode, req_id: u64) {
+    buf.clear();
+    buf.extend_from_slice(&encode_header(Header { opcode, req_id, len: 0 }));
+}
+
+/// Seals a frame opened by [`begin_frame`]: patches the opcode byte and
+/// the length field in place. The opcode is patched (not just inherited
+/// from `begin_frame`) because a dispatch worker learns the reply kind
+/// only *after* executing the request — it opens the frame with a
+/// placeholder, serializes whichever reply the handler produced, and
+/// stamps the real opcode here.
+pub fn finish_frame(buf: &mut [u8], opcode: Opcode) {
+    debug_assert!(buf.len() >= HEADER_LEN, "finish_frame on a buffer with no header");
+    let payload_len = buf.len() - HEADER_LEN;
+    debug_assert!(payload_len <= MAX_FRAME_LEN as usize);
+    buf[3] = opcode as u8;
+    buf[12..16].copy_from_slice(&(payload_len as u32).to_le_bytes());
+}
+
 /// Serializes a whole frame (header + payload) into one buffer — the
 /// unit the server's outbox and the client's pipeline queue move around.
+/// Implemented over [`begin_frame`]/[`finish_frame`] so the two paths
+/// cannot drift; the pooled path skips this function's payload copy.
 pub fn encode_frame(opcode: Opcode, req_id: u64, payload: &[u8]) -> Vec<u8> {
-    debug_assert!(payload.len() <= MAX_FRAME_LEN as usize);
-    let header = encode_header(Header { opcode, req_id, len: payload.len() as u32 });
     let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
-    buf.extend_from_slice(&header);
+    begin_frame(&mut buf, opcode, req_id);
     buf.extend_from_slice(payload);
+    finish_frame(&mut buf, opcode);
     buf
 }
 
@@ -389,6 +415,26 @@ mod tests {
         let (h, payload) = read_frame(&mut buf.as_slice()).expect("read");
         assert_eq!((h.opcode, h.req_id), (Opcode::Results, 7));
         assert_eq!(payload, b"hello");
+    }
+
+    #[test]
+    fn begin_finish_matches_encode_frame_bytes() {
+        let mut pooled = b"stale garbage from a previous frame".to_vec();
+        begin_frame(&mut pooled, Opcode::Error, 42); // worker's placeholder opcode
+        pooled.extend_from_slice(b"ranked results");
+        finish_frame(&mut pooled, Opcode::Results); // real reply kind, learned late
+        assert_eq!(pooled, encode_frame(Opcode::Results, 42, b"ranked results"));
+        let h = decode_header(pooled[..HEADER_LEN].try_into().unwrap()).expect("valid");
+        assert_eq!((h.opcode, h.req_id, h.len), (Opcode::Results, 42, 14));
+    }
+
+    #[test]
+    fn begin_finish_handles_empty_payloads() {
+        let mut buf = Vec::new();
+        begin_frame(&mut buf, Opcode::Pong, 9);
+        finish_frame(&mut buf, Opcode::Pong);
+        assert_eq!(buf, encode_frame(Opcode::Pong, 9, b""));
+        assert_eq!(buf.len(), HEADER_LEN);
     }
 
     #[test]

@@ -23,15 +23,20 @@
 //!   dispatch workers delete the idle-sleep latency floor) with the
 //!   portable sleep-poll sweep retained behind the same trait as a
 //!   fallback and differential oracle;
+//! * [`buf`] — the free-list frame-buffer pool that makes the reply
+//!   path allocation-free at steady state (DESIGN.md §9.6);
 //! * [`server`] — the readiness-driven I/O thread plus a
 //!   dispatch-worker pool over the serve layer's bounded MPMC queue,
 //!   with three-gate admission (in-flight budget, outbox byte cap,
-//!   queue capacity), idle-connection reaping, and `catch_unwind`
-//!   panic containment;
+//!   queue capacity), an inline **fast path** answering cheap and
+//!   cache-hit requests on the I/O thread itself, vectored outbox
+//!   flushes, idle-connection reaping, and `catch_unwind` panic
+//!   containment;
 //! * [`client`] — the blocking pipelining client (also behind the
 //!   `sizel-netcat` binary);
 //! * [`metrics`] — lock-free counters and the exposition renderer.
 
+pub mod buf;
 pub mod client;
 pub mod frame;
 pub mod metrics;
@@ -41,6 +46,7 @@ pub mod server;
 mod sys;
 pub mod wire;
 
+pub use buf::BufPool;
 pub use client::{ClientError, NetClient};
 pub use frame::{protocol_reference_table, BusyReason, ErrorCode, FrameError, Opcode};
 pub use metrics::{render_metrics, NetCounters};

@@ -54,6 +54,19 @@ pub struct NetCounters {
     pub doorbell_coalesced: AtomicU64,
     /// Write-interest (EPOLLOUT) registration toggles.
     pub epollout_toggles: AtomicU64,
+    /// Requests answered inline on the I/O thread (Ping/Stats, or a
+    /// Query/Summarize served wholly from the summary cache).
+    pub fastpath_hits: AtomicU64,
+    /// Fast-path-eligible requests that fell back to the dispatch queue
+    /// (cache miss, lock contention, or inline budget exhausted).
+    pub fastpath_fallbacks: AtomicU64,
+    /// Frame buffers served from the pool's free list.
+    pub buf_pool_hits: AtomicU64,
+    /// Frame buffers freshly allocated because the free list was empty.
+    pub buf_pool_misses: AtomicU64,
+    /// Frame buffers returned to the free list after their frame was
+    /// fully written (or their payload dispatched).
+    pub buf_pool_recycled: AtomicU64,
     /// Which reactor backend serves this instance (a `ReactorKind` as
     /// `u8`; 0 until `bind` resolves it).
     pub reactor_backend: AtomicU8,
@@ -157,6 +170,36 @@ pub fn render_metrics(counters: &NetCounters, router: &ClusterRouter) -> String 
         "sizel_net_epollout_toggles_total",
         "",
         NetCounters::get(&counters.epollout_toggles),
+    );
+    line(
+        &mut out,
+        "sizel_net_fastpath_total",
+        "result=\"hit\"",
+        NetCounters::get(&counters.fastpath_hits),
+    );
+    line(
+        &mut out,
+        "sizel_net_fastpath_total",
+        "result=\"fallback\"",
+        NetCounters::get(&counters.fastpath_fallbacks),
+    );
+    line(
+        &mut out,
+        "sizel_net_buf_pool_total",
+        "event=\"hit\"",
+        NetCounters::get(&counters.buf_pool_hits),
+    );
+    line(
+        &mut out,
+        "sizel_net_buf_pool_total",
+        "event=\"miss\"",
+        NetCounters::get(&counters.buf_pool_misses),
+    );
+    line(
+        &mut out,
+        "sizel_net_buf_pool_total",
+        "event=\"recycled\"",
+        NetCounters::get(&counters.buf_pool_recycled),
     );
     line(
         &mut out,

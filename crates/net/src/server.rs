@@ -1,4 +1,4 @@
-//! The TCP front-end itself (DESIGN.md §9.3–§9.4).
+//! The TCP front-end itself (DESIGN.md §9.3–§9.4, §9.6).
 //!
 //! One I/O thread owns the listener and every connection: it accepts,
 //! reads bytes into per-connection buffers, cuts complete frames, runs
@@ -6,6 +6,26 @@
 //! the sockets. Decoding and execution happen on a pool of dispatch
 //! workers fed through the serve layer's [`BoundedQueue`] — the same
 //! MPMC primitive the shards' own worker pools use.
+//!
+//! ## The zero-copy wire path (DESIGN.md §9.6)
+//!
+//! At steady state a request crosses the server with no allocator
+//! traffic and a single payload copy (socket → `inbuf`):
+//!
+//! * Inbound frames are parsed **in place**: the connection's
+//!   [`RecvBuf`] hands out borrowed payload slices, and consumed frames
+//!   advance a cursor instead of shifting the tail per parse.
+//! * Reply frames are built **once**, header and payload together, in a
+//!   buffer from the shared [`BufPool`] free list
+//!   ([`begin_frame`]/`encode_*_into`/[`finish_frame`]), queued as-is,
+//!   flushed with one `write_vectored` syscall per batch, and recycled
+//!   back to the pool the moment the kernel has taken their last byte.
+//! * Cheap requests skip the dispatch queue entirely: the I/O thread
+//!   answers `Ping`/`Stats` and *cache-hit-only* `Query`/`Summarize`
+//!   **inline** (see [`try_fastpath`]) — every probe is a `try_` lock
+//!   or a cache lookup, so the reactor can never block, and a
+//!   per-read-pass inline budget keeps one pipelined burst from
+//!   starving other connections.
 //!
 //! ## Readiness
 //!
@@ -37,7 +57,8 @@
 //!    encoded-but-unflushed reply bytes. A peer that stops *reading*
 //!    (while its kernel buffers are full) cannot grow server memory
 //!    without bound — once the cap is hit, further requests shed with
-//!    `Busy(OutboxFull)` until the outbox drains.
+//!    `Busy(OutboxFull)` until the outbox drains. The inline fast path
+//!    honors the same cap (it declines and lets admission shed).
 //! 3. **Dispatch queue capacity** (`NetConfig::queue_capacity`): the
 //!    server-wide bound, enforced by [`BoundedQueue::try_push`] — the
 //!    I/O thread never blocks on a full queue.
@@ -56,7 +77,7 @@
 //! the shared serving state.
 
 use std::collections::VecDeque;
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -67,17 +88,18 @@ use std::time::{Duration, Instant};
 use sizel_cluster::ClusterRouter;
 use sizel_serve::{BoundedQueue, TryPushError};
 
+use crate::buf::BufPool;
 use crate::frame::{
-    decode_header, encode_frame, BusyReason, ErrorCode, FrameError, Opcode, HEADER_LEN,
-    MAX_FRAME_LEN,
+    begin_frame, decode_header, finish_frame, BusyReason, ErrorCode, FrameError, Opcode,
+    HEADER_LEN, MAX_FRAME_LEN,
 };
 use crate::metrics::{render_http_metrics, render_metrics, NetCounters};
 use crate::reactor::{
     build_reactor, Event, Reactor, ReactorChoice, ReactorKind, WakeHub, TOKEN_BASE, TOKEN_LISTENER,
 };
 use crate::wire::{
-    decode_request, encode_applied_payload, encode_busy_payload, encode_error_payload,
-    encode_results_payload, encode_stats_payload, encode_summary_payload, Request,
+    decode_request, encode_applied_into, encode_busy_into, encode_error_into, encode_results_into,
+    encode_stats_into, encode_summary_into, Request,
 };
 
 #[cfg(unix)]
@@ -106,8 +128,21 @@ pub struct NetConfig {
     pub reactor: ReactorChoice,
     /// Test/bench hook: every dispatch worker sleeps this long before
     /// executing a request, making queue/budget saturation deterministic
-    /// on any machine. `None` (the default) in production.
+    /// on any machine. `None` (the default) in production. Setting it
+    /// also disables the inline fast path: the delay declares every
+    /// request expensive, and the fast path exists precisely to skip
+    /// execution that costs nothing.
     pub handler_delay: Option<Duration>,
+    /// Answer `Ping`/`Stats` and cache-hit `Query`/`Summarize` inline on
+    /// the I/O thread instead of dispatching (see [`try_fastpath`]).
+    pub fastpath: bool,
+    /// Inline replies per connection per read pass; beyond it, requests
+    /// take the dispatch queue so one pipelined burst cannot starve
+    /// other connections of the I/O thread.
+    pub fastpath_budget: usize,
+    /// Pre-size hint for per-connection receive buffers and pooled frame
+    /// buffers.
+    pub initial_buf_bytes: usize,
 }
 
 impl Default for NetConfig {
@@ -120,6 +155,9 @@ impl Default for NetConfig {
             idle_timeout: None,
             reactor: ReactorChoice::Auto,
             handler_delay: None,
+            fastpath: true,
+            fastpath_budget: 32,
+            initial_buf_bytes: 4096,
         }
     }
 }
@@ -165,7 +203,8 @@ impl ConnShared {
     }
 }
 
-/// One admitted request travelling to the dispatch pool.
+/// One admitted request travelling to the dispatch pool. The payload
+/// buffer comes from (and returns to) the [`BufPool`].
 struct NetJob {
     conn: Arc<ConnShared>,
     opcode: Opcode,
@@ -173,15 +212,71 @@ struct NetJob {
     payload: Vec<u8>,
 }
 
+/// The per-connection receive buffer: consumed frames advance a cursor
+/// (O(1)) instead of draining the vector's front (O(remaining bytes)
+/// per frame); the consumed prefix is dropped at most **once per read
+/// pass**, when the next socket read appends.
+struct RecvBuf {
+    buf: Vec<u8>,
+    /// Bytes before this offset are consumed.
+    start: usize,
+}
+
+impl RecvBuf {
+    fn with_capacity(cap: usize) -> Self {
+        RecvBuf { buf: Vec::with_capacity(cap), start: 0 }
+    }
+
+    /// The received-but-unparsed bytes.
+    fn data(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Marks `n` leading bytes consumed — constant-time; no bytes move.
+    fn consume(&mut self, n: usize) {
+        self.start += n;
+        debug_assert!(self.start <= self.buf.len());
+        if self.start == self.buf.len() {
+            // Fully caught up (the steady state): rewind for free.
+            self.buf.clear();
+            self.start = 0;
+        }
+    }
+
+    /// Appends freshly read bytes, compacting the consumed prefix first
+    /// — one memmove per read pass, however many frames were parsed.
+    fn extend(&mut self, bytes: &[u8]) {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.start = 0;
+    }
+}
+
 /// Per-connection state owned by the I/O thread.
 struct Conn {
     stream: TcpStream,
     shared: Arc<ConnShared>,
     /// Received-but-unparsed bytes.
-    inbuf: Vec<u8>,
-    /// Bytes being written; `write_pos` marks progress through them.
-    write_buf: Vec<u8>,
-    write_pos: usize,
+    inbuf: RecvBuf,
+    /// Frames pulled from the outbox, awaiting the kernel. The front
+    /// frame is written from `wq_off`; fully written frames recycle to
+    /// the pool.
+    wq: VecDeque<Vec<u8>>,
+    wq_off: usize,
+    /// Total unwritten bytes across `wq` (the outbox gate reads this
+    /// plus `outbox_bytes`).
+    wq_unwritten: usize,
     /// Peer hung up or the stream failed.
     dead: bool,
     /// Stop reading/parsing; flush the outbox and close. Set by
@@ -199,10 +294,10 @@ struct Conn {
 
 impl Conn {
     /// Reply bytes not yet handed to the kernel: queued outbox frames
-    /// plus the unwritten tail of the write buffer — what the outbox
+    /// plus the unwritten tail of the write queue — what the outbox
     /// gate compares against the cap.
     fn unflushed_bytes(&self) -> usize {
-        self.shared.outbox_bytes.load(Ordering::Relaxed) + (self.write_buf.len() - self.write_pos)
+        self.shared.outbox_bytes.load(Ordering::Relaxed) + self.wq_unwritten
     }
 }
 
@@ -211,6 +306,9 @@ struct IoOpts {
     budget: usize,
     outbox_cap: usize,
     idle_timeout: Option<Duration>,
+    fastpath: bool,
+    fastpath_budget: usize,
+    initial_buf: usize,
 }
 
 /// The running front-end. Dropping it stops the I/O thread, closes the
@@ -237,6 +335,7 @@ impl NetServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity.max(1)));
         let counters = Arc::new(NetCounters::default());
+        let pool = Arc::new(BufPool::new(cfg.initial_buf_bytes.max(64), Arc::clone(&counters)));
         let reactor = build_reactor(cfg.reactor, &counters)?;
         let kind = reactor.kind();
         counters.reactor_backend.store(kind as u8, Ordering::Relaxed);
@@ -247,10 +346,11 @@ impl NetServer {
                 let queue = Arc::clone(&queue);
                 let router = Arc::clone(&router);
                 let counters = Arc::clone(&counters);
+                let pool = Arc::clone(&pool);
                 let delay = cfg.handler_delay;
                 std::thread::Builder::new()
                     .name(format!("sizel-net-worker-{i}"))
-                    .spawn(move || worker_loop(&queue, &router, &counters, delay))
+                    .spawn(move || worker_loop(&queue, &router, &counters, &pool, delay))
                     .expect("spawn net worker")
             })
             .collect();
@@ -264,11 +364,18 @@ impl NetServer {
                 budget: cfg.inflight_budget.max(1),
                 outbox_cap: cfg.outbox_cap_bytes.max(1),
                 idle_timeout: cfg.idle_timeout,
+                // handler_delay declares request execution expensive (the
+                // saturation suites' knob); the fast path exists to skip
+                // execution that costs nothing, so it stands down — this
+                // is what keeps the delay-driven shedding tests exact.
+                fastpath: cfg.fastpath && cfg.handler_delay.is_none(),
+                fastpath_budget: cfg.fastpath_budget.max(1),
+                initial_buf: cfg.initial_buf_bytes.max(64),
             };
             std::thread::Builder::new()
                 .name("sizel-net-io".into())
                 .spawn(move || {
-                    io_loop(listener, &shutdown, &queue, &router, &counters, &opts, reactor)
+                    io_loop(listener, &shutdown, &queue, &router, &counters, &pool, &opts, reactor)
                 })
                 .expect("spawn net io thread")
         };
@@ -330,27 +437,43 @@ fn worker_loop(
     queue: &BoundedQueue<NetJob>,
     router: &ClusterRouter,
     counters: &NetCounters,
+    pool: &BufPool,
     delay: Option<Duration>,
 ) {
     while let Some(job) = queue.pop() {
         if let Some(d) = delay {
             std::thread::sleep(d);
         }
+        let NetJob { conn, opcode, req_id, payload } = job;
+        // The reply frame is built in one pooled buffer: header first
+        // (placeholder opcode — the real one is known only after the
+        // handler runs), payload appended in place, then sealed.
+        let mut frame = pool.acquire();
+        begin_frame(&mut frame, Opcode::Error, req_id);
         // A panicking handler must cost exactly one reply: catch it,
         // answer Error(Internal), move to the next job. The state the
         // panic touched recovers via the poison-safe locks underneath.
-        let reply = catch_unwind(AssertUnwindSafe(|| {
-            handle_request(router, counters, job.opcode, &job.payload)
-        }))
-        .unwrap_or_else(|panic| {
-            NetCounters::bump(&counters.errors_internal);
-            let msg = panic_message(&panic);
-            (Opcode::Error, encode_error_payload(ErrorCode::Internal, &msg))
-        });
-        job.conn.enqueue_reply(counters, encode_frame(reply.0, job.req_id, &reply.1));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handle_request_into(router, counters, opcode, &payload, &mut frame)
+        }));
+        let reply_op = match outcome {
+            Ok(op) => op,
+            Err(panic) => {
+                NetCounters::bump(&counters.errors_internal);
+                let msg = panic_message(&panic);
+                // The handler may have died mid-encode: keep the header,
+                // drop whatever partial payload it left.
+                frame.truncate(HEADER_LEN);
+                encode_error_into(&mut frame, ErrorCode::Internal, &msg);
+                Opcode::Error
+            }
+        };
+        finish_frame(&mut frame, reply_op);
+        pool.release(payload);
+        conn.enqueue_reply(counters, frame);
         // Budget release strictly after the reply is visible to the
         // flusher, so close-after-flush never races a missing reply.
-        job.conn.in_flight.fetch_sub(1, Ordering::AcqRel);
+        conn.in_flight.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -364,42 +487,56 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn handle_request(
+fn bad_request_into(counters: &NetCounters, out: &mut Vec<u8>, msg: &str) -> Opcode {
+    NetCounters::bump(&counters.errors_bad_request);
+    encode_error_into(out, ErrorCode::BadRequest, msg);
+    Opcode::Error
+}
+
+/// Decodes and executes one request, appending the reply payload to
+/// `out` (which already holds the frame header) and returning the reply
+/// opcode for [`finish_frame`] to stamp.
+fn handle_request_into(
     router: &ClusterRouter,
     counters: &NetCounters,
     opcode: Opcode,
     payload: &[u8],
-) -> (Opcode, Vec<u8>) {
+    out: &mut Vec<u8>,
+) -> Opcode {
     let request = match decode_request(opcode, payload) {
         Ok(r) => r,
         Err(e) => {
             NetCounters::bump(&counters.errors_malformed);
-            return (
-                Opcode::Error,
-                encode_error_payload(ErrorCode::MalformedPayload, &e.to_string()),
-            );
+            encode_error_into(out, ErrorCode::MalformedPayload, &e.to_string());
+            return Opcode::Error;
         }
-    };
-    let bad_request = |counters: &NetCounters, e: String| {
-        NetCounters::bump(&counters.errors_bad_request);
-        (Opcode::Error, encode_error_payload(ErrorCode::BadRequest, &e))
     };
     match request {
-        Request::Ping => (Opcode::Pong, Vec::new()),
+        Request::Ping => Opcode::Pong,
         Request::Stats => {
-            (Opcode::StatsText, encode_stats_payload(&render_metrics(counters, router)))
+            encode_stats_into(out, &render_metrics(counters, router));
+            Opcode::StatsText
         }
         Request::Query { requests } => match router.batch_query_at(&requests) {
-            Ok((epoch, results)) => (Opcode::Results, encode_results_payload(epoch, &results)),
-            Err(e) => bad_request(counters, e.to_string()),
+            Ok((epoch, results)) => {
+                encode_results_into(out, epoch, &results);
+                Opcode::Results
+            }
+            Err(e) => bad_request_into(counters, out, &e.to_string()),
         },
         Request::Summarize { tds, opts } => match router.summarize_at(tds, opts) {
-            Ok((epoch, result)) => (Opcode::Summary, encode_summary_payload(epoch, &result)),
-            Err(e) => bad_request(counters, e.to_string()),
+            Ok((epoch, result)) => {
+                encode_summary_into(out, epoch, &result);
+                Opcode::Summary
+            }
+            Err(e) => bad_request_into(counters, out, &e.to_string()),
         },
         Request::ApplyBatch { mutations } => match router.apply_batch(mutations) {
-            Ok(epoch) => (Opcode::Applied, encode_applied_payload(epoch)),
-            Err(e) => bad_request(counters, e.to_string()),
+            Ok(epoch) => {
+                encode_applied_into(out, epoch);
+                Opcode::Applied
+            }
+            Err(e) => bad_request_into(counters, out, &e.to_string()),
         },
     }
 }
@@ -413,12 +550,19 @@ fn handle_request(
 /// this only bounds how stale a missed tick can get).
 const SWEEP_TICK: Duration = Duration::from_millis(100);
 
+/// Frames batched into one `write_vectored` call. 64 is comfortably
+/// under every platform's `IOV_MAX` (1024 on Linux) and already far
+/// past the depth where syscall count stops mattering.
+const WRITE_BATCH: usize = 64;
+
+#[allow(clippy::too_many_arguments)]
 fn io_loop(
     listener: TcpListener,
     shutdown: &AtomicBool,
     queue: &Arc<BoundedQueue<NetJob>>,
     router: &Arc<ClusterRouter>,
     counters: &NetCounters,
+    pool: &Arc<BufPool>,
     opts: &IoOpts,
     mut reactor: Box<dyn Reactor>,
 ) {
@@ -477,13 +621,22 @@ fn io_loop(
                         reactor.as_mut(),
                         &hub,
                         counters,
+                        opts,
                     );
                 }
                 token => {
                     let idx = token - TOKEN_BASE;
                     if let Some(Some(conn)) = slab.get_mut(idx) {
-                        progressed |=
-                            poll_conn(conn, ev, reactor.as_mut(), queue, router, counters, opts);
+                        progressed |= poll_conn(
+                            conn,
+                            ev,
+                            reactor.as_mut(),
+                            queue,
+                            router,
+                            counters,
+                            pool,
+                            opts,
+                        );
                     }
                 }
             }
@@ -496,7 +649,7 @@ fn io_loop(
         for token in completions.drain(..) {
             let idx = token.wrapping_sub(TOKEN_BASE);
             if let Some(Some(conn)) = slab.get_mut(idx) {
-                progressed |= flush_conn(conn, reactor.as_mut(), counters);
+                progressed |= flush_conn(conn, reactor.as_mut(), counters, pool);
             }
         }
 
@@ -522,6 +675,7 @@ fn accept_all(
     reactor: &mut dyn Reactor,
     hub: &Arc<WakeHub>,
     counters: &NetCounters,
+    opts: &IoOpts,
 ) -> bool {
     let mut progressed = false;
     loop {
@@ -553,9 +707,10 @@ fn accept_all(
                         token,
                         hub: Arc::clone(hub),
                     }),
-                    inbuf: Vec::new(),
-                    write_buf: Vec::new(),
-                    write_pos: 0,
+                    inbuf: RecvBuf::with_capacity(opts.initial_buf),
+                    wq: VecDeque::new(),
+                    wq_off: 0,
+                    wq_unwritten: 0,
                     dead: false,
                     close_after_flush: false,
                     http: false,
@@ -583,7 +738,7 @@ fn reap(
     let now = Instant::now();
     for (idx, slot) in slab.iter_mut().enumerate() {
         let Some(conn) = slot else { continue };
-        let done_flushing = conn.write_pos >= conn.write_buf.len()
+        let done_flushing = conn.wq.is_empty()
             && conn.shared.outbox.lock().unwrap_or_else(|p| p.into_inner()).is_empty()
             && conn.shared.in_flight.load(Ordering::Acquire) == 0;
         let mut drop_it = conn.dead || (conn.close_after_flush && done_flushing);
@@ -612,8 +767,9 @@ fn reap(
 }
 
 /// One readiness-driven pass over a connection: read to `WouldBlock`,
-/// parse/admit every complete frame, flush. Returns whether any bytes
-/// moved.
+/// parse/admit every complete frame (answering cheap ones inline),
+/// flush. Returns whether any bytes moved.
+#[allow(clippy::too_many_arguments)]
 fn poll_conn(
     conn: &mut Conn,
     ev: Event,
@@ -621,6 +777,7 @@ fn poll_conn(
     queue: &Arc<BoundedQueue<NetJob>>,
     router: &Arc<ClusterRouter>,
     counters: &NetCounters,
+    pool: &BufPool,
     opts: &IoOpts,
 ) -> bool {
     let mut progressed = false;
@@ -635,7 +792,7 @@ fn poll_conn(
                     break;
                 }
                 Ok(n) => {
-                    conn.inbuf.extend_from_slice(&chunk[..n]);
+                    conn.inbuf.extend(&chunk[..n]);
                     progressed = true;
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -650,7 +807,10 @@ fn poll_conn(
 
     // A plain-HTTP scraper? The frame magic is "LS"; an ASCII "GET "
     // can't be a frame, so the first four octets decide once.
-    if !conn.http && !conn.close_after_flush && conn.inbuf.len() >= 4 && &conn.inbuf[..4] == b"GET "
+    if !conn.http
+        && !conn.close_after_flush
+        && conn.inbuf.len() >= 4
+        && &conn.inbuf.data()[..4] == b"GET "
     {
         conn.http = true;
         conn.close_after_flush = true;
@@ -659,9 +819,14 @@ fn poll_conn(
         conn.inbuf.clear();
     }
 
+    // The fairness budget: inline replies this pass. When it runs out,
+    // further eligible requests take the dispatch queue like everything
+    // else, returning the I/O thread to other connections.
+    let mut inline_budget = opts.fastpath_budget;
+
     // Cut complete frames and run admission.
     while !conn.http && !conn.close_after_flush && conn.inbuf.len() >= HEADER_LEN {
-        let head: [u8; HEADER_LEN] = conn.inbuf[..HEADER_LEN].try_into().expect("16 bytes");
+        let head: [u8; HEADER_LEN] = conn.inbuf.data()[..HEADER_LEN].try_into().expect("16 bytes");
         // The id is at a fixed offset; even a rejected header echoes it
         // so the client can correlate the failure.
         let raw_req_id = u64::from_le_bytes(head[4..12].try_into().expect("8 bytes"));
@@ -671,12 +836,35 @@ fn poll_conn(
                 if conn.inbuf.len() < total {
                     break; // wait for the rest of the payload
                 }
-                let payload = conn.inbuf[HEADER_LEN..total].to_vec();
-                conn.inbuf.drain(..total);
                 NetCounters::bump(&counters.frames_in);
                 progressed = true;
                 conn.last_frame = Instant::now();
-                admit(conn, queue, counters, opts, h.opcode, h.req_id, payload);
+                {
+                    // Borrowed straight from the receive buffer: the
+                    // fast path decodes it in place; only a queued
+                    // dispatch copies it (into a pooled buffer).
+                    let payload = &conn.inbuf.data()[HEADER_LEN..total];
+                    let eligible = opts.fastpath
+                        && matches!(
+                            h.opcode,
+                            Opcode::Ping | Opcode::Stats | Opcode::Query | Opcode::Summarize
+                        );
+                    let inlined = eligible
+                        && inline_budget > 0
+                        && try_fastpath(
+                            conn, router, counters, pool, opts, h.opcode, h.req_id, payload,
+                        );
+                    if inlined {
+                        NetCounters::bump(&counters.fastpath_hits);
+                        inline_budget -= 1;
+                    } else {
+                        if eligible {
+                            NetCounters::bump(&counters.fastpath_fallbacks);
+                        }
+                        admit(conn, queue, counters, pool, opts, h.opcode, h.req_id, payload);
+                    }
+                }
+                conn.inbuf.consume(total);
             }
             Err(FrameError::UnknownOpcode(b)) => {
                 // Magic, version, and length all validated — the frame
@@ -687,6 +875,7 @@ fn poll_conn(
                     protocol_error(
                         conn,
                         counters,
+                        pool,
                         raw_req_id,
                         &FrameError::Oversized(len).to_string(),
                     );
@@ -696,70 +885,195 @@ fn poll_conn(
                 if conn.inbuf.len() < total {
                     break;
                 }
-                conn.inbuf.drain(..total);
+                conn.inbuf.consume(total);
                 NetCounters::bump(&counters.frames_in);
                 progressed = true;
                 conn.last_frame = Instant::now();
                 NetCounters::bump(&counters.errors_malformed);
-                conn.shared.enqueue_reply_local(
-                    counters,
-                    encode_frame(
-                        Opcode::Error,
-                        raw_req_id,
-                        &encode_error_payload(
-                            ErrorCode::UnknownOpcode,
-                            &format!("unknown opcode 0x{b:02x}"),
-                        ),
-                    ),
-                );
+                let frame = pooled_frame(pool, Opcode::Error, raw_req_id, |out| {
+                    encode_error_into(
+                        out,
+                        ErrorCode::UnknownOpcode,
+                        &format!("unknown opcode 0x{b:02x}"),
+                    )
+                });
+                conn.shared.enqueue_reply_local(counters, frame);
             }
             Err(e) => {
                 // Bad magic/version/length: the framing itself is no
                 // longer trustworthy. Answer once, then close.
-                protocol_error(conn, counters, raw_req_id, &e.to_string());
+                protocol_error(conn, counters, pool, raw_req_id, &e.to_string());
                 break;
             }
         }
     }
 
-    // Flush when this pass produced replies (sheds, errors, the HTTP
-    // page) or the reactor reported room for a blocked write; a pure
-    // read event with nothing parsed has nothing to write.
+    // Flush when this pass produced replies (inline answers, sheds,
+    // errors, the HTTP page) or the reactor reported room for a blocked
+    // write; a pure read event with nothing parsed has nothing to write.
     if progressed || ev.writable {
-        progressed |= flush_conn(conn, reactor, counters);
+        progressed |= flush_conn(conn, reactor, counters, pool);
     }
     progressed
 }
 
-/// Moves finished replies into the write buffer, writes to
-/// `WouldBlock`, and keeps EPOLLOUT interest registered exactly while
-/// bytes remain unflushed (so a partial write resumes on writability,
-/// not on the next sweep). Returns whether any bytes moved.
-fn flush_conn(conn: &mut Conn, reactor: &mut dyn Reactor, counters: &NetCounters) -> bool {
+/// Builds one complete reply frame in a pooled buffer.
+fn pooled_frame(
+    pool: &BufPool,
+    opcode: Opcode,
+    req_id: u64,
+    write: impl FnOnce(&mut Vec<u8>),
+) -> Vec<u8> {
+    let mut buf = pool.acquire();
+    begin_frame(&mut buf, opcode, req_id);
+    write(&mut buf);
+    finish_frame(&mut buf, opcode);
+    buf
+}
+
+/// The I/O-thread inline fast path: answers a request without touching
+/// the dispatch queue **iff** doing so cannot block and cannot compute.
+/// `Ping`/`Stats` are pure; `Query`/`Summarize` are served only when
+/// the cluster's cache-only probe ([`ClusterRouter::try_batch_query_cached`])
+/// succeeds outright — any lock contention or cache miss returns
+/// `false` and the request dispatches normally. Replies are
+/// byte-identical to the queued path's by construction: same decode,
+/// same epoch-gated lookup, same encoder.
+///
+/// The reactor-never-blocks argument, gate by gate: the outbox check is
+/// an atomic read; `Ping`/`Stats` touch no locks (the stats renderer
+/// reads atomics); the cluster probes use `try_read` on the gate and
+/// engine locks and bounded per-shard cache lookups — every failure
+/// path is "return `None`", never "wait".
+#[allow(clippy::too_many_arguments)]
+fn try_fastpath(
+    conn: &Conn,
+    router: &ClusterRouter,
+    counters: &NetCounters,
+    pool: &BufPool,
+    opts: &IoOpts,
+    opcode: Opcode,
+    req_id: u64,
+    payload: &[u8],
+) -> bool {
+    // The slow-reader gate applies to inline replies too: past the cap,
+    // decline so admission sheds with `Busy(OutboxFull)` as always.
+    if conn.unflushed_bytes() >= opts.outbox_cap {
+        return false;
+    }
+    match opcode {
+        Opcode::Ping => {
+            // A non-empty Ping payload is malformed; the queued path
+            // owns that reply so the bytes stay identical.
+            if !payload.is_empty() {
+                return false;
+            }
+            let frame = pooled_frame(pool, Opcode::Pong, req_id, |_| {});
+            conn.shared.enqueue_reply_local(counters, frame);
+            true
+        }
+        Opcode::Stats => {
+            if !payload.is_empty() {
+                return false;
+            }
+            let frame = pooled_frame(pool, Opcode::StatsText, req_id, |out| {
+                encode_stats_into(out, &render_metrics(counters, router))
+            });
+            conn.shared.enqueue_reply_local(counters, frame);
+            true
+        }
+        Opcode::Query => {
+            let Ok(Request::Query { requests }) = decode_request(opcode, payload) else {
+                return false; // malformed: the queued path answers it identically
+            };
+            let Some((epoch, results)) = router.try_batch_query_cached(&requests) else {
+                return false;
+            };
+            let frame = pooled_frame(pool, Opcode::Results, req_id, |out| {
+                encode_results_into(out, epoch, &results)
+            });
+            conn.shared.enqueue_reply_local(counters, frame);
+            true
+        }
+        Opcode::Summarize => {
+            let Ok(Request::Summarize { tds, opts: qopts }) = decode_request(opcode, payload)
+            else {
+                return false;
+            };
+            let Some((epoch, result)) = router.try_summarize_cached_at(tds, qopts) else {
+                return false;
+            };
+            let frame = pooled_frame(pool, Opcode::Summary, req_id, |out| {
+                encode_summary_into(out, epoch, &result)
+            });
+            conn.shared.enqueue_reply_local(counters, frame);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Moves finished reply frames from the outbox into the write queue and
+/// hands them to the kernel in `write_vectored` batches — frames move
+/// by pointer, never re-copied into a staging buffer, and each fully
+/// written frame recycles straight back to the [`BufPool`]. EPOLLOUT
+/// interest stays registered exactly while bytes remain unflushed (so a
+/// partial write resumes on writability, not on the next sweep).
+/// Returns whether any bytes moved.
+fn flush_conn(
+    conn: &mut Conn,
+    reactor: &mut dyn Reactor,
+    counters: &NetCounters,
+    pool: &BufPool,
+) -> bool {
     let mut progressed = false;
     loop {
-        if conn.write_pos >= conn.write_buf.len() {
-            conn.write_buf.clear();
-            conn.write_pos = 0;
+        // Pull everything the workers have finished since the last pull
+        // (frames move, not bytes).
+        {
             let mut outbox = conn.shared.outbox.lock().unwrap_or_else(|p| p.into_inner());
             let mut moved = 0usize;
             while let Some(frame) = outbox.pop_front() {
                 moved += frame.len();
-                conn.write_buf.extend_from_slice(&frame);
+                conn.wq_unwritten += frame.len();
+                conn.wq.push_back(frame);
             }
             drop(outbox);
             conn.shared.outbox_bytes.fetch_sub(moved, Ordering::Relaxed);
-            if conn.write_buf.is_empty() {
-                break; // fully drained
-            }
+        }
+        if conn.wq.is_empty() {
+            break; // fully drained
         }
         let mut blocked = false;
-        while !conn.dead && conn.write_pos < conn.write_buf.len() {
-            match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+        while !conn.dead && !conn.wq.is_empty() {
+            // Gather up to WRITE_BATCH frames into one vectored write
+            // (the front frame resumes from its partial-write offset).
+            let mut slices = [IoSlice::new(&[]); WRITE_BATCH];
+            let mut n_slices = 0;
+            for (i, frame) in conn.wq.iter().take(WRITE_BATCH).enumerate() {
+                slices[n_slices] = IoSlice::new(if i == 0 { &frame[conn.wq_off..] } else { frame });
+                n_slices += 1;
+            }
+            match conn.stream.write_vectored(&slices[..n_slices]) {
                 Ok(0) => conn.dead = true,
-                Ok(n) => {
-                    conn.write_pos += n;
+                Ok(mut n) => {
                     progressed = true;
+                    conn.wq_unwritten -= n;
+                    // Advance across frame boundaries, recycling every
+                    // frame the kernel has wholly taken.
+                    while n > 0 {
+                        let front_left =
+                            conn.wq.front().expect("bytes written imply a frame").len()
+                                - conn.wq_off;
+                        if n >= front_left {
+                            n -= front_left;
+                            conn.wq_off = 0;
+                            pool.release(conn.wq.pop_front().expect("front exists"));
+                        } else {
+                            conn.wq_off += n;
+                            n = 0;
+                        }
+                    }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     blocked = true;
@@ -772,11 +1086,12 @@ fn flush_conn(conn: &mut Conn, reactor: &mut dyn Reactor, counters: &NetCounters
         if blocked || conn.dead {
             break;
         }
+        // Loop: a worker may have landed more frames while we wrote.
     }
 
     // EPOLLOUT toggling: interest on iff the kernel couldn't take
     // everything (no-op on the poll backend, which always sweeps).
-    let want = !conn.dead && conn.write_pos < conn.write_buf.len();
+    let want = !conn.dead && !conn.wq.is_empty();
     if want != conn.want_write {
         #[cfg(unix)]
         let fd = conn.stream.as_raw_fd();
@@ -791,22 +1106,27 @@ fn flush_conn(conn: &mut Conn, reactor: &mut dyn Reactor, counters: &NetCounters
 }
 
 /// The three-gate admission decision for one complete request frame.
+/// The payload is still borrowed from the receive buffer here: the
+/// gates run first, and only an actually-admitted request pays the copy
+/// into a pooled dispatch buffer.
+#[allow(clippy::too_many_arguments)]
 fn admit(
-    conn: &mut Conn,
+    conn: &Conn,
     queue: &Arc<BoundedQueue<NetJob>>,
     counters: &NetCounters,
+    pool: &BufPool,
     opts: &IoOpts,
     opcode: Opcode,
     req_id: u64,
-    payload: Vec<u8>,
+    payload: &[u8],
 ) {
     // Gate 1: the connection's own in-flight budget.
     if conn.shared.in_flight.load(Ordering::Acquire) >= opts.budget {
         NetCounters::bump(&counters.shed_inflight);
-        conn.shared.enqueue_reply_local(
-            counters,
-            encode_frame(Opcode::Busy, req_id, &encode_busy_payload(BusyReason::InflightBudget)),
-        );
+        let frame = pooled_frame(pool, Opcode::Busy, req_id, |out| {
+            encode_busy_into(out, BusyReason::InflightBudget)
+        });
+        conn.shared.enqueue_reply_local(counters, frame);
         return;
     }
     // Gate 2: the connection's unflushed reply bytes — a peer that has
@@ -815,36 +1135,38 @@ fn admit(
     // own send rate), so the shed is still never silent.
     if conn.unflushed_bytes() >= opts.outbox_cap {
         NetCounters::bump(&counters.shed_outbox);
-        conn.shared.enqueue_reply_local(
-            counters,
-            encode_frame(Opcode::Busy, req_id, &encode_busy_payload(BusyReason::OutboxFull)),
-        );
+        let frame = pooled_frame(pool, Opcode::Busy, req_id, |out| {
+            encode_busy_into(out, BusyReason::OutboxFull)
+        });
+        conn.shared.enqueue_reply_local(counters, frame);
         return;
     }
     conn.shared.in_flight.fetch_add(1, Ordering::AcqRel);
-    // Gate 3: the server-wide dispatch queue.
-    let job = NetJob { conn: Arc::clone(&conn.shared), opcode, req_id, payload };
+    // Gate 3: the server-wide dispatch queue. The payload copy is the
+    // request's only one past the socket read, and it lands in a pooled
+    // buffer — at steady state extend_from_slice into recycled capacity.
+    let mut owned = pool.acquire();
+    owned.extend_from_slice(payload);
+    let job = NetJob { conn: Arc::clone(&conn.shared), opcode, req_id, payload: owned };
     match queue.try_push(job) {
         Ok(()) => {}
         Err(TryPushError::Full(job)) => {
             job.conn.in_flight.fetch_sub(1, Ordering::AcqRel);
+            pool.release(job.payload);
             NetCounters::bump(&counters.shed_queue);
-            conn.shared.enqueue_reply_local(
-                counters,
-                encode_frame(Opcode::Busy, req_id, &encode_busy_payload(BusyReason::QueueFull)),
-            );
+            let frame = pooled_frame(pool, Opcode::Busy, req_id, |out| {
+                encode_busy_into(out, BusyReason::QueueFull)
+            });
+            conn.shared.enqueue_reply_local(counters, frame);
         }
         Err(TryPushError::Closed(job)) => {
             job.conn.in_flight.fetch_sub(1, Ordering::AcqRel);
+            pool.release(job.payload);
             NetCounters::bump(&counters.errors_internal);
-            conn.shared.enqueue_reply_local(
-                counters,
-                encode_frame(
-                    Opcode::Error,
-                    req_id,
-                    &encode_error_payload(ErrorCode::Internal, "server shutting down"),
-                ),
-            );
+            let frame = pooled_frame(pool, Opcode::Error, req_id, |out| {
+                encode_error_into(out, ErrorCode::Internal, "server shutting down")
+            });
+            conn.shared.enqueue_reply_local(counters, frame);
         }
     }
 }
@@ -852,12 +1174,46 @@ fn admit(
 /// Answers a broken envelope with `Error(Protocol)` and schedules the
 /// connection for close-after-flush (the framing is untrustworthy, so
 /// no further bytes are parsed).
-fn protocol_error(conn: &mut Conn, counters: &NetCounters, req_id: u64, msg: &str) {
+fn protocol_error(conn: &mut Conn, counters: &NetCounters, pool: &BufPool, req_id: u64, msg: &str) {
     NetCounters::bump(&counters.errors_protocol);
-    conn.shared.enqueue_reply_local(
-        counters,
-        encode_frame(Opcode::Error, req_id, &encode_error_payload(ErrorCode::Protocol, msg)),
-    );
+    let frame = pooled_frame(pool, Opcode::Error, req_id, |out| {
+        encode_error_into(out, ErrorCode::Protocol, msg)
+    });
+    conn.shared.enqueue_reply_local(counters, frame);
     conn.inbuf.clear();
     conn.close_after_flush = true;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recv_buf_consumes_in_constant_time_and_compacts_on_extend() {
+        let mut rb = RecvBuf::with_capacity(64);
+        rb.extend(b"aaaabbbbcccc");
+        assert_eq!(rb.len(), 12);
+        rb.consume(4);
+        assert_eq!(rb.data(), b"bbbbcccc");
+        // Consuming advanced the cursor; the bytes did not move.
+        assert_eq!(rb.start, 4);
+        rb.consume(4);
+        assert_eq!(rb.data(), b"cccc");
+        // The next read pass compacts exactly once.
+        rb.extend(b"dddd");
+        assert_eq!(rb.start, 0);
+        assert_eq!(rb.data(), b"ccccdddd");
+        // Full consumption rewinds for free.
+        rb.consume(8);
+        assert_eq!((rb.len(), rb.start), (0, 0));
+        assert!(rb.buf.is_empty());
+    }
+
+    #[test]
+    fn default_config_enables_the_fast_path() {
+        let cfg = NetConfig::default();
+        assert!(cfg.fastpath);
+        assert!(cfg.fastpath_budget >= 1);
+        assert!(cfg.initial_buf_bytes >= 64);
+    }
 }

@@ -123,9 +123,13 @@ impl<'a> Reader<'a> {
     pub(crate) fn str(&mut self) -> Result<String> {
         let len = self.u32()? as usize;
         // Validate against the remaining bytes before allocating: a
-        // 4-byte length field must not size a buffer unchecked.
+        // 4-byte length field must not size a buffer unchecked. UTF-8
+        // is checked on the borrowed slice so only the final `String`
+        // allocates (no intermediate `Vec` copy).
         let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|e| WireError(format!("invalid utf-8: {e}")))
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|e| WireError(format!("invalid utf-8: {e}")))
     }
 
     /// Reads a `u32` element count, sanity-capped by what the remaining
@@ -345,32 +349,50 @@ pub enum Request {
     Stats,
 }
 
+/// Encodes a `Query` request payload, appending to `buf` — the
+/// zero-copy form every `encode_*_into` in this module shares: the
+/// caller opens a frame (or reuses a scratch buffer) and the payload
+/// bytes are written once, in place.
+pub fn encode_query_into(buf: &mut Vec<u8>, requests: &[(String, QueryOptions)]) {
+    put_u32(buf, requests.len() as u32);
+    for (kw, opts) in requests {
+        put_str(buf, kw);
+        put_opts(buf, *opts);
+    }
+}
+
 /// Encodes a `Query` request payload.
 pub fn encode_query_payload(requests: &[(String, QueryOptions)]) -> Vec<u8> {
     let mut buf = Vec::new();
-    put_u32(&mut buf, requests.len() as u32);
-    for (kw, opts) in requests {
-        put_str(&mut buf, kw);
-        put_opts(&mut buf, *opts);
-    }
+    encode_query_into(&mut buf, requests);
     buf
+}
+
+/// Encodes a `Summarize` request payload, appending to `buf`.
+pub fn encode_summarize_into(buf: &mut Vec<u8>, tds: TupleRef, opts: QueryOptions) {
+    put_tuple(buf, tds);
+    put_opts(buf, opts);
 }
 
 /// Encodes a `Summarize` request payload.
 pub fn encode_summarize_payload(tds: TupleRef, opts: QueryOptions) -> Vec<u8> {
     let mut buf = Vec::new();
-    put_tuple(&mut buf, tds);
-    put_opts(&mut buf, opts);
+    encode_summarize_into(&mut buf, tds, opts);
     buf
+}
+
+/// Encodes an `ApplyBatch` request payload, appending to `buf`.
+pub fn encode_apply_into(buf: &mut Vec<u8>, mutations: &[Mutation]) {
+    put_u32(buf, mutations.len() as u32);
+    for m in mutations {
+        put_mutation(buf, m);
+    }
 }
 
 /// Encodes an `ApplyBatch` request payload.
 pub fn encode_apply_payload(mutations: &[Mutation]) -> Vec<u8> {
     let mut buf = Vec::new();
-    put_u32(&mut buf, mutations.len() as u32);
-    for m in mutations {
-        put_mutation(&mut buf, m);
-    }
+    encode_apply_into(&mut buf, mutations);
     buf
 }
 
@@ -536,6 +558,24 @@ fn get_result(r: &mut Reader) -> Result<WireResult> {
     Ok(WireResult { tds, ds_label, global_score, input_os_size, selected, importance, summary })
 }
 
+/// Encodes a `Results` reply payload, appending to `buf` — on the
+/// server's cache-hit path this serializes straight from the cached
+/// `Arc<QueryResult>`s into a pooled frame, no intermediate buffer.
+pub fn encode_results_into(
+    buf: &mut Vec<u8>,
+    epoch: Epoch,
+    results: &[Vec<std::sync::Arc<QueryResult>>],
+) {
+    put_u64(buf, epoch.get());
+    put_u32(buf, results.len() as u32);
+    for per_request in results {
+        put_u32(buf, per_request.len() as u32);
+        for qr in per_request {
+            put_result(buf, qr);
+        }
+    }
+}
+
 /// Encodes a `Results` reply payload from in-process router output —
 /// the function the loopback suite also runs on its side of the
 /// byte-identity check.
@@ -544,48 +584,69 @@ pub fn encode_results_payload(
     results: &[Vec<std::sync::Arc<QueryResult>>],
 ) -> Vec<u8> {
     let mut buf = Vec::new();
-    put_u64(&mut buf, epoch.get());
-    put_u32(&mut buf, results.len() as u32);
-    for per_request in results {
-        put_u32(&mut buf, per_request.len() as u32);
-        for qr in per_request {
-            put_result(&mut buf, qr);
-        }
-    }
+    encode_results_into(&mut buf, epoch, results);
     buf
+}
+
+/// Encodes a `Summary` reply payload, appending to `buf`.
+pub fn encode_summary_into(buf: &mut Vec<u8>, epoch: Epoch, result: &QueryResult) {
+    put_u64(buf, epoch.get());
+    put_result(buf, result);
 }
 
 /// Encodes a `Summary` reply payload.
 pub fn encode_summary_payload(epoch: Epoch, result: &QueryResult) -> Vec<u8> {
     let mut buf = Vec::new();
-    put_u64(&mut buf, epoch.get());
-    put_result(&mut buf, result);
+    encode_summary_into(&mut buf, epoch, result);
     buf
+}
+
+/// Encodes an `Applied` reply payload, appending to `buf`.
+pub fn encode_applied_into(buf: &mut Vec<u8>, epoch: Epoch) {
+    put_u64(buf, epoch.get());
 }
 
 /// Encodes an `Applied` reply payload.
 pub fn encode_applied_payload(epoch: Epoch) -> Vec<u8> {
     let mut buf = Vec::new();
-    put_u64(&mut buf, epoch.get());
+    encode_applied_into(&mut buf, epoch);
     buf
+}
+
+/// Encodes a `StatsText` reply payload, appending to `buf`.
+pub fn encode_stats_into(buf: &mut Vec<u8>, text: &str) {
+    put_str(buf, text);
 }
 
 /// Encodes a `StatsText` reply payload.
 pub fn encode_stats_payload(text: &str) -> Vec<u8> {
     let mut buf = Vec::new();
-    put_str(&mut buf, text);
+    encode_stats_into(&mut buf, text);
     buf
+}
+
+/// Encodes a `Busy` reply payload, appending to `buf`.
+pub fn encode_busy_into(buf: &mut Vec<u8>, reason: BusyReason) {
+    put_u8(buf, reason as u8);
 }
 
 /// Encodes a `Busy` reply payload.
 pub fn encode_busy_payload(reason: BusyReason) -> Vec<u8> {
-    vec![reason as u8]
+    let mut buf = Vec::new();
+    encode_busy_into(&mut buf, reason);
+    buf
+}
+
+/// Encodes an `Error` reply payload, appending to `buf`.
+pub fn encode_error_into(buf: &mut Vec<u8>, code: ErrorCode, message: &str) {
+    put_u8(buf, code as u8);
+    put_str(buf, message);
 }
 
 /// Encodes an `Error` reply payload.
 pub fn encode_error_payload(code: ErrorCode, message: &str) -> Vec<u8> {
-    let mut buf = vec![code as u8];
-    put_str(&mut buf, message);
+    let mut buf = Vec::new();
+    encode_error_into(&mut buf, code, message);
     buf
 }
 
@@ -693,6 +754,26 @@ mod tests {
                 other => panic!("wrong variant: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn into_variants_append_without_clearing() {
+        // The `_into` family must append after whatever the caller
+        // already wrote (a frame header, typically) — byte-identical to
+        // the allocating `_payload` form from that point on.
+        let requests = vec![("smith".to_owned(), QueryOptions::default())];
+        let mut buf = b"header".to_vec();
+        encode_query_into(&mut buf, &requests);
+        assert_eq!(&buf[..6], b"header");
+        assert_eq!(&buf[6..], &encode_query_payload(&requests)[..]);
+
+        let mut buf = b"h".to_vec();
+        encode_error_into(&mut buf, ErrorCode::Internal, "boom");
+        assert_eq!(&buf[1..], &encode_error_payload(ErrorCode::Internal, "boom")[..]);
+
+        let mut buf = Vec::new();
+        encode_busy_into(&mut buf, BusyReason::QueueFull);
+        assert_eq!(buf, encode_busy_payload(BusyReason::QueueFull));
     }
 
     #[test]

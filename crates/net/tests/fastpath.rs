@@ -1,0 +1,226 @@
+//! The I/O-thread inline fast path (DESIGN.md §9.6), proven equivalent
+//! to the queued dispatch path it shortcuts — on every reactor backend.
+//!
+//! The contract under test: enabling the fast path changes **latency
+//! and counters only**. Every reply stays byte-identical to what the
+//! queued path (and therefore the in-process oracle) produces, at every
+//! epoch, across the fallback-on-miss seam, for malformed frames, and
+//! when the per-pass inline budget runs out.
+//!
+//! The fixture runs refresh **off**: these tests assert exact
+//! hit/fallback counter movements, and a background re-warm worker
+//! contending on the engine lock could turn a deterministic inline hit
+//! into a legitimate (but unassertable) fallback.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use sizel_cluster::{ClusterConfig, ClusterRouter};
+use sizel_core::engine::{Mutation, QueryOptions};
+use sizel_core::test_fixtures::max_pk;
+use sizel_datagen::dblp::DblpConfig;
+use sizel_net::frame::Opcode;
+use sizel_net::wire::{
+    encode_query_payload, encode_results_payload, encode_summarize_payload, encode_summary_payload,
+};
+use sizel_net::{NetClient, NetConfig, NetServer};
+use sizel_storage::Value;
+
+mod common;
+use common::{existing_keyword, for_each_reactor, replicas, serve, small_serve};
+
+/// A 2-shard partitioned cluster with the refresh worker off (exact
+/// counter assertions need a quiescent engine lock).
+fn quiet_cluster() -> Arc<ClusterRouter> {
+    let cfg = DblpConfig::tiny();
+    Arc::new(
+        ClusterRouter::partitioned(
+            replicas(&cfg, 2),
+            ClusterConfig { serve: small_serve(), refresh: None },
+        )
+        .expect("cluster builds"),
+    )
+}
+
+fn connect(server: &NetServer) -> NetClient {
+    let client = NetClient::connect(server.local_addr()).expect("connect");
+    client.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
+    client
+}
+
+/// One raw round trip, returning the reply `(opcode, payload)` without
+/// decoding — the byte-comparison primitive.
+fn roundtrip(client: &mut NetClient, opcode: Opcode, payload: &[u8]) -> (Opcode, Vec<u8>) {
+    let id = client.send(opcode, payload).expect("send");
+    client.recv_for(id).expect("reply")
+}
+
+/// Cold requests fall back to the queue; warm repeats answer inline —
+/// and the bytes are identical in both regimes, at every epoch,
+/// including across a wire-driven epoch advance that kills the cached
+/// generation.
+#[test]
+fn inline_replies_are_byte_identical_across_the_miss_seam_and_epochs() {
+    for_each_reactor(|reactor| {
+        let router = quiet_cluster();
+        let server = serve(router.clone(), NetConfig { reactor, ..Default::default() });
+        let mut client = connect(&server);
+        let c = server.counters();
+
+        let kw = existing_keyword(&router.shard(0).engine());
+        let reqs = vec![(kw.clone(), QueryOptions::default())];
+        let qpayload = encode_query_payload(&reqs);
+
+        // Cold query: the cache probe must miss — the request dispatches
+        // and the reply comes from the queued path.
+        let (op, cold) = roundtrip(&mut client, Opcode::Query, &qpayload);
+        assert_eq!(op, Opcode::Results);
+        assert_eq!(c.fastpath_hits.load(Ordering::Relaxed), 0, "cold probe cannot hit");
+        assert_eq!(c.fastpath_fallbacks.load(Ordering::Relaxed), 1);
+        // The queued reply matches the in-process oracle (the epoch
+        // cannot move: this thread is the only writer).
+        let (epoch, results) = router.batch_query_at(&reqs).expect("oracle");
+        assert_eq!(cold, encode_results_payload(epoch, &results), "queued reply vs oracle");
+
+        // Warm repeat: answered inline, bytes unchanged.
+        let (op, warm) = roundtrip(&mut client, Opcode::Query, &qpayload);
+        assert_eq!(op, Opcode::Results);
+        assert_eq!(c.fastpath_hits.load(Ordering::Relaxed), 1, "warm repeat must inline");
+        assert_eq!(warm, cold, "inline reply bytes diverge from the queued reply");
+
+        // Summarize: same seam, per-DS.
+        let tds = router.shard(0).engine().ds_hits(&kw)[0];
+        let sopts = QueryOptions { l: 6, ..Default::default() };
+        let spayload = encode_summarize_payload(tds, sopts);
+        let (op, scold) = roundtrip(&mut client, Opcode::Summarize, &spayload);
+        assert_eq!(op, Opcode::Summary);
+        let (sepoch, sresult) = router.summarize_at(tds, sopts).expect("oracle");
+        assert_eq!(scold, encode_summary_payload(sepoch, &sresult));
+        let hits_before = c.fastpath_hits.load(Ordering::Relaxed);
+        let (op, swarm) = roundtrip(&mut client, Opcode::Summarize, &spayload);
+        assert_eq!(op, Opcode::Summary);
+        assert_eq!(swarm, scold);
+        assert_eq!(c.fastpath_hits.load(Ordering::Relaxed), hits_before + 1);
+
+        // Advance the epoch over the wire: the cached generation is
+        // dead, so the same query goes cold again — fallback, recompute,
+        // then inline at the *new* epoch.
+        let (a, p, j) = {
+            let engine = router.shard(0).engine();
+            (
+                max_pk(engine.db(), "Author"),
+                max_pk(engine.db(), "Paper"),
+                max_pk(engine.db(), "AuthorPaper"),
+            )
+        };
+        client
+            .apply(&[
+                Mutation::insert("Author", vec![Value::Int(a + 1), "Fastpath Author".into()]),
+                Mutation::insert(
+                    "AuthorPaper",
+                    vec![Value::Int(j + 1), Value::Int(a + 1), Value::Int(p)],
+                ),
+            ])
+            .expect("apply");
+        let fb_before = c.fastpath_fallbacks.load(Ordering::Relaxed);
+        let (op, cold2) = roundtrip(&mut client, Opcode::Query, &qpayload);
+        assert_eq!(op, Opcode::Results);
+        assert_eq!(
+            c.fastpath_fallbacks.load(Ordering::Relaxed),
+            fb_before + 1,
+            "a new epoch must miss the inline probe"
+        );
+        let (epoch2, results2) = router.batch_query_at(&reqs).expect("oracle");
+        assert!(epoch2 > epoch, "the apply advanced the epoch");
+        assert_eq!(cold2, encode_results_payload(epoch2, &results2));
+        let hits_before = c.fastpath_hits.load(Ordering::Relaxed);
+        let (op, warm2) = roundtrip(&mut client, Opcode::Query, &qpayload);
+        assert_eq!(op, Opcode::Results);
+        assert_eq!(warm2, cold2);
+        assert_eq!(c.fastpath_hits.load(Ordering::Relaxed), hits_before + 1);
+
+        // A second server over the SAME router with the fast path off:
+        // its (always queued) replies match the inline ones byte for
+        // byte, and its fast-path counters never move.
+        let off =
+            serve(router.clone(), NetConfig { reactor, fastpath: false, ..Default::default() });
+        let mut off_client = connect(&off);
+        let (op, queued) = roundtrip(&mut off_client, Opcode::Query, &qpayload);
+        assert_eq!(op, Opcode::Results);
+        assert_eq!(queued, warm2, "fastpath=false server must produce the same bytes");
+        let (op, squeued) = roundtrip(&mut off_client, Opcode::Summarize, &spayload);
+        assert_eq!(op, Opcode::Summary);
+        // The summarize cache entry died with the epoch; recompute gives
+        // the new-epoch bytes — compare against a fresh oracle.
+        let (sepoch2, sresult2) = router.summarize_at(tds, sopts).expect("oracle");
+        assert_eq!(squeued, encode_summary_payload(sepoch2, &sresult2));
+        let oc = off.counters();
+        assert_eq!(oc.fastpath_hits.load(Ordering::Relaxed), 0);
+        assert_eq!(oc.fastpath_fallbacks.load(Ordering::Relaxed), 0);
+    });
+}
+
+/// `Ping` inlines (no cache involved), and the per-pass inline budget
+/// only diverts overflow to the queue — every request is still answered
+/// with a `Pong`, and every eligible frame lands in exactly one of the
+/// two counters.
+#[test]
+fn inline_budget_diverts_overflow_to_the_queue_without_losing_replies() {
+    for_each_reactor(|reactor| {
+        let router = quiet_cluster();
+        let server = serve(router, NetConfig { reactor, fastpath_budget: 2, ..Default::default() });
+        let mut client = connect(&server);
+
+        const BURST: usize = 16;
+        let ids: Vec<u64> =
+            (0..BURST).map(|_| client.send(Opcode::Ping, &[]).expect("send")).collect();
+        for id in ids {
+            let (op, payload) = client.recv_for(id).expect("reply");
+            assert_eq!(op, Opcode::Pong);
+            assert!(payload.is_empty());
+        }
+        let c = server.counters();
+        let hits = c.fastpath_hits.load(Ordering::Relaxed);
+        let fallbacks = c.fastpath_fallbacks.load(Ordering::Relaxed);
+        assert!(hits >= 1, "at least the first ping of a pass inlines");
+        assert_eq!(
+            hits + fallbacks,
+            BURST as u64,
+            "every eligible frame is either inlined or counted as a fallback"
+        );
+    });
+}
+
+/// Malformed-but-eligible frames decline the fast path, and the queued
+/// error reply is byte-identical to a fastpath-disabled server's — the
+/// seam leaks nothing observable.
+#[test]
+fn malformed_eligible_frames_fall_back_to_the_identical_queued_error() {
+    for_each_reactor(|reactor| {
+        let router = quiet_cluster();
+        let on = serve(router.clone(), NetConfig { reactor, ..Default::default() });
+        let off =
+            serve(router.clone(), NetConfig { reactor, fastpath: false, ..Default::default() });
+        let mut on_client = connect(&on);
+        let mut off_client = connect(&off);
+
+        // A truncated Summarize payload and a Ping with a body: both
+        // eligible opcodes, both malformed.
+        for (opcode, payload) in
+            [(Opcode::Summarize, &[0xDE, 0xAD, 0xBE][..]), (Opcode::Ping, &[0x01][..])]
+        {
+            let (op_on, bytes_on) = roundtrip(&mut on_client, opcode, payload);
+            let (op_off, bytes_off) = roundtrip(&mut off_client, opcode, payload);
+            assert_eq!(op_on, Opcode::Error, "{opcode:?}");
+            assert_eq!(op_off, Opcode::Error, "{opcode:?}");
+            assert_eq!(
+                bytes_on, bytes_off,
+                "{opcode:?}: the fallback error must match the queued one byte for byte"
+            );
+        }
+        let c = on.counters();
+        assert_eq!(c.fastpath_hits.load(Ordering::Relaxed), 0);
+        assert_eq!(c.fastpath_fallbacks.load(Ordering::Relaxed), 2);
+    });
+}

@@ -270,6 +270,11 @@ fn stats_frame_returns_the_metrics_page() {
             "sizel_net_doorbell_rings_total",
             "sizel_net_doorbell_coalesced_total",
             "sizel_net_epollout_toggles_total",
+            "sizel_net_fastpath_total{result=\"hit\"}",
+            "sizel_net_fastpath_total{result=\"fallback\"}",
+            "sizel_net_buf_pool_total{event=\"hit\"}",
+            "sizel_net_buf_pool_total{event=\"miss\"}",
+            "sizel_net_buf_pool_total{event=\"recycled\"}",
             "sizel_serve_cache_hit_ratio{shard=\"0\"}",
             "sizel_serve_queries_served_total{shard=\"1\"}",
             "sizel_refresh_lag{shard=\"0\"}",

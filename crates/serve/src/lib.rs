@@ -256,6 +256,38 @@ impl SizeLServer {
         self.engine().epoch()
     }
 
+    /// Non-blocking read access to the shared engine: `None` when a
+    /// writer holds (or is poisoned on) the lock. The network layer's
+    /// inline fast path probes through this — it must *never* wait on
+    /// the I/O thread, and a poisoned lock falls back to the dispatch
+    /// queue where the panic surfaces properly.
+    pub fn try_engine(&self) -> Option<RwLockReadGuard<'_, SizeLEngine>> {
+        self.engine.try_read().ok()
+    }
+
+    /// Cache-probe-only summarize: returns the cached summary for
+    /// `(tds, opts)` at the engine's **current** epoch, or `None` when
+    /// anything at all would require waiting or computing — writer
+    /// contention on the engine lock, or a cache miss. Never blocks,
+    /// never computes; the serving-path staleness proof carries over
+    /// verbatim because the epoch is read under the same (try-acquired)
+    /// read guard used for the probe.
+    ///
+    /// A hit feeds the hotness sketch exactly like the pooled path; a
+    /// miss deliberately does *not* record here — the caller falls back
+    /// to the dispatch queue, whose `summarize_cached` records it.
+    pub fn try_summarize_cached(
+        &self,
+        tds: TupleRef,
+        opts: QueryOptions,
+    ) -> Option<(Epoch, SharedResult)> {
+        let engine = self.try_engine()?;
+        let epoch = engine.epoch();
+        let hit = self.cache.get(&summary_key(epoch, tds, opts))?;
+        self.hot.record(hot_key(tds, opts));
+        Some((epoch, hit))
+    }
+
     /// The write path: applies a [`Mutation`] under the write lock
     /// (quiescing the pool for its duration), then drops every cache
     /// entry of superseded epochs. Returns the new epoch.
