@@ -30,7 +30,9 @@ use std::collections::HashMap;
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use sizel_core::engine::{QueryOptions, QueryResult, ResultRanking, SizeLEngine};
-use sizel_serve::{Mutation, ServeConfig, ServerStats, SharedResult, SizeLServer};
+use sizel_serve::{
+    DiskTierConfig, Mutation, RecoveryReport, ServeConfig, ServerStats, SharedResult, SizeLServer,
+};
 use sizel_storage::{Epoch, StorageError, TupleRef};
 
 pub mod refresh;
@@ -532,6 +534,31 @@ impl ClusterRouter {
         }
         self.notify_refresh();
         Ok(epochs)
+    }
+
+    /// Attaches a disk tier to **every** shard under the exclusive gate:
+    /// shard `i` gets its own WAL and segment store under
+    /// `base_dir/shard-<i>`, so replicas (and tenants) log and page
+    /// independently — a replica's recovery replays *its own* WAL
+    /// against its own base, and the deterministic mutation stream keeps
+    /// replicas aligned exactly as the write path does. Any replay may
+    /// advance shard epochs, so the refresh worker is signalled after.
+    ///
+    /// Returns each shard's [`RecoveryReport`] in shard order.
+    pub fn attach_disk_tier(
+        &self,
+        base_dir: &std::path::Path,
+        cfg: &DiskTierConfig,
+    ) -> Result<Vec<RecoveryReport>> {
+        let _epoch_gate = self.write_gate();
+        let mut reports = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.iter().enumerate() {
+            let mut per_shard = cfg.clone();
+            per_shard.dir = base_dir.join(format!("shard-{i}"));
+            reports.push(shard.attach_disk(per_shard)?);
+        }
+        self.notify_refresh();
+        Ok(reports)
     }
 
     /// Per-shard counters, epochs, and refresh-worker activity.

@@ -18,9 +18,16 @@
 //! mutation epoch for cache keying (the serving layer keys its summary
 //! cache by it).
 
+use std::sync::Arc;
+
+use sizel_disk::{PagedStore, Wal};
 use sizel_graph::{DataGraph, Gds, GdsConfig, MnLinkId, SchemaGraph};
 use sizel_rank::{compute, AuthorityGraph, RankConfig, RankScores};
 use sizel_storage::{Database, Epoch, StorageError, TableId, TupleRef, Value};
+
+use crate::durability::{
+    decode_batch, encode_batch, DiskTier, DiskTierConfig, DiskTierStats, RecoveryReport,
+};
 
 use crate::algo::{AlgoKind, SizeLResult};
 use crate::keyword::KeywordIndex;
@@ -133,7 +140,7 @@ pub enum RefreshPolicy {
 /// update, or a delete. Constructed via [`Mutation::insert`],
 /// [`Mutation::update`], or [`Mutation::delete`]; the policy defaults to
 /// incremental and can be switched with [`Mutation::exact`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Mutation {
     /// Target table name.
     pub table: String,
@@ -144,7 +151,7 @@ pub struct Mutation {
 }
 
 /// The three mutation kinds flowing through [`SizeLEngine::apply`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum MutationOp {
     /// Append a new row (validated like [`Database::insert`], plus FK
     /// existence against the catalog before anything is mutated).
@@ -240,6 +247,9 @@ pub struct SizeLEngine {
     /// the authority graph over the mutated database.
     ga: GaBuilder,
     cfg: EngineConfig,
+    /// The optional disk tier: WAL-backed batch durability plus paged
+    /// posting segments (see [`crate::durability`]).
+    disk: Option<DiskTier>,
 }
 
 impl SizeLEngine {
@@ -258,7 +268,19 @@ impl SizeLEngine {
         let ga: GaBuilder = Box::new(ga);
         let derived = Self::derive(&mut db, &sg, ga.as_ref(), &cfg)?;
         let Derived { dg, authority, scores, gds_by_table, links_by_table, kw } = derived;
-        Ok(SizeLEngine { db, sg, dg, authority, scores, gds_by_table, links_by_table, kw, ga, cfg })
+        Ok(SizeLEngine {
+            db,
+            sg,
+            dg,
+            authority,
+            scores,
+            gds_by_table,
+            links_by_table,
+            kw,
+            ga,
+            cfg,
+            disk: None,
+        })
     }
 
     /// Computes every derived structure over `db` (which receives the
@@ -303,7 +325,20 @@ impl SizeLEngine {
     /// Applies a mutation, keeping every derived structure synchronized
     /// (see [`RefreshPolicy`] for the incremental/exact trade). Returns
     /// the new epoch. On error nothing is mutated.
+    ///
+    /// With a disk tier attached ([`SizeLEngine::attach_disk`]), the
+    /// mutation is first appended to the write-ahead log as a
+    /// one-mutation batch record — redo durability: a crash after the
+    /// append replays it on recovery.
     pub fn apply(&mut self, m: Mutation) -> Result<Epoch, StorageError> {
+        self.log_batch(std::slice::from_ref(&m))?;
+        self.apply_one(m)
+    }
+
+    /// [`SizeLEngine::apply`] minus the WAL append — the shared inner
+    /// path, also used to re-apply decoded records during recovery
+    /// (re-logging a replay would double every record).
+    fn apply_one(&mut self, m: Mutation) -> Result<Epoch, StorageError> {
         match m.policy {
             RefreshPolicy::Exact => {
                 let tid = self.db.table_id(&m.table)?;
@@ -364,19 +399,42 @@ impl SizeLEngine {
     /// On error the batch stops at the failing mutation with every earlier
     /// mutation applied and the derived state synchronized — the same
     /// prefix the fold would leave.
+    /// With a disk tier attached, the whole batch is one WAL record,
+    /// appended (and fsynced per the tier's batching) before the first
+    /// mutation settles.
     pub fn apply_batch(&mut self, ms: Vec<Mutation>) -> Result<Epoch, StorageError> {
+        self.log_batch(&ms)?;
+        self.apply_batch_inner(ms)
+    }
+
+    /// [`SizeLEngine::apply_batch`] minus the WAL append (the recovery
+    /// replay path).
+    fn apply_batch_inner(&mut self, ms: Vec<Mutation>) -> Result<Epoch, StorageError> {
         let mut run: Vec<Mutation> = Vec::new();
         for m in ms {
             match m.policy {
                 RefreshPolicy::Incremental => run.push(m),
                 RefreshPolicy::Exact => {
                     self.apply_incremental_run(std::mem::take(&mut run))?;
-                    self.apply(m)?;
+                    self.apply_one(m)?;
                 }
             }
         }
         self.apply_incremental_run(run)?;
         Ok(self.db.epoch())
+    }
+
+    /// Appends `ms` as one checksummed WAL record if a disk tier is
+    /// attached (no-op otherwise). Runs **before** any settlement: a
+    /// failure here leaves the database untouched
+    /// ([`StorageError::Durability`]), and a crash after it is replayed
+    /// by the next [`SizeLEngine::attach_disk`].
+    fn log_batch(&mut self, ms: &[Mutation]) -> Result<(), StorageError> {
+        if let Some(disk) = &mut self.disk {
+            let record = encode_batch(self.db.epoch().0, ms);
+            disk.log_batch(&record).map_err(|e| StorageError::Durability(e.to_string()))?;
+        }
+        Ok(())
     }
 
     /// The shared incremental engine path: stages a run of mixed-kind
@@ -617,6 +675,110 @@ impl SizeLEngine {
             gds.set_stats(&self.scores.per_table_max);
         }
         self.db.epoch()
+    }
+
+    /// Attaches the disk tier: opens (or creates) the write-ahead log
+    /// under `cfg.dir`, **replays** whatever intact records it holds
+    /// through the normal batch path — recovering the committed state of
+    /// a crashed predecessor byte for byte — then checkpoints the
+    /// configured paged tables into posting segments, evicts their RAM
+    /// postings, and routes their TOP-`l` prefix scans through the block
+    /// cache. From here on every `apply`/`apply_batch` appends its batch
+    /// to the WAL before settling (redo durability).
+    ///
+    /// The WAL is **kept** across the attach: the replay is
+    /// deterministic from the same base database, so a second crash
+    /// simply replays again. Truncate it explicitly
+    /// ([`SizeLEngine::truncate_wal`]) once the base snapshot the engine
+    /// is rebuilt from has itself absorbed the logged mutations.
+    ///
+    /// A record that decodes but fails validation on re-application is
+    /// counted as rejected and skipped — the original run rejected the
+    /// identical suffix, so the recovered state still matches. A torn or
+    /// checksum-failed tail stops the replay at the last intact record
+    /// and is truncated away.
+    pub fn attach_disk(&mut self, cfg: DiskTierConfig) -> Result<RecoveryReport, StorageError> {
+        if self.disk.is_some() {
+            return Err(StorageError::Durability("a disk tier is already attached".into()));
+        }
+        let mut paged = Vec::with_capacity(cfg.paged_tables.len());
+        for name in &cfg.paged_tables {
+            paged.push(self.db.table_id(name)?);
+        }
+        let as_storage = |e: sizel_disk::DiskError| StorageError::Durability(e.to_string());
+        std::fs::create_dir_all(&cfg.dir).map_err(|e| StorageError::Durability(e.to_string()))?;
+        let (wal, replay) =
+            Wal::open(&cfg.dir.join("wal.log"), cfg.fsync_every).map_err(as_storage)?;
+        let mut report = RecoveryReport {
+            wal_truncated_bytes: replay.truncated_bytes,
+            wal_tail_damaged: replay.tail_error.is_some(),
+            ..RecoveryReport::default()
+        };
+        for record in &replay.records {
+            let (_, ms) = decode_batch(record).map_err(as_storage)?;
+            report.batches_replayed += 1;
+            report.mutations_replayed += ms.len();
+            if self.apply_batch_inner(ms).is_err() {
+                report.batches_rejected += 1;
+            }
+        }
+        let store = Arc::new(
+            PagedStore::new(&cfg.dir.join("segments"), cfg.cache_pages).map_err(as_storage)?,
+        );
+        if !paged.is_empty() {
+            report.generation = store.checkpoint_from(&self.db, &paged).map_err(as_storage)?;
+            for &tid in &paged {
+                self.db.evict_table_postings(tid);
+            }
+            self.db.set_pager(Arc::clone(&store) as Arc<dyn sizel_storage::PostingPager>);
+        }
+        self.disk = Some(DiskTier { store, wal, paged, wal_appends: 0, wal_syncs: 0 });
+        Ok(report)
+    }
+
+    /// Re-checkpoints the paged tables into a fresh segment generation
+    /// and evicts their RAM postings again. Because mutations since the
+    /// last checkpoint may have touched evicted tables (whose postings
+    /// then only exist implicitly), the in-RAM sorted postings are first
+    /// rebuilt from the installed per-row scores — the re-stamped order
+    /// token is adopted by the engine, the fresh segment carries it, and
+    /// probes route back to the pages. Returns the new generation id.
+    pub fn checkpoint_disk(&mut self) -> Result<u64, StorageError> {
+        let Some(disk) = self.disk.as_ref() else {
+            return Err(StorageError::Durability("no disk tier attached".into()));
+        };
+        if disk.paged.is_empty() {
+            return Err(StorageError::Durability("no tables are paged".into()));
+        }
+        let (store, paged) = (Arc::clone(&disk.store), disk.paged.clone());
+        self.db.rebuild_postings_from_installed().ok_or_else(|| {
+            StorageError::Durability("checkpoint requires installed importance scores".into())
+        })?;
+        self.scores.fk_order = self.db.fk_order();
+        let generation = store
+            .checkpoint_from(&self.db, &paged)
+            .map_err(|e| StorageError::Durability(e.to_string()))?;
+        for &tid in &paged {
+            self.db.evict_table_postings(tid);
+        }
+        Ok(generation)
+    }
+
+    /// Discards the write-ahead log. Call only once every logged
+    /// mutation is reflected in the base snapshot the engine would be
+    /// rebuilt from after a crash — truncating earlier silently forfeits
+    /// redo coverage for the discarded records.
+    pub fn truncate_wal(&mut self) -> Result<(), StorageError> {
+        let Some(disk) = self.disk.as_mut() else {
+            return Err(StorageError::Durability("no disk tier attached".into()));
+        };
+        disk.wal.truncate().map_err(|e| StorageError::Durability(e.to_string()))
+    }
+
+    /// Disk-tier statistics (cache counters, segment generation, WAL
+    /// size), or `None` when no tier is attached.
+    pub fn disk_stats(&self) -> Option<DiskTierStats> {
+        self.disk.as_ref().map(DiskTier::stats)
     }
 
     /// Whether a tuple is live (not tombstoned by a delete) — serving

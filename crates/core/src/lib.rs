@@ -22,6 +22,7 @@
 //! | end-to-end engine | [`engine`] |
 
 pub mod algo;
+pub mod durability;
 pub mod engine;
 pub mod eval;
 pub mod keyword;
@@ -32,6 +33,7 @@ pub mod render;
 pub mod test_fixtures;
 
 pub use algo::{AlgoKind, SizeLAlgorithm, SizeLResult};
+pub use durability::{DiskTierConfig, DiskTierStats, RecoveryReport};
 pub use engine::{EngineConfig, QueryResult, SizeLEngine};
 pub use keyword::KeywordIndex;
 pub use os::{Os, OsNode, OsNodeId};

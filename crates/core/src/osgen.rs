@@ -12,7 +12,7 @@
 
 use sizel_graph::{DataGraph, Direction, Gds, GdsNode, GdsNodeId, JoinSpec, MnLinkId, SchemaGraph};
 use sizel_rank::RankScores;
-use sizel_storage::{Database, FkOrderToken, TupleRef};
+use sizel_storage::{Database, FkOrderToken, LinkCursor, SliceLinkCursor, TupleRef};
 
 use crate::os::{FetchScratch, Os, OsArenaPool};
 
@@ -246,12 +246,18 @@ impl<'a> OsContext<'a> {
                 // accounting is identical to the heap path by
                 // construction: one junction probe reporting the raw FK
                 // group size, one target fetch reporting the result size.
+                // Pairs whose junction row or target row died since the
+                // last compaction are tombstones: skipped, never cut on
+                // (their target score cannot un-order the live suffix).
                 if l > 0 && self.fk_order.is_some() && self.fk_order == self.db.fk_order() {
-                    if let Some(link) = jt.sorted_link_index(e1.fk_col) {
-                        self.db.access().record_join(link.raw_group_len(pk));
-                        let kept = &mut scratch.tuple_topl.staged;
+                    let target_t = self.db.table(e2.to);
+                    let excl = *exclude_parent;
+                    let run_scan = |cur: &mut dyn LinkCursor, kept: &mut Vec<(f64, TupleRef)>| {
                         kept.clear();
-                        for &(_, t) in link.pairs(pk) {
+                        while let Some((j, t)) = cur.next_pair() {
+                            if !jt.is_live(j) || !target_t.is_live(t) {
+                                continue;
+                            }
                             let tuple = TupleRef::new(e2.to, t);
                             let w = self.local_importance(child, tuple);
                             if w <= largest_l {
@@ -260,16 +266,44 @@ impl<'a> OsContext<'a> {
                             if kept.len() >= l && w < kept[l - 1].0 {
                                 break;
                             }
-                            if *exclude_parent && Some(tuple) == grandparent {
+                            if excl && Some(tuple) == grandparent {
                                 continue;
                             }
                             kept.push((w, tuple));
                         }
+                    };
+                    if let Some(link) = jt.sorted_link_index(e1.fk_col) {
+                        self.db.access().record_join(link.raw_group_len(pk));
+                        let mut cur = SliceLinkCursor::new(link.pairs(pk));
+                        run_scan(&mut cur, &mut scratch.tuple_topl.staged);
                         let before = out.len();
                         scratch.tuple_topl.rank_staged_into(l, out);
                         self.db.access().record_join(out.len() - before);
                         self.db.access().record_fast_probe();
                         return;
+                    }
+                    // Paged fallback: link postings evicted to the disk
+                    // tier. Same scan, same accounting; a read failure
+                    // discards the partial prefix (fail closed) and drops
+                    // through to the always-correct heap path.
+                    if let Some(pager) = self.db.pager() {
+                        if pager.stamp() == self.fk_order {
+                            if let (Some(raw), Some(mut cur)) = (
+                                pager.link_raw_len(*junction, e1.fk_col, pk),
+                                pager.link_cursor(*junction, e1.fk_col, pk),
+                            ) {
+                                run_scan(cur.as_mut(), &mut scratch.tuple_topl.staged);
+                                if !cur.failed() {
+                                    self.db.access().record_join(raw);
+                                    let before = out.len();
+                                    scratch.tuple_topl.rank_staged_into(l, out);
+                                    self.db.access().record_join(out.len() - before);
+                                    self.db.access().record_fast_probe();
+                                    return;
+                                }
+                                scratch.tuple_topl.staged.clear();
+                            }
+                        }
                     }
                 }
                 // Heap fallback: the junction probe is unavoidable (its

@@ -1,0 +1,69 @@
+//! Typed disk-tier errors.
+//!
+//! Every failure a segment or WAL read can hit maps to a variant here, so
+//! callers can distinguish "the OS failed us" ([`DiskError::Io`]) from
+//! "the bytes are lying" ([`DiskError::ChecksumMismatch`],
+//! [`DiskError::Corrupt`]) — the latter is the fail-closed trigger: a
+//! page that doesn't verify is *never* served, partially or otherwise.
+
+use std::fmt;
+
+/// A disk-tier failure. All reads fail closed on any variant.
+#[derive(Debug)]
+pub enum DiskError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// Stored and recomputed checksums disagree: the page or record bytes
+    /// are damaged and must not be served.
+    ChecksumMismatch {
+        /// What was being verified ("segment page", "wal record", ...).
+        what: &'static str,
+        /// The checksum stored on disk.
+        stored: u32,
+        /// The checksum recomputed over the bytes read.
+        computed: u32,
+    },
+    /// Structurally invalid bytes: bad magic, impossible lengths, a
+    /// directory pointing past the end of the file.
+    Corrupt(&'static str),
+    /// A WAL tail ended mid-record (a torn final append). Recovery treats
+    /// everything before it as committed and discards the tail.
+    TornRecord {
+        /// File offset of the first byte of the torn record.
+        offset: u64,
+    },
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::Io(e) => write!(f, "disk i/o error: {e}"),
+            DiskError::ChecksumMismatch { what, stored, computed } => write!(
+                f,
+                "checksum mismatch on {what}: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            DiskError::Corrupt(what) => write!(f, "corrupt disk structure: {what}"),
+            DiskError::TornRecord { offset } => {
+                write!(f, "torn wal record at offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiskError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DiskError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DiskError {
+    fn from(e: std::io::Error) -> DiskError {
+        DiskError::Io(e)
+    }
+}
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, DiskError>;

@@ -1,0 +1,213 @@
+//! The fixed-size segment page.
+//!
+//! Every posting list in a segment is laid out as a run of 4 KiB pages,
+//! each self-describing and self-verifying:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic "SLPG"
+//!      4     1  kind          (1 = FK postings, 2 = link postings)
+//!      5     1  reserved      (zero)
+//!      6     2  table         (TableId, little-endian)
+//!      8     2  column        (FK column index)
+//!     10     2  entry_count   (entries in THIS page)
+//!     12     8  key           (the i64 FK key this list serves)
+//!     20     4  seq           (page number within the list, 0-based)
+//!     24     4  crc32         (over the whole page, crc field zeroed)
+//!     28  4068  payload
+//! ```
+//!
+//! FK payload entries are `u32` row ids (1017 per page); link payload
+//! entries are `(u32, u32)` junction/target row pairs (508 per page) —
+//! both stored in exactly the descending-importance order of the in-RAM
+//! sorted postings, so a prefix scan of the pages IS the prefix scan of
+//! the list. The checksum covers header and payload alike: any flipped
+//! bit fails the page, and a failed page fails the scan (fail closed).
+
+use crate::crc::crc32;
+use crate::error::{DiskError, Result};
+
+/// Page size in bytes. Matches the common filesystem block size.
+pub const PAGE_SIZE: usize = 4096;
+/// Payload start: the byte past the header.
+pub const PAGE_HEADER_LEN: usize = 28;
+/// FK row-id entries per page.
+pub const FK_PER_PAGE: usize = (PAGE_SIZE - PAGE_HEADER_LEN) / 4;
+/// Link pair entries per page.
+pub const LINK_PER_PAGE: usize = (PAGE_SIZE - PAGE_HEADER_LEN) / 8;
+
+const MAGIC: [u8; 4] = *b"SLPG";
+const CRC_OFFSET: usize = 24;
+
+/// One pooled, page-sized buffer. Held behind `Arc` by the block cache
+/// so cursors can outlive evictions; recycled through the cache's free
+/// list when the last reference drops.
+#[derive(Clone)]
+pub struct PageBuf(pub [u8; PAGE_SIZE]);
+
+impl PageBuf {
+    /// A zeroed page buffer.
+    pub fn zeroed() -> PageBuf {
+        PageBuf([0; PAGE_SIZE])
+    }
+}
+
+impl std::fmt::Debug for PageBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PageBuf({} bytes)", PAGE_SIZE)
+    }
+}
+
+/// What a page stores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PageKind {
+    /// FK posting rows (`u32` each).
+    Fk = 1,
+    /// Link posting pairs (`(u32, u32)` each).
+    Link = 2,
+}
+
+/// The decoded page header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageHeader {
+    /// Payload kind.
+    pub kind: PageKind,
+    /// Owning table.
+    pub table: u16,
+    /// FK column index within the table.
+    pub col: u16,
+    /// Entries stored in this page.
+    pub entry_count: u16,
+    /// The FK key whose list this page belongs to.
+    pub key: i64,
+    /// 0-based page number within the list.
+    pub seq: u32,
+}
+
+/// Encodes `header` into `buf` and seals the page: computes the CRC over
+/// the whole page with the CRC field zeroed, then stores it.
+pub fn seal_page(buf: &mut [u8; PAGE_SIZE], header: PageHeader) {
+    buf[0..4].copy_from_slice(&MAGIC);
+    buf[4] = header.kind as u8;
+    buf[5] = 0;
+    buf[6..8].copy_from_slice(&header.table.to_le_bytes());
+    buf[8..10].copy_from_slice(&header.col.to_le_bytes());
+    buf[10..12].copy_from_slice(&header.entry_count.to_le_bytes());
+    buf[12..20].copy_from_slice(&header.key.to_le_bytes());
+    buf[20..24].copy_from_slice(&header.seq.to_le_bytes());
+    buf[CRC_OFFSET..CRC_OFFSET + 4].copy_from_slice(&[0; 4]);
+    let crc = crc32(buf);
+    buf[CRC_OFFSET..CRC_OFFSET + 4].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Verifies `buf`'s magic and checksum and decodes its header. Any
+/// mismatch is a typed error — the page must not be used.
+pub fn verify_page(buf: &[u8; PAGE_SIZE]) -> Result<PageHeader> {
+    if buf[0..4] != MAGIC {
+        return Err(DiskError::Corrupt("segment page magic"));
+    }
+    let stored = u32::from_le_bytes(buf[CRC_OFFSET..CRC_OFFSET + 4].try_into().unwrap());
+    let mut shadow = *buf;
+    shadow[CRC_OFFSET..CRC_OFFSET + 4].copy_from_slice(&[0; 4]);
+    let computed = crc32(&shadow);
+    if stored != computed {
+        return Err(DiskError::ChecksumMismatch { what: "segment page", stored, computed });
+    }
+    let kind = match buf[4] {
+        1 => PageKind::Fk,
+        2 => PageKind::Link,
+        _ => return Err(DiskError::Corrupt("segment page kind")),
+    };
+    let entry_count = u16::from_le_bytes(buf[10..12].try_into().unwrap());
+    let per_page = match kind {
+        PageKind::Fk => FK_PER_PAGE,
+        PageKind::Link => LINK_PER_PAGE,
+    };
+    if entry_count as usize > per_page {
+        return Err(DiskError::Corrupt("segment page entry count"));
+    }
+    Ok(PageHeader {
+        kind,
+        table: u16::from_le_bytes(buf[6..8].try_into().unwrap()),
+        col: u16::from_le_bytes(buf[8..10].try_into().unwrap()),
+        entry_count,
+        key: i64::from_le_bytes(buf[12..20].try_into().unwrap()),
+        seq: u32::from_le_bytes(buf[20..24].try_into().unwrap()),
+    })
+}
+
+/// Reads FK entry `i` of a verified page.
+pub fn fk_entry(buf: &[u8; PAGE_SIZE], i: usize) -> u32 {
+    let at = PAGE_HEADER_LEN + i * 4;
+    u32::from_le_bytes(buf[at..at + 4].try_into().unwrap())
+}
+
+/// Writes FK entry `i` (before sealing).
+pub fn put_fk_entry(buf: &mut [u8; PAGE_SIZE], i: usize, row: u32) {
+    let at = PAGE_HEADER_LEN + i * 4;
+    buf[at..at + 4].copy_from_slice(&row.to_le_bytes());
+}
+
+/// Reads link entry `i` of a verified page.
+pub fn link_entry(buf: &[u8; PAGE_SIZE], i: usize) -> (u32, u32) {
+    let at = PAGE_HEADER_LEN + i * 8;
+    (
+        u32::from_le_bytes(buf[at..at + 4].try_into().unwrap()),
+        u32::from_le_bytes(buf[at + 4..at + 8].try_into().unwrap()),
+    )
+}
+
+/// Writes link entry `i` (before sealing).
+pub fn put_link_entry(buf: &mut [u8; PAGE_SIZE], i: usize, pair: (u32, u32)) {
+    let at = PAGE_HEADER_LEN + i * 8;
+    buf[at..at + 4].copy_from_slice(&pair.0.to_le_bytes());
+    buf[at + 4..at + 8].copy_from_slice(&pair.1.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_verify_roundtrip() {
+        let mut buf = PageBuf::zeroed();
+        for i in 0..FK_PER_PAGE {
+            put_fk_entry(&mut buf.0, i, i as u32 * 3);
+        }
+        let header = PageHeader {
+            kind: PageKind::Fk,
+            table: 7,
+            col: 2,
+            entry_count: FK_PER_PAGE as u16,
+            key: -42,
+            seq: 9,
+        };
+        seal_page(&mut buf.0, header);
+        assert_eq!(verify_page(&buf.0).unwrap(), header);
+        assert_eq!(fk_entry(&buf.0, 5), 15);
+    }
+
+    #[test]
+    fn any_flipped_bit_fails_verification() {
+        let mut buf = PageBuf::zeroed();
+        put_link_entry(&mut buf.0, 0, (3, 4));
+        seal_page(
+            &mut buf.0,
+            PageHeader { kind: PageKind::Link, table: 1, col: 1, entry_count: 1, key: 0, seq: 0 },
+        );
+        // A payload flip, a header flip, and a CRC flip all fail.
+        for at in [PAGE_HEADER_LEN, 12, CRC_OFFSET] {
+            let mut bad = buf.clone();
+            bad.0[at] ^= 0x10;
+            assert!(verify_page(&bad.0).is_err(), "flip at {at} went undetected");
+        }
+    }
+
+    #[test]
+    fn capacity_constants_fill_the_page_exactly() {
+        assert_eq!(FK_PER_PAGE, 1017);
+        assert_eq!(LINK_PER_PAGE, 508);
+        const { assert!(PAGE_HEADER_LEN + FK_PER_PAGE * 4 <= PAGE_SIZE) };
+        const { assert!(PAGE_HEADER_LEN + LINK_PER_PAGE * 8 <= PAGE_SIZE) };
+    }
+}

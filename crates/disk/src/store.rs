@@ -1,0 +1,344 @@
+//! The paged posting store: segments + block cache behind the
+//! [`PostingPager`] seam.
+//!
+//! A [`PagedStore`] owns a directory of segment generations and one
+//! shared [`BlockCache`]. [`PagedStore::checkpoint_from`] snapshots the
+//! database's in-RAM sorted postings for a chosen table set into a fresh
+//! `segments-<gen>.seg` file stamped with the installed
+//! [`FkOrderToken`]; installing the generation atomically swaps what
+//! probes see. The storage layer routes a prefix scan here only while
+//! the stamp still equals the live token — any mutation re-stamps the
+//! token, so stale segments silently stop serving until the next
+//! checkpoint (the RAM/heap paths keep answering in between).
+//!
+//! Cursors hold `Arc`s to the generation and to their current page, so a
+//! concurrent checkpoint or cache eviction never invalidates an
+//! in-flight scan. Every page read is CRC-verified and header-checked
+//! (right table, column, key, and sequence) before a single entry is
+//! served; any failure marks the cursor failed and the caller falls back
+//! (fail closed).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use sizel_storage::{
+    Database, FkOrderToken, LinkCursor, PostingCursor, PostingPager, RowId, TableId,
+};
+
+use crate::cache::{BlockCache, CacheSnapshot};
+use crate::error::{DiskError, Result};
+use crate::page::{fk_entry, link_entry, PageBuf, PageKind, FK_PER_PAGE, LINK_PER_PAGE};
+use crate::segment::{DirEntry, SegmentFile, SegmentWriter};
+
+/// One immutable segment generation: the opened file, its stamp, and the
+/// path (kept for cleanup when superseded).
+#[derive(Debug)]
+struct SegGeneration {
+    id: u64,
+    file: SegmentFile,
+    stamp: FkOrderToken,
+    path: PathBuf,
+}
+
+/// A point-in-time view of the store for metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Block-cache counters.
+    pub cache: CacheSnapshot,
+    /// Pages resident in the cache right now.
+    pub resident_pages: u64,
+    /// The installed generation id (0 = none yet).
+    pub generation: u64,
+    /// Posting lists in the installed generation.
+    pub lists: u64,
+    /// Checkpoints taken over the store's lifetime.
+    pub checkpoints: u64,
+}
+
+/// Paged posting segments + block cache, attachable to a `Database`.
+#[derive(Debug)]
+pub struct PagedStore {
+    dir: PathBuf,
+    cache: Arc<BlockCache>,
+    generation: RwLock<Option<Arc<SegGeneration>>>,
+    next_gen: AtomicU64,
+    checkpoints: AtomicU64,
+}
+
+impl PagedStore {
+    /// A store rooted at `dir` (created if absent) caching at most
+    /// `cache_pages` pages.
+    pub fn new(dir: &Path, cache_pages: usize) -> Result<PagedStore> {
+        std::fs::create_dir_all(dir)?;
+        Ok(PagedStore {
+            dir: dir.to_path_buf(),
+            cache: Arc::new(BlockCache::new(cache_pages)),
+            generation: RwLock::new(None),
+            next_gen: AtomicU64::new(1),
+            checkpoints: AtomicU64::new(0),
+        })
+    }
+
+    /// Snapshots the sorted postings of `tables` into a fresh segment
+    /// generation stamped with the database's installed order, installs
+    /// it, and removes the superseded generation's file. Returns the new
+    /// generation id.
+    ///
+    /// The raw in-RAM arrays are written verbatim (tombstones included),
+    /// so a paged scan replays the RAM scan byte for byte.
+    pub fn checkpoint_from(&self, db: &Database, tables: &[TableId]) -> Result<u64> {
+        let stamp = db
+            .fk_order()
+            .ok_or(DiskError::Corrupt("checkpoint requires an installed importance order"))?;
+        let gen_id = self.next_gen.fetch_add(1, Ordering::Relaxed);
+        let path = self.dir.join(format!("segments-{gen_id}.seg"));
+        let mut w = SegmentWriter::create(&path)?;
+        let mut keys: Vec<i64> = Vec::new();
+        for &tid in tables {
+            let t = db.table(tid);
+            for (col, idx) in t.sorted_fk_indexes() {
+                w.cover(PageKind::Fk, tid.0, col as u16);
+                keys.clear();
+                keys.extend(idx.posting_lists().map(|(k, _)| k));
+                keys.sort_unstable();
+                for &key in &keys {
+                    let rows = idx.rows(key);
+                    // RowId is a u32 newtype: reuse one scratch per list.
+                    let raw: Vec<u32> = rows.iter().map(|r| r.0).collect();
+                    w.write_fk_list(tid.0, col as u16, key, &raw)?;
+                }
+            }
+            for (col, idx) in t.sorted_link_indexes() {
+                w.cover(PageKind::Link, tid.0, col as u16);
+                keys.clear();
+                keys.extend(idx.groups().map(|(k, _, _)| k));
+                keys.sort_unstable();
+                for &key in &keys {
+                    let pairs = idx.pairs(key);
+                    let raw: Vec<(u32, u32)> = pairs.iter().map(|&(j, t)| (j.0, t.0)).collect();
+                    w.write_link_list(tid.0, col as u16, key, &raw, idx.raw_group_len(key))?;
+                }
+            }
+        }
+        w.finish()?;
+
+        let file = SegmentFile::open(&path)?;
+        let fresh = Arc::new(SegGeneration { id: gen_id, file, stamp, path });
+        let old = {
+            let mut slot = self.generation.write().unwrap_or_else(|p| p.into_inner());
+            slot.replace(fresh)
+        };
+        if let Some(old) = old {
+            std::fs::remove_file(&old.path).ok();
+        }
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(gen_id)
+    }
+
+    /// Store + cache statistics.
+    pub fn stats(&self) -> StoreStats {
+        let (generation, lists) = match self.current() {
+            Some(g) => (g.id, g.file.len() as u64),
+            None => (0, 0),
+        };
+        StoreStats {
+            cache: self.cache.snapshot(),
+            resident_pages: self.cache.resident() as u64,
+            generation,
+            lists,
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+        }
+    }
+
+    fn current(&self) -> Option<Arc<SegGeneration>> {
+        self.generation.read().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+}
+
+/// A paged scan over one posting list: walks the page run through the
+/// cache, verifying every page's identity before serving entries.
+struct PagedScan {
+    gen: Arc<SegGeneration>,
+    cache: Arc<BlockCache>,
+    entry: DirEntry,
+    kind: PageKind,
+    table: u16,
+    col: u16,
+    key: i64,
+    yielded: u32,
+    current: Option<(u32, Arc<PageBuf>)>,
+    failed: bool,
+}
+
+impl PagedScan {
+    fn new(
+        gen: Arc<SegGeneration>,
+        cache: Arc<BlockCache>,
+        kind: PageKind,
+        table: u16,
+        col: u16,
+        key: i64,
+        entry: DirEntry,
+    ) -> PagedScan {
+        PagedScan {
+            gen,
+            cache,
+            entry,
+            kind,
+            table,
+            col,
+            key,
+            yielded: 0,
+            current: None,
+            failed: false,
+        }
+    }
+
+    /// An empty covered list: yields nothing, never fails.
+    fn empty(gen: Arc<SegGeneration>, cache: Arc<BlockCache>, kind: PageKind) -> PagedScan {
+        PagedScan::new(
+            gen,
+            cache,
+            kind,
+            0,
+            0,
+            0,
+            DirEntry { first_page: 0, n_pages: 0, n_entries: 0, raw_len: 0 },
+        )
+    }
+
+    /// The page holding entry `yielded`, loading and verifying on demand.
+    fn page_for_next(&mut self) -> Option<&PageBuf> {
+        let per_page = match self.kind {
+            PageKind::Fk => FK_PER_PAGE,
+            PageKind::Link => LINK_PER_PAGE,
+        } as u32;
+        let run_idx = self.yielded / per_page;
+        let page_no = self.entry.first_page + run_idx;
+        if self.current.as_ref().map(|&(no, _)| no) != Some(page_no) {
+            let expected_entries = (self.entry.n_entries - run_idx * per_page).min(per_page) as u16;
+            let gen = &self.gen;
+            let (kind, table, col, key) = (self.kind, self.table, self.col, self.key);
+            let loaded = self.cache.get_or_load((gen.id, u64::from(page_no)), |buf| {
+                let h = gen.file.read_page(page_no, buf)?;
+                if h.kind != kind
+                    || h.table != table
+                    || h.col != col
+                    || h.key != key
+                    || h.seq != run_idx
+                    || h.entry_count != expected_entries
+                {
+                    return Err(DiskError::Corrupt("segment page does not match its directory"));
+                }
+                Ok(())
+            });
+            match loaded {
+                Ok(buf) => self.current = Some((page_no, buf)),
+                Err(_) => {
+                    self.failed = true;
+                    return None;
+                }
+            }
+        }
+        self.current.as_ref().map(|(_, buf)| buf.as_ref())
+    }
+}
+
+struct PagedFkCursor(PagedScan);
+
+impl PostingCursor for PagedFkCursor {
+    fn next_row(&mut self) -> Option<RowId> {
+        let scan = &mut self.0;
+        if scan.failed || scan.yielded >= scan.entry.n_entries {
+            return None;
+        }
+        let idx = (scan.yielded as usize) % FK_PER_PAGE;
+        let buf = scan.page_for_next()?;
+        let row = fk_entry(&buf.0, idx);
+        scan.yielded += 1;
+        Some(RowId(row))
+    }
+
+    fn failed(&self) -> bool {
+        self.0.failed
+    }
+}
+
+struct PagedLinkCursor(PagedScan);
+
+impl LinkCursor for PagedLinkCursor {
+    fn next_pair(&mut self) -> Option<(RowId, RowId)> {
+        let scan = &mut self.0;
+        if scan.failed || scan.yielded >= scan.entry.n_entries {
+            return None;
+        }
+        let idx = (scan.yielded as usize) % LINK_PER_PAGE;
+        let buf = scan.page_for_next()?;
+        let (j, t) = link_entry(&buf.0, idx);
+        scan.yielded += 1;
+        Some((RowId(j), RowId(t)))
+    }
+
+    fn failed(&self) -> bool {
+        self.0.failed
+    }
+}
+
+impl PostingPager for PagedStore {
+    fn stamp(&self) -> Option<FkOrderToken> {
+        self.current().map(|g| g.stamp)
+    }
+
+    fn fk_cursor(
+        &self,
+        table: TableId,
+        col: usize,
+        key: i64,
+    ) -> Option<Box<dyn PostingCursor + '_>> {
+        let gen = self.current()?;
+        if !gen.file.covers(PageKind::Fk, table.0, col as u16) {
+            return None;
+        }
+        let cache = Arc::clone(&self.cache);
+        let scan = match gen.file.lookup(PageKind::Fk, table.0, col as u16, key) {
+            Some(entry) => {
+                PagedScan::new(gen, cache, PageKind::Fk, table.0, col as u16, key, entry)
+            }
+            None => PagedScan::empty(gen, cache, PageKind::Fk),
+        };
+        Some(Box::new(PagedFkCursor(scan)))
+    }
+
+    fn link_cursor(
+        &self,
+        table: TableId,
+        col: usize,
+        key: i64,
+    ) -> Option<Box<dyn LinkCursor + '_>> {
+        let gen = self.current()?;
+        if !gen.file.covers(PageKind::Link, table.0, col as u16) {
+            return None;
+        }
+        let cache = Arc::clone(&self.cache);
+        let scan = match gen.file.lookup(PageKind::Link, table.0, col as u16, key) {
+            Some(entry) => {
+                PagedScan::new(gen, cache, PageKind::Link, table.0, col as u16, key, entry)
+            }
+            None => PagedScan::empty(gen, cache, PageKind::Link),
+        };
+        Some(Box::new(PagedLinkCursor(scan)))
+    }
+
+    fn link_raw_len(&self, table: TableId, col: usize, key: i64) -> Option<usize> {
+        let gen = self.current()?;
+        if !gen.file.covers(PageKind::Link, table.0, col as u16) {
+            return None;
+        }
+        Some(
+            gen.file
+                .lookup(PageKind::Link, table.0, col as u16, key)
+                .map_or(0, |e| e.raw_len as usize),
+        )
+    }
+}

@@ -1,0 +1,157 @@
+//! Fail-closed corruption tests (satellite of the disk tier): flipped
+//! bytes anywhere — segment page, segment directory, WAL record — must
+//! surface as typed [`DiskError`]s and NEVER as served garbage. A probe
+//! that hits a damaged page discards its partial scan and falls back to
+//! the heap path, so answers stay correct while the damage is counted.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sizel_disk::{DiskError, PagedStore, SegmentFile, Wal, PAGE_SIZE};
+use sizel_storage::{Database, RowId, TableSchema, Value};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("sizel-disk-corr-{}-{}-{}", std::process::id(), tag, n));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Parent + Child with a handful of scored rows and an installed order.
+fn seeded_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(TableSchema::builder("Parent").pk("id").build().unwrap()).unwrap();
+    db.create_table(
+        TableSchema::builder("Child").pk("id").fk("parent_id", "Parent").build().unwrap(),
+    )
+    .unwrap();
+    db.insert("Parent", vec![Value::Int(1)]).unwrap();
+    db.insert("Parent", vec![Value::Int(2)]).unwrap();
+    for pk in 0..24 {
+        db.insert("Child", vec![Value::Int(pk), Value::Int(1 + pk % 2)]).unwrap();
+    }
+    db.install_importance_order(&|_, r| 1.0 + r.index() as f64);
+    db
+}
+
+/// Flips one payload byte in every page of the (single) segment file
+/// under `dir`, leaving the directory and trailer intact.
+fn corrupt_every_page(dir: &PathBuf) -> PathBuf {
+    let seg = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|e| e == "seg"))
+        .expect("checkpoint wrote a segment");
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let dir_len = u64::from_le_bytes(bytes[bytes.len() - 16..bytes.len() - 8].try_into().unwrap());
+    let dir_start = bytes.len() - 16 - dir_len as usize;
+    let mut at = 50; // inside page 0's payload
+    while at < dir_start {
+        bytes[at] ^= 0x40;
+        at += PAGE_SIZE;
+    }
+    std::fs::write(&seg, &bytes).unwrap();
+    seg
+}
+
+#[test]
+fn a_flipped_page_byte_fails_closed_and_probes_fall_back_to_the_heap() {
+    let mut db = seeded_db();
+    let pristine = seeded_db();
+    let child = db.table_id("Child").unwrap();
+    let fk = db.table(child).schema.column_index("parent_id").unwrap();
+
+    let dir = temp_dir("page");
+    let store = Arc::new(PagedStore::new(&dir, 8).unwrap());
+    store.checkpoint_from(&db, &[child]).unwrap();
+    db.evict_table_postings(child);
+    db.set_pager(Arc::<PagedStore>::clone(&store));
+    corrupt_every_page(&dir);
+
+    let token = db.fk_order().unwrap();
+    let p_token = pristine.fk_order().unwrap();
+    for parent in 1..3i64 {
+        let li = |r: RowId| db.table(child).installed_score(r);
+        let p_li = |r: RowId| pristine.table(child).installed_score(r);
+        let b0 = db.access().probes();
+        let served = db.select_eq_top_l(child, fk, parent, 5, 0.0, Some(token), &li);
+        let b1 = db.access().probes();
+        let expect = pristine.select_eq_top_l(child, fk, parent, 5, 0.0, Some(p_token), &p_li);
+        assert_eq!(served, expect, "a damaged segment must not change any answer");
+        assert!(!served.is_empty(), "the probe actually had rows to lose");
+        assert_eq!(b1.heap - b0.heap, 1, "the failed scan fell back to the heap path");
+        assert_eq!(b1.fast, b0.fast, "no fast probe was counted for the discarded scan");
+    }
+    let stats = store.stats();
+    assert!(stats.cache.read_errors >= 2, "every damaged read was counted");
+    assert_eq!(stats.cache.hits, 0, "damaged pages are never cached");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn page_and_directory_damage_surface_as_typed_errors() {
+    let db = seeded_db();
+    let child = db.table_id("Child").unwrap();
+    let dir = temp_dir("typed");
+    let store = PagedStore::new(&dir, 4).unwrap();
+    store.checkpoint_from(&db, &[child]).unwrap();
+    let seg = corrupt_every_page(&dir);
+
+    // Direct page reads report the checksum, not garbage.
+    let file = SegmentFile::open(&seg).expect("directory is still intact");
+    let mut buf = [0u8; PAGE_SIZE];
+    match file.read_page(0, &mut buf) {
+        Err(DiskError::ChecksumMismatch { what, stored, computed }) => {
+            assert_eq!(what, "segment page");
+            assert_ne!(stored, computed);
+        }
+        other => panic!("expected a checksum mismatch, got {other:?}"),
+    }
+
+    // Directory damage fails the open itself.
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let len = bytes.len();
+    bytes[len - 20] ^= 0x01; // inside the serialized directory
+    std::fs::write(&seg, &bytes).unwrap();
+    assert!(
+        matches!(SegmentFile::open(&seg), Err(DiskError::ChecksumMismatch { .. })),
+        "a flipped directory byte must fail the open"
+    );
+    // Trailer damage is structural corruption.
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let len = bytes.len();
+    bytes[len - 2] ^= 0xFF; // trailer magic
+    std::fs::write(&seg, &bytes).unwrap();
+    assert!(matches!(SegmentFile::open(&seg), Err(DiskError::Corrupt(_))));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wal_recovery_stops_at_the_first_damaged_record() {
+    let dir = temp_dir("wal");
+    let path = dir.join("wal.log");
+    {
+        let (mut wal, _) = Wal::open(&path, 1).unwrap();
+        for payload in [b"batch-1".as_slice(), b"batch-2", b"batch-3", b"batch-4"] {
+            wal.append(payload).unwrap();
+        }
+    }
+    // Flip a byte inside record 3's payload: records 1-2 stay committed,
+    // 3 fails its checksum, 4 is unreachable (and discarded).
+    let mut bytes = std::fs::read(&path).unwrap();
+    let record = 8 + 7; // header + payload
+    bytes[2 * record + 8 + 2] ^= 0x08;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let (_, replay) = Wal::open(&path, 1).unwrap();
+    assert_eq!(replay.records, vec![b"batch-1".to_vec(), b"batch-2".to_vec()]);
+    assert!(matches!(
+        replay.tail_error,
+        Some(DiskError::ChecksumMismatch { what: "wal record", .. })
+    ));
+    assert_eq!(replay.truncated_bytes, 2 * record as u64, "records 3 and 4 discarded");
+    std::fs::remove_dir_all(&dir).ok();
+}

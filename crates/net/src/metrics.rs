@@ -252,6 +252,12 @@ pub fn render_metrics(counters: &NetCounters, router: &ClusterRouter) -> String 
         line(&mut out, "sizel_serve_rewarmed_total", &labels, per_shard.rewarmed);
         line(&mut out, "sizel_serve_cache_hits_total", &labels, per_shard.cache.hits);
         line(&mut out, "sizel_serve_cache_misses_total", &labels, per_shard.cache.misses);
+        line(
+            &mut out,
+            "sizel_serve_cache_probe_misses_total",
+            &labels,
+            per_shard.cache.probe_misses,
+        );
         line(&mut out, "sizel_serve_cache_evictions_total", &labels, per_shard.cache.evictions);
         line(
             &mut out,
@@ -277,6 +283,33 @@ pub fn render_metrics(counters: &NetCounters, router: &ClusterRouter) -> String 
         let last = stats.refresh.last_epochs.get(i).copied().unwrap_or(epoch);
         line(&mut out, "sizel_refresh_last_epoch", &labels, last);
         line(&mut out, "sizel_refresh_lag", &labels, epoch.saturating_sub(last));
+
+        // Disk tier (absent until the shard attaches one).
+        if let Some(disk) = per_shard.disk {
+            let c = disk.store.cache;
+            line(&mut out, "sizel_disk_cache_total", &format!("{labels},event=\"hit\""), c.hits);
+            line(&mut out, "sizel_disk_cache_total", &format!("{labels},event=\"miss\""), c.misses);
+            line(
+                &mut out,
+                "sizel_disk_cache_total",
+                &format!("{labels},event=\"eviction\""),
+                c.evictions,
+            );
+            line(
+                &mut out,
+                "sizel_disk_cache_total",
+                &format!("{labels},event=\"recycled\""),
+                c.recycled,
+            );
+            line(&mut out, "sizel_disk_read_errors_total", &labels, c.read_errors);
+            line(&mut out, "sizel_disk_resident_pages", &labels, disk.store.resident_pages);
+            line(&mut out, "sizel_disk_segment_generation", &labels, disk.store.generation);
+            line(&mut out, "sizel_disk_segment_lists", &labels, disk.store.lists);
+            line(&mut out, "sizel_disk_checkpoints_total", &labels, disk.store.checkpoints);
+            line(&mut out, "sizel_disk_wal_bytes", &labels, disk.wal_bytes);
+            line(&mut out, "sizel_disk_wal_appends_total", &labels, disk.wal_appends);
+            line(&mut out, "sizel_disk_wal_syncs_total", &labels, disk.wal_syncs);
+        }
     }
     line(&mut out, "sizel_refresh_passes_total", "", stats.refresh.passes);
     line(&mut out, "sizel_refresh_rewarmed_keys_total", "", stats.refresh.rewarmed_keys);

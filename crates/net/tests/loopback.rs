@@ -276,6 +276,7 @@ fn stats_frame_returns_the_metrics_page() {
             "sizel_net_buf_pool_total{event=\"miss\"}",
             "sizel_net_buf_pool_total{event=\"recycled\"}",
             "sizel_serve_cache_hit_ratio{shard=\"0\"}",
+            "sizel_serve_cache_probe_misses_total{shard=\"0\"}",
             "sizel_serve_queries_served_total{shard=\"1\"}",
             "sizel_refresh_lag{shard=\"0\"}",
             "sizel_cluster_epoch{shard=\"1\"}",
@@ -283,6 +284,46 @@ fn stats_frame_returns_the_metrics_page() {
             assert!(page.contains(series), "metrics page missing `{series}`:\n{page}");
         }
     });
+}
+
+/// Once a disk tier is attached to the shards, the metrics page grows
+/// the `sizel_disk_*` series — block-cache events, segment generation,
+/// WAL gauges — labelled per shard (absent before attach, which the
+/// base metrics test implicitly covers by not requiring them).
+#[test]
+fn disk_tier_series_appear_once_attached() {
+    let router = tiny_cluster();
+    let dir =
+        std::env::temp_dir().join(format!("sizel-net-disk-{}-{:p}", std::process::id(), &router));
+    let tier = sizel_serve::DiskTierConfig {
+        dir: std::path::PathBuf::new(),
+        cache_pages: 8,
+        fsync_every: 1,
+        paged_tables: vec!["AuthorPaper".into()],
+    };
+    router.attach_disk_tier(&dir, &tier).expect("attach per-shard tiers");
+
+    let server = serve(router.clone(), NetConfig::default());
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    client.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
+    let page = client.stats().expect("stats");
+    for series in [
+        "sizel_disk_cache_total{shard=\"0\",event=\"hit\"}",
+        "sizel_disk_cache_total{shard=\"1\",event=\"miss\"}",
+        "sizel_disk_cache_total{shard=\"0\",event=\"eviction\"}",
+        "sizel_disk_cache_total{shard=\"0\",event=\"recycled\"}",
+        "sizel_disk_read_errors_total{shard=\"0\"}",
+        "sizel_disk_resident_pages{shard=\"1\"}",
+        "sizel_disk_segment_generation{shard=\"0\"}",
+        "sizel_disk_segment_lists{shard=\"1\"}",
+        "sizel_disk_checkpoints_total{shard=\"0\"}",
+        "sizel_disk_wal_bytes{shard=\"1\"}",
+        "sizel_disk_wal_appends_total{shard=\"0\"}",
+        "sizel_disk_wal_syncs_total{shard=\"1\"}",
+    ] {
+        assert!(page.contains(series), "metrics page missing `{series}`:\n{page}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// The CLI client binary drives a live server end to end (the server

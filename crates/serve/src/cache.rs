@@ -22,6 +22,7 @@ use std::sync::{Mutex, MutexGuard};
 pub struct CacheCounters {
     hits: AtomicU64,
     misses: AtomicU64,
+    probe_misses: AtomicU64,
     evictions: AtomicU64,
     invalidations: AtomicU64,
     insertions: AtomicU64,
@@ -35,6 +36,13 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that found nothing.
     pub misses: u64,
+    /// Failed [`ShardedCache::probe`] lookups — the network layer's
+    /// probe-then-recompute fast path counts its failed probe here
+    /// instead of under [`CacheStats::misses`], because the very same
+    /// request then misses again on the authoritative queued path.
+    /// Folding both into `misses` double-counted every fast-path miss
+    /// and skewed the hit ratio down under inline traffic.
+    pub probe_misses: u64,
     /// Entries displaced to make room at capacity — *capacity pressure*
     /// only. Entries purged by [`ShardedCache::retain`] (epoch
     /// invalidation) count as [`CacheStats::invalidations`] instead:
@@ -58,7 +66,10 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Hit ratio over all lookups (0 when no lookups happened).
+    /// Hit ratio over all *authoritative* lookups (0 when none
+    /// happened). Probe misses are excluded: their requests re-arrive
+    /// through [`ShardedCache::get`], which records the authoritative
+    /// outcome.
     pub fn hit_ratio(self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
@@ -281,6 +292,30 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         }
     }
 
+    /// Probe-only lookup: identical to [`ShardedCache::get`] except a
+    /// failure counts under [`CacheStats::probe_misses`], not
+    /// [`CacheStats::misses`]. For opportunistic fast paths whose miss
+    /// is immediately retried through the authoritative path (which
+    /// records the real miss) — a hit is a hit either way, but counting
+    /// the probe's failure as a second miss double-counted the request.
+    pub fn probe(&self, key: &K) -> Option<V> {
+        if self.capacity == 0 {
+            self.counters.probe_misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let found = self.lock_shard(self.shard_of(key)).get(key);
+        match found {
+            Some(v) => {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.counters.probe_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
     /// Stores `key -> value`, evicting the shard's least recently used
     /// entry at capacity. A no-op on a disabled (zero-capacity) cache.
     pub fn insert(&self, key: K, value: V) {
@@ -336,6 +371,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         CacheStats {
             hits: self.counters.hits.load(Ordering::Relaxed),
             misses: self.counters.misses.load(Ordering::Relaxed),
+            probe_misses: self.counters.probe_misses.load(Ordering::Relaxed),
             evictions: self.counters.evictions.load(Ordering::Relaxed),
             invalidations: self.counters.invalidations.load(Ordering::Relaxed),
             insertions: self.counters.insertions.load(Ordering::Relaxed),
@@ -349,6 +385,26 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn probe_misses_count_separately_from_authoritative_misses() {
+        let c: ShardedCache<u32, u32> = ShardedCache::new(4, 1);
+        assert_eq!(c.probe(&1), None, "cold probe");
+        assert_eq!(c.get(&1), None, "the authoritative retry records the real miss");
+        c.insert(1, 10);
+        assert_eq!(c.probe(&1), Some(10), "a probe hit is a plain hit");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.probe_misses), (1, 1, 1));
+        let ratio = s.hit_ratio();
+        assert!((ratio - 0.5).abs() < 1e-12, "probe misses stay out of the ratio: {ratio}");
+
+        // A disabled cache still tells the two apart.
+        let off: ShardedCache<u32, u32> = ShardedCache::new(0, 1);
+        off.probe(&1);
+        off.get(&1);
+        let s = off.stats();
+        assert_eq!((s.misses, s.probe_misses), (1, 1));
+    }
 
     #[test]
     fn hit_after_miss() {

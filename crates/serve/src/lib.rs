@@ -41,6 +41,7 @@ use std::sync::{mpsc, Arc, RwLock, RwLockReadGuard};
 use std::thread::JoinHandle;
 
 use sizel_core::algo::AlgoKind;
+pub use sizel_core::durability::{DiskTierConfig, DiskTierStats, RecoveryReport};
 use sizel_core::engine::{QueryOptions, QueryResult, ResultRanking, SizeLEngine};
 use sizel_core::osgen::OsSource;
 use sizel_storage::{Epoch, StorageError, TupleRef};
@@ -130,6 +131,10 @@ pub struct ServerStats {
     /// Cache entries proactively recomputed by
     /// [`SizeLServer::rewarm_hottest`].
     pub rewarmed: u64,
+    /// Disk-tier statistics when one is attached
+    /// ([`SizeLServer::attach_disk`]): block-cache counters, segment
+    /// generation, WAL size.
+    pub disk: Option<DiskTierStats>,
 }
 
 /// What one pool job computes: a whole keyword query, or a single
@@ -273,9 +278,12 @@ impl SizeLServer {
     /// verbatim because the epoch is read under the same (try-acquired)
     /// read guard used for the probe.
     ///
-    /// A hit feeds the hotness sketch exactly like the pooled path; a
-    /// miss deliberately does *not* record here — the caller falls back
-    /// to the dispatch queue, whose `summarize_cached` records it.
+    /// A hit feeds the hotness sketch exactly like the pooled path. A
+    /// miss goes through [`ShardedCache::probe`], which records it under
+    /// [`CacheStats::probe_misses`] rather than `misses` — the caller
+    /// falls back to the dispatch queue, whose `summarize_cached`
+    /// records the authoritative miss for the same request (counting
+    /// both as `misses` double-counted every fast-path miss).
     pub fn try_summarize_cached(
         &self,
         tds: TupleRef,
@@ -283,7 +291,7 @@ impl SizeLServer {
     ) -> Option<(Epoch, SharedResult)> {
         let engine = self.try_engine()?;
         let epoch = engine.epoch();
-        let hit = self.cache.get(&summary_key(epoch, tds, opts))?;
+        let hit = self.cache.probe(&summary_key(epoch, tds, opts))?;
         self.hot.record(hot_key(tds, opts));
         Some((epoch, hit))
     }
@@ -488,6 +496,33 @@ impl SizeLServer {
             .collect()
     }
 
+    /// Attaches the engine's disk tier under the write lock (see
+    /// [`SizeLEngine::attach_disk`]): opens the WAL, replays whatever a
+    /// crashed predecessor committed, checkpoints and pages the
+    /// configured tables. The replay may advance the epoch, so
+    /// superseded cache entries are purged before the lock drops —
+    /// the same discipline as [`SizeLServer::apply`].
+    pub fn attach_disk(&self, cfg: DiskTierConfig) -> Result<RecoveryReport, StorageError> {
+        let mut engine = self.engine.write().expect("a mutation panicked mid-apply");
+        let report = engine.attach_disk(cfg)?;
+        let epoch = engine.epoch();
+        self.cache.retain(|k| k.0 == epoch);
+        Ok(report)
+    }
+
+    /// Re-checkpoints the paged tables into a fresh segment generation
+    /// under the write lock (see [`SizeLEngine::checkpoint_disk`]).
+    /// Answers are unchanged, so the summary cache is kept.
+    pub fn checkpoint_disk(&self) -> Result<u64, StorageError> {
+        self.engine.write().expect("a mutation panicked mid-apply").checkpoint_disk()
+    }
+
+    /// Discards the write-ahead log (see [`SizeLEngine::truncate_wal`]
+    /// for when that is safe).
+    pub fn truncate_wal(&self) -> Result<(), StorageError> {
+        self.engine.write().expect("a mutation panicked mid-apply").truncate_wal()
+    }
+
     /// Aggregate cache and throughput counters.
     pub fn stats(&self) -> ServerStats {
         ServerStats {
@@ -496,6 +531,7 @@ impl SizeLServer {
             summaries_computed: self.summaries_computed.load(Ordering::Relaxed),
             mutations_applied: self.mutations_applied.load(Ordering::Relaxed),
             rewarmed: self.rewarmed.load(Ordering::Relaxed),
+            disk: self.engine.read().ok().and_then(|e| e.disk_stats()),
         }
     }
 

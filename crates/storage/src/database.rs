@@ -2,11 +2,13 @@
 //! the OS-generation algorithms.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::access::AccessCounter;
 use crate::epoch::Epoch;
 use crate::error::StorageError;
 use crate::fk_index::{FkOrderToken, LinkTarget, SortedLinkIndex};
+use crate::pager::{PostingCursor, PostingPager, SlicePostingCursor};
 use crate::schema::TableSchema;
 use crate::table::{RowId, Table};
 use crate::value::Value;
@@ -158,6 +160,13 @@ pub struct Database {
     /// postings are rebuilt (healed) instead of staying on the heap
     /// fallback until the next full install.
     dangling_watch: HashMap<(TableId, i64), Vec<TableId>>,
+    /// An attached paged posting store (the disk tier), if any: serves
+    /// prefix scans for tables whose in-RAM postings were evicted
+    /// ([`Database::evict_table_postings`]), but only while its segment
+    /// stamp equals the live installed [`FkOrderToken`] — any mutation
+    /// re-stamps the token and silently stales the segments until the
+    /// next checkpoint.
+    pager: Option<Arc<dyn PostingPager>>,
 }
 
 impl Default for Database {
@@ -171,6 +180,7 @@ impl Default for Database {
             churn_threshold: DEFAULT_CHURN_THRESHOLD,
             compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
             dangling_watch: HashMap::new(),
+            pager: None,
         }
     }
 }
@@ -519,10 +529,14 @@ impl Database {
                 t.has_installed_scores() && t.churn() > self.churn_threshold
             })
             .collect();
-        // Junctions whose link postings any update/delete staled — by
-        // mutating the junction's own rows (pair membership) or rows of a
-        // table its pairs *target* (pair order) — rebuild wholesale after
-        // the replay instead of maintaining pairs incrementally.
+        // Junctions whose pair *order* any update/delete staled — by
+        // mutating rows of a table their pairs target (pairs sort by
+        // target importance) — rebuild wholesale after the replay.
+        // Mutations of a junction's *own* rows no longer force a rebuild:
+        // pair membership is maintained incrementally (reposition on
+        // update, tombstone-then-compact on delete — the FK postings'
+        // discipline extended to links, with consumers skipping dead
+        // pairs via dual-endpoint liveness checks).
         let mutated: Vec<TableId> = staged
             .iter()
             .filter(|op| !matches!(op, StagedOp::Insert { .. }))
@@ -534,8 +548,7 @@ impl Database {
             self.tables()
                 .filter(|&(jid, _)| {
                     self.junction_orientations(jid).is_some_and(|orients| {
-                        mutated.contains(&jid)
-                            || orients.iter().any(|&(_, _, t_table)| mutated.contains(&t_table))
+                        orients.iter().any(|&(_, _, t_table)| mutated.contains(&t_table))
                     })
                 })
                 .map(|(jid, _)| jid)
@@ -568,7 +581,7 @@ impl Database {
                     // incremental pair maintenance — the rebuild reads the
                     // final state and subsumes this row's pairs.
                     if !link_dirty.contains(&tid) {
-                        self.settle_junction_links(tid, row, resorting);
+                        self.settle_junction_links(tid, row, keys, resorting);
                     }
                     self.collect_heals(tid, row, &mut heals);
                 }
@@ -584,12 +597,25 @@ impl Database {
                         self.tables[tid.index()].insert_into_postings(row, new_keys);
                         self.access.record_binary_insert();
                     }
+                    // A junction row's move repositions its link pairs
+                    // incrementally (remove under the old source key,
+                    // re-insert under the new), unless a rebuild covers it.
+                    if !resorting && !link_dirty.contains(&tid) {
+                        self.settle_junction_link_update(tid, row, old_keys, new_keys);
+                    }
                 }
                 StagedOp::Delete { keys, .. } => {
                     if !resorting {
                         // The entries stay behind as tombstones; probes
                         // skip them, the debt below triggers compaction.
                         self.tables[tid.index()].add_posting_tombstones(keys.len());
+                        // A junction row's delete tombstones its pairs the
+                        // same way: consumers skip them via the junction-
+                        // endpoint liveness check, and the link debt
+                        // triggers a rebuild once it crosses the threshold.
+                        if !link_dirty.contains(&tid) {
+                            self.settle_junction_link_delete(tid, row, keys);
+                        }
                     }
                 }
             }
@@ -624,6 +650,13 @@ impl Database {
                 self.tables[tid.index()].resort_from_snapshot();
                 self.access.record_compaction();
             }
+            // Junction pair tombstones compact by a wholesale link
+            // rebuild (live pairs only) under the same threshold.
+            let t = &self.tables[tid.index()];
+            if t.has_installed_scores() && t.link_tombstones() > self.compaction_threshold {
+                self.rebuild_links_for(tid);
+                self.access.record_compaction();
+            }
         }
         if let Some(epoch) = last_scored_epoch {
             // The stamp the fold would leave: the epoch of the last
@@ -634,15 +667,25 @@ impl Database {
     }
 
     /// Joins one freshly inserted junction row into its table's sorted
-    /// link postings. A dead target snapshot drops the links; a *dangling*
-    /// target FK drops them **and** registers the missing `(table, pk)`
-    /// endpoint in the dangling watch, so the endpoint's later arrival
-    /// repairs the orientation ([`Database::heal_dangling_refs`]) instead
-    /// of leaving the table on the heap fallback until the next full
-    /// install. With `skip_pairs` (the table is about to re-sort), only
-    /// the drop/watch bookkeeping runs — the rebuild supplies the pairs.
-    fn settle_junction_links(&mut self, jid: TableId, row: RowId, skip_pairs: bool) {
+    /// link postings, resolving source key and target pk from the op's
+    /// *staged* keys (a later in-batch update may have moved the row's
+    /// current values; the update's own settlement replays that move). A
+    /// dead target snapshot drops the links; a *dangling* target FK drops
+    /// them **and** registers the missing `(table, pk)` endpoint in the
+    /// dangling watch, so the endpoint's later arrival repairs the
+    /// orientation ([`Database::collect_heals`]) instead of leaving the
+    /// table on the heap fallback until the next full install. With
+    /// `skip_pairs` (the table is about to re-sort), only the drop/watch
+    /// bookkeeping runs — the rebuild supplies the pairs.
+    fn settle_junction_links(
+        &mut self,
+        jid: TableId,
+        row: RowId,
+        keys: &[(usize, i64)],
+        skip_pairs: bool,
+    ) {
         let Some(orientations) = self.junction_orientations(jid) else { return };
+        let key_of = |col: usize| keys.iter().find(|&&(c, _)| c == col).map(|&(_, k)| k);
         let mut updates: Vec<(usize, i64, Option<RowId>, TableId)> = Vec::new();
         let mut drop_links = false;
         for (s_col, t_col, t_table) in orientations {
@@ -650,8 +693,8 @@ impl Database {
                 drop_links = true;
                 continue;
             }
-            let Some(key) = self.tables[jid.index()].value(row, s_col).as_int() else { continue };
-            let target = match self.tables[jid.index()].value(row, t_col).as_int() {
+            let Some(key) = key_of(s_col) else { continue };
+            let target = match key_of(t_col) {
                 None => None, // NULL target: counts in raw_len only
                 Some(k) => match self.tables[t_table.index()].by_pk(k) {
                     Some(r) => Some(r),
@@ -684,6 +727,86 @@ impl Database {
                 );
                 self.tables[jid.index()].set_sorted_link(s_col, idx);
             }
+        }
+    }
+
+    /// Repositions one updated junction row in its table's sorted link
+    /// postings: each orientation's pair is removed by identity scan under
+    /// the *old* source key and re-inserted under the new one at the exact
+    /// `(target score, target RowId, junction RowId)` position a rebuild
+    /// would use. Raw group counts move with the row. A dangling new
+    /// target drops the links and watches the endpoint, exactly like the
+    /// insert path.
+    fn settle_junction_link_update(
+        &mut self,
+        jid: TableId,
+        row: RowId,
+        old_keys: &[(usize, i64)],
+        new_keys: &[(usize, i64)],
+    ) {
+        let Some(orientations) = self.junction_orientations(jid) else { return };
+        let key_in = |keys: &[(usize, i64)], col: usize| {
+            keys.iter().find(|&&(c, _)| c == col).map(|&(_, k)| k)
+        };
+        for (s_col, t_col, t_table) in orientations {
+            if !self.tables[t_table.index()].has_installed_scores() {
+                self.tables[jid.index()].drop_sorted_links();
+                continue;
+            }
+            // Un-post under the old source key first (physical removal —
+            // the row is about to be re-posted, not tombstoned).
+            if let Some(old_key) = key_in(old_keys, s_col) {
+                if let Some(mut idx) = self.tables[jid.index()].take_sorted_link(s_col) {
+                    idx.unpost(old_key, row, true);
+                    self.tables[jid.index()].set_sorted_link(s_col, idx);
+                }
+            }
+            let Some(new_key) = key_in(new_keys, s_col) else { continue };
+            let target = match key_in(new_keys, t_col) {
+                None => None, // NULL target: counts in raw_len only
+                Some(k) => match self.tables[t_table.index()].by_pk(k) {
+                    Some(r) => Some(r),
+                    None => {
+                        self.tables[jid.index()].drop_sorted_links();
+                        let waiters = self.dangling_watch.entry((t_table, k)).or_default();
+                        if !waiters.contains(&jid) {
+                            waiters.push(jid);
+                        }
+                        continue;
+                    }
+                },
+            };
+            if let Some(mut idx) = self.tables[jid.index()].take_sorted_link(s_col) {
+                idx.insert_scored(
+                    new_key,
+                    row,
+                    target,
+                    self.tables[t_table.index()].installed_scores(),
+                );
+                self.tables[jid.index()].set_sorted_link(s_col, idx);
+            }
+        }
+    }
+
+    /// Settles one deleted junction row against its table's sorted link
+    /// postings: each orientation's raw group count drops, while the
+    /// row's pair stays behind as a tombstone — consumers skip it via the
+    /// dual-endpoint liveness check, and the accumulated debt triggers a
+    /// rebuild once it crosses the compaction threshold (the FK postings'
+    /// tombstone-then-compact discipline extended to links).
+    fn settle_junction_link_delete(&mut self, jid: TableId, row: RowId, keys: &[(usize, i64)]) {
+        let Some(orientations) = self.junction_orientations(jid) else { return };
+        let mut debt = 0;
+        for (s_col, _, _) in orientations {
+            let Some(&(_, key)) = keys.iter().find(|&&(c, _)| c == s_col) else { continue };
+            let Some(mut idx) = self.tables[jid.index()].take_sorted_link(s_col) else { continue };
+            if idx.unpost(key, row, false) {
+                debt += 1;
+            }
+            self.tables[jid.index()].set_sorted_link(s_col, idx);
+        }
+        if debt > 0 {
+            self.tables[jid.index()].add_link_tombstones(debt);
         }
     }
 
@@ -761,6 +884,8 @@ impl Database {
             }
         }
         self.tables[jid.index()].drop_sorted_links();
+        // A rebuild sources live pairs only, paying off any tombstone debt.
+        self.tables[jid.index()].reset_link_tombstones();
         for (col, idx) in built {
             self.tables[jid.index()].set_sorted_link(col, idx);
         }
@@ -862,6 +987,50 @@ impl Database {
         self.fk_order
     }
 
+    /// Rebuilds every table's sorted postings from its *installed* score
+    /// snapshot — the road back from eviction: a paged table that
+    /// mutated (or never kept RAM postings) re-materializes them for the
+    /// next checkpoint without recomputing scores. A full install under
+    /// the hood, so it returns the fresh token; `None` when any table
+    /// lacks an installed snapshot (there is no order to rebuild).
+    pub fn rebuild_postings_from_installed(&mut self) -> Option<FkOrderToken> {
+        let snap: Vec<Vec<f64>> = self
+            .tables
+            .iter()
+            .map(|t| t.has_installed_scores().then(|| t.installed_scores().to_vec()))
+            .collect::<Option<_>>()?;
+        let score = move |t: TableId, r: RowId| snap[t.index()][r.index()];
+        Some(self.install_importance_order(&score))
+    }
+
+    /// Attaches a paged posting store (see [`PostingPager`]): evicted
+    /// tables' prefix scans route to it while its stamp matches the live
+    /// installed token.
+    pub fn set_pager(&mut self, pager: Arc<dyn PostingPager>) {
+        self.pager = Some(pager);
+    }
+
+    /// Detaches the paged posting store; evicted tables fall back to the
+    /// heap path until their postings are rebuilt.
+    pub fn clear_pager(&mut self) {
+        self.pager = None;
+    }
+
+    /// The attached paged posting store, if any.
+    pub fn pager(&self) -> Option<&(dyn PostingPager + 'static)> {
+        self.pager.as_deref()
+    }
+
+    /// Evicts a table's in-RAM sorted FK and link postings (the disk
+    /// tier's residency policy — cold tables serve prefix scans from
+    /// segments instead). The score snapshot survives, so mutations keep
+    /// working; results are unchanged by construction (the pager serves
+    /// the same postings, and any coverage gap heap-falls-back). Does not
+    /// bump the epoch: no tuple and no servable content moved.
+    pub fn evict_table_postings(&mut self, table: TableId) {
+        self.tables[table.index()].evict_sorted_postings();
+    }
+
     /// Number of missing junction-link endpoints currently watched for
     /// healing (a diagnostic: bounded by the currently-dangling
     /// references — installs prune stale entries).
@@ -939,38 +1108,52 @@ impl Database {
         let t = self.table(table);
         let start = out.len();
         if l > 0 && order.is_some() && order == self.fk_order && col != t.schema.pk {
+            // Tombstones (deleted rows awaiting compaction) are skipped
+            // by the `is_live` filter inside the shared prefix-cut loop
+            // (`stage_prefix`): the scan sees exactly the live rows a
+            // fresh install would serve, and the join accounting below
+            // counts only returned rows — so compaction state is
+            // invisible to results and cost alike. The collected prefix
+            // is then ranked through the same comparator the heap path
+            // uses, so the paths agree by construction.
             if let Some(sorted) = t.sorted_fk_index(col) {
-                scratch.staged.clear();
-                for &r in sorted.rows(key) {
-                    // Tombstones (deleted rows awaiting compaction) are
-                    // skipped: the scan sees exactly the live rows a
-                    // fresh install would serve, and the join accounting
-                    // below counts only returned rows — so compaction
-                    // state is invisible to results and cost alike.
-                    if !t.is_live(r) {
-                        continue;
-                    }
-                    let s = li(r);
-                    // li is non-increasing along the scan, so the first
-                    // value at or below the threshold ends the probe...
-                    if s <= largest_l {
-                        break;
-                    }
-                    // ...and once l rows are kept, the scan only continues
-                    // through rows tying the current l-th li (they may
-                    // displace it on the RowId tie-break).
-                    if scratch.staged.len() >= l && s < scratch.staged[l - 1].0 {
-                        break;
-                    }
-                    scratch.staged.push((s, r));
-                }
-                // Rank the collected prefix through the same comparator
-                // the heap path uses, so the two paths agree by
-                // construction.
+                let mut cur = SlicePostingCursor::new(sorted.rows(key));
+                scratch.stage_prefix(
+                    l,
+                    largest_l,
+                    || cur.next_row(),
+                    |&r| t.is_live(r).then(|| li(r)),
+                );
                 scratch.rank_staged_into(l, out);
                 self.access.record_join(out.len() - start);
                 self.access.record_fast_probe();
                 return;
+            }
+            // Evicted postings: the paged backend serves the identical
+            // scan — same loop, same accounting — while its segment
+            // stamp matches the live token (any mutation stales it).
+            if let Some(pager) = self.pager.as_deref() {
+                if pager.stamp() == self.fk_order {
+                    if let Some(mut cur) = pager.fk_cursor(table, col, key) {
+                        scratch.stage_prefix(
+                            l,
+                            largest_l,
+                            || cur.next_row(),
+                            |&r| t.is_live(r).then(|| li(r)),
+                        );
+                        if !cur.failed() {
+                            scratch.rank_staged_into(l, out);
+                            self.access.record_join(out.len() - start);
+                            self.access.record_fast_probe();
+                            return;
+                        }
+                        // Fail closed: a read error mid-scan discards the
+                        // partial prefix (serving it as-if-complete would
+                        // silently drop rows) and the heap path — always
+                        // correct, hash-index-backed — takes over.
+                        scratch.staged.clear();
+                    }
+                }
             }
         }
         self.access.record_heap_probe();
@@ -1844,6 +2027,85 @@ mod tests {
         db.update_scored("C", 11, vec![Value::Int(11)], 9.0).unwrap();
         let links = db.table(j).sorted_link_index(p_col).expect("rebuilt, not dropped");
         assert_eq!(links.pairs(1)[0].0, RowId(1), "J 101's target now outranks");
+    }
+
+    #[test]
+    fn junction_own_mutations_tombstone_and_compact_without_wholesale_rebuilds() {
+        let mut db = Database::new();
+        db.create_table(TableSchema::builder("P").pk("id").build().unwrap()).unwrap();
+        db.create_table(TableSchema::builder("C").pk("id").build().unwrap()).unwrap();
+        db.create_table(
+            TableSchema::builder("J")
+                .pk("id")
+                .fk("p_id", "P")
+                .fk("c_id", "C")
+                .junction()
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.set_compaction_threshold(2);
+        for p in [1, 2] {
+            db.insert("P", vec![Value::Int(p)]).unwrap();
+        }
+        db.insert("C", vec![Value::Int(10)]).unwrap();
+        for (pk, p) in [(100, 1), (101, 1), (102, 1)] {
+            db.insert("J", vec![Value::Int(pk), Value::Int(p), Value::Int(10)]).unwrap();
+        }
+        db.install_importance_order(&|_, r| 1.0 + r.index() as f64);
+        let j = db.table_id("J").unwrap();
+        let p_col = 1usize;
+
+        // A junction-own delete leaves a tombstoned pair per orientation
+        // (no wholesale rebuild): raw length drops, the pair stays.
+        db.delete_scored("J", 101).unwrap();
+        let links = db.table(j).sorted_link_index(p_col).expect("orientation kept");
+        assert_eq!(links.raw_group_len(1), 2, "raw length tracks the live group");
+        assert_eq!(links.pairs(1).len(), 3, "the dead pair lingers as a tombstone");
+        assert_eq!(db.table(j).link_tombstones(), 2, "one tombstone per orientation");
+        assert!(!db.table(j).is_live(RowId(1)), "J 101 occupied the second slot");
+        assert!(links.pairs(1).iter().any(|&(jr, _)| jr == RowId(1)));
+
+        // A junction-own update physically re-homes the pair under the
+        // new source key — no tombstone, identical to a fresh build.
+        db.update_scored("J", 102, vec![Value::Int(102), Value::Int(2), Value::Int(10)], 0.0)
+            .unwrap();
+        let links = db.table(j).sorted_link_index(p_col).expect("orientation kept");
+        assert_eq!(links.raw_group_len(1), 1);
+        assert_eq!(links.raw_group_len(2), 1);
+        assert_eq!(links.pairs(2).len(), 1, "re-homed under the new key");
+        assert!(links.pairs(1).iter().all(|&(jr, _)| jr != RowId(2)), "old-key pair removed");
+
+        // Crossing the threshold compacts: tombstones purge wholesale.
+        // (This delete adds one tombstone — its p-side group empties and
+        // drops its key outright, which costs no debt.)
+        db.delete_scored("J", 102).unwrap();
+        assert_eq!(db.table(j).link_tombstones(), 0, "debt crossed 2: compacted");
+        let links = db.table(j).sorted_link_index(p_col).expect("rebuilt");
+        assert_eq!(links.pairs(1).len(), 1, "only the live pair survives");
+        // An emptied raw group drops its key outright (rebuild indexes
+        // only non-empty live groups).
+        assert_eq!(links.pairs(2).len(), 0);
+        assert_eq!(links.key_count(), 1);
+
+        // The maintained postings equal a from-scratch install over the
+        // same live rows (both replicas lay out identical RowId slots, so
+        // the slot-indexed score function transfers).
+        let mut fresh = Database::new();
+        for (_, t) in db.tables() {
+            fresh.create_table(t.schema.clone()).unwrap();
+        }
+        fresh.insert("P", vec![Value::Int(1)]).unwrap();
+        fresh.insert("P", vec![Value::Int(2)]).unwrap();
+        fresh.insert("C", vec![Value::Int(10)]).unwrap();
+        fresh.insert("J", vec![Value::Int(100), Value::Int(1), Value::Int(10)]).unwrap();
+        fresh.insert("J", vec![Value::Int(777), Value::Int(2), Value::Int(10)]).unwrap();
+        fresh.delete("J", 777).unwrap();
+        fresh.install_importance_order(&|_, r| 1.0 + r.index() as f64);
+        let a = db.table(j).sorted_link_index(p_col).unwrap();
+        let b = fresh.table(fresh.table_id("J").unwrap()).sorted_link_index(p_col).unwrap();
+        assert_eq!(a.pairs(1), b.pairs(1));
+        assert_eq!(a.key_count(), b.key_count());
     }
 
     #[test]

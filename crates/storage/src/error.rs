@@ -28,6 +28,11 @@ pub enum StorageError {
     RestrictedDelete { table: String, key: i64, referencing_table: String },
     /// An update attempted to change a row's primary key.
     ImmutablePrimaryKey { table: String, key: i64 },
+    /// A durability hook (write-ahead log, segment checkpoint) failed
+    /// before the mutation settled; nothing was mutated. Carries the
+    /// disk-layer error rendered as text so the storage crate stays
+    /// independent of the disk crate.
+    Durability(String),
 }
 
 impl fmt::Display for StorageError {
@@ -65,6 +70,7 @@ impl fmt::Display for StorageError {
             StorageError::ImmutablePrimaryKey { table, key } => {
                 write!(f, "primary key {key} of `{table}` is immutable under update")
             }
+            StorageError::Durability(msg) => write!(f, "durability failure: {msg}"),
         }
     }
 }

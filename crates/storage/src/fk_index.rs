@@ -168,6 +168,12 @@ impl SortedFkIndex {
     pub fn key_count(&self) -> usize {
         self.postings.len()
     }
+
+    /// Every posting list, in hash order (segment writers sort the keys
+    /// themselves for a deterministic on-disk layout).
+    pub fn posting_lists(&self) -> impl Iterator<Item = (i64, &[RowId])> {
+        self.postings.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
 }
 
 /// One source key's pre-joined postings in a [`SortedLinkIndex`].
@@ -241,11 +247,14 @@ impl SortedLinkIndex {
         Ok(SortedLinkIndex { postings })
     }
 
-    /// Binary-inserts a freshly appended junction row. `target` is `None`
-    /// when the row's target FK is NULL/unresolvable (it still counts in
-    /// `raw_len`). `target_scores[t]` must give the installed score of
-    /// target rows; the new junction RowId is the largest of its table, so
-    /// ties land after equal `(score, target)` pairs — matching a rebuild.
+    /// Binary-inserts a junction row at its exact `(target score desc,
+    /// target RowId asc, junction RowId asc)` position — where a rebuild
+    /// would put it. `target` is `None` when the row's target FK is
+    /// NULL/unresolvable (it still counts in `raw_len`). `target_scores[t]`
+    /// must give the installed score of target rows. Serves both freshly
+    /// appended junction rows (always the largest RowId of their table)
+    /// and *re*-insertions of updated mid-table junction rows, where the
+    /// junction-RowId tie-break is load-bearing.
     pub(crate) fn insert_scored(
         &mut self,
         key: i64,
@@ -258,13 +267,12 @@ impl SortedLinkIndex {
         if let Some(t) = target {
             let s = target_scores[t.index()];
             // An existing pair precedes the new one iff its target scores
-            // higher, or ties with target RowId <= t (on a full target tie
-            // the junction RowId breaks it, and the new junction row is
-            // the largest of its table).
-            let pos = entry.pairs.partition_point(|&(_, pt)| {
+            // higher, ties with a smaller target RowId, or matches the
+            // target exactly with a smaller junction RowId.
+            let pos = entry.pairs.partition_point(|&(pj, pt)| {
                 match target_scores[pt.index()].total_cmp(&s) {
                     std::cmp::Ordering::Greater => true,
-                    std::cmp::Ordering::Equal => pt <= t,
+                    std::cmp::Ordering::Equal => pt < t || (pt == t && pj < junction_row),
                     std::cmp::Ordering::Less => false,
                 }
             });
@@ -272,7 +280,38 @@ impl SortedLinkIndex {
         }
     }
 
+    /// Un-posts one junction row from `key`'s group: the raw group count
+    /// drops by one, and the row's pair (if any) is physically removed
+    /// when `remove_pair` is set (an updated row about to be re-inserted)
+    /// or left in place as a *tombstone* otherwise (a deleted row —
+    /// consumers skip it via the dual-endpoint liveness check, and
+    /// compaction purges it later). Returns `true` when a pair stayed
+    /// behind as a tombstone, so the caller can count compaction debt.
+    /// No-op (returns `false`) if the key has no postings.
+    pub(crate) fn unpost(&mut self, key: i64, junction_row: RowId, remove_pair: bool) -> bool {
+        let Some(entry) = self.postings.get_mut(&key) else { return false };
+        entry.raw_len = entry.raw_len.saturating_sub(1);
+        let posted = entry.pairs.iter().position(|&(pj, _)| pj == junction_row);
+        if let Some(pos) = posted {
+            if remove_pair {
+                entry.pairs.remove(pos);
+            }
+        }
+        if entry.raw_len == 0 {
+            // An emptied raw group matches a fresh build exactly: the
+            // hash index drops empty groups, so the postings drop the
+            // key — any pairs still in it are tombstones serving nobody.
+            self.postings.remove(&key);
+            return false;
+        }
+        posted.is_some() && !remove_pair
+    }
+
     /// The `(junction row, target row)` pairs of `key`, best target first.
+    ///
+    /// May contain *tombstoned* pairs whose junction row has since been
+    /// deleted ([`SortedLinkIndex::unpost`]); consumers must skip pairs
+    /// with a dead endpoint (junction-row or target-row liveness).
     pub fn pairs(&self, key: i64) -> &[(RowId, RowId)] {
         static EMPTY: [(RowId, RowId); 0] = [];
         self.postings.get(&key).map(|p| p.pairs.as_slice()).unwrap_or(&EMPTY)
@@ -287,6 +326,14 @@ impl SortedLinkIndex {
     /// Number of distinct source keys.
     pub fn key_count(&self) -> usize {
         self.postings.len()
+    }
+
+    /// Every source key's group — `(key, pairs, raw_len)` — in hash order
+    /// (segment writers sort the keys themselves for a deterministic
+    /// on-disk layout). Pairs may include tombstones (see
+    /// [`SortedLinkIndex::pairs`]).
+    pub fn groups(&self) -> impl Iterator<Item = (i64, &[(RowId, RowId)], usize)> {
+        self.postings.iter().map(|(&k, p)| (k, p.pairs.as_slice(), p.raw_len as usize))
     }
 }
 

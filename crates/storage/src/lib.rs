@@ -29,6 +29,7 @@ pub mod database;
 pub mod epoch;
 pub mod error;
 pub mod fk_index;
+pub mod pager;
 pub mod schema;
 pub mod table;
 pub mod text;
@@ -43,6 +44,7 @@ pub use database::{
 pub use epoch::Epoch;
 pub use error::StorageError;
 pub use fk_index::{FkOrderToken, SortedFkIndex, SortedLinkIndex};
+pub use pager::{LinkCursor, PostingCursor, PostingPager, SliceLinkCursor, SlicePostingCursor};
 pub use schema::{Column, ForeignKey, SchemaBuilder, TableSchema};
 pub use table::{RowId, Table};
 pub use topl::{top_l, TopLScratch};

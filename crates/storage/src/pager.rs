@@ -1,0 +1,160 @@
+//! The posting-pager seam: how a disk tier serves sorted postings.
+//!
+//! The TOP-l fast path ([`crate::Database::select_eq_top_l`] and the
+//! junction-link probe) scans a *prefix* of an importance-sorted posting
+//! list. [`PostingCursor`] abstracts that scan — "next entry, best
+//! importance first" — so the prefix-cut loop
+//! ([`crate::TopLScratch::stage_prefix`]) is written once and consumed by
+//! two backends: the in-RAM slices ([`SlicePostingCursor`],
+//! [`SliceLinkCursor`]) and a paged on-disk reader supplied by an
+//! attached [`PostingPager`] (the `sizel-disk` crate's block-cached
+//! segment store). Byte-identical results and access accounting across
+//! the backends follow by construction and are property-pinned by the
+//! disk crate's equivalence suite.
+//!
+//! Fail-closed contract: a paged cursor that hits a read error
+//! (checksum mismatch, short read) stops yielding and raises
+//! [`PostingCursor::failed`]. The caller must then *discard* the partial
+//! scan and fall back to the always-correct heap path — a truncated
+//! prefix served as-if-complete would silently drop result rows, which
+//! is exactly the garbage the checksums exist to catch.
+//!
+//! Staleness contract: segments snapshot one [`FkOrderToken`]
+//! (order id + epoch). [`PostingPager::stamp`] exposes it, and the
+//! database only routes a probe to the pager when the stamp equals both
+//! the live installed token *and* the querying context's token — any
+//! mutation re-stamps the installed token, so stale segments silently
+//! stop serving until the next checkpoint rewrites them.
+
+use crate::fk_index::FkOrderToken;
+use crate::table::RowId;
+use crate::TableId;
+
+/// A positioned scan over one FK posting list, best importance first.
+pub trait PostingCursor {
+    /// The next posted row, or `None` when the list (or a failed read —
+    /// check [`PostingCursor::failed`]) ends the scan.
+    fn next_row(&mut self) -> Option<RowId>;
+
+    /// True when the scan ended because of a read error rather than list
+    /// exhaustion. The caller must discard the partial scan (fail closed).
+    fn failed(&self) -> bool {
+        false
+    }
+}
+
+/// A positioned scan over one link posting group: `(junction row, target
+/// row)` pairs, best target importance first.
+pub trait LinkCursor {
+    /// The next pair, or `None` at end-of-group / read failure.
+    fn next_pair(&mut self) -> Option<(RowId, RowId)>;
+
+    /// True when the scan ended because of a read error (fail closed).
+    fn failed(&self) -> bool {
+        false
+    }
+}
+
+/// The in-RAM backend: a cursor over a sorted posting slice
+/// ([`crate::SortedFkIndex::rows`]). Infallible.
+#[derive(Debug)]
+pub struct SlicePostingCursor<'a> {
+    rows: &'a [RowId],
+    at: usize,
+}
+
+impl<'a> SlicePostingCursor<'a> {
+    /// A cursor positioned at the best-importance end of `rows`.
+    pub fn new(rows: &'a [RowId]) -> SlicePostingCursor<'a> {
+        SlicePostingCursor { rows, at: 0 }
+    }
+}
+
+impl PostingCursor for SlicePostingCursor<'_> {
+    fn next_row(&mut self) -> Option<RowId> {
+        let r = self.rows.get(self.at).copied();
+        self.at += r.is_some() as usize;
+        r
+    }
+}
+
+/// The in-RAM backend for link groups ([`crate::SortedLinkIndex::pairs`]).
+/// Infallible; yields tombstoned pairs too (consumers liveness-filter).
+#[derive(Debug)]
+pub struct SliceLinkCursor<'a> {
+    pairs: &'a [(RowId, RowId)],
+    at: usize,
+}
+
+impl<'a> SliceLinkCursor<'a> {
+    /// A cursor positioned at the best-target end of `pairs`.
+    pub fn new(pairs: &'a [(RowId, RowId)]) -> SliceLinkCursor<'a> {
+        SliceLinkCursor { pairs, at: 0 }
+    }
+}
+
+impl LinkCursor for SliceLinkCursor<'_> {
+    fn next_pair(&mut self) -> Option<(RowId, RowId)> {
+        let p = self.pairs.get(self.at).copied();
+        self.at += p.is_some() as usize;
+        p
+    }
+}
+
+/// A paged posting store attachable to a [`crate::Database`]: serves
+/// sorted FK and link postings for tables whose in-RAM postings have been
+/// evicted. Implemented by the `sizel-disk` crate's block-cached segment
+/// store; the trait lives here so storage stays dependency-free.
+pub trait PostingPager: std::fmt::Debug + Send + Sync {
+    /// The [`FkOrderToken`] the current segment generation snapshots, or
+    /// `None` when no generation is loaded. Probes only route here while
+    /// this equals the database's live installed token.
+    fn stamp(&self) -> Option<FkOrderToken>;
+
+    /// A cursor over the FK posting list of `(table, col, key)`, or
+    /// `None` when the segment generation doesn't cover that list (the
+    /// caller falls back to the heap path). An *empty* covered list
+    /// yields a cursor that immediately ends. Read errors surface through
+    /// [`PostingCursor::failed`], never as truncated-but-ok scans.
+    fn fk_cursor(
+        &self,
+        table: TableId,
+        col: usize,
+        key: i64,
+    ) -> Option<Box<dyn PostingCursor + '_>>;
+
+    /// A cursor over the link posting group of `(junction, source col,
+    /// key)`, with the same coverage and fail-closed semantics as
+    /// [`PostingPager::fk_cursor`].
+    fn link_cursor(&self, table: TableId, col: usize, key: i64)
+        -> Option<Box<dyn LinkCursor + '_>>;
+
+    /// The raw junction FK group size of `(junction, source col, key)`
+    /// — what the heap path would report as the probe's tuple count —
+    /// or `None` when not covered.
+    fn link_raw_len(&self, table: TableId, col: usize, key: i64) -> Option<usize>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_cursors_walk_their_slices_in_order_and_never_fail() {
+        let rows = [RowId(3), RowId(1), RowId(2)];
+        let mut c = SlicePostingCursor::new(&rows);
+        assert_eq!(c.next_row(), Some(RowId(3)));
+        assert_eq!(c.next_row(), Some(RowId(1)));
+        assert_eq!(c.next_row(), Some(RowId(2)));
+        assert_eq!(c.next_row(), None);
+        assert_eq!(c.next_row(), None, "exhausted cursors stay exhausted");
+        assert!(!c.failed());
+
+        let pairs = [(RowId(0), RowId(9)), (RowId(1), RowId(8))];
+        let mut lc = SliceLinkCursor::new(&pairs);
+        assert_eq!(lc.next_pair(), Some((RowId(0), RowId(9))));
+        assert_eq!(lc.next_pair(), Some((RowId(1), RowId(8))));
+        assert_eq!(lc.next_pair(), None);
+        assert!(!lc.failed());
+    }
+}

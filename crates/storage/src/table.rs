@@ -46,6 +46,11 @@ pub struct Table {
     /// Dead rows still present in the sorted FK postings (the compaction
     /// debt). Reset by every full posting (re)build.
     posting_tombstones: usize,
+    /// Dead junction pairs still present in the sorted link postings
+    /// (junction tables only): deleted junction rows leave their pairs
+    /// behind as tombstones, skipped by consumers via dual-endpoint
+    /// liveness checks. Reset by every full link (re)build.
+    link_tombstones: usize,
     pk_index: HashMap<i64, RowId>,
     /// column index -> (key -> row ids)
     fk_indexes: HashMap<usize, HashMap<i64, Vec<RowId>>>,
@@ -88,6 +93,7 @@ impl Table {
             dead: Vec::new(),
             n_dead: 0,
             posting_tombstones: 0,
+            link_tombstones: 0,
             pk_index: HashMap::new(),
             fk_indexes,
             sorted_fk: HashMap::new(),
@@ -280,6 +286,20 @@ impl Table {
         self.installed_scores.clear();
         self.scores_live = false;
         self.posting_tombstones = 0;
+        self.link_tombstones = 0;
+    }
+
+    /// Evicts the in-RAM sorted FK and link postings (the disk tier's
+    /// residency policy: a paged table serves prefix scans from segments
+    /// instead). The score snapshot survives, so staged mutations and
+    /// later re-sorts keep working — the postings simply stop being
+    /// RAM-resident until something rebuilds them. Tombstone debt goes
+    /// with the postings it was counted against.
+    pub(crate) fn evict_sorted_postings(&mut self) {
+        self.sorted_fk.clear();
+        self.sorted_links.clear();
+        self.posting_tombstones = 0;
+        self.link_tombstones = 0;
     }
 
     /// Appends a row whose installed importance is `score` *without*
@@ -364,6 +384,24 @@ impl Table {
     /// Dead rows currently lingering in the sorted FK postings.
     pub fn fk_tombstones(&self) -> usize {
         self.posting_tombstones
+    }
+
+    /// Records dead pairs left behind in the sorted link postings (the
+    /// settlement of junction-row deletes). The database rebuilds the
+    /// junction's links once the debt crosses its compaction threshold.
+    pub(crate) fn add_link_tombstones(&mut self, n: usize) {
+        self.link_tombstones += n;
+    }
+
+    /// Dead pairs currently lingering in the sorted link postings.
+    pub fn link_tombstones(&self) -> usize {
+        self.link_tombstones
+    }
+
+    /// Pays off the link-tombstone debt (a full link rebuild sources live
+    /// pairs only).
+    pub(crate) fn reset_link_tombstones(&mut self) {
+        self.link_tombstones = 0;
     }
 
     /// Binary-inserts a staged row into the sorted FK postings under the
@@ -468,6 +506,17 @@ impl Table {
     /// `col` (junction tables under a live installed order only).
     pub fn sorted_link_index(&self, col: usize) -> Option<&SortedLinkIndex> {
         self.sorted_links.get(&col)
+    }
+
+    /// Every installed sorted FK index — `(column, index)` — for segment
+    /// writers snapshotting this table's postings to disk.
+    pub fn sorted_fk_indexes(&self) -> impl Iterator<Item = (usize, &SortedFkIndex)> {
+        self.sorted_fk.iter().map(|(&col, idx)| (col, idx))
+    }
+
+    /// Every installed sorted link index — `(source column, index)`.
+    pub fn sorted_link_indexes(&self) -> impl Iterator<Item = (usize, &SortedLinkIndex)> {
+        self.sorted_links.iter().map(|(&col, idx)| (col, idx))
     }
 
     /// Parks the sorted FK and link postings while a scored batch stages

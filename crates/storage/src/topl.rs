@@ -137,6 +137,44 @@ impl<T: Ord> TopLScratch<T> {
         self.select_into(staged.drain(..), l, out);
         self.staged = staged;
     }
+
+    /// Stages the Avoidance-Condition-2 prefix of a descending-importance
+    /// posting scan: pulls items from `next` (best importance first),
+    /// scores each with `score` (`None` skips the item — a tombstoned
+    /// row), and stops at the paper's two cut conditions — the first
+    /// score at or below `largest_l`, or, once `l` candidates are staged,
+    /// the first score strictly below the current l-th (only ties can
+    /// still displace it on the item tie-break). Rank the staged run with
+    /// [`TopLScratch::rank_staged_into`].
+    ///
+    /// This is the one copy of the prefix-cut logic every sorted-posting
+    /// backend shares — the in-RAM slices and the paged on-disk reader
+    /// consume it through the same loop, which is what makes their
+    /// results and join accounting byte-identical by construction.
+    pub fn stage_prefix(
+        &mut self,
+        l: usize,
+        largest_l: f64,
+        mut next: impl FnMut() -> Option<T>,
+        mut score: impl FnMut(&T) -> Option<f64>,
+    ) {
+        self.staged.clear();
+        while let Some(item) = next() {
+            let Some(s) = score(&item) else { continue };
+            // Importance is non-increasing along the scan, so the first
+            // value at or below the threshold ends the probe...
+            if s <= largest_l {
+                break;
+            }
+            // ...and once l candidates are staged, the scan only continues
+            // through items tying the current l-th score (they may
+            // displace it on the item tie-break).
+            if self.staged.len() >= l && s < self.staged[l - 1].0 {
+                break;
+            }
+            self.staged.push((s, item));
+        }
+    }
 }
 
 #[cfg(test)]

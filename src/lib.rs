@@ -32,6 +32,7 @@ pub use sizel_core::algo::{
     AlgoKind, BottomUp, BruteForce, DpKnapsack, DpNaive, SizeLAlgorithm, SizeLResult, TopPath,
     TopPathOpt, WordBudgetDp,
 };
+pub use sizel_core::durability::{DiskTierConfig, DiskTierStats, RecoveryReport};
 pub use sizel_core::engine::{
     EngineConfig, Mutation, QueryOptions, QueryResult, RefreshPolicy, ResultRanking, SizeLEngine,
 };
@@ -46,6 +47,10 @@ pub use sizel_core::prelim::{generate_prelim, generate_prelim_pooled, PrelimStat
 pub use sizel_core::render::{render_os, RenderOptions};
 pub use sizel_datagen::dblp::{Dblp, DblpConfig, FamousAuthorSpec};
 pub use sizel_datagen::tpch::{Tpch, TpchConfig};
+pub use sizel_disk::{
+    BlockCache, CacheSnapshot, DiskError, PagedStore, SegmentFile, SegmentWriter, StoreStats, Wal,
+    WalReplay,
+};
 pub use sizel_graph::{
     presets as gds_presets, AffinityModel, DataGraph, Gds, GdsConfig, SchemaGraph,
 };
